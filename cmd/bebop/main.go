@@ -1,0 +1,81 @@
+// Command bebop model checks a boolean program: it computes the reachable
+// states of every statement by interprocedural dataflow analysis over
+// BDDs and reports whether any assert can fail, mirroring the paper's
+// Bebop tool.
+//
+// Usage:
+//
+//	bebop -entry main program.bp
+//	bebop -entry partition -invariant partition:L program.bp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"predabs"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry procedure")
+	invariant := flag.String("invariant", "", "print the invariant at proc:label")
+	allInvariants := flag.Bool("invariants", false, "print the invariant at every labelled statement")
+	showTrace := flag.Bool("trace", false, "print a counterexample trace for a reachable violation")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bebop -entry <proc> [-invariant proc:label] <program.bp>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	bprog, err := predabs.ParseBooleanProgram(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bprog.Check(*entry)
+	if err != nil {
+		fatal(err)
+	}
+	if *invariant != "" {
+		parts := strings.SplitN(*invariant, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("bad -invariant %q, want proc:label", *invariant))
+		}
+		inv, err := res.InvariantAt(parts[0], parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("invariant at %s:\n  %s\n", *invariant, inv)
+	}
+	if *allInvariants {
+		for _, line := range res.LabelledInvariants() {
+			fmt.Println(line)
+		}
+	}
+	if proc, stmt, bad := res.ErrorReachable(); bad {
+		fmt.Printf("RESULT: assertion violation reachable at %s (statement %d)\n", proc, stmt)
+		if *showTrace {
+			steps, ok := res.ErrorTrace()
+			if ok {
+				fmt.Println("trace:")
+				for _, s := range steps {
+					fmt.Println("  " + s)
+				}
+			} else {
+				fmt.Println("trace: (extraction failed)")
+			}
+		}
+		os.Exit(1)
+	}
+	fmt.Println("RESULT: no assertion violation is reachable")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bebop:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command c2bp performs predicate abstraction of a MiniC program: given a
+// C source file and a predicate input file, it emits the boolean program
+// BP(P, E), mirroring the paper's C2bp tool.
+//
+// Usage:
+//
+//	c2bp -preds partition.preds partition.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predabs"
+)
+
+func main() {
+	predFile := flag.String("preds", "", "predicate input file (required)")
+	maxCube := flag.Int("maxcube", 3, "maximum cube length in the F computation (0 = unlimited)")
+	noCone := flag.Bool("nocone", false, "disable the cone-of-influence optimization")
+	noEnforce := flag.Bool("noenforce", false, "do not emit enforce invariants")
+	stats := flag.Bool("stats", false, "print abstraction statistics to stderr")
+	flag.Parse()
+
+	if *predFile == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: c2bp -preds <predfile> <source.c>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	preds, err := os.ReadFile(*predFile)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := predabs.Load(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	opts := predabs.DefaultOptions()
+	opts.MaxCubeLen = *maxCube
+	opts.ConeOfInfluence = !*noCone
+	opts.EmitEnforce = !*noEnforce
+	bprog, err := prog.Abstract(string(preds), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(bprog.Text())
+	if *stats {
+		s := bprog.Stats()
+		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\ncubes checked: %d\n",
+			s.Predicates, s.ProverCalls, s.CubesChecked)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "c2bp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command slam statically checks a temporal safety property of a MiniC
+// program by iterative predicate abstraction (C2bp), model checking
+// (Bebop) and predicate discovery (Newton) — the SLAM toolkit's process.
+//
+// Usage:
+//
+//	slam -spec locking.slic -entry main driver.c
+//	slam -entry main program_with_asserts.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predabs"
+)
+
+func main() {
+	specFile := flag.String("spec", "", "SLIC-style specification file (optional; without it, asserts in the source are checked)")
+	entry := flag.String("entry", "main", "entry procedure")
+	maxIters := flag.Int("maxiters", 10, "maximum abstraction refinement iterations")
+	verbose := flag.Bool("v", false, "log each refinement iteration")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: slam [-spec file] -entry <proc> <source.c>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := predabs.DefaultVerifyConfig()
+	cfg.MaxIterations = *maxIters
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var res *predabs.VerifyResult
+	if *specFile != "" {
+		specSrc, err := os.ReadFile(*specFile)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = predabs.VerifySpec(string(src), string(specSrc), *entry, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = predabs.Verify(string(src), *entry, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("RESULT: %s (iterations: %d, predicates: %d, prover calls: %d)\n",
+		res.Outcome, res.Iterations, res.PredCount, res.ProverCalls)
+	switch res.Outcome {
+	case predabs.ErrorFound:
+		fmt.Println("error path:")
+		for _, e := range res.ErrorTrace {
+			fmt.Println("  " + e)
+		}
+		os.Exit(1)
+	case predabs.Unknown:
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slam:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+package predabs_test
+
+import (
+	"fmt"
+
+	"predabs"
+)
+
+// ExampleProgram_Abstract runs C2bp on a two-line program and prints the
+// abstraction of the assignment.
+func ExampleProgram_Abstract() {
+	prog, err := predabs.Load(`
+void f(int x) {
+  x = x + 1;
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	bprog, err := prog.Abstract("f:\n  x > 0", predabs.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(bprog.Text())
+	// Output:
+	// void f({x > 0}) begin
+	//   {x > 0} := choose({x > 0}, false); // x = x + 1;
+	//  __exit:
+	//   return;
+	// end
+}
+
+// ExampleCheckResult_InvariantAt model checks an abstraction and queries
+// the invariant Bebop computed at a label.
+func ExampleCheckResult_InvariantAt() {
+	prog, err := predabs.Load(`
+void f(int x) {
+  assume(x > 0);
+  while (x > 1) {
+    x = x - 1;
+  }
+L: assert(x > 0);
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	bprog, err := prog.Abstract("f:\n  x > 0, x > 1", predabs.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	res, err := bprog.Check("f")
+	if err != nil {
+		panic(err)
+	}
+	inv, err := res.InvariantAt("f", "L")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(inv)
+	_, _, bad := res.ErrorReachable()
+	fmt.Println("assert can fail:", bad)
+	// Output:
+	// {x > 0} & !{x > 1}
+	// assert can fail: false
+}
+
+// ExampleVerifySpec runs the full SLAM loop on a locking property.
+func ExampleVerifySpec() {
+	src := `
+void lock(void) { }
+void unlock(void) { }
+void main(int n) {
+  lock();
+  if (n > 0) {
+    unlock();
+    lock();
+  }
+  unlock();
+}
+`
+	spec := `
+state { int held = 0; }
+event lock entry { if (held == 1) { abort; } held = 1; }
+event unlock entry { if (held == 0) { abort; } held = 0; }
+`
+	res, err := predabs.VerifySpec(src, spec, "main", predabs.DefaultVerifyConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Outcome)
+	// Output:
+	// verified
+}

@@ -1,0 +1,72 @@
+// Bounds: array-bounds loop invariants in the style of the Necula
+// proof-carrying-code examples (Section 6.2, kmp and qsort). The paper's
+// observation: "where an array a was indexed in a loop by a variable
+// index, we simply had to model the bounds index >= 0 and index <=
+// length(a) in order to produce the appropriate loop invariant".
+//
+// We run the inner scan of a string matcher and ask Bebop for the
+// invariant at the array access: both bounds hold at every access, so the
+// accesses are safe and the asserts are validated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predabs"
+)
+
+const scanSrc = `
+int scan(int a[], int n, int key) {
+  int i;
+  int found;
+  assume(n >= 0);
+  found = 0 - 1;
+  i = 0;
+  while (i < n) {
+L:  assert(i >= 0);
+    assert(i < n);
+    if (a[i] == key) {
+      found = i;
+    }
+    i = i + 1;
+  }
+  return found;
+}
+`
+
+const scanPreds = `
+scan:
+  i >= 0, i < n, n >= 0
+`
+
+func main() {
+	prog, err := predabs.Load(scanSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bprog, err := prog.Abstract(scanPreds, predabs.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := bprog.Stats()
+	fmt.Printf("abstracted scan with %d predicates (%d theorem prover calls)\n",
+		s.Predicates, s.ProverCalls)
+
+	res, err := bprog.Check("scan")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := res.InvariantAt("scan", "L")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loop-body invariant at the array access:")
+	fmt.Println("  " + inv)
+
+	if proc, stmt, bad := res.ErrorReachable(); bad {
+		fmt.Printf("UNEXPECTED: bounds can be violated at %s:%d\n", proc, stmt)
+		return
+	}
+	fmt.Println("verified: 0 <= i < n at every a[i] access (loop invariant found).")
+}

@@ -1,0 +1,89 @@
+// Quickstart: the paper's running example (Figures 1 and 2 territory).
+//
+// We abstract the list partition procedure with respect to four
+// predicates, model check the resulting boolean program with Bebop, and
+// print the invariant Bebop computes at label L — the Section 2.2 result
+//
+//	(curr ≠ NULL) ∧ (curr->val > v) ∧ ((prev->val ≤ v) ∨ (prev = NULL))
+//
+// which, fed to a decision procedure, refines alias information: *prev
+// and *curr are never aliases at L.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predabs"
+)
+
+const partitionSrc = `
+typedef struct cell { int val; struct cell* next; } *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+const predicates = `
+partition:
+  curr == NULL, prev == NULL, curr->val > v, prev->val > v
+`
+
+func main() {
+	prog, err := predabs.Load(partitionSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bprog, err := prog.Abstract(predicates, predabs.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== boolean program BP(P, E) ===")
+	fmt.Println(bprog.Text())
+	s := bprog.Stats()
+	fmt.Printf("(%d predicates, %d theorem prover calls)\n\n", s.Predicates, s.ProverCalls)
+
+	res, err := bprog.Check("partition")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := res.InvariantAt("partition", "L")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Bebop invariant at label L ===")
+	fmt.Println(inv)
+
+	for _, claim := range []string{
+		"!{curr == NULL}",
+		"{curr->val > v}",
+		"!{prev->val > v} | {prev == NULL}",
+	} {
+		ok, err := res.InvariantHolds("partition", "L", claim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("invariant implies %-40s %v\n", claim+":", ok)
+	}
+	fmt.Println("\nConsequence (via the decision procedures): *prev and *curr")
+	fmt.Println("are never aliases at L — prev is NULL or holds a value <= v,")
+	fmt.Println("while curr holds a value > v.")
+}

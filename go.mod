@@ -1,0 +1,3 @@
+module predabs
+
+go 1.22

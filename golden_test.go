@@ -1,0 +1,30 @@
+package predabs
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFigure1GoldenOutput pins the complete boolean program C2bp emits
+// for the Figure 1 partition example against a golden file, protecting
+// the end-to-end abstraction (WP, alias pruning, cube search, skips,
+// guard assumes) from silent regressions. Regenerate with:
+//
+//	go run ./cmd/c2bp -preds <predfile> <partition.c> > testdata/figure1_partition.bp.golden
+func TestFigure1GoldenOutput(t *testing.T) {
+	prog, err := Load(partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprog, err := prog.Abstract(partitionPreds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/figure1_partition.bp.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bprog.Text(); got != string(want) {
+		t.Errorf("abstraction output changed; diff against testdata/figure1_partition.bp.golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

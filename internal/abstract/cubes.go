@@ -1,0 +1,296 @@
+package abstract
+
+import (
+	"predabs/internal/bp"
+	"predabs/internal/form"
+)
+
+// Pred pairs a boolean-variable name with the C predicate it stands for.
+type Pred struct {
+	// Name is the boolean program variable name (the predicate's source
+	// text, e.g. "curr->val > v").
+	Name string
+	// F is the predicate as a formula.
+	F form.Formula
+	// neg caches NNF(¬F).
+	neg form.Formula
+}
+
+// NewPred builds a predicate entry.
+func NewPred(name string, f form.Formula) Pred {
+	return Pred{Name: name, F: f, neg: form.NNF(form.MkNot(f))}
+}
+
+// Neg returns NNF(¬F).
+func (p Pred) Neg() form.Formula {
+	if p.neg == nil {
+		return form.NNF(form.MkNot(p.F))
+	}
+	return p.neg
+}
+
+// literal is one signed predicate occurrence in a cube.
+type literal struct {
+	idx int
+	pos bool
+}
+
+// fv computes F_V(phi): the largest disjunction of cubes over preds that
+// implies phi (Section 4.1), as a boolean-program expression. hyp is an
+// extra hypothesis conjoined to every cube (used to thread the enforce
+// invariant through signatures); it may be nil.
+func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
+	switch phi.(type) {
+	case form.TrueF:
+		return bp.Const{Val: true}
+	case form.FalseF:
+		return bp.Const{Val: false}
+	}
+
+	// Optimization 4 (syntactic heuristics): an exact predicate or negated
+	// predicate match needs no prover calls.
+	if ab.opts.SyntacticHeuristics {
+		phiN := form.NNF(phi)
+		for _, p := range preds {
+			if form.FormulaEq(p.F, phi) || form.FormulaEq(form.NNF(p.F), phiN) {
+				return bp.Ref{Name: p.Name}
+			}
+			if form.FormulaEq(p.Neg(), phiN) {
+				return bp.Not{X: bp.Ref{Name: p.Name}}
+			}
+		}
+	}
+
+	// Optional precision tradeoff: distribute F through ∧ (lossless) and ∨
+	// (lossy), operating on atomic pieces.
+	if ab.opts.FOnAtoms {
+		switch phi := phi.(type) {
+		case form.And:
+			out := bp.Expr(bp.Const{Val: true})
+			for _, g := range phi.Fs {
+				out = bp.MkAnd(out, ab.fv(fn, preds, g))
+			}
+			return out
+		case form.Or:
+			out := bp.Expr(bp.Const{Val: false})
+			for _, g := range phi.Fs {
+				out = bp.MkOr(out, ab.fv(fn, preds, g))
+			}
+			return out
+		}
+	}
+
+	// Degenerate goals: a valid phi needs no cubes at all, and an
+	// unsatisfiable phi has none.
+	if ab.pv.Valid(form.TrueF{}, phi) {
+		return bp.Const{Val: true}
+	}
+	if ab.pv.Valid(phi, form.FalseF{}) {
+		return bp.Const{Val: false}
+	}
+
+	// Optimization 3: cone of influence.
+	domain := preds
+	if ab.opts.ConeOfInfluence {
+		domain = ab.cone(fn, preds, phi)
+	}
+	if len(domain) == 0 {
+		return bp.Const{Val: false}
+	}
+
+	maxLen := ab.opts.MaxCubeLen
+	if maxLen <= 0 || maxLen > len(domain) {
+		maxLen = len(domain)
+	}
+
+	// Optimization 1: enumerate cubes by increasing length, pruning
+	// supersets of accepted implicants (redundant) and of cubes that imply
+	// ¬phi (can never imply phi consistently).
+	var implicants [][]literal
+	var contradictions [][]literal
+	var disjuncts []bp.Expr
+	notPhi := form.NNF(form.MkNot(phi))
+
+	var cube []literal
+
+	// Sized rounds: all cubes of length 1, then 2, ... so pruning sees
+	// short implicants first (prime implicants only).
+	for size := 1; size <= maxLen; size++ {
+		var enumerateExact func(start int, need int)
+		enumerateExact = func(start, need int) {
+			if need == 0 {
+				if supersetOfAny(cube, implicants) || supersetOfAny(cube, contradictions) {
+					return
+				}
+				cubeF := cubeFormula(domain, cube)
+				ab.Stats.CubesChecked++
+				if ab.pv.Valid(cubeF, phi) {
+					c := append([]literal(nil), cube...)
+					implicants = append(implicants, c)
+					disjuncts = append(disjuncts, cubeExpr(domain, cube))
+					return
+				}
+				if ab.pv.Valid(cubeF, notPhi) {
+					c := append([]literal(nil), cube...)
+					contradictions = append(contradictions, c)
+				}
+				return
+			}
+			for i := start; i <= len(domain)-need; i++ {
+				for _, pos := range []bool{true, false} {
+					cube = append(cube, literal{idx: i, pos: pos})
+					enumerateExact(i+1, need-1)
+					cube = cube[:len(cube)-1]
+				}
+			}
+		}
+		enumerateExact(0, size)
+	}
+	return bp.OrAll(disjuncts)
+}
+
+// gv computes G_V(phi) = ¬F_V(¬phi): the strongest expressible formula
+// implied by phi.
+func (ab *Abstractor) gv(fn string, preds []Pred, phi form.Formula) bp.Expr {
+	inner := ab.fv(fn, preds, form.NNF(form.MkNot(phi)))
+	return bpNot(inner)
+}
+
+func bpNot(e bp.Expr) bp.Expr { return bp.MkNot(e) }
+
+// cubeFormula conjoins the cube's literals as a formula.
+func cubeFormula(domain []Pred, cube []literal) form.Formula {
+	fs := make([]form.Formula, len(cube))
+	for i, l := range cube {
+		if l.pos {
+			fs[i] = domain[l.idx].F
+		} else {
+			fs[i] = domain[l.idx].Neg()
+		}
+	}
+	return form.MkAnd(fs...)
+}
+
+// cubeExpr renders the cube as a boolean-program expression.
+func cubeExpr(domain []Pred, cube []literal) bp.Expr {
+	out := bp.Expr(bp.Const{Val: true})
+	for _, l := range cube {
+		var lit bp.Expr = bp.Ref{Name: domain[l.idx].Name}
+		if !l.pos {
+			lit = bp.Not{X: lit}
+		}
+		out = bp.MkAnd(out, lit)
+	}
+	return out
+}
+
+// supersetOfAny reports whether cube contains some recorded cube as a
+// (signed) subset.
+func supersetOfAny(cube []literal, recorded [][]literal) bool {
+	for _, rec := range recorded {
+		if containsAll(cube, rec) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAll(cube, sub []literal) bool {
+	for _, l := range sub {
+		found := false
+		for _, c := range cube {
+			if c == l {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// cone restricts the predicate domain to those that can possibly be part
+// of a cube implying phi: predicates mentioning a location of phi or an
+// alias of one, iterated to a fixpoint (Section 5.2, optimization 3).
+func (ab *Abstractor) cone(fn string, preds []Pred, phi form.Formula) []Pred {
+	locs := form.ReadLocations(phi)
+	included := make([]bool, len(preds))
+	changed := true
+	for changed {
+		changed = false
+		for i, p := range preds {
+			if included[i] {
+				continue
+			}
+			if ab.predTouches(fn, p, locs) {
+				included[i] = true
+				changed = true
+				locs = append(locs, form.ReadLocations(p.F)...)
+			}
+		}
+	}
+	var out []Pred
+	for i, p := range preds {
+		if included[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// predTouches reports whether the predicate mentions one of the locations
+// or a may-alias of one.
+func (ab *Abstractor) predTouches(fn string, p Pred, locs []form.Term) bool {
+	for _, pl := range form.ReadLocations(p.F) {
+		for _, l := range locs {
+			if form.TermEq(pl, l) || ab.aa.MayAlias(fn, pl, l) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enforceExpr computes the per-procedure data invariant ¬F_{V}(false)
+// (Section 5.1): F_V(false) is the disjunction of minimal inconsistent
+// cubes over the predicates, which the enforce statement rules out.
+func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
+	maxLen := ab.opts.MaxCubeLen
+	if maxLen <= 0 || maxLen > len(preds) {
+		maxLen = len(preds)
+	}
+	var found [][]literal
+	var disjuncts []bp.Expr
+	var cube []literal
+	for size := 1; size <= maxLen; size++ {
+		var enumerate func(start, need int)
+		enumerate = func(start, need int) {
+			if need == 0 {
+				if supersetOfAny(cube, found) {
+					return
+				}
+				ab.Stats.CubesChecked++
+				if ab.pv.Unsat(cubeFormula(preds, cube)) {
+					c := append([]literal(nil), cube...)
+					found = append(found, c)
+					disjuncts = append(disjuncts, cubeExpr(preds, cube))
+				}
+				return
+			}
+			for i := start; i <= len(preds)-need; i++ {
+				for _, pos := range []bool{true, false} {
+					cube = append(cube, literal{idx: i, pos: pos})
+					enumerate(i+1, need-1)
+					cube = cube[:len(cube)-1]
+				}
+			}
+		}
+		enumerate(0, size)
+	}
+	if len(disjuncts) == 0 {
+		return nil
+	}
+	return bp.MkNot(bp.OrAll(disjuncts))
+}

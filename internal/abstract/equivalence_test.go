@@ -1,0 +1,119 @@
+package abstract
+
+import (
+	"testing"
+
+	"predabs/internal/bebop"
+)
+
+// Section 5.2: "the above optimizations all have the property that they
+// leave the resulting BP(P,E) semantically equivalent to the boolean
+// program produced without these optimizations." We check observational
+// equivalence through Bebop: identical reachable-state invariants at the
+// labelled program points for every optimization configuration. (MaxCube
+// and FOnAtoms are precision *tradeoffs* and are exempt; FOnAtoms through
+// ∧ is lossless but through ∨ may differ.)
+func TestOptimizationsPreserveSemantics(t *testing.T) {
+	subjects := []struct {
+		name, src, preds, entry, proc, label string
+	}{
+		{
+			name:  "partition",
+			src:   partitionSrc,
+			preds: partitionPreds,
+			entry: "partition", proc: "partition", label: "L",
+		},
+		{
+			name: "counter",
+			src: `
+void f(int x) {
+  int y;
+  y = 0;
+  while (x > 0) {
+    y = y + 1;
+    x = x - 1;
+  }
+L: assert(y >= 0);
+}
+`,
+			preds: "f:\n  x > 0, y >= 0, y > 0",
+			entry: "f", proc: "f", label: "L",
+		},
+		{
+			name: "callsite",
+			src: `
+int bump(int a) {
+  int r;
+  r = a + 1;
+  return r;
+}
+void f(int x) {
+  int z;
+  z = bump(x);
+L: assert(z > x);
+}
+`,
+			preds: "bump:\n  r > a, a == a\nf:\n  z > x",
+			entry: "f", proc: "f", label: "L",
+		},
+	}
+
+	configs := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"baseline-all-off", func(o *Options) {
+			o.ConeOfInfluence = false
+			o.SyntacticHeuristics = false
+			o.SkipUnchanged = false
+		}},
+		{"cone-only", func(o *Options) {
+			o.SyntacticHeuristics = false
+			o.SkipUnchanged = false
+		}},
+		{"heuristics-only", func(o *Options) {
+			o.ConeOfInfluence = false
+			o.SkipUnchanged = false
+		}},
+		{"skip-unchanged-only", func(o *Options) {
+			o.ConeOfInfluence = false
+			o.SyntacticHeuristics = false
+		}},
+		{"all-on", func(o *Options) {}},
+	}
+
+	for _, sub := range subjects {
+		sub := sub
+		t.Run(sub.name, func(t *testing.T) {
+			var baselineInv string
+			var baselineBad bool
+			for i, c := range configs {
+				opts := DefaultOptions()
+				opts.MaxCubeLen = 0 // unlimited, so only the optimizations vary
+				c.mod(&opts)
+				out, _ := pipeline(t, sub.src, sub.preds, opts)
+				ch, err := bebop.Check(out.BP, sub.entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idx, ok := ch.StmtAtLabel(sub.proc, sub.label)
+				if !ok {
+					t.Fatalf("%s: label %s missing", c.name, sub.label)
+				}
+				inv := ch.InvariantString(sub.proc, idx)
+				_, bad := ch.ErrorReachable()
+				if i == 0 {
+					baselineInv, baselineBad = inv, bad
+					continue
+				}
+				if inv != baselineInv {
+					t.Errorf("%s: invariant differs from baseline:\n  base: %s\n  got:  %s",
+						c.name, baselineInv, inv)
+				}
+				if bad != baselineBad {
+					t.Errorf("%s: error reachability differs from baseline", c.name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,275 @@
+package alias
+
+import (
+	"testing"
+
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/form"
+)
+
+func mustNormalize(t *testing.T, src string) *cnorm.Result {
+	t.Helper()
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := ctype.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := cnorm.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return res
+}
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := ctype.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := cnorm.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return Analyze(res)
+}
+
+func v(name string) form.Term     { return form.Var{Name: name} }
+func deref(t form.Term) form.Term { return form.Deref{X: t} }
+func fld(t form.Term, f string) form.Term {
+	return form.Sel{X: form.Deref{X: t}, Field: f}
+}
+
+const partitionSrc = `
+typedef struct cell { int val; struct cell* next; } *list;
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+      newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+// The paper (Section 2.1): since none of curr, prev, next, newl has its
+// address taken, none of these variables can be aliased by any other
+// expression in the procedure.
+func TestPartitionVarsNotAliased(t *testing.T) {
+	a := analyze(t, partitionSrc)
+	vars := []string{"curr", "prev", "nextCurr", "newl"}
+	for _, name := range vars {
+		if a.AddressTaken("partition", name) {
+			t.Errorf("%s reported address-taken", name)
+		}
+		// No dereference can alias the variable cell.
+		if a.MayAlias("partition", v(name), deref(v("l"))) {
+			t.Errorf("%s may-aliases *l", name)
+		}
+		if a.MayAlias("partition", v(name), fld(v("curr"), "next")) {
+			t.Errorf("%s may-aliases curr->next", name)
+		}
+		for _, other := range vars {
+			if other != name && a.MayAlias("partition", v(name), v(other)) {
+				t.Errorf("%s may-aliases %s", name, other)
+			}
+		}
+	}
+}
+
+// *prev and *curr point into the same list, so the flow-insensitive
+// analysis must say they may alias (the paper then refines this with
+// predicates).
+func TestPartitionCellsMayAlias(t *testing.T) {
+	a := analyze(t, partitionSrc)
+	if !a.MayAlias("partition", deref(v("curr")), deref(v("prev"))) {
+		t.Error("*curr and *prev should may-alias")
+	}
+	if !a.MayAlias("partition", fld(v("curr"), "val"), fld(v("prev"), "val")) {
+		t.Error("curr->val and prev->val should may-alias")
+	}
+}
+
+func TestDifferentFieldsNeverAlias(t *testing.T) {
+	a := analyze(t, partitionSrc)
+	if a.MayAlias("partition", fld(v("curr"), "val"), fld(v("prev"), "next")) {
+		t.Error("curr->val and prev->next must not alias (different fields)")
+	}
+}
+
+func TestAddressTakenEnablesAliasing(t *testing.T) {
+	a := analyze(t, `
+void f(void) {
+  int x;
+  int y;
+  int* p;
+  p = &x;
+  *p = 3;
+  y = 0;
+}
+`)
+	if !a.AddressTaken("f", "x") {
+		t.Fatal("x is address-taken")
+	}
+	if !a.MayAlias("f", v("x"), deref(v("p"))) {
+		t.Error("*p may alias x")
+	}
+	if a.MayAlias("f", v("y"), deref(v("p"))) {
+		t.Error("*p must not alias y (address never taken)")
+	}
+}
+
+func TestUnrelatedPointersDoNotAlias(t *testing.T) {
+	a := analyze(t, `
+void f(void) {
+  int x;
+  int z;
+  int* p;
+  int* q;
+  p = &x;
+  q = &z;
+  *p = 1;
+  *q = 2;
+}
+`)
+	if a.MayAlias("f", deref(v("p")), deref(v("q"))) {
+		t.Error("*p and *q point to different variables")
+	}
+}
+
+func TestPointerCopyAliases(t *testing.T) {
+	a := analyze(t, `
+void f(void) {
+  int x;
+  int* p;
+  int* q;
+  p = &x;
+  q = p;
+  *q = 2;
+}
+`)
+	if !a.MayAlias("f", deref(v("p")), deref(v("q"))) {
+		t.Error("*p and *q alias after q = p")
+	}
+	if !a.MayAlias("f", v("x"), deref(v("q"))) {
+		t.Error("*q aliases x")
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	a := analyze(t, `
+int g;
+void callee(int* p) { *p = 1; }
+void f(void) {
+  callee(&g);
+}
+`)
+	if !a.MayAlias("callee", deref(v("p")), v("g")) {
+		t.Error("*p aliases global g through the call")
+	}
+}
+
+func TestGlobalsVsLocalsScoping(t *testing.T) {
+	a := analyze(t, `
+int g;
+void f(void) {
+  int g;
+  int* p;
+  p = &g;
+  *p = 1;
+}
+void h(void) {
+  int* q;
+  q = &g;
+  *q = 2;
+}
+`)
+	// f's p points at the local g, h's q at the global g.
+	if a.MayAlias("h", deref(v("q")), v("g")) != true {
+		t.Error("*q aliases global g")
+	}
+	if !a.AddressTaken("f", "g") {
+		t.Error("local g in f is address-taken")
+	}
+	if !a.AddressTaken("h", "g") {
+		t.Error("global g is address-taken (in h's view)")
+	}
+}
+
+func TestArrayElements(t *testing.T) {
+	a := analyze(t, `
+void f(int a[], int b[], int i, int j) {
+  a[i] = 1;
+  b[j] = 2;
+}
+`)
+	ai := form.Idx{X: v("a"), I: v("i")}
+	aj := form.Idx{X: v("a"), I: v("j")}
+	bj := form.Idx{X: v("b"), I: v("j")}
+	if !a.MayAlias("f", ai, aj) {
+		t.Error("a[i] and a[j] may alias")
+	}
+	// f has no callers in the program, so an unknown caller may pass
+	// overlapping arrays: a[i] and b[j] must may-alias (open soundness).
+	if !a.MayAlias("f", ai, bj) {
+		t.Error("a[i] and b[j] may overlap for an unknown caller")
+	}
+}
+
+func TestListNextChainAliases(t *testing.T) {
+	a := analyze(t, `
+struct node { int mark; struct node* next; };
+void mark(struct node* list) {
+  struct node* this;
+  struct node* prev;
+  struct node* tmp;
+  prev = NULL;
+  this = list;
+  while (this != NULL) {
+    tmp = prev;
+    prev = this;
+    this = this->next;
+    prev->next = tmp;
+  }
+}
+`)
+	if !a.MayAlias("mark", fld(v("this"), "next"), fld(v("prev"), "next")) {
+		t.Error("this->next and prev->next may alias")
+	}
+	if a.MayAlias("mark", fld(v("this"), "next"), fld(v("prev"), "mark")) {
+		t.Error("next/mark fields must not alias")
+	}
+	if a.MayAlias("mark", v("this"), fld(v("prev"), "next")) {
+		t.Error("variable this (address never taken) aliased by prev->next")
+	}
+}
+
+func TestQueryCaching(t *testing.T) {
+	a := analyze(t, partitionSrc)
+	a.MayAlias("partition", v("curr"), v("prev"))
+	n := a.Queries
+	a.MayAlias("partition", v("curr"), v("prev"))
+	if a.Queries != n+1 {
+		t.Fatalf("query counter should still increment: %d -> %d", n, a.Queries)
+	}
+}

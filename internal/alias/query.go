@@ -1,0 +1,252 @@
+package alias
+
+import (
+	"predabs/internal/cast"
+	"predabs/internal/form"
+)
+
+// MayAlias reports whether locations x and y (as logic terms, interpreted
+// in function fn) may denote the same memory cell. It is conservative:
+// unknown shapes answer true.
+//
+// Refinements over raw unification, mirroring the paper's use of alias
+// information:
+//   - two distinct named variables never alias;
+//   - a sub-object of a named variable (s.f, a[i]) never aliases a
+//     different variable's sub-objects;
+//   - a variable whose address is never taken cannot be aliased by any
+//     dereference;
+//   - accesses through different field names never alias.
+func (a *Analysis) MayAlias(fn string, x, y form.Term) bool {
+	a.Queries++
+	key := fn + "\x00" + x.String() + "\x00" + y.String()
+	if v, ok := a.cache[key]; ok {
+		return v
+	}
+	v := a.mayAlias(fn, x, y)
+	a.cache[key] = v
+	return v
+}
+
+func (a *Analysis) mayAlias(fn string, x, y form.Term) bool {
+	if form.TermEq(x, y) {
+		return true
+	}
+	xRoot, xDirect := directRoot(x)
+	yRoot, yDirect := directRoot(y)
+	// An array-typed parameter is a reference: its elements are not a
+	// sub-object of a frame-local variable, so the never-alias shortcut
+	// for distinct roots does not apply.
+	if xDirect && xRoot != "" && a.isArrayParam(fn, xRoot) && !isPlainVar(x) {
+		xDirect = false
+	}
+	if yDirect && yRoot != "" && a.isArrayParam(fn, yRoot) && !isPlainVar(y) {
+		yDirect = false
+	}
+
+	switch {
+	case xDirect && yDirect:
+		if xRoot != yRoot {
+			return false
+		}
+		return samePathMayAlias(x, y)
+	case xDirect:
+		return a.directVsIndirect(fn, xRoot, x, y)
+	case yDirect:
+		return a.directVsIndirect(fn, yRoot, y, x)
+	}
+
+	// Both indirect: different top-level field names cannot alias.
+	if xf, ok := x.(form.Sel); ok {
+		if yf, ok := y.(form.Sel); ok && xf.Field != yf.Field {
+			return false
+		}
+	}
+	cx := a.termCell(fn, x)
+	cy := a.termCell(fn, y)
+	if cx == nil || cy == nil {
+		return true
+	}
+	return cx.find() == cy.find()
+}
+
+func isPlainVar(t form.Term) bool {
+	_, ok := t.(form.Var)
+	return ok
+}
+
+// isArrayParam reports whether name is an array-typed parameter of fn.
+func (a *Analysis) isArrayParam(fn, name string) bool {
+	f := a.res.Prog.Func(fn)
+	if f == nil {
+		return false
+	}
+	for _, p := range f.Params {
+		if p.Name == name {
+			_, isArr := p.Type.(cast.ArrayType)
+			return isArr
+		}
+	}
+	return false
+}
+
+// directRoot returns the root variable name of a location that is a direct
+// sub-object of a named variable (no dereference on the spine).
+func directRoot(t form.Term) (string, bool) {
+	switch t := t.(type) {
+	case form.Var:
+		return t.Name, true
+	case form.Sel:
+		return directRoot(t.X)
+	case form.Idx:
+		return directRoot(t.X)
+	}
+	return "", false
+}
+
+// samePathMayAlias compares two direct locations rooted at the same
+// variable: fields must match; array indexes may always coincide.
+func samePathMayAlias(x, y form.Term) bool {
+	switch x := x.(type) {
+	case form.Var:
+		_, ok := y.(form.Var)
+		return ok // same root, both the whole variable
+	case form.Sel:
+		ys, ok := y.(form.Sel)
+		if !ok || x.Field != ys.Field {
+			return false
+		}
+		return samePathMayAlias(x.X, ys.X)
+	case form.Idx:
+		yi, ok := y.(form.Idx)
+		if !ok {
+			return false
+		}
+		return samePathMayAlias(x.X, yi.X)
+	}
+	return true
+}
+
+func (a *Analysis) directVsIndirect(fn, rootVar string, direct, indirect form.Term) bool {
+	if !a.AddressTaken(fn, rootVar) {
+		return false
+	}
+	cd := a.termCell(fn, direct)
+	ci := a.termCell(fn, indirect)
+	if cd == nil || ci == nil {
+		return true
+	}
+	return cd.find() == ci.find()
+}
+
+// AddressTaken reports whether &name occurs anywhere in the program for
+// the variable visible as name inside fn.
+func (a *Analysis) AddressTaken(fn, name string) bool {
+	key := scopeKey(fn, name)
+	if _, isLocal := a.res.Info.FuncVars[fn][name]; !isLocal {
+		if _, isGlobal := a.res.Info.GlobalVars[name]; isGlobal {
+			key = scopeKey("", name)
+		}
+	}
+	return a.addrTaken[key]
+}
+
+// termCell maps a location term to its abstract memory cell, or nil when
+// the shape is unknown (callers must treat nil conservatively).
+func (a *Analysis) termCell(fn string, t form.Term) *node {
+	switch t := t.(type) {
+	case form.Var:
+		return a.varCell(fn, t.Name)
+	case form.Deref:
+		return a.termValue(fn, t.X)
+	case form.Sel:
+		base := a.termCell(fn, t.X)
+		if base == nil {
+			return nil
+		}
+		return field(base, t.Field)
+	case form.Idx:
+		// a[i]: array variable indexes its own element cell; a pointer
+		// indexes the element cell of its target (logical model).
+		if v, ok := t.X.(form.Var); ok {
+			if vt, found := a.res.Info.VarType(fn, v.Name); found && cast.IsPointer(vt) {
+				tgt := a.termValue(fn, t.X)
+				if tgt == nil {
+					return nil
+				}
+				return field(tgt, elemField)
+			}
+		}
+		base := a.termCell(fn, t.X)
+		if base == nil {
+			return nil
+		}
+		return field(base, elemField)
+	}
+	return nil
+}
+
+// ReachableMayAlias reports whether loc may alias any memory cell
+// reachable through (transitive) dereferences and field selections from
+// the value of pointer expression arg. Used for the paper's post-call
+// update set E_u: a callee can modify anything reachable from its actuals.
+func (a *Analysis) ReachableMayAlias(fn string, loc, arg form.Term) bool {
+	// A direct sub-object of a variable whose address is never taken is
+	// unreachable through the heap.
+	if root, direct := directRoot(loc); direct && !a.AddressTaken(fn, root) {
+		return false
+	}
+	start := a.termValue(fn, arg)
+	if start == nil {
+		return false // non-pointer argument reaches nothing
+	}
+	lc := a.termCell(fn, loc)
+	if lc == nil {
+		return true // unknown location shape: be conservative
+	}
+	target := lc.find()
+	// BFS over points-to targets and field children.
+	visited := map[*node]bool{}
+	queue := []*node{start.find()}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n = n.find()
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		if n == target {
+			return true
+		}
+		if n.pts != nil {
+			queue = append(queue, n.pts.find())
+		}
+		for _, c := range n.fields {
+			queue = append(queue, c.find())
+		}
+	}
+	return false
+}
+
+// termValue maps a pointer-valued term to the cell class it may point to.
+func (a *Analysis) termValue(fn string, t form.Term) *node {
+	switch t := t.(type) {
+	case form.Num:
+		return nil // NULL points nowhere
+	case form.AddrOf:
+		return a.termCell(fn, t.X)
+	case form.Var, form.Deref, form.Sel, form.Idx:
+		cell := a.termCell(fn, t)
+		if cell == nil {
+			return nil
+		}
+		return pts(cell)
+	case form.Arith:
+		if v := a.termValue(fn, t.X); v != nil {
+			return v
+		}
+		return a.termValue(fn, t.Y)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package alias
+
+import (
+	"testing"
+
+	"predabs/internal/form"
+)
+
+func TestReachableMayAliasDirect(t *testing.T) {
+	a := analyze(t, `
+struct cell { int val; struct cell* next; };
+void callee(struct cell* p) {
+  p->val = 1;
+}
+void f(struct cell* c) {
+  callee(c);
+}
+`)
+	// c->val is reachable from the actual c.
+	if !a.ReachableMayAlias("f", fld(v("c"), "val"), v("c")) {
+		t.Error("c->val reachable from c")
+	}
+	// A plain local is not reachable through the heap.
+	if a.ReachableMayAlias("f", v("c"), v("c")) {
+		t.Error("the pointer variable itself is not heap-reachable")
+	}
+}
+
+func TestReachableMayAliasTransitive(t *testing.T) {
+	a := analyze(t, `
+struct cell { int val; struct cell* next; };
+void callee(struct cell* p) {
+  struct cell* q;
+  q = p->next;
+  q->val = 1;
+}
+void f(struct cell* c) {
+  callee(c);
+}
+`)
+	// Two hops: c->next->val.
+	loc := form.Sel{X: form.Deref{X: form.Var{Name: "q"}}, Field: "val"}
+	if !a.ReachableMayAlias("callee", loc, v("p")) {
+		t.Error("q->val reachable from p (q = p->next)")
+	}
+}
+
+func TestReachableMayAliasIntArgReachesNothing(t *testing.T) {
+	a := analyze(t, `
+void callee(int x) { }
+void f(int n, int* p) {
+  callee(n);
+  *p = 1;
+}
+`)
+	if a.ReachableMayAlias("f", deref(v("p")), v("n")) {
+		t.Error("an int argument reaches no memory")
+	}
+}
+
+func TestReachableMayAliasSeparateHeaps(t *testing.T) {
+	a := analyze(t, `
+struct cell { int val; struct cell* next; };
+void takeBoth(struct cell* a1, struct cell* b1) {
+  a1->val = 1;
+  b1->val = 2;
+}
+void g(void) {
+  struct cell n1;
+  struct cell n2;
+  takeBoth(&n1, &n2);
+}
+`)
+	// takeBoth has a caller inside the program, so its parameters keep
+	// their precise, distinct points-to sets: a1's field is reachable from
+	// a1 but not from b1.
+	if !a.ReachableMayAlias("takeBoth", fld(v("a1"), "val"), v("a1")) {
+		t.Error("a1->val reachable from a1")
+	}
+	if a.ReachableMayAlias("takeBoth", fld(v("a1"), "val"), v("b1")) {
+		t.Error("distinct argument heaps must stay separate for called functions")
+	}
+}
+
+func TestOpenCallersOffRestoresGhostBehavior(t *testing.T) {
+	src := `
+struct node { int mark; struct node* next; };
+void mark(struct node* list, struct node* h) {
+  struct node* prev;
+  prev = list;
+  prev->next = NULL;
+}
+`
+	prog := mustNormalize(t, src)
+	sound := AnalyzeOpts(prog, Options{OpenCallers: true})
+	ghost := AnalyzeOpts(prog, Options{OpenCallers: false})
+	hn := fld(v("h"), "next")
+	pn := fld(v("prev"), "next")
+	if !sound.MayAlias("mark", hn, pn) {
+		t.Error("sound mode: h->next may alias prev->next")
+	}
+	if ghost.MayAlias("mark", hn, pn) {
+		t.Error("ghost mode: h is an unaliased observer")
+	}
+}

@@ -1,0 +1,499 @@
+// Package bdd implements reduced ordered binary decision diagrams with the
+// operations the Bebop model checker needs: boolean connectives, ite,
+// existential quantification, variable renaming, satisfying-assignment
+// enumeration and counting. The paper's Bebop represents reachable-state
+// sets and transfer functions with BDDs (Section 2.2).
+package bdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// terminalVar orders terminals below every real variable.
+const terminalVar = int(^uint(0) >> 1)
+
+type node struct {
+	v      int // variable index
+	lo, hi int // cofactor node ids
+}
+
+type triple struct{ v, lo, hi int }
+
+type applyKey struct {
+	op   byte
+	a, b int
+}
+
+// Manager owns a shared node store for a set of BDDs. It is not safe for
+// concurrent use.
+type Manager struct {
+	nodes   []node
+	unique  map[triple]int
+	apply   map[applyKey]int
+	notMemo map[int]int
+	numVars int
+}
+
+// New returns a manager with n variables (more can be added with AddVar).
+func New(n int) *Manager {
+	m := &Manager{
+		unique:  map[triple]int{},
+		apply:   map[applyKey]int{},
+		notMemo: map[int]int{},
+		numVars: n,
+	}
+	// Node 0 = false, node 1 = true.
+	m.nodes = append(m.nodes, node{v: terminalVar}, node{v: terminalVar})
+	return m
+}
+
+// NumVars returns the current variable count.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// AddVar introduces a fresh variable (appended to the order) and returns
+// its index.
+func (m *Manager) AddVar() int {
+	m.numVars++
+	return m.numVars - 1
+}
+
+// NumNodes returns the number of allocated nodes (diagnostics).
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// False returns the constant false BDD.
+func (m *Manager) False() int { return 0 }
+
+// True returns the constant true BDD.
+func (m *Manager) True() int { return 1 }
+
+// IsFalse reports whether f is the constant false.
+func (m *Manager) IsFalse(f int) bool { return f == 0 }
+
+// IsTrue reports whether f is the constant true.
+func (m *Manager) IsTrue(f int) bool { return f == 1 }
+
+func (m *Manager) mk(v, lo, hi int) int {
+	if lo == hi {
+		return lo
+	}
+	key := triple{v, lo, hi}
+	if id, ok := m.unique[key]; ok {
+		return id
+	}
+	id := len(m.nodes)
+	m.nodes = append(m.nodes, node{v: v, lo: lo, hi: hi})
+	m.unique[key] = id
+	return id
+}
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) int {
+	if i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range (%d vars)", i, m.numVars))
+	}
+	return m.mk(i, 0, 1)
+}
+
+// NVar returns the BDD for ¬variable i.
+func (m *Manager) NVar(i int) int {
+	if i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range (%d vars)", i, m.numVars))
+	}
+	return m.mk(i, 1, 0)
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f int) int {
+	switch f {
+	case 0:
+		return 1
+	case 1:
+		return 0
+	}
+	if r, ok := m.notMemo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	r := m.mk(n.v, m.Not(n.lo), m.Not(n.hi))
+	m.notMemo[f] = r
+	return r
+}
+
+const (
+	opAnd byte = iota
+	opOr
+	opXor
+)
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b int) int { return m.applyOp(opAnd, a, b) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b int) int { return m.applyOp(opOr, a, b) }
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b int) int { return m.applyOp(opXor, a, b) }
+
+// Implies returns a → b.
+func (m *Manager) Implies(a, b int) int { return m.Or(m.Not(a), b) }
+
+// Iff returns a ↔ b.
+func (m *Manager) Iff(a, b int) int { return m.Not(m.Xor(a, b)) }
+
+// Ite returns if f then g else h.
+func (m *Manager) Ite(f, g, h int) int {
+	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+}
+
+func (m *Manager) applyOp(op byte, a, b int) int {
+	switch op {
+	case opAnd:
+		if a == 0 || b == 0 {
+			return 0
+		}
+		if a == 1 {
+			return b
+		}
+		if b == 1 {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opOr:
+		if a == 1 || b == 1 {
+			return 1
+		}
+		if a == 0 {
+			return b
+		}
+		if b == 0 {
+			return a
+		}
+		if a == b {
+			return a
+		}
+	case opXor:
+		if a == 0 {
+			return b
+		}
+		if b == 0 {
+			return a
+		}
+		if a == b {
+			return 0
+		}
+	}
+	if a > b && (op == opAnd || op == opOr || op == opXor) {
+		a, b = b, a // commutative: canonical order doubles cache hits
+	}
+	key := applyKey{op, a, b}
+	if r, ok := m.apply[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	v := na.v
+	if nb.v < v {
+		v = nb.v
+	}
+	alo, ahi := a, a
+	if na.v == v {
+		alo, ahi = na.lo, na.hi
+	}
+	blo, bhi := b, b
+	if nb.v == v {
+		blo, bhi = nb.lo, nb.hi
+	}
+	r := m.mk(v, m.applyOp(op, alo, blo), m.applyOp(op, ahi, bhi))
+	m.apply[key] = r
+	return r
+}
+
+// AndN folds And over the arguments (true for none).
+func (m *Manager) AndN(fs ...int) int {
+	r := 1
+	for _, f := range fs {
+		r = m.And(r, f)
+	}
+	return r
+}
+
+// OrN folds Or over the arguments (false for none).
+func (m *Manager) OrN(fs ...int) int {
+	r := 0
+	for _, f := range fs {
+		r = m.Or(r, f)
+	}
+	return r
+}
+
+// Exists existentially quantifies the given variables out of f.
+func (m *Manager) Exists(f int, vars []int) int {
+	if len(vars) == 0 {
+		return f
+	}
+	set := map[int]bool{}
+	for _, v := range vars {
+		set[v] = true
+	}
+	memo := map[int]int{}
+	return m.exists(f, set, memo)
+}
+
+func (m *Manager) exists(f int, set map[int]bool, memo map[int]int) int {
+	if f <= 1 {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	lo := m.exists(n.lo, set, memo)
+	hi := m.exists(n.hi, set, memo)
+	var r int
+	if set[n.v] {
+		r = m.Or(lo, hi)
+	} else {
+		r = m.mk(n.v, lo, hi)
+	}
+	memo[f] = r
+	return r
+}
+
+// RelProd returns ∃vars. a ∧ b (conjoin-then-quantify, fused).
+func (m *Manager) RelProd(a, b int, vars []int) int {
+	// The fused version matters for very large relations; at Bebop's
+	// scale conjoin-then-quantify is fine and simpler to trust.
+	return m.Exists(m.And(a, b), vars)
+}
+
+// Replace renames variables in f according to the map (variables not in
+// the map are unchanged). Implemented by Shannon recomposition, which is
+// correct for arbitrary (injective) renamings regardless of order.
+func (m *Manager) Replace(f int, rename map[int]int) int {
+	if len(rename) == 0 {
+		return f
+	}
+	memo := map[int]int{}
+	return m.replace(f, rename, memo)
+}
+
+func (m *Manager) replace(f int, rename map[int]int, memo map[int]int) int {
+	if f <= 1 {
+		return f
+	}
+	if r, ok := memo[f]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	v := n.v
+	if nv, ok := rename[v]; ok {
+		v = nv
+	}
+	lo := m.replace(n.lo, rename, memo)
+	hi := m.replace(n.hi, rename, memo)
+	r := m.Ite(m.Var(v), hi, lo)
+	memo[f] = r
+	return r
+}
+
+// Restrict fixes variable v to value val in f.
+func (m *Manager) Restrict(f, v int, val bool) int {
+	memo := map[int]int{}
+	var rec func(int) int
+	rec = func(g int) int {
+		if g <= 1 {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		var r int
+		switch {
+		case n.v == v:
+			if val {
+				r = n.hi
+			} else {
+				r = n.lo
+			}
+		case n.v > v:
+			r = g
+		default:
+			r = m.mk(n.v, rec(n.lo), rec(n.hi))
+		}
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Eval evaluates f under a total assignment (indexed by variable).
+func (m *Manager) Eval(f int, assignment []bool) bool {
+	for f > 1 {
+		n := m.nodes[f]
+		if n.v < len(assignment) && assignment[n.v] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == 1
+}
+
+// Support returns the sorted set of variables f depends on.
+func (m *Manager) Support(f int) []int {
+	set := map[int]bool{}
+	seen := map[int]bool{}
+	var rec func(int)
+	rec = func(g int) {
+		if g <= 1 || seen[g] {
+			return
+		}
+		seen[g] = true
+		n := m.nodes[g]
+		set[n.v] = true
+		rec(n.lo)
+		rec(n.hi)
+	}
+	rec(f)
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SatCount returns the number of satisfying assignments of f over the
+// given number of variables.
+func (m *Manager) SatCount(f, nvars int) float64 {
+	memo := map[int]float64{}
+	var rec func(int) float64
+	rec = func(g int) float64 {
+		if g == 0 {
+			return 0
+		}
+		if g == 1 {
+			return 1
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		r := rec(n.lo)*weight(m, n.lo, n.v) + rec(n.hi)*weight(m, n.hi, n.v)
+		memo[g] = r
+		return r
+	}
+	if f <= 1 {
+		if f == 1 {
+			return math.Exp2(float64(nvars))
+		}
+		return 0
+	}
+	top := m.nodes[f].v
+	return rec(f) * math.Exp2(float64(top))
+}
+
+// weight accounts for variables skipped between a node and its child.
+func weight(m *Manager, child, parentVar int) float64 {
+	cv := terminalVar
+	if child > 1 {
+		cv = m.nodes[child].v
+	}
+	gap := cv - parentVar - 1
+	if child <= 1 {
+		gap = m.numVars - parentVar - 1
+	}
+	return math.Exp2(float64(gap))
+}
+
+// AllSat enumerates satisfying assignments of f projected onto vars: each
+// result maps (by position) to 0, 1. Variables outside the BDD's support
+// are expanded, so every returned vector is a concrete assignment.
+func (m *Manager) AllSat(f int, vars []int) [][]byte {
+	pos := map[int]int{}
+	for i, v := range vars {
+		pos[v] = i
+	}
+	var out [][]byte
+	cur := make([]byte, len(vars))
+	var rec func(f int, idx int)
+	rec = func(f int, idx int) {
+		if f == 0 {
+			return
+		}
+		if idx == len(vars) {
+			if m.forcedTrue(f, pos) {
+				row := make([]byte, len(cur))
+				copy(row, cur)
+				out = append(out, row)
+			}
+			return
+		}
+		v := vars[idx]
+		cur[idx] = 0
+		rec(m.Restrict(f, v, false), idx+1)
+		cur[idx] = 1
+		rec(m.Restrict(f, v, true), idx+1)
+	}
+	rec(f, 0)
+	return out
+}
+
+// forcedTrue reports whether f is satisfiable regardless of the projected
+// variables (all of which have been restricted away by AllSat).
+func (m *Manager) forcedTrue(f int, _ map[int]int) bool {
+	return f != 0
+}
+
+// AnySat returns one satisfying assignment over the given variables, or
+// nil if f is unsatisfiable.
+func (m *Manager) AnySat(f int, vars []int) []byte {
+	if f == 0 {
+		return nil
+	}
+	cur := make([]byte, len(vars))
+	for i, v := range vars {
+		lo := m.Restrict(f, v, false)
+		if lo != 0 {
+			cur[i] = 0
+			f = lo
+		} else {
+			cur[i] = 1
+			f = m.Restrict(f, v, true)
+		}
+	}
+	if f == 0 {
+		return nil
+	}
+	return cur
+}
+
+// String renders f as a sum of cubes over its support (diagnostics).
+func (m *Manager) String(f int) string {
+	if f == 0 {
+		return "false"
+	}
+	if f == 1 {
+		return "true"
+	}
+	support := m.Support(f)
+	rows := m.AllSat(f, support)
+	var parts []string
+	for _, row := range rows {
+		var cube []string
+		for i, b := range row {
+			if b == 1 {
+				cube = append(cube, fmt.Sprintf("v%d", support[i]))
+			} else {
+				cube = append(cube, fmt.Sprintf("!v%d", support[i]))
+			}
+		}
+		parts = append(parts, strings.Join(cube, "&"))
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,705 @@
+// Package bebop implements the Bebop model checker for boolean programs
+// (paper Section 2.2): an interprocedural dataflow analysis in the spirit
+// of Sharir-Pnueli and Reps-Horwitz-Sagiv, computing the set of reachable
+// states for each statement. State sets and transfer functions are
+// represented with binary decision diagrams; control flow stays an
+// explicit graph. Procedure calls are handled with summaries, so
+// recursion needs no special mechanism.
+package bebop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predabs/internal/bdd"
+	"predabs/internal/bp"
+)
+
+// Column identifies one of the per-variable BDD variable copies.
+type column int
+
+const (
+	colEntry   column = 0 // value at procedure entry (path-edge source)
+	colCurrent column = 1 // value now
+	colNext    column = 2 // value after the statement (primed)
+	colScratch column = 3 // call-site summary input
+	numColumns        = 4
+)
+
+// varSlot is one boolean-program variable's block of BDD variables.
+type varSlot struct {
+	name string
+	base int // BDD variable index of colEntry
+}
+
+func (s varSlot) col(c column) int { return s.base + int(c) }
+
+// procInfo caches per-procedure layout and CFG information.
+type procInfo struct {
+	proc   *bp.Proc
+	params []varSlot
+	locals []varSlot
+	rets   []varSlot // return-value slots
+	// scope maps names to slots (globals included).
+	scope map[string]varSlot
+	// succs[i] lists the successor statement indices of statement i.
+	succs [][]int
+	// preds is the reverse of succs.
+	preds [][]int
+	// enforce is the invariant BDD over colCurrent (1 if none).
+	enfC int
+	// enfP is the invariant over colNext.
+	enfP int
+}
+
+// Failure locates a reachable assertion violation.
+type Failure struct {
+	Proc string
+	Stmt int
+}
+
+// Checker runs reachability on one boolean program.
+type Checker struct {
+	Prog  *bp.Program
+	m     *bdd.Manager
+	glob  []varSlot
+	procs map[string]*procInfo
+	// scratchNondet is a pool of BDD variables for * and choose.
+	scratchNondet []int
+
+	// pathEdges[proc][stmt] is the path-edge BDD over (entry, current).
+	pathEdges map[string][]int
+	// summaries[proc] is over (entry globals+params, next globals, ret).
+	summaries map[string]int
+	// entrySeeds[proc] accumulates seeded entry conditions.
+	entrySeeds map[string]int
+
+	// Failures lists reachable assertion violations.
+	Failures []Failure
+
+	// Stats
+	Iterations int
+}
+
+// Check runs Bebop on prog starting from the entry procedure with
+// unconstrained globals and parameters. prog must be resolved.
+func Check(prog *bp.Program, entry string) (*Checker, error) {
+	e := prog.Proc(entry)
+	if e == nil {
+		return nil, fmt.Errorf("bebop: no procedure %q", entry)
+	}
+	c := &Checker{
+		Prog:       prog,
+		m:          bdd.New(0),
+		procs:      map[string]*procInfo{},
+		pathEdges:  map[string][]int{},
+		summaries:  map[string]int{},
+		entrySeeds: map[string]int{},
+	}
+	c.layout()
+	c.buildCFGs()
+	c.run(entry)
+	return c, nil
+}
+
+// layout allocates BDD variables: four columns per variable slot;
+// globals first, then per-procedure params, locals and return slots.
+func (c *Checker) layout() {
+	alloc := func(name string) varSlot {
+		base := c.m.NumVars()
+		for i := 0; i < numColumns; i++ {
+			c.m.AddVar()
+		}
+		return varSlot{name: name, base: base}
+	}
+	for _, g := range c.Prog.Globals {
+		c.glob = append(c.glob, alloc(g))
+	}
+	for _, pr := range c.Prog.Procs {
+		pi := &procInfo{proc: pr, scope: map[string]varSlot{}}
+		for _, s := range c.glob {
+			pi.scope[s.name] = s
+		}
+		for _, p := range pr.Params {
+			s := alloc(pr.Name + "::" + p)
+			s.name = p
+			pi.params = append(pi.params, s)
+			pi.scope[p] = s
+		}
+		for _, l := range pr.Locals {
+			s := alloc(pr.Name + "::" + l)
+			s.name = l
+			pi.locals = append(pi.locals, s)
+			pi.scope[l] = s
+		}
+		for i := 0; i < pr.NRet; i++ {
+			s := alloc(fmt.Sprintf("%s::$ret%d", pr.Name, i))
+			pi.rets = append(pi.rets, s)
+		}
+		c.procs[pr.Name] = pi
+	}
+	// Nondeterminism scratch pool (grown on demand).
+	for i := 0; i < 8; i++ {
+		c.scratchNondet = append(c.scratchNondet, c.m.AddVar())
+	}
+}
+
+func (c *Checker) buildCFGs() {
+	for _, pr := range c.Prog.Procs {
+		pi := c.procs[pr.Name]
+		n := len(pr.Stmts)
+		pi.succs = make([][]int, n)
+		pi.preds = make([][]int, n)
+		for i, s := range pr.Stmts {
+			switch s.Kind {
+			case bp.Goto:
+				for _, tgt := range s.Targets {
+					idx, _ := pr.LabelIndex(tgt)
+					pi.succs[i] = append(pi.succs[i], idx)
+				}
+			case bp.Return:
+				// No successors.
+			default:
+				if i+1 < n {
+					pi.succs[i] = append(pi.succs[i], i+1)
+				}
+			}
+		}
+		for i, ss := range pi.succs {
+			for _, j := range ss {
+				pi.preds[j] = append(pi.preds[j], i)
+			}
+		}
+		pi.enfC = 1
+		pi.enfP = 1
+		if pr.Enforce != nil {
+			pi.enfC = c.exprBDD(pi, pr.Enforce, colCurrent, nil)
+			pi.enfP = c.exprBDD(pi, pr.Enforce, colNext, nil)
+		}
+	}
+}
+
+// nondetVar hands out a scratch variable for one * occurrence.
+func (c *Checker) nondetVar(used *int) int {
+	for *used >= len(c.scratchNondet) {
+		c.scratchNondet = append(c.scratchNondet, c.m.AddVar())
+	}
+	v := c.scratchNondet[*used]
+	*used++
+	return v
+}
+
+// exprBDD translates a boolean-program expression into a BDD over the
+// given column. Unknown and unresolved choose consume scratch variables
+// recorded in *nondet (nil means the expression must be deterministic).
+func (c *Checker) exprBDD(pi *procInfo, e bp.Expr, col column, nondet *[]int) int {
+	switch e := e.(type) {
+	case bp.Const:
+		if e.Val {
+			return c.m.True()
+		}
+		return c.m.False()
+	case bp.Ref:
+		slot, ok := pi.scope[e.Name]
+		if !ok {
+			return c.m.False()
+		}
+		return c.m.Var(slot.col(col))
+	case bp.Unknown:
+		if nondet == nil {
+			return c.m.True() // deterministic context: treat as true-assume
+		}
+		used := len(*nondet)
+		v := c.nondetVar(&used)
+		*nondet = append(*nondet, v)
+		return c.m.Var(v)
+	case bp.Not:
+		return c.m.Not(c.exprBDD(pi, e.X, col, nondet))
+	case bp.Bin:
+		x := c.exprBDD(pi, e.X, col, nondet)
+		y := c.exprBDD(pi, e.Y, col, nondet)
+		switch e.Op {
+		case bp.And:
+			return c.m.And(x, y)
+		case bp.Or:
+			return c.m.Or(x, y)
+		case bp.Implies:
+			return c.m.Implies(x, y)
+		case bp.Iff:
+			return c.m.Iff(x, y)
+		}
+	case bp.Choose:
+		pos := c.exprBDD(pi, e.Pos, col, nondet)
+		neg := c.exprBDD(pi, e.Neg, col, nondet)
+		if nondet == nil {
+			return pos
+		}
+		used := len(*nondet)
+		v := c.nondetVar(&used)
+		*nondet = append(*nondet, v)
+		// pos ? true : (neg ? false : ν)
+		return c.m.Or(pos, c.m.And(c.m.Not(neg), c.m.Var(v)))
+	}
+	return c.m.False()
+}
+
+// scopeSlots returns every slot in the procedure's scope (globals,
+// params, locals), deterministically ordered.
+func (c *Checker) scopeSlots(pi *procInfo) []varSlot {
+	out := make([]varSlot, 0, len(c.glob)+len(pi.params)+len(pi.locals))
+	out = append(out, c.glob...)
+	out = append(out, pi.params...)
+	out = append(out, pi.locals...)
+	return out
+}
+
+func colVars(slots []varSlot, col column) []int {
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = s.col(col)
+	}
+	return out
+}
+
+func renameMap(slots []varSlot, from, to column) map[int]int {
+	m := map[int]int{}
+	for _, s := range slots {
+		m[s.col(from)] = s.col(to)
+	}
+	return m
+}
+
+// assignRelation builds the transition relation (current → next) of a
+// parallel assignment, including the frame condition and the enforce
+// invariant on the next state.
+func (c *Checker) assignRelation(pi *procInfo, lhs []string, rhs []bp.Expr) int {
+	assigned := map[string]bool{}
+	rel := c.m.True()
+	var nondet []int
+	for i, name := range lhs {
+		assigned[name] = true
+		slot, ok := pi.scope[name]
+		if !ok {
+			continue
+		}
+		val := c.exprBDD(pi, rhs[i], colCurrent, &nondet)
+		rel = c.m.And(rel, c.m.Iff(c.m.Var(slot.col(colNext)), val))
+	}
+	for _, s := range c.scopeSlots(pi) {
+		if !assigned[s.name] {
+			rel = c.m.And(rel, c.m.Iff(c.m.Var(s.col(colNext)), c.m.Var(s.col(colCurrent))))
+		}
+	}
+	rel = c.m.And(rel, pi.enfP)
+	// The scratch nondeterminism variables are free: quantify them out.
+	if len(nondet) > 0 {
+		rel = c.m.Exists(rel, nondet)
+	}
+	return rel
+}
+
+// image applies a (current→next) relation to a path-edge set.
+func (c *Checker) image(pi *procInfo, pe, rel int) int {
+	slots := c.scopeSlots(pi)
+	conj := c.m.And(pe, rel)
+	ex := c.m.Exists(conj, colVars(slots, colCurrent))
+	return c.m.Replace(ex, renameMap(slots, colNext, colCurrent))
+}
+
+type workItem struct {
+	proc string
+	stmt int
+}
+
+// run executes the RHS-style worklist to a fixpoint.
+func (c *Checker) run(entry string) {
+	for name, pi := range c.procs {
+		c.pathEdges[name] = make([]int, len(pi.proc.Stmts))
+		c.summaries[name] = c.m.False()
+		c.entrySeeds[name] = c.m.False()
+	}
+
+	// Callers index: who calls whom, for summary-growth requeueing.
+	callSites := map[string][]workItem{}
+	for _, pr := range c.Prog.Procs {
+		for i, s := range pr.Stmts {
+			if s.Kind == bp.Call {
+				callSites[s.Callee] = append(callSites[s.Callee], workItem{pr.Name, i})
+			}
+		}
+	}
+
+	var queue []workItem
+	inQueue := map[workItem]bool{}
+	push := func(w workItem) {
+		if !inQueue[w] {
+			inQueue[w] = true
+			queue = append(queue, w)
+		}
+	}
+
+	// Seed the entry procedure: unconstrained globals and parameters.
+	epi := c.procs[entry]
+	seed := pi0Seed(c, epi)
+	c.seedEntry(entry, seed, push)
+
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		inQueue[w] = false
+		c.Iterations++
+
+		pi := c.procs[w.proc]
+		pe := c.pathEdges[w.proc][w.stmt]
+		if pe == 0 {
+			continue
+		}
+		s := pi.proc.Stmts[w.stmt]
+
+		propagate := func(to int, newPE int) {
+			old := c.pathEdges[w.proc][to]
+			union := c.m.Or(old, newPE)
+			if union != old {
+				c.pathEdges[w.proc][to] = union
+				push(workItem{w.proc, to})
+			}
+		}
+
+		switch s.Kind {
+		case bp.Skip, bp.Goto:
+			for _, nxt := range pi.succs[w.stmt] {
+				propagate(nxt, pe)
+			}
+		case bp.Assume:
+			// A nondeterministic condition passes if some resolution does.
+			var nondet []int
+			cond := c.exprBDD(pi, s.Cond, colCurrent, &nondet)
+			filtered := c.m.Exists(c.m.And(pe, cond), nondet)
+			for _, nxt := range pi.succs[w.stmt] {
+				propagate(nxt, filtered)
+			}
+		case bp.Assert:
+			// A nondeterministic assert fails if some resolution fails.
+			var nondet []int
+			cond := c.exprBDD(pi, s.Cond, colCurrent, &nondet)
+			fail := c.m.Exists(c.m.And(pe, c.m.Not(cond)), nondet)
+			if !c.m.IsFalse(fail) {
+				c.recordFailure(w.proc, w.stmt)
+			}
+			pass := c.m.Exists(c.m.And(pe, cond), nondet)
+			for _, nxt := range pi.succs[w.stmt] {
+				propagate(nxt, pass)
+			}
+		case bp.Assign:
+			rel := c.assignRelation(pi, s.Lhs, s.Rhs)
+			out := c.image(pi, pe, rel)
+			for _, nxt := range pi.succs[w.stmt] {
+				propagate(nxt, out)
+			}
+		case bp.Call:
+			out, grewCallee := c.applyCall(pi, w, s, push)
+			_ = grewCallee
+			if out != 0 && !c.m.IsFalse(out) {
+				for _, nxt := range pi.succs[w.stmt] {
+					propagate(nxt, out)
+				}
+			}
+		case bp.Return:
+			if c.growSummary(pi, w, s) {
+				for _, cs := range callSites[w.proc] {
+					push(cs)
+				}
+			}
+		}
+	}
+}
+
+// pi0Seed builds the unconstrained initial path edge for the entry
+// procedure: entry columns free, current = entry for globals and params,
+// locals free, enforce holds.
+func pi0Seed(c *Checker, pi *procInfo) int {
+	seed := c.m.True()
+	for _, s := range c.glob {
+		seed = c.m.And(seed, c.m.Iff(c.m.Var(s.col(colEntry)), c.m.Var(s.col(colCurrent))))
+	}
+	for _, s := range pi.params {
+		seed = c.m.And(seed, c.m.Iff(c.m.Var(s.col(colEntry)), c.m.Var(s.col(colCurrent))))
+	}
+	return c.m.And(seed, pi.enfC)
+}
+
+// seedEntry adds entry states (over entry columns of globals and params,
+// mirrored into current columns) for a procedure.
+func (c *Checker) seedEntry(proc string, seed int, push func(workItem)) {
+	old := c.entrySeeds[proc]
+	union := c.m.Or(old, seed)
+	if union == old {
+		return
+	}
+	c.entrySeeds[proc] = union
+	pe := c.pathEdges[proc][0]
+	pe2 := c.m.Or(pe, seed)
+	if pe2 != pe && len(c.procs[proc].proc.Stmts) > 0 {
+		c.pathEdges[proc][0] = pe2
+		push(workItem{proc, 0})
+	}
+}
+
+// applyCall binds arguments, seeds the callee, and applies the callee's
+// summary, producing the post-call path edges.
+func (c *Checker) applyCall(pi *procInfo, w workItem, s *bp.Stmt, push func(workItem)) (int, bool) {
+	pe := c.pathEdges[w.proc][w.stmt]
+	callee := c.procs[s.Callee]
+
+	// Bind arguments into the callee's parameter SCRATCH columns. (Not the
+	// entry columns: on a recursive self-call those are the caller's own
+	// path-edge source and must stay unconstrained.)
+	bind := c.m.True()
+	var nondet []int
+	for j, a := range s.Args {
+		val := c.exprBDD(pi, a, colCurrent, &nondet)
+		bind = c.m.And(bind, c.m.Iff(c.m.Var(callee.params[j].col(colScratch)), val))
+	}
+	combined := c.m.And(pe, bind)
+	if len(nondet) > 0 {
+		combined = c.m.Exists(combined, nondet)
+	}
+
+	// Seed the callee's entry: inputs are (current globals, bound params).
+	slots := c.scopeSlots(pi)
+	inputs := c.m.Exists(combined, append(colVars(slots, colEntry), colVars(pi.locals, colCurrent)...))
+	inputs = c.m.Exists(inputs, colVars(pi.params, colCurrent))
+	// inputs is over (gC, callee params in colScratch). Move both to the
+	// entry columns.
+	inputs = c.m.Replace(inputs, renameMap(c.glob, colCurrent, colEntry))
+	inputs = c.m.Replace(inputs, renameMap(callee.params, colScratch, colEntry))
+	// Mirror entries into current columns; locals unconstrained modulo
+	// enforce.
+	seed := inputs
+	for _, sl := range c.glob {
+		seed = c.m.And(seed, c.m.Iff(c.m.Var(sl.col(colEntry)), c.m.Var(sl.col(colCurrent))))
+	}
+	for _, sl := range callee.params {
+		seed = c.m.And(seed, c.m.Iff(c.m.Var(sl.col(colEntry)), c.m.Var(sl.col(colCurrent))))
+	}
+	seed = c.m.And(seed, callee.enfC)
+	c.seedEntry(s.Callee, seed, push)
+
+	// Apply the summary. Summary layout: input globals and input params in
+	// colScratch, output globals in colNext, returns in callee ret
+	// colCurrent.
+	summ := c.summaries[s.Callee]
+	if c.m.IsFalse(summ) {
+		return 0, false
+	}
+	// Match summary input globals with the caller's current globals.
+	match := c.m.True()
+	for _, g := range c.glob {
+		match = c.m.And(match, c.m.Iff(c.m.Var(g.col(colScratch)), c.m.Var(g.col(colCurrent))))
+	}
+	out := c.m.AndN(combined, match, summ)
+	// Drop old globals, summary inputs, and callee parameter bindings.
+	out = c.m.Exists(out, colVars(c.glob, colCurrent))
+	out = c.m.Exists(out, colVars(c.glob, colScratch))
+	out = c.m.Exists(out, colVars(callee.params, colScratch))
+	// New globals move from colNext to colCurrent.
+	out = c.m.Replace(out, renameMap(c.glob, colNext, colCurrent))
+	// Copy return values into the call targets.
+	if len(s.CallLhs) > 0 {
+		copyRel := c.m.True()
+		for i, name := range s.CallLhs {
+			slot := pi.scope[name]
+			copyRel = c.m.And(copyRel, c.m.Iff(c.m.Var(slot.col(colNext)), c.m.Var(callee.rets[i].col(colCurrent))))
+		}
+		out = c.m.And(out, copyRel)
+		lhsSlots := make([]varSlot, 0, len(s.CallLhs))
+		for _, name := range s.CallLhs {
+			lhsSlots = append(lhsSlots, pi.scope[name])
+		}
+		out = c.m.Exists(out, colVars(lhsSlots, colCurrent))
+		out = c.m.Exists(out, colVars(callee.rets, colCurrent))
+		out = c.m.Replace(out, renameMap(lhsSlots, colNext, colCurrent))
+	} else {
+		out = c.m.Exists(out, colVars(callee.rets, colCurrent))
+	}
+	out = c.m.And(out, pi.enfC)
+	return out, false
+}
+
+// growSummary folds a reached return statement into the procedure's
+// summary relation. Reports whether the summary grew.
+func (c *Checker) growSummary(pi *procInfo, w workItem, s *bp.Stmt) bool {
+	pe := c.pathEdges[w.proc][w.stmt]
+	if c.m.IsFalse(pe) {
+		return false
+	}
+	// Attach return values.
+	rel := pe
+	var nondet []int
+	for i, e := range s.RetVals {
+		val := c.exprBDD(pi, e, colCurrent, &nondet)
+		rel = c.m.And(rel, c.m.Iff(c.m.Var(pi.rets[i].col(colCurrent)), val))
+	}
+	if len(nondet) > 0 {
+		rel = c.m.Exists(rel, nondet)
+	}
+	// Summary output globals: current → next column.
+	rel = c.m.Replace(rel, renameMap(c.glob, colCurrent, colNext))
+	// Drop locals and current params.
+	rel = c.m.Exists(rel, colVars(pi.locals, colCurrent))
+	rel = c.m.Exists(rel, colVars(pi.params, colCurrent))
+	// Summary inputs: entry → scratch column (globals and params), so call
+	// sites can match them without touching their own entry columns.
+	rel = c.m.Replace(rel, renameMap(c.glob, colEntry, colScratch))
+	rel = c.m.Replace(rel, renameMap(pi.params, colEntry, colScratch))
+	old := c.summaries[w.proc]
+	union := c.m.Or(old, rel)
+	if union == old {
+		return false
+	}
+	c.summaries[w.proc] = union
+	return true
+}
+
+func (c *Checker) recordFailure(proc string, stmt int) {
+	for _, f := range c.Failures {
+		if f.Proc == proc && f.Stmt == stmt {
+			return
+		}
+	}
+	c.Failures = append(c.Failures, Failure{Proc: proc, Stmt: stmt})
+}
+
+// ErrorReachable reports the first reachable assertion violation.
+func (c *Checker) ErrorReachable() (Failure, bool) {
+	if len(c.Failures) == 0 {
+		return Failure{}, false
+	}
+	return c.Failures[0], true
+}
+
+// Reachable returns the reachable current-state set at (proc, stmt) as a
+// BDD over the current columns (entry columns quantified away).
+func (c *Checker) Reachable(proc string, stmt int) int {
+	pi := c.procs[proc]
+	pe := c.pathEdges[proc][stmt]
+	slots := c.scopeSlots(pi)
+	return c.m.Exists(pe, colVars(slots, colEntry))
+}
+
+// StmtAtLabel resolves a label to its statement index.
+func (c *Checker) StmtAtLabel(proc, label string) (int, bool) {
+	pi, ok := c.procs[proc]
+	if !ok {
+		return 0, false
+	}
+	return pi.proc.LabelIndex(label)
+}
+
+// InvariantRows enumerates the reachable states at (proc, stmt) as
+// valuations of the in-scope variables (globals, params, locals).
+func (c *Checker) InvariantRows(proc string, stmt int) ([]string, [][]byte) {
+	pi := c.procs[proc]
+	slots := c.scopeSlots(pi)
+	names := make([]string, len(slots))
+	for i, s := range slots {
+		names[i] = s.name
+	}
+	reach := c.Reachable(proc, stmt)
+	rows := c.m.AllSat(reach, colVars(slots, colCurrent))
+	return names, rows
+}
+
+// InvariantString renders the invariant at (proc, stmt) as a disjunction
+// of cubes over variable names (diagnostics and tests).
+func (c *Checker) InvariantString(proc string, stmt int) string {
+	names, rows := c.InvariantRows(proc, stmt)
+	if len(rows) == 0 {
+		return "false"
+	}
+	var parts []string
+	for _, row := range rows {
+		var lits []string
+		for i, b := range row {
+			name := bp.Ref{Name: names[i]}.String()
+			if b == 1 {
+				lits = append(lits, name)
+			} else {
+				lits = append(lits, "!"+name)
+			}
+		}
+		parts = append(parts, strings.Join(lits, " & "))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "  |  ")
+}
+
+// StateReachable reports whether a (possibly partial) concrete state is
+// compatible with the reachable set at (proc, stmt): variables present in
+// the map are fixed, others existentially quantified. Used by the
+// abstraction-soundness property tests.
+func (c *Checker) StateReachable(proc string, stmt int, state map[string]bool) bool {
+	pi, ok := c.procs[proc]
+	if !ok || stmt >= len(pi.proc.Stmts) {
+		return false
+	}
+	f := c.Reachable(proc, stmt)
+	for _, s := range c.scopeSlots(pi) {
+		v, ok := state[s.name]
+		if !ok {
+			continue
+		}
+		f = c.m.Restrict(f, s.col(colCurrent), v)
+		if c.m.IsFalse(f) {
+			return false
+		}
+	}
+	return !c.m.IsFalse(f)
+}
+
+// StmtsWithOrigin returns the statement indices in proc whose Origin is
+// the given value (pointer identity), in program order.
+func (c *Checker) StmtsWithOrigin(proc string, origin any) []int {
+	pi, ok := c.procs[proc]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for i, s := range pi.proc.Stmts {
+		if s.Origin == origin {
+			out = append(out, i)
+		} else if bo, ok := s.Origin.(interface{ OriginStmt() any }); ok && bo.OriginStmt() == origin {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HoldsAt reports whether the boolean expression over in-scope variables
+// holds in every reachable state at (proc, stmt).
+func (c *Checker) HoldsAt(proc string, stmt int, e bp.Expr) bool {
+	pi := c.procs[proc]
+	cond := c.exprBDD(pi, e, colCurrent, nil)
+	reach := c.Reachable(proc, stmt)
+	return c.m.IsFalse(c.m.And(reach, c.m.Not(cond)))
+}
+
+// LabelledInvariants renders the reachable-state invariant at every
+// labelled statement of every procedure, one "proc:label: cubes" line per
+// label, in program order (internal labels generated by the abstraction
+// are skipped).
+func (c *Checker) LabelledInvariants() []string {
+	var out []string
+	for _, pr := range c.Prog.Procs {
+		for i, s := range pr.Stmts {
+			for _, l := range s.Labels {
+				if len(l) > 0 && (l[0] == '$' || l[0] == '_') {
+					continue // generated label
+				}
+				out = append(out, pr.Name+":"+l+": "+c.InvariantString(pr.Name, i))
+			}
+		}
+	}
+	return out
+}

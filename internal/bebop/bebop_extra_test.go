@@ -1,0 +1,224 @@
+package bebop
+
+import (
+	"testing"
+
+	"predabs/internal/bp"
+)
+
+func TestMutualRecursion(t *testing.T) {
+	// isEven/isOdd via mutual recursion over a boolean countdown chain:
+	// reachability with summaries must terminate and be exact.
+	c := check(t, `
+decl g;
+
+bool isEven(more) begin
+  decl r;
+  if (more) then
+    r := isOdd(*);
+  else
+    r := true;
+  fi
+  return r;
+end
+
+bool isOdd(more) begin
+  decl r;
+  if (more) then
+    r := isEven(*);
+  else
+    r := false;
+  fi
+  return r;
+end
+
+void main() begin
+  decl v;
+  v := isEven(false);
+  assert(v);
+  v := isOdd(false);
+  assert(!v);
+  return;
+end`, "main")
+	if f, bad := c.ErrorReachable(); bad {
+		t.Fatalf("mutual recursion broken: %+v", f)
+	}
+}
+
+// Regression: on a recursive self-call the callee's parameter binding
+// must not be constrained against the caller's own entry columns —
+// rec(false) recursing into rec(true) must reach the assert.
+func TestRecursiveCallWithChangedParameter(t *testing.T) {
+	c := check(t, `
+void rec(x) begin
+  if (x) then
+    assert(false);
+  else
+    rec(true);
+  fi
+  return;
+end
+
+void main() begin
+  rec(false);
+  return;
+end`, "main")
+	if _, bad := c.ErrorReachable(); !bad {
+		t.Fatal("assert is reachable through the recursive call with x=true")
+	}
+	// And the trace must descend twice into rec.
+	f, _ := c.ErrorReachable()
+	trace, ok := c.Trace("main", f)
+	if !ok {
+		t.Fatal("no trace")
+	}
+	recEntries := 0
+	for _, s := range trace {
+		if s.Proc == "rec" && s.Stmt == 0 {
+			recEntries++
+		}
+	}
+	if recEntries < 2 {
+		t.Fatalf("trace should enter rec twice, got %d", recEntries)
+	}
+}
+
+func TestSummaryContextSensitivity(t *testing.T) {
+	// The same callee invoked with different arguments must not conflate
+	// contexts: summaries relate inputs to outputs relationally.
+	c := check(t, `
+bool id(x) begin
+  return x;
+end
+
+void main() begin
+  decl a, b;
+  a := id(true);
+  b := id(false);
+  assert(a);
+  assert(!b);
+  return;
+end`, "main")
+	if f, bad := c.ErrorReachable(); bad {
+		t.Fatalf("summary conflated contexts: %+v", f)
+	}
+}
+
+func TestCalleeSeesCallerGlobals(t *testing.T) {
+	c := check(t, `
+decl g;
+
+void expectTrue() begin
+  assert(g);
+  return;
+end
+
+void main() begin
+  g := true;
+  expectTrue();
+  g := false;
+  skip;
+  return;
+end`, "main")
+	if f, bad := c.ErrorReachable(); bad {
+		t.Fatalf("callee saw wrong global: %+v", f)
+	}
+}
+
+func TestCalleeEnforceFiltersEntry(t *testing.T) {
+	// The callee's enforce invariant must filter its nondeterministic
+	// local initialization.
+	c := check(t, `
+void callee(p) begin
+  decl a, b;
+  enforce !(a & b);
+  assert(!(a & b));
+  return;
+end
+
+void main() begin
+  callee(true);
+  return;
+end`, "main")
+	if f, bad := c.ErrorReachable(); bad {
+		t.Fatalf("callee enforce not applied at entry: %+v", f)
+	}
+}
+
+func TestVoidCallPreservesLocals(t *testing.T) {
+	c := check(t, `
+void noop(x) begin
+  decl junk;
+  junk := !x;
+  return;
+end
+
+void main() begin
+  decl mine;
+  mine := true;
+  noop(false);
+  assert(mine);
+  return;
+end`, "main")
+	if f, bad := c.ErrorReachable(); bad {
+		t.Fatalf("caller locals clobbered by call: %+v", f)
+	}
+}
+
+func TestUnreachableCallee(t *testing.T) {
+	// A procedure never called has no reachable states.
+	c := check(t, `
+void dead() begin
+  assert(false);
+  return;
+end
+
+void main() begin
+  skip;
+  return;
+end`, "main")
+	if _, bad := c.ErrorReachable(); bad {
+		t.Fatal("assert in unreachable procedure must not fire")
+	}
+	if inv := c.InvariantString("dead", 0); inv != "false" {
+		t.Errorf("dead entry invariant: %s", inv)
+	}
+}
+
+func TestIterationCountReported(t *testing.T) {
+	c := check(t, `
+void main() begin
+  decl a;
+  a := true;
+  return;
+end`, "main")
+	if c.Iterations == 0 {
+		t.Error("worklist iterations should be counted")
+	}
+}
+
+func TestHoldsAtWithGlobals(t *testing.T) {
+	c := check(t, `
+decl g;
+void main() begin
+  g := true;
+ L:
+  skip;
+  return;
+end`, "main")
+	idx, _ := c.StmtAtLabel("main", "L")
+	g, err := bp.ParseExpr("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := bp.ParseExpr("!g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.HoldsAt("main", idx, g) {
+		t.Error("g holds at L")
+	}
+	if c.HoldsAt("main", idx, ng) {
+		t.Error("!g must not hold at L")
+	}
+}

@@ -1,0 +1,480 @@
+package bebop
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predabs/internal/bp"
+)
+
+// Step is one element of a counterexample trace: a statement executed in
+// some procedure, with the state before it.
+type Step struct {
+	Proc  string
+	Stmt  int
+	BP    *bp.Stmt
+	State map[string]bool
+}
+
+// traceSearcher performs a depth-first search for a concrete path to a
+// failing assertion, pruned by Bebop's reachable-state sets so it only
+// explores states the fixpoint proved reachable.
+type traceSearcher struct {
+	c       *Checker
+	target  Failure
+	visited map[string]bool
+	fuel    int
+	found   []Step
+}
+
+// Trace reconstructs a concrete execution path from the entry procedure
+// to the failing assertion. ok is false if the search exhausted its
+// budget (which should not happen for genuine failures at Bebop scale).
+func (c *Checker) Trace(entry string, f Failure) ([]Step, bool) {
+	ts := &traceSearcher{
+		c:       c,
+		target:  f,
+		visited: map[string]bool{},
+		fuel:    500000,
+	}
+	epi := c.procs[entry]
+	// Enumerate viable initial states from the entry's reachable set at
+	// statement 0.
+	if len(epi.proc.Stmts) == 0 {
+		return nil, false
+	}
+	for _, st := range ts.viableStates(entry, 0) {
+		frame := map[string]bool{}
+		globals := map[string]bool{}
+		for _, g := range c.glob {
+			globals[g.name] = st[g.name]
+		}
+		for _, s := range append(append([]varSlot{}, epi.params...), epi.locals...) {
+			frame[s.name] = st[s.name]
+		}
+		if ts.run(entry, 0, frame, globals) {
+			return ts.found, true
+		}
+	}
+	return nil, false
+}
+
+// viableStates enumerates concrete states in Reach(proc, stmt).
+func (ts *traceSearcher) viableStates(proc string, stmt int) []map[string]bool {
+	c := ts.c
+	pi := c.procs[proc]
+	slots := c.scopeSlots(pi)
+	reach := c.Reachable(proc, stmt)
+	rows := c.m.AllSat(reach, colVars(slots, colCurrent))
+	out := make([]map[string]bool, 0, len(rows))
+	for _, row := range rows {
+		st := map[string]bool{}
+		for i, s := range slots {
+			st[s.name] = row[i] == 1
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// inReach checks that a concrete state is inside Reach(proc, stmt).
+func (ts *traceSearcher) inReach(proc string, stmt int, frame, globals map[string]bool) bool {
+	c := ts.c
+	pi := c.procs[proc]
+	slots := c.scopeSlots(pi)
+	reach := c.Reachable(proc, stmt)
+	f := reach
+	for _, s := range slots {
+		val, ok := frame[s.name]
+		if !ok {
+			val = globals[s.name]
+		}
+		f = c.m.Restrict(f, s.col(colCurrent), val)
+		if c.m.IsFalse(f) {
+			return false
+		}
+	}
+	return !c.m.IsFalse(f)
+}
+
+func stateKey(proc string, pc int, frame, globals map[string]bool, depth int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%d|", proc, pc, depth)
+	writeBits := func(m map[string]bool) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if m[k] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	writeBits(globals)
+	b.WriteByte('|')
+	writeBits(frame)
+	return b.String()
+}
+
+func cloneState(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// evalChoices evaluates an expression under all resolutions of * and
+// unresolved choose, returning the set of possible values.
+func evalChoices(e bp.Expr, get func(string) bool) []bool {
+	switch e := e.(type) {
+	case bp.Const:
+		return []bool{e.Val}
+	case bp.Ref:
+		return []bool{get(e.Name)}
+	case bp.Unknown:
+		return []bool{false, true}
+	case bp.Not:
+		return mapVals(evalChoices(e.X, get), func(v bool) bool { return !v })
+	case bp.Bin:
+		xs := evalChoices(e.X, get)
+		ys := evalChoices(e.Y, get)
+		var out []bool
+		for _, x := range xs {
+			for _, y := range ys {
+				var v bool
+				switch e.Op {
+				case bp.And:
+					v = x && y
+				case bp.Or:
+					v = x || y
+				case bp.Implies:
+					v = !x || y
+				case bp.Iff:
+					v = x == y
+				}
+				out = appendVal(out, v)
+			}
+		}
+		return out
+	case bp.Choose:
+		pos := evalChoices(e.Pos, get)
+		neg := evalChoices(e.Neg, get)
+		var out []bool
+		for _, p := range pos {
+			if p {
+				out = appendVal(out, true)
+				continue
+			}
+			for _, n := range neg {
+				if n {
+					out = appendVal(out, false)
+				} else {
+					out = appendVal(out, false)
+					out = appendVal(out, true)
+				}
+			}
+		}
+		return out
+	}
+	return []bool{false}
+}
+
+func mapVals(in []bool, f func(bool) bool) []bool {
+	var out []bool
+	for _, v := range in {
+		out = appendVal(out, f(v))
+	}
+	return out
+}
+
+func appendVal(out []bool, v bool) []bool {
+	for _, x := range out {
+		if x == v {
+			return out
+		}
+	}
+	return append(out, v)
+}
+
+// enumerateAssignments expands all nondeterministic outcomes of a parallel
+// assignment.
+func enumerateAssignments(lhs []string, rhs []bp.Expr, get func(string) bool) [][]bool {
+	options := make([][]bool, len(rhs))
+	for i, e := range rhs {
+		options[i] = evalChoices(e, get)
+	}
+	out := [][]bool{{}}
+	for _, opts := range options {
+		var next [][]bool
+		for _, partial := range out {
+			for _, v := range opts {
+				row := append(append([]bool{}, partial...), v)
+				next = append(next, row)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// cont is the continuation invoked at return statements, carrying the
+// return values in frame["$ret<i>"] and the trace so far.
+type contFn func(frame, globals map[string]bool, trace []Step) bool
+
+// run is the DFS over configurations.
+// Returning true means ts.found holds a complete trace.
+func (ts *traceSearcher) run(proc string, pc int, frame, globals map[string]bool) bool {
+	return ts.step(proc, pc, frame, globals, 0, "",
+		func(map[string]bool, map[string]bool, []Step) bool {
+			// Falling off the entry procedure without hitting the target.
+			return false
+		}, nil)
+}
+
+// step executes from (proc, pc). ctx is the call-site chain, making the
+// visited set context-sensitive so alternate continuations are explored.
+func (ts *traceSearcher) step(proc string, pc int, frame, globals map[string]bool,
+	depth int, ctx string, cont contFn, trace []Step) bool {
+
+	c := ts.c
+	pi := c.procs[proc]
+	for {
+		ts.fuel--
+		if ts.fuel <= 0 || depth > 64 {
+			return false
+		}
+		if pc >= len(pi.proc.Stmts) {
+			return false
+		}
+		key := ctx + "\x00" + stateKey(proc, pc, frame, globals, depth)
+		if ts.visited[key] {
+			return false
+		}
+		ts.visited[key] = true
+		if !ts.inReach(proc, pc, frame, globals) {
+			return false
+		}
+
+		s := pi.proc.Stmts[pc]
+		get := func(name string) bool {
+			if v, ok := frame[name]; ok {
+				return v
+			}
+			return globals[name]
+		}
+		set := func(name string, v bool) {
+			if _, ok := frame[name]; ok {
+				frame[name] = v
+				return
+			}
+			if _, ok := globals[name]; ok {
+				globals[name] = v
+				return
+			}
+			frame[name] = v
+		}
+		snapshot := func() map[string]bool {
+			st := cloneState(globals)
+			for k, v := range frame {
+				st[k] = v
+			}
+			return st
+		}
+		trace = append(trace, Step{Proc: proc, Stmt: pc, BP: s, State: snapshot()})
+
+		// Target reached?
+		if proc == ts.target.Proc && pc == ts.target.Stmt && s.Kind == bp.Assert {
+			for _, v := range evalChoices(s.Cond, get) {
+				if !v {
+					ts.found = append([]Step{}, trace...)
+					return true
+				}
+			}
+		}
+
+		switch s.Kind {
+		case bp.Skip:
+			pc++
+		case bp.Assume:
+			ok := false
+			for _, v := range evalChoices(s.Cond, get) {
+				if v {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+			pc++
+		case bp.Assert:
+			ok := false
+			for _, v := range evalChoices(s.Cond, get) {
+				if v {
+					ok = true
+				}
+			}
+			if !ok {
+				return false // failing assert that is not the target: stop
+			}
+			pc++
+		case bp.Goto:
+			for _, tgt := range s.Targets {
+				idx, _ := pi.proc.LabelIndex(tgt)
+				if ts.step(proc, idx, cloneState(frame), cloneState(globals), depth, ctx, cont, trace) {
+					return true
+				}
+			}
+			return false
+		case bp.Assign:
+			rows := enumerateAssignments(s.Lhs, s.Rhs, get)
+			if len(rows) == 1 {
+				for i, name := range s.Lhs {
+					set(name, rows[0][i])
+				}
+				if pi.enfC != 1 && !enforceHolds(pi, frame, globals) {
+					return false
+				}
+				pc++
+				continue
+			}
+			for _, row := range rows {
+				f2, g2 := cloneState(frame), cloneState(globals)
+				for i, name := range s.Lhs {
+					setIn(f2, g2, name, row[i])
+				}
+				if pi.enfC != 1 && !enforceHolds(pi, f2, g2) {
+					continue
+				}
+				if ts.step(proc, pc+1, f2, g2, depth, ctx, cont, trace) {
+					return true
+				}
+			}
+			return false
+		case bp.Call:
+			callee := c.procs[s.Callee]
+			// Evaluate arguments (possibly nondeterministic).
+			argRows := enumerateAssignments(callee.proc.Params, s.Args, get)
+			innerCtx := fmt.Sprintf("%s%s:%d/", ctx, proc, pc)
+			for _, args := range argRows {
+				// Enumerate viable callee local initializations via the
+				// callee's entry reachable set.
+				for _, init := range ts.calleeInits(s.Callee, args, globals) {
+					pcNext := pc
+					sNext := s
+					fOuter := cloneState(frame)
+					done := ts.step(s.Callee, 0, init, cloneState(globals), depth+1, innerCtx,
+						func(retFrame, retGlobals map[string]bool, retTrace []Step) bool {
+							// Back in the caller: bind returns, continue.
+							f3 := cloneState(fOuter)
+							g3 := cloneState(retGlobals)
+							for i, name := range sNext.CallLhs {
+								setIn(f3, g3, name, retFrame[fmt.Sprintf("$ret%d", i)])
+							}
+							if pi.enfC != 1 && !enforceHolds(pi, f3, g3) {
+								return false
+							}
+							return ts.step(proc, pcNext+1, f3, g3, depth, ctx, cont, retTrace)
+						}, trace)
+					if done {
+						return true
+					}
+				}
+			}
+			return false
+		case bp.Return:
+			// Encode return values for the continuation.
+			retFrame := cloneState(frame)
+			rows := enumerateAssignments(retNames(len(s.RetVals)), s.RetVals, get)
+			for _, row := range rows {
+				rf := cloneState(retFrame)
+				for i := range s.RetVals {
+					rf[fmt.Sprintf("$ret%d", i)] = row[i]
+				}
+				if cont(rf, cloneState(globals), trace) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+}
+
+func retNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("$ret%d", i)
+	}
+	return out
+}
+
+func setIn(frame, globals map[string]bool, name string, v bool) {
+	if _, ok := frame[name]; ok {
+		frame[name] = v
+		return
+	}
+	if _, ok := globals[name]; ok {
+		globals[name] = v
+		return
+	}
+	frame[name] = v
+}
+
+func enforceHolds(pi *procInfo, frame, globals map[string]bool) bool {
+	if pi.proc.Enforce == nil {
+		return true
+	}
+	get := func(name string) bool {
+		if v, ok := frame[name]; ok {
+			return v
+		}
+		return globals[name]
+	}
+	vals := evalChoices(pi.proc.Enforce, get)
+	for _, v := range vals {
+		if v {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeInits enumerates callee frames (params bound to args, locals
+// filtered by the callee's reachable entry states under the current
+// globals).
+func (ts *traceSearcher) calleeInits(callee string, args []bool, globals map[string]bool) []map[string]bool {
+	c := ts.c
+	pi := c.procs[callee]
+	if len(pi.proc.Stmts) == 0 {
+		return nil
+	}
+	reach := c.Reachable(callee, 0)
+	f := reach
+	for _, g := range c.glob {
+		f = c.m.Restrict(f, g.col(colCurrent), globals[g.name])
+	}
+	for i, p := range pi.params {
+		f = c.m.Restrict(f, p.col(colCurrent), args[i])
+	}
+	if c.m.IsFalse(f) {
+		return nil
+	}
+	rows := c.m.AllSat(f, colVars(pi.locals, colCurrent))
+	var out []map[string]bool
+	for _, row := range rows {
+		frame := map[string]bool{}
+		for i, p := range pi.proc.Params {
+			frame[p] = args[i]
+		}
+		for i, l := range pi.locals {
+			frame[l.name] = row[i] == 1
+		}
+		out = append(out, frame)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package bp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program in the boolean-program surface syntax. The
+// output reparses to an equivalent program (print→parse→print is a
+// fixpoint, which tests verify).
+func Print(p *Program) string {
+	var b strings.Builder
+	if len(p.Globals) > 0 {
+		fmt.Fprintf(&b, "decl %s;\n\n", strings.Join(refs(p.Globals), ", "))
+	}
+	for _, pr := range p.Procs {
+		printProc(&b, pr)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func printProc(b *strings.Builder, pr *Proc) {
+	ret := "void"
+	switch {
+	case pr.NRet == 1:
+		ret = "bool"
+	case pr.NRet > 1:
+		ret = fmt.Sprintf("bool<%d>", pr.NRet)
+	}
+	fmt.Fprintf(b, "%s %s(%s) begin\n", ret, pr.Name, strings.Join(refs(pr.Params), ", "))
+	if len(pr.Locals) > 0 {
+		fmt.Fprintf(b, "  decl %s;\n", strings.Join(refs(pr.Locals), ", "))
+	}
+	if pr.Enforce != nil {
+		fmt.Fprintf(b, "  enforce %s;\n", pr.Enforce)
+	}
+	for _, s := range pr.Stmts {
+		for _, l := range s.Labels {
+			fmt.Fprintf(b, " %s:\n", Ref{Name: l})
+		}
+		line := "  " + StmtString(s)
+		if s.Comment != "" {
+			line += " // " + s.Comment
+		}
+		b.WriteString(line + "\n")
+	}
+	b.WriteString("end\n")
+}

@@ -1,0 +1,125 @@
+package bp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBracedNamePrinting(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"simple", "simple"},
+		{"curr == NULL", "{curr == NULL}"},
+		{"*p <= 0", "{*p <= 0}"},
+		{"t$1", "{t$1}"},
+		{"0starts", "{0starts}"},
+		{"true", "{true}"}, // keyword collision must be braced
+		{"choose", "{choose}"},
+		{"a_b_c9", "a_b_c9"},
+		{"", "{}"},
+	}
+	for _, c := range cases {
+		got := Ref{Name: c.name}.String()
+		if got != c.want {
+			t.Errorf("%q: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBracedNamesRoundTrip(t *testing.T) {
+	src := `
+decl {g one}, {true};
+
+void f({a b}) begin
+  decl {x$}, plain;
+ {weird label}:
+  {x$} := {a b} & {g one};
+  plain := !{true};
+  goto {weird label}, done;
+ done:
+  return;
+end
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := Print(prog)
+	prog2, err := Parse(p1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p1)
+	}
+	if p2 := Print(prog2); p1 != p2 {
+		t.Fatalf("fixpoint broken:\n%s\nvs\n%s", p1, p2)
+	}
+}
+
+func TestStmtStringForms(t *testing.T) {
+	prog := MustParse(`
+decl g;
+bool<2> pair(x) begin
+  return x, !x;
+end
+void f(a) begin
+  decl t1, t2;
+  skip;
+  t1, t2 := pair(a | g);
+  pair(true);
+  assume(t1 => t2);
+  assert(t1 <=> !t2);
+  goto L;
+ L:
+  g := choose(t1, t2);
+  return;
+end
+`)
+	f := prog.Proc("f")
+	wants := []string{
+		"skip;",
+		"t1, t2 := pair(a | g);",
+		"pair(true);",
+		"assume(t1 => t2);",
+		"assert(t1 <=> !t2);",
+		"goto L;",
+		"g := choose(t1, t2);",
+		"return;",
+	}
+	if len(f.Stmts) != len(wants) {
+		t.Fatalf("stmt count %d, want %d", len(f.Stmts), len(wants))
+	}
+	for i, w := range wants {
+		if got := StmtString(f.Stmts[i]); got != w {
+			t.Errorf("stmt %d: got %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestCommentsInPrintOutput(t *testing.T) {
+	prog := MustParse("void f() begin skip; return; end")
+	prog.Procs[0].Stmts[0].Comment = "x = 1;"
+	out := Print(prog)
+	if !strings.Contains(out, "skip; // x = 1;") {
+		t.Errorf("comment missing:\n%s", out)
+	}
+	// Comments must not break reparsing.
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("commented output does not reparse: %v", err)
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	e, err := ParseExpr("!{curr == NULL} & ({a} | b)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {a} normalizes to plain a (braces only when needed).
+	want := "!{curr == NULL} & (a | b)"
+	if e.String() != want {
+		t.Errorf("got %q, want %q", e.String(), want)
+	}
+	if _, err := ParseExpr("a &"); err == nil {
+		t.Error("truncated expression should fail")
+	}
+	if _, err := ParseExpr("a b"); err == nil {
+		t.Error("junk after expression should fail")
+	}
+}

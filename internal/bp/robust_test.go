@@ -1,0 +1,68 @@
+package bp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The boolean-program parser must never panic on arbitrary input.
+func TestBPParserRobust(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	alphabet := "ab{};:=<>!&|*,() decl begin end void bool goto skip assume assert return if then else fi while do od choose true false 123 $"
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(100)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("bp parser panicked on %q: %v", src, rec)
+				}
+			}()
+			Parse(src)     //nolint:errcheck
+			ParseExpr(src) //nolint:errcheck
+		}()
+	}
+}
+
+func TestBPParserRobustAgainstMutations(t *testing.T) {
+	base := `
+decl g;
+bool f(a) begin
+  decl t;
+  t := choose(a, !a);
+  if (t) then g := true; else g := false; fi
+  while (*) do t := !t; od
+  return t & g;
+end
+`
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 1500; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			switch r.Intn(3) {
+			case 0:
+				i := r.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 1:
+				i := r.Intn(len(b))
+				b = append(b[:i+1], b[i:]...)
+			case 2:
+				b[r.Intn(len(b))] = "(){};:=*&"[r.Intn(9)]
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("bp parser panicked on mutation: %v\n%s", rec, src)
+				}
+			}()
+			Parse(src) //nolint:errcheck
+		}()
+	}
+}

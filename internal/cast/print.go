@@ -1,0 +1,177 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the program as MiniC source. The output re-parses to an
+// equivalent program; tests rely on print→parse→print being a fixpoint.
+func Print(p *Program) string {
+	var b strings.Builder
+	pr := printer{b: &b}
+	for _, s := range p.Structs {
+		pr.structDef(s)
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "%s;\n", declString(g.Type, g.Name))
+	}
+	for _, f := range p.Funcs {
+		pr.funcDef(f)
+	}
+	return b.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s Stmt) string {
+	var b strings.Builder
+	pr := printer{b: &b}
+	pr.stmt(s, 0)
+	return b.String()
+}
+
+type printer struct {
+	b *strings.Builder
+}
+
+func (pr *printer) indent(n int) {
+	for i := 0; i < n; i++ {
+		pr.b.WriteString("  ")
+	}
+}
+
+// declString renders "type name" with C declarator syntax for pointers and
+// arrays (e.g. "int *p", "int a[10]", "struct cell *l").
+func declString(t Type, name string) string {
+	suffix := ""
+	for {
+		if at, ok := t.(ArrayType); ok {
+			if at.Len < 0 {
+				suffix += "[]"
+			} else {
+				suffix += fmt.Sprintf("[%d]", at.Len)
+			}
+			t = at.Elem
+			continue
+		}
+		break
+	}
+	stars := ""
+	for {
+		if pt, ok := t.(PointerType); ok {
+			stars += "*"
+			t = pt.Elem
+			continue
+		}
+		break
+	}
+	return fmt.Sprintf("%s %s%s%s", t, stars, name, suffix)
+}
+
+func (pr *printer) structDef(s *StructDef) {
+	fmt.Fprintf(pr.b, "struct %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(pr.b, "  %s;\n", declString(f.Type, f.Name))
+	}
+	fmt.Fprintf(pr.b, "};\n")
+}
+
+func (pr *printer) funcDef(f *FuncDef) {
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = declString(p.Type, p.Name)
+	}
+	fmt.Fprintf(pr.b, "%s %s(%s) ", f.Ret, f.Name, strings.Join(params, ", "))
+	pr.block(f.Body, 0)
+	pr.b.WriteString("\n")
+}
+
+func (pr *printer) block(blk *Block, depth int) {
+	pr.b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		pr.stmt(s, depth+1)
+	}
+	pr.indent(depth)
+	pr.b.WriteString("}")
+}
+
+func (pr *printer) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Block:
+		pr.indent(depth)
+		pr.block(s, depth)
+		pr.b.WriteString("\n")
+	case *DeclStmt:
+		pr.indent(depth)
+		if s.Init != nil {
+			fmt.Fprintf(pr.b, "%s = %s;\n", declString(s.Type, s.Name), s.Init)
+		} else {
+			fmt.Fprintf(pr.b, "%s;\n", declString(s.Type, s.Name))
+		}
+	case *AssignStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "%s = %s;\n", s.Lhs, s.Rhs)
+	case *ExprStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "%s;\n", s.X)
+	case *IfStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "if (%s) ", s.Cond)
+		pr.stmtAsBlock(s.Then, depth)
+		if s.Else != nil {
+			pr.b.WriteString(" else ")
+			pr.stmtAsBlock(s.Else, depth)
+		}
+		pr.b.WriteString("\n")
+	case *WhileStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "while (%s) ", s.Cond)
+		pr.stmtAsBlock(s.Body, depth)
+		pr.b.WriteString("\n")
+	case *GotoStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "goto %s;\n", s.Label)
+	case *LabeledStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "%s:\n", s.Label)
+		pr.stmt(s.Stmt, depth)
+	case *ReturnStmt:
+		pr.indent(depth)
+		if s.X != nil {
+			fmt.Fprintf(pr.b, "return %s;\n", s.X)
+		} else {
+			pr.b.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		pr.indent(depth)
+		pr.b.WriteString("break;\n")
+	case *ContinueStmt:
+		pr.indent(depth)
+		pr.b.WriteString("continue;\n")
+	case *AssertStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "assert(%s);\n", s.X)
+	case *AssumeStmt:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "assume(%s);\n", s.X)
+	case *EmptyStmt:
+		pr.indent(depth)
+		pr.b.WriteString(";\n")
+	default:
+		pr.indent(depth)
+		fmt.Fprintf(pr.b, "/* unknown stmt %T */;\n", s)
+	}
+}
+
+// stmtAsBlock prints a statement as the body of an if/while, bracing
+// non-block bodies so that dangling-else ambiguity never arises on reparse.
+func (pr *printer) stmtAsBlock(s Stmt, depth int) {
+	if blk, ok := s.(*Block); ok {
+		pr.block(blk, depth)
+		return
+	}
+	pr.b.WriteString("{\n")
+	pr.stmt(s, depth+1)
+	pr.indent(depth)
+	pr.b.WriteString("}")
+}

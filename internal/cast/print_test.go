@@ -1,0 +1,101 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeclString(t *testing.T) {
+	cases := []struct {
+		t    Type
+		name string
+		want string
+	}{
+		{IntType{}, "x", "int x"},
+		{PointerType{Elem: IntType{}}, "p", "int *p"},
+		{PointerType{Elem: PointerType{Elem: IntType{}}}, "pp", "int **pp"},
+		{ArrayType{Elem: IntType{}, Len: 10}, "a", "int a[10]"},
+		{ArrayType{Elem: IntType{}, Len: -1}, "a", "int a[]"},
+		{PointerType{Elem: StructType{Name: "cell"}}, "c", "struct cell *c"},
+	}
+	for _, c := range cases {
+		if got := declString(c.t, c.name); got != c.want {
+			t.Errorf("declString(%v, %s) = %q, want %q", c.t, c.name, got, c.want)
+		}
+	}
+}
+
+func TestTypesEqual(t *testing.T) {
+	if !TypesEqual(PointerType{Elem: IntType{}}, PointerType{Elem: IntType{}}) {
+		t.Error("int* == int*")
+	}
+	if TypesEqual(PointerType{Elem: IntType{}}, IntType{}) {
+		t.Error("int* != int")
+	}
+	if !TypesEqual(StructType{Name: "s"}, StructType{Name: "s"}) {
+		t.Error("struct s == struct s")
+	}
+	if TypesEqual(StructType{Name: "s"}, StructType{Name: "t"}) {
+		t.Error("struct s != struct t")
+	}
+	if !TypesEqual(ArrayType{Elem: IntType{}, Len: 3}, ArrayType{Elem: IntType{}, Len: 5}) {
+		t.Error("array equality ignores length (logical model)")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := &Binary{Op: Add, X: NewVar("x"), Y: &Unary{Op: Neg, X: NewInt(3)}}
+	if got := e.String(); got != "x + (-3)" {
+		t.Errorf("got %q", got)
+	}
+	f := &Field{X: &Unary{Op: Deref_, X: NewVar("p")}, Name: "val"}
+	if got := f.String(); got != "(*p).val" {
+		t.Errorf("got %q", got)
+	}
+	g := &Field{X: NewVar("p"), Name: "val", Arrow: true}
+	if got := g.String(); got != "p->val" {
+		t.Errorf("got %q", got)
+	}
+	ix := &Index{X: NewVar("a"), I: &Binary{Op: Add, X: NewVar("i"), Y: NewInt(1)}}
+	if got := ix.String(); got != "a[i + 1]" {
+		t.Errorf("got %q", got)
+	}
+	c := &Call{Name: "f", Args: []Expr{NewVar("x"), NewInt(2)}}
+	if got := c.String(); got != "f(x, 2)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrintStmtShapes(t *testing.T) {
+	s := &IfStmt{
+		Cond: &Binary{Op: Gt, X: NewVar("x"), Y: NewInt(0)},
+		Then: &AssignStmt{Lhs: NewVar("y"), Rhs: NewInt(1)},
+		Else: &Block{Stmts: []Stmt{&GotoStmt{Label: "L"}}},
+	}
+	out := PrintStmt(s)
+	for _, frag := range []string{"if (x > 0)", "y = 1;", "goto L;", "else"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestProgramAccessors(t *testing.T) {
+	p := &Program{
+		Structs: []*StructDef{{Name: "s", Fields: []FieldDef{{Name: "f", Type: IntType{}}}}},
+		Globals: []*VarDecl{{Name: "g", Type: IntType{}}},
+		Funcs:   []*FuncDef{{Name: "main", Ret: VoidType{}, Body: &Block{}}},
+	}
+	if p.Struct("s") == nil || p.Struct("t") != nil {
+		t.Error("Struct lookup")
+	}
+	if p.Struct("s").Field("f") == nil || p.Struct("s").Field("g") != nil {
+		t.Error("Field lookup")
+	}
+	if p.Global("g") == nil || p.Global("x") != nil {
+		t.Error("Global lookup")
+	}
+	if p.Func("main") == nil || p.Func("f") != nil {
+		t.Error("Func lookup")
+	}
+}

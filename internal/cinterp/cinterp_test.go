@@ -1,0 +1,276 @@
+package cinterp
+
+import (
+	"math/rand"
+	"testing"
+
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/form"
+)
+
+func load(t *testing.T, src string) *cnorm.Result {
+	t.Helper()
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := ctype.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := cnorm.Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return res
+}
+
+func TestArithmetic(t *testing.T) {
+	res := load(t, `
+int add3(int a, int b, int c) {
+  int s;
+  s = a + b;
+  s = s + c;
+  return s;
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("add3", []int64{1, 2, 3})
+	if err != nil || st != Completed || v != 6 {
+		t.Fatalf("got %v %d %v", st, v, err)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := load(t, `
+int collatzSteps(int n) {
+  int steps;
+  steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+    if (steps > 1000) { break; }
+  }
+  return steps;
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("collatzSteps", []int64{6})
+	if err != nil || st != Completed {
+		t.Fatalf("got %v %v", st, err)
+	}
+	if v != 8 { // 6→3→10→5→16→8→4→2→1
+		t.Fatalf("collatz(6) steps = %d, want 8", v)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	res := load(t, `
+int fib(int n) {
+  int a;
+  int b;
+  if (n <= 1) { return n; }
+  a = fib(n - 1);
+  b = fib(n - 2);
+  return a + b;
+}
+`)
+	in := &Interp{Res: res, MaxSteps: 100000}
+	st, v, err := in.Run("fib", []int64{10})
+	if err != nil || st != Completed || v != 55 {
+		t.Fatalf("fib(10) = %d (%v, %v), want 55", v, st, err)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	res := load(t, `
+void bump(int* p) {
+  *p = *p + 1;
+}
+int main(int x) {
+  int v;
+  v = x;
+  bump(&v);
+  bump(&v);
+  return v;
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("main", []int64{40})
+	if err != nil || st != Completed || v != 42 {
+		t.Fatalf("got %v %d %v", st, v, err)
+	}
+}
+
+func TestStructsAndHeap(t *testing.T) {
+	res := load(t, `
+struct cell { int val; struct cell* next; };
+int sum(struct cell* l) {
+  int s;
+  s = 0;
+  while (l != NULL) {
+    s = s + l->val;
+    l = l->next;
+  }
+  return s;
+}
+`)
+	// Build a two-cell list in the environment: n1 -> n2 -> NULL.
+	env := form.NewEnv()
+	n1 := env.AddrOfVar("$n1")
+	n2 := env.AddrOfVar("$n2")
+	env.Store(form.Sel{X: form.Var{Name: "$n1"}, Field: "val"}, 10)
+	env.Store(form.Sel{X: form.Var{Name: "$n1"}, Field: "next"}, n2)
+	env.Store(form.Sel{X: form.Var{Name: "$n2"}, Field: "val"}, 32)
+	env.Store(form.Sel{X: form.Var{Name: "$n2"}, Field: "next"}, 0)
+	in := &Interp{Res: res, Env: env}
+	st, v, err := in.Run("sum", []int64{n1})
+	if err != nil || st != Completed || v != 42 {
+		t.Fatalf("got %v %d %v", st, v, err)
+	}
+}
+
+func TestAssumeBlocksAndAssertFails(t *testing.T) {
+	res := load(t, `
+int f(int x) {
+  assume(x > 0);
+  assert(x > 1);
+  return x;
+}
+`)
+	in := &Interp{Res: res}
+	st, _, err := in.Run("f", []int64{-1})
+	if err != nil || st != Blocked {
+		t.Fatalf("x=-1: got %v %v, want blocked", st, err)
+	}
+	st, _, err = in.Run("f", []int64{1})
+	if err != nil || st != AssertFailed {
+		t.Fatalf("x=1: got %v %v, want assert-failed", st, err)
+	}
+	st, _, err = in.Run("f", []int64{2})
+	if err != nil || st != Completed {
+		t.Fatalf("x=2: got %v %v, want completed", st, err)
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	res := load(t, `
+int f(int n) {
+  int acc;
+  acc = 0;
+top:
+  if (n <= 0) { goto done; }
+  acc = acc + n;
+  n = n - 1;
+  goto top;
+done:
+  return acc;
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("f", []int64{4})
+	if err != nil || st != Completed || v != 10 {
+		t.Fatalf("got %v %d %v", st, v, err)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	res := load(t, `
+int counter;
+void tick(void) { counter = counter + 1; }
+int main(void) {
+  counter = 0;
+  tick();
+  tick();
+  tick();
+  return counter;
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("main", nil)
+	if err != nil || st != Completed || v != 3 {
+		t.Fatalf("got %v %d %v", st, v, err)
+	}
+}
+
+func TestRecursiveLocalsAreDistinct(t *testing.T) {
+	res := load(t, `
+int down(int n) {
+  int mine;
+  int sub;
+  mine = n;
+  if (n <= 0) { return 0; }
+  sub = down(n - 1);
+  return mine; /* must still be n, not clobbered by the recursive frame */
+}
+`)
+	in := &Interp{Res: res}
+	st, v, err := in.Run("down", []int64{5})
+	if err != nil || st != Completed || v != 5 {
+		t.Fatalf("got %v %d %v (frames must not share locals)", st, v, err)
+	}
+}
+
+func TestOnStmtObserver(t *testing.T) {
+	res := load(t, `
+int f(int x) {
+  x = x + 1;
+  x = x + 1;
+  return x;
+}
+`)
+	count := 0
+	in := &Interp{Res: res, OnStmt: func(v StmtVisit) {
+		if v.Fn == "f" {
+			count++
+		}
+	}}
+	if _, _, err := in.Run("f", []int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("observed %d statements, want 2", count)
+	}
+}
+
+func TestUninitializedLocalsRandom(t *testing.T) {
+	res := load(t, `
+int f(void) {
+  int junk;
+  return junk;
+}
+`)
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		in := &Interp{Res: res, Rand: rand.New(rand.NewSource(seed))}
+		_, v, err := in.Run("f", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("uninitialized locals should vary across seeds")
+	}
+}
+
+func TestOutOfFuel(t *testing.T) {
+	res := load(t, `
+void spin(void) {
+  int x;
+  x = 0;
+  while (x == 0) { x = 0; }
+}
+`)
+	in := &Interp{Res: res, MaxSteps: 100}
+	st, _, err := in.Run("spin", nil)
+	if err != nil || st != OutOfFuel {
+		t.Fatalf("got %v %v", st, err)
+	}
+}

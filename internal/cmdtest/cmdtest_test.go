@@ -1,0 +1,236 @@
+// Package cmdtest smoke-tests the command-line tools end to end: the
+// binaries are built once with the Go toolchain, then exercised on
+// temporary files, checking the c2bp → bebop pipeline composes through
+// the boolean-program surface syntax and that slam reports the right
+// verdicts and exit codes.
+package cmdtest
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "predabs-bin-")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir, "predabs/cmd/c2bp", "predabs/cmd/bebop", "predabs/cmd/slam")
+	build.Dir = repoRoot()
+	if out, err := build.CombinedOutput(); err != nil {
+		panic("building tools: " + err.Error() + "\n" + string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, _ := os.Getwd()
+	return filepath.Dir(filepath.Dir(wd)) // internal/cmdtest -> repo root
+}
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s: %v\n%s", bin, err, out)
+	}
+	return string(out), code
+}
+
+const partitionC = `
+typedef struct cell { int val; struct cell* next; } *list;
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+const partitionPreds = `
+partition:
+  curr == NULL, prev == NULL, curr->val > v, prev->val > v
+`
+
+func TestC2bpThenBebopPipeline(t *testing.T) {
+	cFile := write(t, "partition.c", partitionC)
+	pFile := write(t, "partition.preds", partitionPreds)
+
+	out, code := run(t, "c2bp", "-preds", pFile, cFile)
+	if code != 0 {
+		t.Fatalf("c2bp exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "void partition() begin") {
+		t.Fatalf("c2bp output missing procedure:\n%s", out)
+	}
+	bpFile := write(t, "partition.bp", out)
+
+	out2, code2 := run(t, "bebop", "-entry", "partition", "-invariant", "partition:L", bpFile)
+	if code2 != 0 {
+		t.Fatalf("bebop exit %d:\n%s", code2, out2)
+	}
+	if !strings.Contains(out2, "no assertion violation") {
+		t.Errorf("bebop verdict missing:\n%s", out2)
+	}
+	// The Section 2.2 invariant components must appear.
+	for _, frag := range []string{"!{curr == NULL}", "{curr->val > v}"} {
+		if !strings.Contains(out2, frag) {
+			t.Errorf("invariant missing %q:\n%s", frag, out2)
+		}
+	}
+}
+
+func TestC2bpStatsFlag(t *testing.T) {
+	cFile := write(t, "p.c", partitionC)
+	pFile := write(t, "p.preds", partitionPreds)
+	out, code := run(t, "c2bp", "-stats", "-preds", pFile, cFile)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "theorem prover calls:") {
+		t.Errorf("stats missing:\n%s", out)
+	}
+}
+
+func TestC2bpBadUsage(t *testing.T) {
+	_, code := run(t, "c2bp")
+	if code == 0 {
+		t.Error("missing args should fail")
+	}
+}
+
+const lockSpec = `
+state { int locked = 0; }
+event AcquireLock entry { if (locked == 1) { abort; } locked = 1; }
+event ReleaseLock entry { if (locked == 0) { abort; } locked = 0; }
+`
+
+func TestSlamVerified(t *testing.T) {
+	cFile := write(t, "good.c", `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+void main(void) {
+  AcquireLock();
+  ReleaseLock();
+}
+`)
+	sFile := write(t, "lock.slic", lockSpec)
+	out, code := run(t, "slam", "-spec", sFile, "-entry", "main", cFile)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: verified") {
+		t.Errorf("verdict:\n%s", out)
+	}
+}
+
+func TestSlamErrorFoundExitCode(t *testing.T) {
+	cFile := write(t, "bad.c", `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+void main(void) {
+  AcquireLock();
+  AcquireLock();
+}
+`)
+	sFile := write(t, "lock.slic", lockSpec)
+	out, code := run(t, "slam", "-spec", sFile, "-entry", "main", cFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: error-found") || !strings.Contains(out, "error path:") {
+		t.Errorf("verdict/trace:\n%s", out)
+	}
+}
+
+func TestSlamAssertsWithoutSpec(t *testing.T) {
+	cFile := write(t, "asserts.c", `
+void main(int x) {
+  int y;
+  y = 1;
+  if (x > 0) { y = 2; }
+  assert(y > 0);
+}
+`)
+	out, code := run(t, "slam", "-entry", "main", cFile)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: verified") {
+		t.Errorf("verdict:\n%s", out)
+	}
+}
+
+func TestBebopTraceAndInvariantsFlags(t *testing.T) {
+	bpFile := write(t, "trace.bp", `
+void main() begin
+  decl a;
+ start:
+  a := *;
+  assert(a);
+  return;
+end
+`)
+	out, code := run(t, "bebop", "-entry", "main", "-trace", "-invariants", bpFile)
+	if code != 1 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "main:start:") {
+		t.Errorf("-invariants output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "trace:") || !strings.Contains(out, "assert(a)") {
+		t.Errorf("-trace output missing:\n%s", out)
+	}
+}
+
+func TestBebopViolationExitCode(t *testing.T) {
+	bpFile := write(t, "bad.bp", `
+void main() begin
+  decl a;
+  a := *;
+  assert(a);
+  return;
+end
+`)
+	out, code := run(t, "bebop", "-entry", "main", bpFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "violation reachable") {
+		t.Errorf("verdict:\n%s", out)
+	}
+}

@@ -1,0 +1,182 @@
+package cnorm
+
+import (
+	"strings"
+	"testing"
+
+	"predabs/internal/cast"
+)
+
+func TestSingleTrailingReturnKept(t *testing.T) {
+	res := normalize(t, `
+int f(int x) {
+  int r;
+  r = x + 1;
+  return r;
+}
+`)
+	if res.RetVar["f"] != "r" {
+		t.Errorf("RetVar = %q, want r (paper form kept)", res.RetVar["f"])
+	}
+	// No __ret variable introduced.
+	if _, ok := res.Info.FuncVars["f"][RetVarName]; ok {
+		t.Error("__ret introduced unnecessarily")
+	}
+}
+
+func TestMultipleReturnsGetRetVar(t *testing.T) {
+	res := normalize(t, `
+int f(int x) {
+  if (x > 0) { return 1; }
+  return 0;
+}
+`)
+	if res.RetVar["f"] != RetVarName {
+		t.Errorf("RetVar = %q, want %s", res.RetVar["f"], RetVarName)
+	}
+	checkSimpleForm(t, res)
+}
+
+func TestMidBodyReturnGetsRetVar(t *testing.T) {
+	// A single return that is not trailing still needs the exit rewrite.
+	res := normalize(t, `
+int f(int x) {
+  int y;
+  if (x > 0) {
+    return x;
+  }
+  y = 0 - x;
+  x = y;
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNestedLoopBreakTargets(t *testing.T) {
+	res := normalize(t, `
+int f(int n, int m) {
+  int count;
+  count = 0;
+  while (n > 0) {
+    while (m > 0) {
+      if (m == 2) { break; }
+      m = m - 1;
+      count = count + 1;
+    }
+    if (n == 3) { break; }
+    n = n - 1;
+  }
+  return count;
+}
+`)
+	checkSimpleForm(t, res)
+	// Two distinct break targets must exist.
+	printed := cast.Print(res.Prog)
+	if strings.Count(printed, "__done") < 2 {
+		t.Errorf("expected two loop exit labels:\n%s", printed)
+	}
+}
+
+func TestCallArgumentsLifted(t *testing.T) {
+	res := normalize(t, `
+struct cell { int val; struct cell* next; };
+int get(struct cell* c) { return c->val; }
+int f(struct cell* p) {
+  int x;
+  x = get(p->next);
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+	// p->next stays (one indirection) as a direct argument.
+	printed := cast.Print(res.Prog)
+	if !strings.Contains(printed, "get(p->next)") {
+		t.Errorf("single-level argument should not be lifted:\n%s", printed)
+	}
+}
+
+func TestDeepCallArgumentLifted(t *testing.T) {
+	res := normalize(t, `
+struct cell { int val; struct cell* next; };
+int get(struct cell* c) { return c->val; }
+int f(struct cell* p) {
+  int x;
+  x = get(p->next->next);
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+	printed := cast.Print(res.Prog)
+	if !strings.Contains(printed, "__t0") {
+		t.Errorf("two-level argument must be lifted through a temp:\n%s", printed)
+	}
+}
+
+func TestAssumeConditionNormalized(t *testing.T) {
+	res := normalize(t, `
+struct s { int a; };
+void f(struct s* p) {
+  assume(p);
+  p->a = 1;
+}
+`)
+	checkSimpleForm(t, res)
+	printed := cast.Print(res.Prog)
+	if !strings.Contains(printed, "assume(p != NULL)") {
+		t.Errorf("pointer assume should compare against NULL:\n%s", printed)
+	}
+}
+
+func TestWhileWithCallCondDesugared(t *testing.T) {
+	res := normalize(t, `
+int more(int n) { return n - 1; }
+void f(int n) {
+  while (more(n) > 0) {
+    n = n - 1;
+  }
+}
+`)
+	checkSimpleForm(t, res)
+	// The while must have been desugared into label+if+goto so the call
+	// re-executes every iteration.
+	f := res.Prog.Func("f")
+	hasWhile := false
+	var walk func(s cast.Stmt)
+	walk = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case *cast.Block:
+			for _, sub := range s.Stmts {
+				walk(sub)
+			}
+		case *cast.WhileStmt:
+			hasWhile = true
+		case *cast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *cast.LabeledStmt:
+			walk(s.Stmt)
+		}
+	}
+	walk(f.Body)
+	if hasWhile {
+		t.Errorf("while with call condition should be goto-desugared:\n%s", cast.Print(res.Prog))
+	}
+}
+
+func TestEmptyFunctionNormalizes(t *testing.T) {
+	res := normalize(t, "void f(void) { }")
+	checkSimpleForm(t, res)
+}
+
+func TestChainedTypedefs(t *testing.T) {
+	res := normalize(t, `
+typedef int myint;
+typedef myint myint2;
+myint2 g;
+void f(myint2 x) { g = x; }
+`)
+	checkSimpleForm(t, res)
+}

@@ -1,0 +1,332 @@
+package cnorm
+
+import (
+	"testing"
+
+	"predabs/internal/cast"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+)
+
+func normalize(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := ctype.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	res, err := Normalize(info)
+	if err != nil {
+		t.Fatalf("normalize: %v\nsource after parse:\n%s", err, cast.Print(prog))
+	}
+	return res
+}
+
+// checkSimpleForm walks the normalized program verifying the paper's
+// simple-intermediate-form invariants.
+func checkSimpleForm(t *testing.T, res *Result) {
+	t.Helper()
+	for _, f := range res.Prog.Funcs {
+		returns := 0
+		var walkStmt func(s cast.Stmt)
+		var checkExpr func(e cast.Expr, callOK bool)
+		checkExpr = func(e cast.Expr, callOK bool) {
+			switch e := e.(type) {
+			case *cast.Call:
+				if !callOK {
+					t.Errorf("%s: call %s not at top level", f.Name, e)
+				}
+				for _, a := range e.Args {
+					checkExpr(a, false)
+				}
+			case *cast.Unary:
+				if e.Op == cast.Deref_ {
+					if _, ok := e.X.(*cast.VarRef); !ok {
+						t.Errorf("%s: nested indirection in %s", f.Name, e)
+					}
+				}
+				checkExpr(e.X, false)
+			case *cast.Field:
+				if e.Arrow {
+					if _, ok := e.X.(*cast.VarRef); !ok {
+						t.Errorf("%s: nested indirection in %s", f.Name, e)
+					}
+				}
+				checkExpr(e.X, false)
+			case *cast.Index:
+				if _, ok := e.X.(*cast.VarRef); !ok {
+					t.Errorf("%s: array base not a variable in %s", f.Name, e)
+				}
+				checkExpr(e.I, false)
+			case *cast.Binary:
+				checkExpr(e.X, false)
+				checkExpr(e.Y, false)
+			}
+		}
+		retVar := res.RetVar[f.Name]
+		walkStmt = func(s cast.Stmt) {
+			switch s := s.(type) {
+			case *cast.Block:
+				for _, sub := range s.Stmts {
+					walkStmt(sub)
+				}
+			case *cast.AssignStmt:
+				checkExpr(s.Lhs, false)
+				checkExpr(s.Rhs, true)
+				if isBoolExpr(s.Rhs) {
+					t.Errorf("%s: boolean-valued assignment survived: %s", f.Name, cast.PrintStmt(s))
+				}
+			case *cast.ExprStmt:
+				checkExpr(s.X, true)
+			case *cast.IfStmt:
+				checkExpr(s.Cond, false)
+				if !isBoolExpr(s.Cond) {
+					t.Errorf("%s: non-boolean if condition %s", f.Name, s.Cond)
+				}
+				walkStmt(s.Then)
+				if s.Else != nil {
+					walkStmt(s.Else)
+				}
+			case *cast.WhileStmt:
+				checkExpr(s.Cond, false)
+				if !isBoolExpr(s.Cond) {
+					t.Errorf("%s: non-boolean while condition %s", f.Name, s.Cond)
+				}
+				walkStmt(s.Body)
+			case *cast.LabeledStmt:
+				walkStmt(s.Stmt)
+			case *cast.ReturnStmt:
+				returns++
+				if s.X != nil {
+					if v, ok := s.X.(*cast.VarRef); !ok || v.Name != retVar {
+						t.Errorf("%s: return of non-return-variable %s (want %s)", f.Name, s.X, retVar)
+					}
+				}
+			case *cast.BreakStmt, *cast.ContinueStmt:
+				t.Errorf("%s: break/continue survived normalization", f.Name)
+			case *cast.AssertStmt:
+				checkExpr(s.X, false)
+			case *cast.AssumeStmt:
+				checkExpr(s.X, false)
+			}
+		}
+		walkStmt(f.Body)
+		if returns != 1 {
+			t.Errorf("%s: %d return statements, want exactly 1", f.Name, returns)
+		}
+	}
+}
+
+const partitionSrc = `
+typedef struct cell { int val; struct cell* next; } *list;
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+func TestNormalizePartition(t *testing.T) {
+	res := normalize(t, partitionSrc)
+	checkSimpleForm(t, res)
+	// partition ends with the single "return newl;", which is kept.
+	if res.RetVar["partition"] != "newl" {
+		t.Errorf("RetVar: %v", res.RetVar)
+	}
+}
+
+func TestNormalizeNestedDeref(t *testing.T) {
+	res := normalize(t, `
+struct cell { int val; struct cell* next; };
+int f(struct cell* p) {
+  int x;
+  x = p->next->val;
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+	// The chain must have been split via a temp.
+	f := res.Prog.Func("f")
+	found := false
+	var walk func(s cast.Stmt)
+	walk = func(s cast.Stmt) {
+		if blk, ok := s.(*cast.Block); ok {
+			for _, sub := range blk.Stmts {
+				walk(sub)
+			}
+			return
+		}
+		if as, ok := s.(*cast.AssignStmt); ok {
+			if v, ok := as.Lhs.(*cast.VarRef); ok && v.Name == "__t0" {
+				found = true
+			}
+		}
+	}
+	walk(f.Body)
+	if !found {
+		t.Errorf("no temp introduced:\n%s", cast.Print(res.Prog))
+	}
+}
+
+func TestNormalizeCallLifting(t *testing.T) {
+	res := normalize(t, `
+int g(int a) { return a + 1; }
+int f(int x) {
+  int z;
+  z = x + g(x);
+  return z;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizeCallInCondition(t *testing.T) {
+	res := normalize(t, `
+int g(int a) { return a + 1; }
+int f(int x) {
+  while (g(x) < 10) {
+    x = x + 1;
+  }
+  if (g(x) == 11) { x = 0; }
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizeBreakContinue(t *testing.T) {
+	res := normalize(t, `
+int f(int x) {
+  while (x > 0) {
+    x = x - 1;
+    if (x == 5) { break; }
+    if (x == 7) { continue; }
+    x = x - 1;
+  }
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizeBooleanAssignment(t *testing.T) {
+	res := normalize(t, `
+int f(int a, int b) {
+  int c;
+  c = a < b;
+  return c;
+}
+`)
+	checkSimpleForm(t, res)
+	// c = a < b must have become an if/else over 0/1.
+	f := res.Prog.Func("f")
+	hasIf := false
+	for _, s := range f.Body.Stmts {
+		if _, ok := s.(*cast.IfStmt); ok {
+			hasIf = true
+		}
+	}
+	if !hasIf {
+		t.Errorf("boolean assignment not desugared:\n%s", cast.Print(res.Prog))
+	}
+}
+
+func TestNormalizeScalarConditions(t *testing.T) {
+	res := normalize(t, `
+struct s { int a; };
+int f(struct s* p, int x) {
+  if (p) { x = 1; }
+  while (x) { x = x - 1; }
+  if (!p) { x = 2; }
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizePointerArithmetic(t *testing.T) {
+	res := normalize(t, `
+int f(int* p, int i) {
+  int x;
+  x = *(p + i);
+  return x;
+}
+`)
+	checkSimpleForm(t, res)
+	// *(p+i) must have collapsed to *p under the logical memory model.
+	printed := cast.Print(res.Prog)
+	if want := "*p"; !containsStr(printed, want) {
+		t.Errorf("expected %q in:\n%s", want, printed)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexStr(haystack, needle) >= 0
+}
+
+func indexStr(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNormalizeVoidReturn(t *testing.T) {
+	res := normalize(t, `
+void f(int x) {
+  if (x > 0) { return; }
+  x = 1;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizeReturnCall(t *testing.T) {
+	res := normalize(t, `
+int g(int a) { return a; }
+int f(int x) { return g(x) + 1; }
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizeDeclInit(t *testing.T) {
+	res := normalize(t, `
+int f(void) {
+  int x = 5;
+  int y = x + 1;
+  return y;
+}
+`)
+	checkSimpleForm(t, res)
+}
+
+func TestNormalizedProgramReparses(t *testing.T) {
+	res := normalize(t, partitionSrc)
+	printed := cast.Print(res.Prog)
+	prog2, err := cparse.Parse(printed)
+	if err != nil {
+		t.Fatalf("normalized program does not reparse: %v\n%s", err, printed)
+	}
+	if _, err := ctype.Check(prog2); err != nil {
+		t.Fatalf("normalized program does not recheck: %v\n%s", err, printed)
+	}
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"testing"
+
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/spec"
+)
+
+// Every corpus program must parse, type check and normalize; predicate
+// files must parse; specs must parse and instrument.
+func TestCorpusWellFormed(t *testing.T) {
+	for _, p := range append(Table2(), Drivers()...) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := cparse.Parse(p.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			info, err := ctype.Check(prog)
+			if err != nil {
+				t.Fatalf("type check: %v", err)
+			}
+			if _, err := cnorm.Normalize(info); err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
+			if p.Preds != "" {
+				if _, err := cparse.ParsePredFile(p.Preds); err != nil {
+					t.Fatalf("predicates: %v", err)
+				}
+			}
+			if p.Spec != "" {
+				sp, err := spec.Parse(p.Spec)
+				if err != nil {
+					t.Fatalf("spec: %v", err)
+				}
+				if _, err := spec.Instrument(prog, sp, p.Entry); err != nil {
+					t.Fatalf("instrument: %v", err)
+				}
+			}
+			if p.Lines() < 10 {
+				t.Errorf("suspiciously small: %d lines", p.Lines())
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("kmp"); !ok {
+		t.Error("kmp missing")
+	}
+	if _, ok := ByName("floppy"); !ok {
+		t.Error("floppy missing")
+	}
+	if _, ok := ByName("nosuch"); ok {
+		t.Error("nosuch found")
+	}
+}

@@ -1,0 +1,75 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bebop"
+	"predabs/internal/bpinterp"
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/prover"
+)
+
+// Cross-check Bebop against the concrete boolean-program interpreter on
+// the abstractions of the Table 2 corpus: whenever Bebop declares every
+// assert safe, no random interpreted execution may fail one, and whenever
+// Bebop reports a violation, enough random runs should reproduce it.
+func TestBebopVsInterpreterOnCorpusAbstractions(t *testing.T) {
+	for _, p := range Table2() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := cparse.MustParse(p.Source)
+			info, err := ctype.Check(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cnorm.Normalize(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aa := alias.AnalyzeOpts(res, alias.Options{OpenCallers: !p.GhostAliasing})
+			secs, err := cparse.ParsePredFile(p.Preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			abs, err := abstract.Abstract(res, aa, prover.New(), secs, abstract.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := bebop.Check(abs.BP, p.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, bebopBad := ch.ErrorReachable()
+
+			interpBad := false
+			for seed := int64(0); seed < 200 && !interpBad; seed++ {
+				in := &bpinterp.Interp{
+					Prog:     abs.BP,
+					Choice:   bpinterp.RandChooser{R: rand.New(rand.NewSource(seed))},
+					MaxSteps: 20000,
+				}
+				r, err := in.Run(p.Entry)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Status == bpinterp.AssertFailed {
+					interpBad = true
+				}
+			}
+			if interpBad && !bebopBad {
+				t.Fatal("interpreter found a violation Bebop missed (Bebop unsound)")
+			}
+			if bebopBad {
+				t.Logf("%s: abstraction has a (possibly spurious) violation; interpreter reproduced: %v",
+					p.Name, interpBad)
+			} else if interpBad {
+				t.Fatal("inconsistent")
+			}
+		})
+	}
+}

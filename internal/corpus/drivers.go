@@ -1,0 +1,907 @@
+package corpus
+
+// Synthetic device drivers standing in for the Windows DDK sources of
+// Table 1 (which are proprietary). Each reproduces the control-intensive
+// structure the paper describes — dispatch routines switching on request
+// codes, spin-lock protected device state, and interrupt-request-packet
+// (IRP) completion plumbing — and is checked against DriverSpec: locks
+// are never acquired twice or released unheld, and every dispatch
+// completes or pends its IRP exactly once. Only the in-development
+// floppy driver contains a defect, matching the paper's findings.
+
+// DriverSpec is the combined locking + IRP-handling discipline.
+const DriverSpec = `
+state {
+  int locked = 0;
+  int irp = 0;
+}
+
+event KeAcquireSpinLock entry {
+  if (locked == 1) { abort; }
+  locked = 1;
+}
+
+event KeReleaseSpinLock entry {
+  if (locked == 0) { abort; }
+  locked = 0;
+}
+
+event IoCompleteRequest entry {
+  if (irp != 0) { abort; }
+  irp = 1;
+}
+
+event IoMarkIrpPending entry {
+  if (irp != 0) { abort; }
+  irp = 2;
+}
+`
+
+// stubs shared by every driver: the kernel interface the spec instruments.
+const kernelStubs = `
+void KeAcquireSpinLock(void) { }
+void KeReleaseSpinLock(void) { }
+void IoCompleteRequest(void) { }
+void IoMarkIrpPending(void) { }
+`
+
+const floppySrc = kernelStubs + `
+/* floppy: an in-development floppy controller driver. One queueing path
+   marks the IRP pending and then also completes it on a late failure —
+   the defect the SLAM toolkit found in the paper's internal driver. */
+
+int motorOn;
+int mediaPresent;
+int queueDepth;
+
+int FlCheckMedia(int unit) {
+  int present;
+  present = 0;
+  KeAcquireSpinLock();
+  if (unit == 0) {
+    present = mediaPresent;
+  }
+  KeReleaseSpinLock();
+  return present;
+}
+
+int FlStartMotor(int unit) {
+  int ok;
+  ok = 1;
+  KeAcquireSpinLock();
+  if (motorOn == 0) {
+    motorOn = 1;
+  }
+  if (unit < 0) {
+    ok = 0;
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+void FlStopMotor(void) {
+  KeAcquireSpinLock();
+  motorOn = 0;
+  KeReleaseSpinLock();
+}
+
+int FlQueueRequest(int kind) {
+  int slot;
+  KeAcquireSpinLock();
+  slot = queueDepth;
+  queueDepth = queueDepth + 1;
+  if (kind == 9) {
+    slot = 0 - 1;
+  }
+  KeReleaseSpinLock();
+  return slot;
+}
+
+int FlReadSectors(int unit, int count) {
+  int status;
+  int ok;
+  status = 0;
+  ok = FlStartMotor(unit);
+  if (ok == 0) {
+    return 0 - 1;
+  }
+  if (count < 0) {
+    status = 0 - 2;
+  }
+  return status;
+}
+
+int FlWriteSectors(int unit, int count) {
+  int status;
+  int present;
+  status = 0;
+  present = FlCheckMedia(unit);
+  if (present == 0) {
+    return 0 - 3;
+  }
+  if (count < 0) {
+    status = 0 - 2;
+  }
+  return status;
+}
+
+int FlSeek(int unit, int cyl) {
+  int ok;
+  int status;
+  status = 0;
+  ok = FlStartMotor(unit);
+  if (ok == 0) {
+    return 0 - 1;
+  }
+  if (cyl < 0) {
+    status = 0 - 4;
+  }
+  if (cyl > 79) {
+    status = 0 - 4;
+  }
+  return status;
+}
+
+int FlRecalibrate(int unit) {
+  int status;
+  int tries;
+  status = 0 - 5;
+  tries = 0;
+  while (tries < 3) {
+    status = FlSeek(unit, 0);
+    if (status == 0) {
+      return 0;
+    }
+    tries = tries + 1;
+  }
+  return status;
+}
+
+int FlFormatTrack(int unit, int cyl, int head) {
+  int status;
+  int present;
+  present = FlCheckMedia(unit);
+  if (present == 0) {
+    return 0 - 3;
+  }
+  status = FlSeek(unit, cyl);
+  if (status != 0) {
+    return status;
+  }
+  if (head != 0) {
+    if (head != 1) {
+      return 0 - 4;
+    }
+  }
+  KeAcquireSpinLock();
+  queueDepth = queueDepth + 1;
+  KeReleaseSpinLock();
+  return 0;
+}
+
+int FlSenseDriveStatus(int unit) {
+  int v;
+  KeAcquireSpinLock();
+  v = motorOn;
+  if (unit == 0) {
+    if (mediaPresent == 1) {
+      v = v + 2;
+    }
+  }
+  KeReleaseSpinLock();
+  return v;
+}
+
+int FlRetryTransfer(int unit, int count, int budget) {
+  int status;
+  status = 0 - 1;
+  while (budget > 0) {
+    status = FlReadSectors(unit, count);
+    if (status == 0) {
+      return 0;
+    }
+    status = FlRecalibrate(unit);
+    budget = budget - 1;
+  }
+  return status;
+}
+
+void FloppyDispatch(int code, int unit, int count) {
+  int status;
+  status = 0;
+  if (code == 1) {
+    /* read */
+    status = FlReadSectors(unit, count);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 2) {
+    /* write */
+    status = FlWriteSectors(unit, count);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 3) {
+    /* motor control */
+    if (count > 0) {
+      status = FlStartMotor(unit);
+    } else {
+      FlStopMotor();
+    }
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 4) {
+    /* queued transfer: THE BUG — after marking the IRP pending, the
+       late-failure path also completes it. */
+    IoMarkIrpPending();
+    status = FlQueueRequest(count);
+    if (status < 0) {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 5) {
+    /* seek */
+    status = FlSeek(unit, count);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 6) {
+    /* format */
+    status = FlFormatTrack(unit, count, 0);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 7) {
+    /* sense status */
+    status = FlSenseDriveStatus(unit);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 8) {
+    /* transfer with retries */
+    status = FlRetryTransfer(unit, count, 3);
+    if (status == 0) {
+      IoCompleteRequest();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  /* unknown request */
+  IoCompleteRequest();
+}
+`
+
+const ioctlSrc = kernelStubs + `
+/* ioctl: a DDK-style control-code dispatcher. Every handler touches
+   lock-protected configuration state; every path completes the IRP
+   exactly once. */
+
+int configA;
+int configB;
+int deviceBusy;
+int statsReads;
+int statsWrites;
+
+int IoctlGetConfigA(void) {
+  int v;
+  KeAcquireSpinLock();
+  v = configA;
+  KeReleaseSpinLock();
+  return v;
+}
+
+int IoctlGetConfigB(void) {
+  int v;
+  KeAcquireSpinLock();
+  v = configB;
+  KeReleaseSpinLock();
+  return v;
+}
+
+int IoctlSetConfigA(int v) {
+  int old;
+  KeAcquireSpinLock();
+  old = configA;
+  if (v >= 0) {
+    configA = v;
+  }
+  KeReleaseSpinLock();
+  return old;
+}
+
+int IoctlSetConfigB(int v) {
+  int old;
+  KeAcquireSpinLock();
+  old = configB;
+  if (v >= 0) {
+    configB = v;
+  } else {
+    configB = 0;
+  }
+  KeReleaseSpinLock();
+  return old;
+}
+
+int IoctlMarkBusy(int flag) {
+  int changed;
+  changed = 0;
+  KeAcquireSpinLock();
+  if (deviceBusy != flag) {
+    deviceBusy = flag;
+    changed = 1;
+  }
+  KeReleaseSpinLock();
+  return changed;
+}
+
+void IoctlCountRead(void) {
+  KeAcquireSpinLock();
+  statsReads = statsReads + 1;
+  KeReleaseSpinLock();
+}
+
+void IoctlCountWrite(void) {
+  KeAcquireSpinLock();
+  statsWrites = statsWrites + 1;
+  KeReleaseSpinLock();
+}
+
+int IoctlValidateArg(int arg, int lo, int hi) {
+  if (arg < lo) {
+    return 0;
+  }
+  if (arg > hi) {
+    return 0;
+  }
+  return 1;
+}
+
+int IoctlQueryStats(int which) {
+  int v;
+  v = 0 - 1;
+  KeAcquireSpinLock();
+  if (which == 0) {
+    v = statsReads;
+  }
+  if (which == 1) {
+    v = statsWrites;
+  }
+  KeReleaseSpinLock();
+  return v;
+}
+
+void IoctlResetStats(void) {
+  KeAcquireSpinLock();
+  statsReads = 0;
+  statsWrites = 0;
+  KeReleaseSpinLock();
+}
+
+int IoctlExchangeConfigs(void) {
+  int t;
+  KeAcquireSpinLock();
+  t = configA;
+  configA = configB;
+  configB = t;
+  KeReleaseSpinLock();
+  return t;
+}
+
+void IoctlDispatch(int code, int arg) {
+  int status;
+  status = 0;
+  if (code == 1) {
+    status = IoctlGetConfigA();
+    IoctlCountRead();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 2) {
+    status = IoctlGetConfigB();
+    IoctlCountRead();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 3) {
+    status = IoctlSetConfigA(arg);
+    IoctlCountWrite();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 4) {
+    status = IoctlSetConfigB(arg);
+    IoctlCountWrite();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 5) {
+    status = IoctlMarkBusy(arg);
+    if (status == 1) {
+      IoCompleteRequest();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 6) {
+    status = IoctlValidateArg(arg, 0, 100);
+    if (status == 1) {
+      status = IoctlSetConfigA(arg);
+      IoctlCountWrite();
+    }
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 7) {
+    status = IoctlQueryStats(arg);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 8) {
+    IoctlResetStats();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 9) {
+    status = IoctlExchangeConfigs();
+    IoCompleteRequest();
+    return;
+  }
+  IoCompleteRequest();
+}
+`
+
+const openclosSrc = kernelStubs + `
+/* openclos: create/open/close/cleanup handling with a reference count
+   guarded by the device spin lock. */
+
+int refCount;
+int deviceStarted;
+int pendingCleanup;
+
+int OcAddRef(void) {
+  int n;
+  KeAcquireSpinLock();
+  refCount = refCount + 1;
+  n = refCount;
+  KeReleaseSpinLock();
+  return n;
+}
+
+int OcRelease(void) {
+  int n;
+  KeAcquireSpinLock();
+  if (refCount > 0) {
+    refCount = refCount - 1;
+  }
+  n = refCount;
+  KeReleaseSpinLock();
+  return n;
+}
+
+int OcStartDevice(void) {
+  int ok;
+  ok = 0;
+  KeAcquireSpinLock();
+  if (deviceStarted == 0) {
+    deviceStarted = 1;
+    ok = 1;
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+int OcStopDevice(void) {
+  int waiters;
+  KeAcquireSpinLock();
+  waiters = refCount;
+  if (waiters == 0) {
+    deviceStarted = 0;
+  } else {
+    pendingCleanup = 1;
+  }
+  KeReleaseSpinLock();
+  return waiters;
+}
+
+int OcQueryState(void) {
+  int snapshot;
+  KeAcquireSpinLock();
+  snapshot = deviceStarted;
+  if (pendingCleanup == 1) {
+    snapshot = snapshot + 2;
+  }
+  KeReleaseSpinLock();
+  return snapshot;
+}
+
+int OcPowerDown(void) {
+  int busy;
+  KeAcquireSpinLock();
+  busy = refCount;
+  if (busy == 0) {
+    deviceStarted = 0;
+  }
+  KeReleaseSpinLock();
+  return busy;
+}
+
+int OcPowerUp(void) {
+  int ok;
+  KeAcquireSpinLock();
+  ok = 0;
+  if (deviceStarted == 0) {
+    deviceStarted = 1;
+    pendingCleanup = 0;
+    ok = 1;
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+void OpenCloseDispatch(int code) {
+  int n;
+  int ok;
+  n = 0;
+  if (code == 1) {
+    /* IRP_MJ_CREATE */
+    ok = OcStartDevice();
+    if (ok == 1) {
+      n = OcAddRef();
+      IoCompleteRequest();
+    } else {
+      n = OcAddRef();
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 2) {
+    /* IRP_MJ_CLOSE */
+    n = OcRelease();
+    if (n == 0) {
+      OcStopDevice();
+    }
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 3) {
+    /* IRP_MJ_CLEANUP: defer if references remain */
+    n = OcStopDevice();
+    if (n > 0) {
+      IoMarkIrpPending();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 4) {
+    /* query device state */
+    n = OcQueryState();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 5) {
+    /* power down: pend while references remain */
+    n = OcPowerDown();
+    if (n > 0) {
+      IoMarkIrpPending();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 6) {
+    ok = OcPowerUp();
+    if (ok == 1) {
+      IoCompleteRequest();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  IoCompleteRequest();
+}
+`
+
+const srdriverSrc = kernelStubs + `
+/* srdriver: a serial-port style driver with transmit/receive rings and a
+   lock-protected hardware shadow. */
+
+int txHead;
+int txTail;
+int rxHead;
+int rxTail;
+int lineStatus;
+
+int SrTxEnqueue(int ch) {
+  int ok;
+  ok = 0;
+  KeAcquireSpinLock();
+  if (txHead - txTail < 16) {
+    txHead = txHead + 1;
+    ok = 1;
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+int SrRxDequeue(void) {
+  int ch;
+  ch = 0 - 1;
+  KeAcquireSpinLock();
+  if (rxTail < rxHead) {
+    rxTail = rxTail + 1;
+    ch = 0;
+  }
+  KeReleaseSpinLock();
+  return ch;
+}
+
+int SrGetLineStatus(void) {
+  int v;
+  KeAcquireSpinLock();
+  v = lineStatus;
+  KeReleaseSpinLock();
+  return v;
+}
+
+void SrPurge(void) {
+  KeAcquireSpinLock();
+  txHead = 0;
+  txTail = 0;
+  rxHead = 0;
+  rxTail = 0;
+  KeReleaseSpinLock();
+}
+
+int SrSetBaud(int rate) {
+  int ok;
+  ok = 0;
+  KeAcquireSpinLock();
+  if (rate >= 300) {
+    if (rate <= 115200) {
+      lineStatus = rate;
+      ok = 1;
+    }
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+int SrDrainTx(int budget) {
+  int pending;
+  pending = 1;
+  while (budget > 0) {
+    KeAcquireSpinLock();
+    if (txTail >= txHead) {
+      pending = 0;
+    } else {
+      txTail = txTail + 1;
+    }
+    KeReleaseSpinLock();
+    if (pending == 0) {
+      return 0;
+    }
+    budget = budget - 1;
+  }
+  return pending;
+}
+
+int SrXonXoff(int enable) {
+  int prevMode;
+  KeAcquireSpinLock();
+  prevMode = lineStatus;
+  if (enable == 1) {
+    lineStatus = 1;
+  } else {
+    lineStatus = 0;
+  }
+  KeReleaseSpinLock();
+  return prevMode;
+}
+
+void SrDispatch(int code, int arg) {
+  int r;
+  r = 0;
+  if (code == 1) {
+    /* write one byte; pend when the ring is full */
+    r = SrTxEnqueue(arg);
+    if (r == 1) {
+      IoCompleteRequest();
+    } else {
+      IoMarkIrpPending();
+    }
+    return;
+  }
+  if (code == 2) {
+    /* read one byte; pend when no data */
+    r = SrRxDequeue();
+    if (r < 0) {
+      IoMarkIrpPending();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 3) {
+    r = SrGetLineStatus();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 4) {
+    SrPurge();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 5) {
+    r = SrSetBaud(arg);
+    if (r == 0) {
+      IoCompleteRequest();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 6) {
+    /* drain: pend when the transmitter stays busy */
+    r = SrDrainTx(4);
+    if (r == 0) {
+      IoCompleteRequest();
+    } else {
+      IoMarkIrpPending();
+    }
+    return;
+  }
+  if (code == 7) {
+    r = SrXonXoff(arg);
+    IoCompleteRequest();
+    return;
+  }
+  IoCompleteRequest();
+}
+`
+
+const logSrc = kernelStubs + `
+/* log: an event-log filter driver appending records under a lock, with
+   flush handling that may pend. */
+
+int bufUsed;
+int bufSize;
+int dropped;
+int flushing;
+
+int LgAppend(int len) {
+  int ok;
+  ok = 0;
+  assume(bufSize >= 0);
+  KeAcquireSpinLock();
+  if (len >= 0) {
+    if (bufUsed + len <= bufSize) {
+      bufUsed = bufUsed + len;
+      ok = 1;
+    } else {
+      dropped = dropped + 1;
+    }
+  }
+  KeReleaseSpinLock();
+  return ok;
+}
+
+int LgBeginFlush(void) {
+  int started;
+  started = 0;
+  KeAcquireSpinLock();
+  if (flushing == 0) {
+    flushing = 1;
+    started = 1;
+  }
+  KeReleaseSpinLock();
+  return started;
+}
+
+void LgEndFlush(void) {
+  KeAcquireSpinLock();
+  flushing = 0;
+  bufUsed = 0;
+  KeReleaseSpinLock();
+}
+
+int LgQueryUsage(void) {
+  int v;
+  KeAcquireSpinLock();
+  v = bufUsed;
+  KeReleaseSpinLock();
+  return v;
+}
+
+int LgSetFilter(int level) {
+  int old;
+  KeAcquireSpinLock();
+  old = dropped;
+  if (level >= 0) {
+    if (level <= 7) {
+      dropped = 0;
+    }
+  }
+  KeReleaseSpinLock();
+  return old;
+}
+
+int LgRotate(int keep) {
+  int moved;
+  moved = 0;
+  KeAcquireSpinLock();
+  if (flushing == 0) {
+    if (bufUsed > keep) {
+      bufUsed = keep;
+      moved = 1;
+    }
+  }
+  KeReleaseSpinLock();
+  return moved;
+}
+
+int LgAppendBatch(int count, int each) {
+  int i;
+  int ok;
+  int written;
+  written = 0;
+  i = 0;
+  while (i < count) {
+    ok = LgAppend(each);
+    if (ok == 1) {
+      written = written + 1;
+    }
+    i = i + 1;
+  }
+  return written;
+}
+
+void LogDispatch(int code, int len) {
+  int r;
+  r = 0;
+  if (code == 1) {
+    r = LgAppend(len);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 2) {
+    r = LgBeginFlush();
+    if (r == 1) {
+      LgEndFlush();
+      IoCompleteRequest();
+    } else {
+      IoMarkIrpPending();
+    }
+    return;
+  }
+  if (code == 3) {
+    r = LgQueryUsage();
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 4) {
+    r = LgSetFilter(len);
+    IoCompleteRequest();
+    return;
+  }
+  if (code == 5) {
+    r = LgRotate(len);
+    if (r == 1) {
+      IoCompleteRequest();
+    } else {
+      IoCompleteRequest();
+    }
+    return;
+  }
+  if (code == 6) {
+    r = LgAppendBatch(len, 8);
+    IoCompleteRequest();
+    return;
+  }
+  IoCompleteRequest();
+}
+`

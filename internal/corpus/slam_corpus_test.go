@@ -1,0 +1,35 @@
+package corpus
+
+import (
+	"testing"
+
+	"predabs/internal/slam"
+)
+
+// TestSection61DriverOutcomes reproduces the paper's Section 6.1
+// findings: the SLAM toolkit validates the DDK-style drivers for the
+// locking and IRP-handling properties, and finds the IRP error in the
+// in-development floppy driver. Convergence takes a few iterations, as
+// the paper reports.
+func TestSection61DriverOutcomes(t *testing.T) {
+	for _, p := range Drivers() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			cfg := slam.DefaultConfig()
+			cfg.MaxIterations = 30
+			res, err := slam.VerifySpec(p.Source, p.Spec, p.Entry, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %s after %d iters, %d preds, %d prover calls",
+				p.Name, res.Outcome, res.Iterations, res.PredCount, res.ProverCalls)
+			want := slam.Verified
+			if p.ExpectError {
+				want = slam.ErrorFound
+			}
+			if res.Outcome != want {
+				t.Errorf("outcome %s, want %s (preds %v)", res.Outcome, want, res.Predicates)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package corpus
+
+// Table 2 subjects. kmp and qsort follow Necula's proof-carrying-code
+// examples: the properties of interest are array-index bounds, and per
+// the paper "we simply had to model the bounds index >= 0 and index <=
+// length(a) in order to produce the appropriate loop invariant".
+
+const kmpSrc = `
+/* Knuth-Morris-Pratt string matching over int arrays.
+   fail[] is the failure function; both loops carry index-bound
+   invariants that predicate abstraction must discover. */
+
+int fail[256];
+
+void buildFail(int pat[], int m) {
+  int k;
+  int q;
+  assume(m >= 1);
+  assume(m <= 256);
+  fail[0] = 0;
+  k = 0;
+  q = 1;
+  while (q < m) {
+    assert(q >= 0);
+    assert(q < m);
+    while (k > 0 && pat[k] != pat[q]) {
+      assert(k >= 0);
+      k = fail[k - 1];
+      assume(k >= 0);
+    }
+    if (pat[k] == pat[q]) {
+      k = k + 1;
+    }
+    fail[q] = k;
+    q = q + 1;
+  }
+}
+
+int kmpMatch(int pat[], int m, int txt[], int n) {
+  int i;
+  int k;
+  int found;
+  assume(m >= 1);
+  assume(m <= 256);
+  assume(n >= 0);
+  buildFail(pat, m);
+  found = 0 - 1;
+  k = 0;
+  i = 0;
+  while (i < n) {
+L:  assert(i >= 0);
+    assert(i < n);
+    while (k > 0 && pat[k] != txt[i]) {
+      k = fail[k - 1];
+      assume(k >= 0);
+    }
+    if (pat[k] == txt[i]) {
+      k = k + 1;
+    }
+    if (k == m) {
+      found = i;
+      k = fail[k - 1];
+      assume(k >= 0);
+    }
+    i = i + 1;
+  }
+  return found;
+}
+`
+
+const kmpPreds = `
+buildFail:
+  q >= 0, q < m, k >= 0, m >= 1
+kmpMatch:
+  i >= 0, i < n, k >= 0, n >= 0, m >= 1
+`
+
+const qsortSrc = `
+/* Array quicksort (recursive), after the PCC qsort example: the checked
+   property is that every array access stays within [lo, hi]. */
+
+int partitionRange(int a[], int lo, int hi) {
+  int pivot;
+  int i;
+  int j;
+  int tmp;
+  assume(lo >= 0);
+  assume(lo < hi);
+  pivot = a[hi];
+  j = lo;
+  i = lo;
+  while (j < hi) {
+L:  assert(j >= lo);
+    assert(j < hi);
+    assert(i >= lo);
+    assert(i <= j);
+    if (a[j] < pivot) {
+      tmp = a[i];
+      a[i] = a[j];
+      a[j] = tmp;
+      i = i + 1;
+    }
+    j = j + 1;
+  }
+  tmp = a[i];
+  a[i] = a[hi];
+  a[hi] = tmp;
+  assert(i >= lo);
+  assert(i <= hi);
+  return i;
+}
+
+void quicksort(int a[], int lo, int hi) {
+  int p;
+  if (lo >= hi) {
+    return;
+  }
+  if (lo < 0) {
+    return;
+  }
+  p = partitionRange(a, lo, hi);
+  assume(p >= lo);
+  assume(p <= hi);
+  quicksort(a, lo, p - 1);
+  quicksort(a, p + 1, hi);
+}
+`
+
+const qsortPreds = `
+partitionRange:
+  j >= lo, j < hi, i >= lo, i <= j, i <= j + 1, i <= hi, lo < hi, lo >= 0
+quicksort:
+  lo < hi, lo >= 0, p >= lo, p <= hi
+`
+
+const partitionSrc = `
+/* The paper's Figure 1: destructive list partition. */
+
+typedef struct cell { int val; struct cell* next; } *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+const partitionPreds = `
+partition:
+  curr == NULL, prev == NULL, curr->val > v, prev->val > v
+`
+
+const listfindSrc = `
+/* Linear search in a linked list; the invariant of interest is that the
+   returned cell, when non-NULL, holds the key. */
+
+struct cell { int val; struct cell* next; };
+
+struct cell* listfind(struct cell* l, int key) {
+  struct cell* curr;
+  struct cell* hit;
+  hit = NULL;
+  curr = l;
+  while (curr != NULL) {
+    if (curr->val == key) {
+      hit = curr;
+L:    assert(hit != NULL);
+      assert(hit->val == key);
+      return hit;
+    }
+    curr = curr->next;
+  }
+  return hit;
+}
+`
+
+const listfindPreds = `
+listfind:
+  curr == NULL, hit == NULL, curr->val == key, hit->val == key
+`
+
+const reverseSrc = `
+/* The paper's Figure 3: list traversal using back pointers (a simplified
+   mark phase of a mark-and-sweep collector). Every pair of node pointers
+   may alias, which makes this the expensive subject of Table 2. */
+
+struct node { int mark; struct node* next; };
+
+void mark(struct node* list, struct node* h) {
+  struct node* this;
+  struct node* tmp;
+  struct node* prev;
+  struct node* hnext;
+  assume(h != NULL);
+  hnext = h->next;
+  prev = NULL;
+  this = list;
+
+  /* traverse list and mark, setting back pointers */
+  while (this != NULL) {
+    if (this->mark == 1) { break; }
+    this->mark = 1;
+    tmp = prev;
+    prev = this;
+    this = this->next;
+    prev->next = tmp;
+  }
+
+  /* traverse back, resetting the pointers */
+  while (prev != NULL) {
+    tmp = this;
+    this = prev;
+    prev = prev->next;
+    this->next = tmp;
+  }
+
+  assert(h->next == hnext);
+}
+`
+
+const reversePreds = `
+mark:
+  h == NULL, prev == h, this == h, this->next == hnext,
+  prev == this, h->next == hnext, hnext->next == h
+`

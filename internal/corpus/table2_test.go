@@ -1,0 +1,55 @@
+package corpus
+
+import (
+	"testing"
+
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bebop"
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/prover"
+)
+
+// TestTable2Abstraction runs C2bp over each Table 2 subject and model
+// checks the result: every assert in these programs is provable with the
+// given predicates, so Bebop must find no violations.
+func TestTable2Abstraction(t *testing.T) {
+	for _, p := range Table2() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog := cparse.MustParse(p.Source)
+			info, err := ctype.Check(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := cnorm.Normalize(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aa := alias.AnalyzeOpts(res, alias.Options{OpenCallers: !p.GhostAliasing})
+			pv := prover.New()
+			secs, err := cparse.ParsePredFile(p.Preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			abs, err := abstract.Abstract(res, aa, pv, secs, abstract.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			npreds := 0
+			for _, s := range secs {
+				npreds += len(s.Exprs)
+			}
+			t.Logf("%s: %d lines, %d preds, %d prover calls", p.Name, p.Lines(), npreds, pv.Calls)
+			ch, err := bebop.Check(abs.BP, p.Entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f, bad := ch.ErrorReachable(); bad {
+				t.Errorf("assert violation at %s:%d (the predicates should prove all bounds)", f.Proc, f.Stmt)
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"predabs/internal/cast"
+)
+
+const partitionSrc = `
+typedef struct cell {
+  int val;
+  struct cell* next;
+} *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) {
+        prev->next = nextCurr;
+      }
+      if (curr == *l) {
+        *l = nextCurr;
+      }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+func TestParsePartition(t *testing.T) {
+	prog, err := Parse(partitionSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(prog.Structs) != 1 || prog.Structs[0].Name != "cell" {
+		t.Fatalf("structs: %+v", prog.Structs)
+	}
+	if len(prog.Structs[0].Fields) != 2 {
+		t.Fatalf("fields: %+v", prog.Structs[0].Fields)
+	}
+	f := prog.Func("partition")
+	if f == nil {
+		t.Fatal("no partition function")
+	}
+	if len(f.Params) != 2 {
+		t.Fatalf("params: %+v", f.Params)
+	}
+	// Parameter l has type struct cell**: typedef list = struct cell*,
+	// declared as list *l.
+	pt, ok := f.Params[0].Type.(cast.PointerType)
+	if !ok {
+		t.Fatalf("param l type %s", f.Params[0].Type)
+	}
+	if _, ok := pt.Elem.(cast.PointerType); !ok {
+		t.Fatalf("param l should be pointer-to-pointer, got %s", f.Params[0].Type)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	prog, err := Parse(partitionSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	printed := cast.Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nsource:\n%s", err, printed)
+	}
+	printed2 := cast.Print(prog2)
+	if printed != printed2 {
+		t.Fatalf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a + b * c", "a + (b * c)"},
+		{"a * b + c", "(a * b) + c"},
+		{"a < b == c", "(a < b) == c"},
+		{"a && b || c && d", "(a && b) || (c && d)"},
+		{"!a && b", "(!a) && b"},
+		{"-a + b", "(-a) + b"},
+		{"*p + 1", "(*p) + 1"},
+		{"a == b + 1", "a == (b + 1)"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		got := e.String()
+		norm := func(s string) string {
+			s = strings.ReplaceAll(s, "(", "")
+			return strings.ReplaceAll(s, ")", "")
+		}
+		// Compare shapes by reparsing the want string.
+		we, err := ParseExpr(c.want)
+		if err != nil {
+			t.Fatalf("want %q: %v", c.want, err)
+		}
+		if norm(got) != norm(we.String()) || got != we.String() {
+			t.Errorf("%q: got %s, want %s", c.src, got, we)
+		}
+	}
+}
+
+func TestParsePostfixChain(t *testing.T) {
+	e, err := ParseExpr("p->next->val")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := e.(*cast.Field)
+	if !ok || outer.Name != "val" || !outer.Arrow {
+		t.Fatalf("outer: %#v", e)
+	}
+	inner, ok := outer.X.(*cast.Field)
+	if !ok || inner.Name != "next" {
+		t.Fatalf("inner: %#v", outer.X)
+	}
+}
+
+func TestParseAddressOf(t *testing.T) {
+	e, err := ParseExpr("&x == p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := e.(*cast.Binary)
+	if !ok || b.Op != cast.Eq {
+		t.Fatalf("top: %#v", e)
+	}
+	u, ok := b.X.(*cast.Unary)
+	if !ok || u.Op != cast.AddrOf {
+		t.Fatalf("lhs: %#v", b.X)
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+int g;
+void f(int x) {
+  int i;
+  i = 0;
+  while (i < 10) {
+    if (i == 5) { break; } else { continue; }
+  }
+  goto done;
+done:
+  assert(i <= 10);
+  assume(i >= 0);
+  return;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if prog.Global("g") == nil {
+		t.Error("global g missing")
+	}
+	f := prog.Func("f")
+	if f == nil {
+		t.Fatal("f missing")
+	}
+	// decl, assign, while, goto, labeled assert, assume, return.
+	if len(f.Body.Stmts) != 7 {
+		t.Fatalf("got %d statements, want 7", len(f.Body.Stmts))
+	}
+}
+
+func TestParseVoidParamList(t *testing.T) {
+	prog, err := Parse("int f(void) { return 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(prog.Func("f").Params); got != 0 {
+		t.Fatalf("got %d params, want 0", got)
+	}
+}
+
+func TestParseMultiDecl(t *testing.T) {
+	prog, err := Parse("int a, b; void f(int x) { int c, d; c = x; d = c; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 2 {
+		t.Fatalf("globals: %v", prog.Globals)
+	}
+}
+
+func TestParseArrayDecl(t *testing.T) {
+	prog, err := Parse("void f(int a[], int n) { int b[10]; b[0] = a[n]; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	if _, ok := f.Params[0].Type.(cast.ArrayType); !ok {
+		t.Fatalf("param a: %s", f.Params[0].Type)
+	}
+}
+
+func TestParseCallStatement(t *testing.T) {
+	prog, err := Parse(`
+void g(int x) { }
+void f(void) { g(1 + 2); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	es, ok := f.Body.Stmts[0].(*cast.ExprStmt)
+	if !ok {
+		t.Fatalf("stmt: %#v", f.Body.Stmts[0])
+	}
+	if _, ok := es.X.(*cast.Call); !ok {
+		t.Fatalf("expr: %#v", es.X)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( { }",
+		"void f(void) { x = ; }",
+		"void f(void) { if x { } }",
+		"banana",
+		"void f(void) { 1 = 2; } extra junk here",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseDanglingElse(t *testing.T) {
+	src := `void f(int a, int b, int x) { if (a) if (b) x = 1; else x = 2; }`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := prog.Func("f").Body.Stmts[0].(*cast.IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if; should bind to inner")
+	}
+	inner := outer.Then.(*cast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestParseTypedefPlain(t *testing.T) {
+	prog, err := Parse("typedef int myint; myint g; void f(myint x) { g = x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Global("g").Type.(cast.IntType); !ok {
+		t.Fatalf("g type: %s", prog.Global("g").Type)
+	}
+}
+
+func TestParseLabelNotTypedefConfusion(t *testing.T) {
+	// A label whose name collides with nothing should parse as a label.
+	prog, err := Parse("void f(int x) { loop: x = x - 1; if (x > 0) goto loop; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Func("f").Body.Stmts[0].(*cast.LabeledStmt); !ok {
+		t.Fatalf("stmt0: %#v", prog.Func("f").Body.Stmts[0])
+	}
+}

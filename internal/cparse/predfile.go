@@ -1,0 +1,104 @@
+package cparse
+
+import (
+	"fmt"
+
+	"predabs/internal/cast"
+	"predabs/internal/ctok"
+)
+
+// PredSection is one section of a predicate input file: a scope name (a
+// procedure name, or "global") and its predicates, in source order, with
+// the original source text preserved for boolean-variable naming.
+type PredSection struct {
+	Name  string
+	Exprs []cast.Expr
+	Texts []string
+}
+
+// ParsePredFile parses a predicate input file in the paper's style:
+//
+//	partition:
+//	  curr == NULL, prev == NULL,
+//	  curr->val > v, prev->val > v
+//	global:
+//	  locked == 1
+//
+// Each section is "name:" followed by comma-separated pure boolean C
+// expressions. Predicates cannot contain ':', so section boundaries are
+// unambiguous.
+func ParsePredFile(src string) ([]PredSection, error) {
+	toks, lexErrs := ctok.ScanAll(src)
+	if len(lexErrs) > 0 {
+		return nil, lexErrs[0]
+	}
+	p := &parser{toks: toks, typedefs: map[string]cast.Type{}}
+	var out []PredSection
+	for p.peek().Kind != ctok.EOF {
+		name := p.expect(ctok.IDENT)
+		p.expect(ctok.Colon)
+		if len(p.errs) > 0 {
+			return nil, p.errs[0]
+		}
+		sec := PredSection{Name: name.Text}
+		for {
+			start := p.pos
+			e := p.expr()
+			if len(p.errs) > 0 {
+				return nil, p.errs[0]
+			}
+			sec.Exprs = append(sec.Exprs, e)
+			sec.Texts = append(sec.Texts, tokensText(p.toks[start:p.pos]))
+			if !p.accept(ctok.Comma) {
+				break
+			}
+			// Allow a trailing comma before the next section or EOF.
+			if p.peek().Kind == ctok.EOF {
+				break
+			}
+			if p.peek().Kind == ctok.IDENT && p.peekN(1).Kind == ctok.Colon {
+				break
+			}
+		}
+		out = append(out, sec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty predicate file")
+	}
+	return out, nil
+}
+
+// tokensText reconstructs readable source text from a token span.
+func tokensText(toks []ctok.Token) string {
+	s := ""
+	for i, t := range toks {
+		if i > 0 && needSpace(toks[i-1], t) {
+			s += " "
+		}
+		s += t.Text
+	}
+	return s
+}
+
+func needSpace(prev, cur ctok.Token) bool {
+	tight := func(k ctok.Kind) bool {
+		switch k {
+		case ctok.LParen, ctok.RParen, ctok.LBrack, ctok.RBrack,
+			ctok.Arrow, ctok.Dot, ctok.Not, ctok.Amp, ctok.Star:
+			return true
+		}
+		return false
+	}
+	if tight(prev.Kind) || tight(cur.Kind) {
+		// Keep "->", ".", unary operators and brackets tight, except
+		// binary uses of * and & are rare in predicates; favor tightness.
+		if cur.Kind == ctok.Arrow || prev.Kind == ctok.Arrow ||
+			cur.Kind == ctok.Dot || prev.Kind == ctok.Dot ||
+			prev.Kind == ctok.Not || prev.Kind == ctok.Star || prev.Kind == ctok.Amp ||
+			cur.Kind == ctok.LBrack || prev.Kind == ctok.LBrack || cur.Kind == ctok.RBrack ||
+			prev.Kind == ctok.LParen || cur.Kind == ctok.RParen || cur.Kind == ctok.LParen {
+			return false
+		}
+	}
+	return true
+}

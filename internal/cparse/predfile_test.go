@@ -1,0 +1,134 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePredFileBasic(t *testing.T) {
+	secs, err := ParsePredFile(`
+partition:
+  curr == NULL, prev == NULL,
+  curr->val > v, prev->val > v
+global:
+  locked == 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 {
+		t.Fatalf("sections: %d", len(secs))
+	}
+	if secs[0].Name != "partition" || len(secs[0].Exprs) != 4 {
+		t.Fatalf("section 0: %s %d", secs[0].Name, len(secs[0].Exprs))
+	}
+	if secs[1].Name != "global" || len(secs[1].Exprs) != 1 {
+		t.Fatalf("section 1: %s %d", secs[1].Name, len(secs[1].Exprs))
+	}
+	// Source texts preserved for boolean-variable naming.
+	if secs[0].Texts[0] != "curr == NULL" {
+		t.Errorf("text: %q", secs[0].Texts[0])
+	}
+	if secs[0].Texts[2] != "curr->val > v" {
+		t.Errorf("text: %q", secs[0].Texts[2])
+	}
+}
+
+func TestParsePredFileTrailingComma(t *testing.T) {
+	secs, err := ParsePredFile("f:\n  x == 1,\n  y == 2,\ng:\n  z == 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 || len(secs[0].Exprs) != 2 || len(secs[1].Exprs) != 1 {
+		t.Fatalf("sections: %+v", secs)
+	}
+}
+
+func TestParsePredFileComplexExprs(t *testing.T) {
+	secs, err := ParsePredFile(`
+f:
+  a[i] == 0, *p <= x + 1, s.field > 2, !(x < y), p != NULL && q != NULL
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs[0].Exprs) != 5 {
+		t.Fatalf("exprs: %v", secs[0].Texts)
+	}
+	if secs[0].Texts[0] != "a[i] == 0" {
+		t.Errorf("idx text: %q", secs[0].Texts[0])
+	}
+	if secs[0].Texts[1] != "*p <= x + 1" {
+		t.Errorf("deref text: %q", secs[0].Texts[1])
+	}
+}
+
+func TestParsePredFileErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"noColon x == 1",
+		"f:\n  x == ,",
+		"f:\n  x == 1 extra",
+	}
+	for _, src := range bad {
+		if _, err := ParsePredFile(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestParsePredFileCommentsAllowed(t *testing.T) {
+	secs, err := ParsePredFile(`
+// the partition predicates
+f:
+  x == 1, /* inline */ y == 2
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs[0].Exprs) != 2 {
+		t.Fatalf("exprs: %v", secs[0].Texts)
+	}
+}
+
+func TestTokensTextRoundTripsThroughParser(t *testing.T) {
+	// The reconstructed text must reparse to the same expression shape.
+	inputs := []string{
+		"curr->val > v",
+		"a[i + 1] == a[j]",
+		"*p <= 0",
+		"&x == p",
+		"x % 2 == 0",
+	}
+	for _, in := range inputs {
+		secs, err := ParsePredFile("f:\n  " + in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		text := secs[0].Texts[0]
+		e1, err := ParseExpr(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("reconstructed %q does not parse: %v", text, err)
+		}
+		if e1.String() != e2.String() {
+			t.Errorf("%q -> %q changed shape: %s vs %s", in, text, e1, e2)
+		}
+	}
+}
+
+func TestParsePredFileSectionForSameNameTwice(t *testing.T) {
+	// Two sections with the same name are allowed by the parser (merged by
+	// the consumer); strings.Contains sanity only.
+	secs, err := ParsePredFile("f:\n x == 1\nf:\n y == 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secs) != 2 {
+		t.Fatalf("sections: %d", len(secs))
+	}
+	_ = strings.TrimSpace
+}

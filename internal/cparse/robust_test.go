@@ -1,0 +1,74 @@
+package cparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The parser must never panic or hang, whatever bytes it is fed. Errors
+// are expected; crashes are not.
+func TestParserRobustAgainstGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	alphabet := "abxyz ()[]{};:,=<>!&|*+-/%.\n\t\"'@#123 int void struct if else while goto return typedef NULL assert assume"
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(120)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", src, rec)
+				}
+			}()
+			Parse(src)         //nolint:errcheck // errors expected
+			ParseExpr(src)     //nolint:errcheck
+			ParsePredFile(src) //nolint:errcheck
+		}()
+	}
+}
+
+// Mutations of a valid program must not panic either (they exercise deeper
+// parser states than pure garbage).
+func TestParserRobustAgainstMutations(t *testing.T) {
+	base := `
+typedef struct cell { int val; struct cell* next; } *list;
+list partition(list *l, int v) {
+  list curr, prev;
+  curr = *l;
+  while (curr != NULL) {
+    if (curr->val > v) { prev = curr; }
+    curr = curr->next;
+  }
+  return prev;
+}
+`
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 1500; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			switch r.Intn(3) {
+			case 0: // delete a byte
+				i := r.Intn(len(b))
+				b = append(b[:i], b[i+1:]...)
+			case 1: // duplicate a byte
+				i := r.Intn(len(b))
+				b = append(b[:i+1], b[i:]...)
+			case 2: // replace a byte
+				b[r.Intn(len(b))] = "(){};=*&"[r.Intn(8)]
+			}
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on mutation: %v\n%s", rec, src)
+				}
+			}()
+			Parse(src) //nolint:errcheck
+		}()
+	}
+}

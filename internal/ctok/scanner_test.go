@@ -1,0 +1,135 @@
+package ctok
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasicTokens(t *testing.T) {
+	toks, errs := ScanAll("x = y + 42;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []Kind{IDENT, Assign, IDENT, Plus, INT, Semi, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanKeywordsVsIdents(t *testing.T) {
+	cases := map[string]Kind{
+		"int":      KwInt,
+		"void":     KwVoid,
+		"struct":   KwStruct,
+		"typedef":  KwTypedef,
+		"if":       KwIf,
+		"else":     KwElse,
+		"while":    KwWhile,
+		"goto":     KwGoto,
+		"return":   KwReturn,
+		"break":    KwBreak,
+		"continue": KwContinue,
+		"NULL":     KwNull,
+		"assert":   KwAssert,
+		"assume":   KwAssume,
+		"intx":     IDENT,
+		"Null":     IDENT,
+		"_foo":     IDENT,
+		"x2":       IDENT,
+	}
+	for src, want := range cases {
+		toks, errs := ScanAll(src)
+		if len(errs) != 0 {
+			t.Fatalf("%q: errors %v", src, errs)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestScanTwoCharOperators(t *testing.T) {
+	toks, errs := ScanAll("a->b && c || d <= e >= f == g != h")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []Kind{IDENT, Arrow, IDENT, AndAnd, IDENT, OrOr, IDENT, Le, IDENT,
+		Ge, IDENT, EqEq, IDENT, NotEq, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestScanComments(t *testing.T) {
+	src := `
+// line comment
+x /* block
+   spanning lines */ y
+`
+	toks, errs := ScanAll(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Text != "x" || toks[1].Text != "y" {
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestScanPositions(t *testing.T) {
+	toks, _ := ScanAll("a\n  bb")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestScanUnterminatedComment(t *testing.T) {
+	_, errs := ScanAll("x /* never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestScanIllegalChar(t *testing.T) {
+	toks, errs := ScanAll("x @ y")
+	if len(errs) == 0 {
+		t.Fatal("expected error for @")
+	}
+	if toks[1].Kind != ILLEGAL {
+		t.Fatalf("got %s, want ILLEGAL", toks[1].Kind)
+	}
+}
+
+func TestScanSingleBarRejected(t *testing.T) {
+	_, errs := ScanAll("a | b")
+	if len(errs) == 0 {
+		t.Fatal("expected error for single |")
+	}
+}
+
+func TestScanArrowVsMinus(t *testing.T) {
+	toks, _ := ScanAll("a-b a->b a - >b")
+	want := []Kind{IDENT, Minus, IDENT, IDENT, Arrow, IDENT, IDENT, Minus, Gt, IDENT, EOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}

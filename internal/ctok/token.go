@@ -1,0 +1,180 @@
+// Package ctok defines the lexical tokens of MiniC, the C subset accepted
+// by the predabs frontend, and a scanner that converts source text into a
+// token stream.
+//
+// MiniC covers the constructs the C2bp paper manipulates: integer and
+// struct/pointer data, the full C expression operators the paper's predicate
+// language needs, and statement forms (if/else, while, goto, labels, return,
+// assert, assume) that the simplifier lowers to the paper's simple
+// intermediate form.
+package ctok
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The ordering groups literals, identifiers, keywords,
+// operators and delimiters; Kind values are internal and may change.
+const (
+	EOF Kind = iota
+	ILLEGAL
+
+	IDENT // foo
+	INT   // 123
+
+	// Keywords.
+	KwInt
+	KwVoid
+	KwStruct
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwGoto
+	KwReturn
+	KwBreak
+	KwContinue
+	KwNull   // NULL
+	KwAssert // assert
+	KwAssume // assume
+
+	// Operators and punctuation.
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Amp      // &
+	AndAnd   // &&
+	OrOr     // ||
+	Not      // !
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	Assign   // =
+	Arrow    // ->
+	Dot      // .
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Question // ?
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBrack   // [
+	RBrack   // ]
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	ILLEGAL:    "ILLEGAL",
+	IDENT:      "identifier",
+	INT:        "integer",
+	KwInt:      "int",
+	KwVoid:     "void",
+	KwStruct:   "struct",
+	KwTypedef:  "typedef",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwGoto:     "goto",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwNull:     "NULL",
+	KwAssert:   "assert",
+	KwAssume:   "assume",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Amp:        "&",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Not:        "!",
+	Lt:         "<",
+	Le:         "<=",
+	Gt:         ">",
+	Ge:         ">=",
+	EqEq:       "==",
+	NotEq:      "!=",
+	Assign:     "=",
+	Arrow:      "->",
+	Dot:        ".",
+	Comma:      ",",
+	Semi:       ";",
+	Colon:      ":",
+	Question:   "?",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBrack:     "[",
+	RBrack:     "]",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int":      KwInt,
+	"void":     KwVoid,
+	"struct":   KwStruct,
+	"typedef":  KwTypedef,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"goto":     KwGoto,
+	"return":   KwReturn,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"NULL":     KwNull,
+	"assert":   KwAssert,
+	"assume":   KwAssume,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or IDENT if the
+// spelling is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: 1-based line and column.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, ILLEGAL:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

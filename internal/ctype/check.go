@@ -1,0 +1,432 @@
+// Package ctype implements the MiniC type checker. It resolves variable
+// references against function and global scopes, checks field accesses
+// against struct definitions, and records the type of every expression for
+// later phases (normalization, weakest preconditions, points-to analysis).
+package ctype
+
+import (
+	"fmt"
+
+	"predabs/internal/cast"
+	"predabs/internal/ctok"
+)
+
+// Info is the result of type checking a program.
+type Info struct {
+	Prog *cast.Program
+	// Types records the type of every expression node.
+	Types map[cast.Expr]cast.Type
+	// FuncVars maps a function name to its variable environment
+	// (parameters and locals). Globals are in GlobalVars.
+	FuncVars map[string]map[string]cast.Type
+	// GlobalVars maps global variable names to types.
+	GlobalVars map[string]cast.Type
+}
+
+// TypeOf returns the recorded type of e, or IntType if unknown (the checker
+// records every expression of well-typed programs).
+func (in *Info) TypeOf(e cast.Expr) cast.Type {
+	if t, ok := in.Types[e]; ok {
+		return t
+	}
+	return cast.IntType{}
+}
+
+// VarType resolves the type of name as seen from inside function fn
+// (locals/params shadow globals). ok is false if the name is unbound.
+func (in *Info) VarType(fn, name string) (cast.Type, bool) {
+	if fv, ok := in.FuncVars[fn]; ok {
+		if t, ok := fv[name]; ok {
+			return t, true
+		}
+	}
+	t, ok := in.GlobalVars[name]
+	return t, ok
+}
+
+// IsGlobal reports whether name resolves to a global inside function fn.
+func (in *Info) IsGlobal(fn, name string) bool {
+	if fv, ok := in.FuncVars[fn]; ok {
+		if _, shadowed := fv[name]; shadowed {
+			return false
+		}
+	}
+	_, ok := in.GlobalVars[name]
+	return ok
+}
+
+type checker struct {
+	prog *cast.Program
+	info *Info
+	errs []error
+	fn   *cast.FuncDef
+	vars map[string]cast.Type
+}
+
+// Check type checks prog. On success it returns the collected Info; on
+// failure it returns the first error (Info is still returned, partially
+// filled, to aid diagnostics).
+func Check(prog *cast.Program) (*Info, error) {
+	c := &checker{
+		prog: prog,
+		info: &Info{
+			Prog:       prog,
+			Types:      map[cast.Expr]cast.Type{},
+			FuncVars:   map[string]map[string]cast.Type{},
+			GlobalVars: map[string]cast.Type{},
+		},
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.info.GlobalVars[g.Name]; dup {
+			c.errorf(g.P, "duplicate global %q", g.Name)
+		}
+		c.resolveType(g.P, g.Type)
+		c.info.GlobalVars[g.Name] = g.Type
+	}
+	seen := map[string]bool{}
+	for _, f := range prog.Funcs {
+		if seen[f.Name] {
+			c.errorf(f.P, "duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	for _, f := range prog.Funcs {
+		c.checkFunc(f)
+	}
+	if len(c.errs) > 0 {
+		return c.info, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos ctok.Pos, format string, args ...any) {
+	if len(c.errs) < 50 {
+		c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	}
+}
+
+// resolveType verifies that struct references name defined structs.
+func (c *checker) resolveType(pos ctok.Pos, t cast.Type) {
+	switch t := t.(type) {
+	case cast.StructType:
+		if c.prog.Struct(t.Name) == nil {
+			c.errorf(pos, "undefined struct %q", t.Name)
+		}
+	case cast.PointerType:
+		c.resolveType(pos, t.Elem)
+	case cast.ArrayType:
+		c.resolveType(pos, t.Elem)
+	}
+}
+
+func (c *checker) checkFunc(f *cast.FuncDef) {
+	c.fn = f
+	c.vars = map[string]cast.Type{}
+	c.info.FuncVars[f.Name] = c.vars
+	for _, p := range f.Params {
+		if _, dup := c.vars[p.Name]; dup {
+			c.errorf(f.P, "%s: duplicate parameter %q", f.Name, p.Name)
+		}
+		c.resolveType(f.P, p.Type)
+		c.vars[p.Name] = p.Type
+	}
+	// MiniC uses function-scoped locals (the normalizer hoists them);
+	// collect declarations first so forward gotos past decls are fine.
+	c.collectDecls(f.Body)
+	c.checkStmt(f.Body)
+}
+
+func (c *checker) collectDecls(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.Block:
+		for _, sub := range s.Stmts {
+			c.collectDecls(sub)
+		}
+	case *cast.DeclStmt:
+		if _, dup := c.vars[s.Name]; dup {
+			c.errorf(s.Pos(), "%s: duplicate local %q", c.fn.Name, s.Name)
+		}
+		c.resolveType(s.Pos(), s.Type)
+		c.vars[s.Name] = s.Type
+	case *cast.IfStmt:
+		c.collectDecls(s.Then)
+		if s.Else != nil {
+			c.collectDecls(s.Else)
+		}
+	case *cast.WhileStmt:
+		c.collectDecls(s.Body)
+	case *cast.LabeledStmt:
+		c.collectDecls(s.Stmt)
+	}
+}
+
+func (c *checker) checkStmt(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.Block:
+		for _, sub := range s.Stmts {
+			c.checkStmt(sub)
+		}
+	case *cast.DeclStmt:
+		if s.Init != nil {
+			it := c.checkExpr(s.Init)
+			c.checkAssignable(s.Pos(), s.Type, it)
+		}
+	case *cast.AssignStmt:
+		lt := c.checkExpr(s.Lhs)
+		rt := c.checkExpr(s.Rhs)
+		if !c.isLvalue(s.Lhs) {
+			c.errorf(s.Pos(), "left side of assignment is not an lvalue: %s", s.Lhs)
+		}
+		c.checkAssignable(s.Pos(), lt, rt)
+	case *cast.ExprStmt:
+		if _, ok := s.X.(*cast.Call); !ok {
+			c.errorf(s.Pos(), "expression statement must be a call: %s", s.X)
+		}
+		c.checkExpr(s.X)
+	case *cast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *cast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Body)
+	case *cast.LabeledStmt:
+		c.checkStmt(s.Stmt)
+	case *cast.ReturnStmt:
+		ret := c.fn.Ret
+		if s.X == nil {
+			if _, isVoid := ret.(cast.VoidType); !isVoid {
+				c.errorf(s.Pos(), "%s: return without value in non-void function", c.fn.Name)
+			}
+		} else {
+			xt := c.checkExpr(s.X)
+			if _, isVoid := ret.(cast.VoidType); isVoid {
+				c.errorf(s.Pos(), "%s: return with value in void function", c.fn.Name)
+			} else {
+				c.checkAssignable(s.Pos(), ret, xt)
+			}
+		}
+	case *cast.AssertStmt:
+		c.checkCond(s.X)
+	case *cast.AssumeStmt:
+		c.checkCond(s.X)
+	case *cast.GotoStmt, *cast.BreakStmt, *cast.ContinueStmt, *cast.EmptyStmt:
+		// Nothing to check; label resolution happens in the normalizer.
+	default:
+		c.errorf(s.Pos(), "unknown statement %T", s)
+	}
+}
+
+func (c *checker) checkCond(e cast.Expr) {
+	t := c.checkExpr(e)
+	switch t.(type) {
+	case cast.IntType, cast.PointerType:
+		// int is boolean-valued; pointers test non-NULL, as in C.
+	default:
+		c.errorf(e.Pos(), "condition has non-scalar type %s: %s", t, e)
+	}
+}
+
+// checkAssignable allows int:=int, T*:=T*, T*:=NULL, and int:=pointer
+// comparisons are handled in checkExpr; everything else is an error.
+func (c *checker) checkAssignable(pos ctok.Pos, dst, src cast.Type) {
+	if cast.TypesEqual(dst, src) {
+		return
+	}
+	if cast.IsPointer(dst) {
+		if _, srcIsNull := src.(nullType); srcIsNull {
+			return
+		}
+		// Array decays to pointer to element.
+		if at, ok := src.(cast.ArrayType); ok {
+			if cast.TypesEqual(dst, cast.PointerType{Elem: at.Elem}) {
+				return
+			}
+		}
+	}
+	c.errorf(pos, "cannot assign %s to %s", src, dst)
+}
+
+// nullType is the internal type of the NULL literal; it is assignable to
+// any pointer and comparable with any pointer.
+type nullType struct{ cast.IntType }
+
+func (c *checker) isLvalue(e cast.Expr) bool {
+	switch e := e.(type) {
+	case *cast.VarRef:
+		return true
+	case *cast.Unary:
+		return e.Op == cast.Deref_
+	case *cast.Field:
+		if e.Arrow {
+			return true
+		}
+		return c.isLvalue(e.X)
+	case *cast.Index:
+		return true
+	}
+	return false
+}
+
+func (c *checker) lookupVar(pos ctok.Pos, name string) cast.Type {
+	if t, ok := c.vars[name]; ok {
+		return t
+	}
+	if t, ok := c.info.GlobalVars[name]; ok {
+		return t
+	}
+	c.errorf(pos, "%s: undefined variable %q", c.fn.Name, name)
+	return cast.IntType{}
+}
+
+func (c *checker) structOf(pos ctok.Pos, t cast.Type) *cast.StructDef {
+	st, ok := t.(cast.StructType)
+	if !ok {
+		c.errorf(pos, "expected struct type, got %s", t)
+		return nil
+	}
+	def := c.prog.Struct(st.Name)
+	if def == nil {
+		c.errorf(pos, "undefined struct %q", st.Name)
+	}
+	return def
+}
+
+func (c *checker) checkExpr(e cast.Expr) cast.Type {
+	t := c.exprType(e)
+	c.info.Types[e] = t
+	return t
+}
+
+func (c *checker) exprType(e cast.Expr) cast.Type {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return cast.IntType{}
+	case *cast.NullLit:
+		return nullType{}
+	case *cast.VarRef:
+		return c.lookupVar(e.Pos(), e.Name)
+	case *cast.Unary:
+		xt := c.checkExpr(e.X)
+		switch e.Op {
+		case cast.Neg, cast.Not:
+			if _, ok := xt.(cast.IntType); !ok {
+				if _, isNull := xt.(nullType); !isNull {
+					if e.Op == cast.Neg {
+						c.errorf(e.Pos(), "operand of %s must be int, got %s", e.Op, xt)
+					}
+					// !p on a pointer means p == NULL; allow it.
+				}
+			}
+			return cast.IntType{}
+		case cast.Deref_:
+			if elem, ok := cast.Deref(xt); ok {
+				return elem
+			}
+			c.errorf(e.Pos(), "cannot dereference non-pointer %s (type %s)", e.X, xt)
+			return cast.IntType{}
+		case cast.AddrOf:
+			if !c.isLvalue(e.X) {
+				c.errorf(e.Pos(), "cannot take address of non-lvalue %s", e.X)
+			}
+			return cast.PointerType{Elem: xt}
+		}
+	case *cast.Binary:
+		xt := c.checkExpr(e.X)
+		yt := c.checkExpr(e.Y)
+		switch {
+		case e.Op == cast.Eq || e.Op == cast.Ne:
+			if !comparable(xt, yt) {
+				c.errorf(e.Pos(), "incomparable operands %s and %s", xt, yt)
+			}
+			return cast.IntType{}
+		case e.Op.IsRelational() || e.Op.IsLogical():
+			// <,<=,>,>= over ints; &&,|| over scalars.
+			return cast.IntType{}
+		case e.Op == cast.Add || e.Op == cast.Sub:
+			// Pointer arithmetic under the logical memory model: p+i : typeof(p).
+			if cast.IsPointer(xt) {
+				return xt
+			}
+			if at, ok := xt.(cast.ArrayType); ok {
+				return cast.PointerType{Elem: at.Elem}
+			}
+			return cast.IntType{}
+		default:
+			return cast.IntType{}
+		}
+	case *cast.Field:
+		xt := c.checkExpr(e.X)
+		base := xt
+		if e.Arrow {
+			elem, ok := cast.Deref(xt)
+			if !ok {
+				c.errorf(e.Pos(), "-> on non-pointer %s (type %s)", e.X, xt)
+				return cast.IntType{}
+			}
+			base = elem
+		}
+		def := c.structOf(e.Pos(), base)
+		if def == nil {
+			return cast.IntType{}
+		}
+		fd := def.Field(e.Name)
+		if fd == nil {
+			c.errorf(e.Pos(), "struct %s has no field %q", def.Name, e.Name)
+			return cast.IntType{}
+		}
+		return fd.Type
+	case *cast.Index:
+		xt := c.checkExpr(e.X)
+		c.checkExpr(e.I)
+		if elem, ok := cast.Deref(xt); ok {
+			return elem
+		}
+		c.errorf(e.Pos(), "indexing non-array %s (type %s)", e.X, xt)
+		return cast.IntType{}
+	case *cast.Call:
+		f := c.prog.Func(e.Name)
+		if f == nil {
+			c.errorf(e.Pos(), "call to undefined function %q", e.Name)
+			for _, a := range e.Args {
+				c.checkExpr(a)
+			}
+			return cast.IntType{}
+		}
+		if len(e.Args) != len(f.Params) {
+			c.errorf(e.Pos(), "call to %s with %d args, want %d", e.Name, len(e.Args), len(f.Params))
+		}
+		for i, a := range e.Args {
+			at := c.checkExpr(a)
+			if i < len(f.Params) {
+				c.checkAssignable(a.Pos(), f.Params[i].Type, at)
+			}
+		}
+		return f.Ret
+	}
+	c.errorf(e.Pos(), "unknown expression %T", e)
+	return cast.IntType{}
+}
+
+func comparable(a, b cast.Type) bool {
+	_, aNull := a.(nullType)
+	_, bNull := b.(nullType)
+	switch {
+	case aNull || bNull:
+		return true
+	case cast.TypesEqual(a, b):
+		return true
+	case cast.IsPointer(a) && cast.IsPointer(b):
+		return true
+	}
+	// Array/pointer comparison after decay.
+	if at, ok := a.(cast.ArrayType); ok {
+		return comparable(cast.PointerType{Elem: at.Elem}, b)
+	}
+	if bt, ok := b.(cast.ArrayType); ok {
+		return comparable(a, cast.PointerType{Elem: bt.Elem})
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package ctype
+
+import (
+	"strings"
+	"testing"
+
+	"predabs/internal/cast"
+	"predabs/internal/cparse"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func TestCheckPartition(t *testing.T) {
+	info := mustCheck(t, `
+typedef struct cell { int val; struct cell* next; } *list;
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+      newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`)
+	ct, ok := info.VarType("partition", "curr")
+	if !ok {
+		t.Fatal("curr unbound")
+	}
+	pt, ok := ct.(cast.PointerType)
+	if !ok {
+		t.Fatalf("curr type %s", ct)
+	}
+	st, ok := pt.Elem.(cast.StructType)
+	if !ok || st.Name != "cell" {
+		t.Fatalf("curr pointee %s", pt.Elem)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"void f(void) { x = 1; }", "undefined variable"},
+		{"void f(int x) { x = y; }", "undefined variable"},
+		{"void f(int x) { int x; x = 1; }", "duplicate"},
+		{"int g; int g; void f(void) { }", "duplicate global"},
+		{"void f(int x) { *x = 1; }", "dereference"},
+		{"struct s { int a; }; void f(struct s v) { v.b = 1; }", "no field"},
+		{"void f(int x) { return 1; }", "return with value in void"},
+		{"int f(int x) { return; }", "return without value"},
+		{"void f(int* p) { p = 1; }", "cannot assign"},
+		{"void f(int x) { 1 = x; }", "not an lvalue"},
+		{"void f(int x) { g(x); }", "undefined function"},
+		{"int h(int a, int b) { return a; } void f(int x) { x = h(x); }", "want 2"},
+		{"struct s { int a; }; void f(struct s* p) { p->b = 1; }", "no field"},
+		{"void f(int x) { &5; }", "must be a call"},
+	}
+	for _, c := range cases {
+		_, err := check(t, c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestCheckNullAssignAndCompare(t *testing.T) {
+	mustCheck(t, `
+struct s { int a; };
+void f(struct s* p) {
+  p = NULL;
+  if (p == NULL) { p = NULL; }
+  if (NULL != p) { }
+}
+`)
+}
+
+func TestCheckPointerCondition(t *testing.T) {
+	mustCheck(t, `
+struct s { int a; };
+void f(struct s* p) {
+  if (p) { }
+  while (!p) { }
+}
+`)
+}
+
+func TestCheckAddrOf(t *testing.T) {
+	info := mustCheck(t, `
+void f(int x) {
+  int* p;
+  p = &x;
+  *p = 3;
+}
+`)
+	_ = info
+}
+
+func TestCheckArrayIndexing(t *testing.T) {
+	mustCheck(t, `
+void f(int a[], int n) {
+  int i;
+  i = 0;
+  while (i < n) {
+    a[i] = a[i] + 1;
+    i = i + 1;
+  }
+}
+`)
+}
+
+func TestCheckPointerArithmetic(t *testing.T) {
+	info := mustCheck(t, `
+void f(int* p, int i) {
+  int x;
+  x = *(p + i);
+}
+`)
+	_ = info
+}
+
+func TestCheckCallTypes(t *testing.T) {
+	mustCheck(t, `
+struct s { int a; };
+int get(struct s* p) { return p->a; }
+void f(struct s* p) {
+  int x;
+  x = get(p);
+}
+`)
+	_, err := check(t, `
+struct s { int a; };
+int get(struct s* p) { return p->a; }
+void f(int y) {
+  int x;
+  x = get(y);
+}
+`)
+	if err == nil {
+		t.Error("expected arg type error")
+	}
+}
+
+func TestIsGlobal(t *testing.T) {
+	info := mustCheck(t, `
+int g;
+int h;
+void f(int g) { int l; l = g + h; }
+`)
+	if info.IsGlobal("f", "g") {
+		t.Error("g is shadowed by the parameter")
+	}
+	if !info.IsGlobal("f", "h") {
+		t.Error("h is global")
+	}
+	if info.IsGlobal("f", "l") {
+		t.Error("l is local")
+	}
+}
+
+func TestCheckStructValueField(t *testing.T) {
+	mustCheck(t, `
+struct pt { int x; int y; };
+void f(void) {
+  struct pt p;
+  p.x = 1;
+  p.y = p.x;
+}
+`)
+}
+
+func TestCheckUndefinedStruct(t *testing.T) {
+	_, err := check(t, "void f(struct nosuch* p) { }")
+	if err == nil || !strings.Contains(err.Error(), "undefined struct") {
+		t.Errorf("got %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package form
+
+import (
+	"fmt"
+
+	"predabs/internal/cast"
+)
+
+// FromExpr converts a MiniC expression into a term. It fails on calls
+// (predicates contain no function calls) and on boolean operators, which
+// belong in formulas.
+func FromExpr(e cast.Expr) (Term, error) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return Num{V: e.Value}, nil
+	case *cast.NullLit:
+		return Num{V: 0}, nil
+	case *cast.VarRef:
+		return Var{Name: e.Name}, nil
+	case *cast.Unary:
+		switch e.Op {
+		case cast.Neg:
+			x, err := FromExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			if n, ok := x.(Num); ok {
+				return Num{V: -n.V}, nil
+			}
+			return Neg{X: x}, nil
+		case cast.Deref_:
+			x, err := FromExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return Deref{X: x}, nil
+		case cast.AddrOf:
+			x, err := FromExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return AddrOf{X: x}, nil
+		case cast.Not:
+			return nil, fmt.Errorf("boolean operator %s in term position: %s", e.Op, e)
+		}
+	case *cast.Binary:
+		if e.Op.IsRelational() || e.Op.IsLogical() {
+			return nil, fmt.Errorf("boolean operator %s in term position: %s", e.Op, e)
+		}
+		x, err := FromExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := FromExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		var op ArithOp
+		switch e.Op {
+		case cast.Add:
+			op = OpAdd
+		case cast.Sub:
+			op = OpSub
+		case cast.Mul:
+			op = OpMul
+		case cast.Div:
+			op = OpDiv
+		case cast.Mod:
+			op = OpMod
+		default:
+			return nil, fmt.Errorf("unsupported binary operator %s", e.Op)
+		}
+		return Arith{Op: op, X: x, Y: y}, nil
+	case *cast.Field:
+		x, err := FromExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		if e.Arrow {
+			return Sel{X: Deref{X: x}, Field: e.Name}, nil
+		}
+		return Sel{X: x, Field: e.Name}, nil
+	case *cast.Index:
+		x, err := FromExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		i, err := FromExpr(e.I)
+		if err != nil {
+			return nil, err
+		}
+		return Idx{X: x, I: i}, nil
+	case *cast.Call:
+		return nil, fmt.Errorf("function call in predicate: %s", e)
+	}
+	return nil, fmt.Errorf("unsupported expression %T: %v", e, e)
+}
+
+// FromCond converts a MiniC boolean expression into a formula. Scalar
+// subexpressions in boolean position are compared against 0 (NULL).
+func FromCond(e cast.Expr) (Formula, error) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		if e.Value != 0 {
+			return TrueF{}, nil
+		}
+		return FalseF{}, nil
+	case *cast.Unary:
+		if e.Op == cast.Not {
+			f, err := FromCond(e.X)
+			if err != nil {
+				return nil, err
+			}
+			return MkNot(f), nil
+		}
+	case *cast.Binary:
+		switch {
+		case e.Op == cast.LAnd:
+			x, err := FromCond(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, err := FromCond(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			return MkAnd(x, y), nil
+		case e.Op == cast.LOr:
+			x, err := FromCond(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, err := FromCond(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			return MkOr(x, y), nil
+		case e.Op.IsRelational():
+			x, err := FromExpr(e.X)
+			if err != nil {
+				return nil, err
+			}
+			y, err := FromExpr(e.Y)
+			if err != nil {
+				return nil, err
+			}
+			var op RelOp
+			switch e.Op {
+			case cast.Eq:
+				op = Eq
+			case cast.Ne:
+				op = Ne
+			case cast.Lt:
+				op = Lt
+			case cast.Le:
+				op = Le
+			case cast.Gt:
+				op = Gt
+			case cast.Ge:
+				op = Ge
+			}
+			return MkCmp(op, x, y), nil
+		}
+	}
+	// Scalar in boolean position: e != 0.
+	t, err := FromExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	return MkCmp(Ne, t, Num{V: 0}), nil
+}

@@ -1,0 +1,204 @@
+package form
+
+import "fmt"
+
+// Env is a concrete little-machine state used to evaluate terms and
+// formulas: every variable lives in memory at a distinct address, and all
+// reads go through Mem. This gives dereference, field selection and array
+// indexing a real semantics, which the property-based tests use as ground
+// truth for weakest preconditions and the prover.
+type Env struct {
+	// Addr maps variable names to their (distinct, nonzero) addresses.
+	Addr map[string]int64
+	// Mem maps addresses to values (absent addresses read as 0).
+	Mem map[int64]int64
+	// FieldOff maps field names to offsets within their struct.
+	FieldOff map[string]int64
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{
+		Addr:     map[string]int64{},
+		Mem:      map[int64]int64{},
+		FieldOff: map[string]int64{},
+	}
+}
+
+// Clone deep-copies the environment.
+func (env *Env) Clone() *Env {
+	out := NewEnv()
+	for k, v := range env.Addr {
+		out.Addr[k] = v
+	}
+	for k, v := range env.Mem {
+		out.Mem[k] = v
+	}
+	for k, v := range env.FieldOff {
+		out.FieldOff[k] = v
+	}
+	return out
+}
+
+// AddrOfVar returns the address of the named variable, allocating a fresh
+// distinct address on first use.
+func (env *Env) AddrOfVar(name string) int64 {
+	if a, ok := env.Addr[name]; ok {
+		return a
+	}
+	a := int64(1000 + 16*len(env.Addr))
+	env.Addr[name] = a
+	return a
+}
+
+func (env *Env) fieldOff(name string) int64 {
+	if o, ok := env.FieldOff[name]; ok {
+		return o
+	}
+	o := int64(1 + len(env.FieldOff))
+	env.FieldOff[name] = o
+	return o
+}
+
+// EvalAddr evaluates the address denoted by location loc.
+func (env *Env) EvalAddr(loc Term) (int64, error) {
+	switch loc := loc.(type) {
+	case Var:
+		return env.AddrOfVar(loc.Name), nil
+	case Deref:
+		return env.Eval(loc.X)
+	case Sel:
+		base, err := env.EvalAddr(loc.X)
+		if err != nil {
+			return 0, err
+		}
+		return base + env.fieldOff(loc.Field), nil
+	case Idx:
+		base, err := env.EvalAddr(loc.X)
+		if err != nil {
+			return 0, err
+		}
+		i, err := env.Eval(loc.I)
+		if err != nil {
+			return 0, err
+		}
+		return base + 1 + i, nil
+	}
+	return 0, fmt.Errorf("not a location: %s", loc)
+}
+
+// Eval evaluates the term to an integer value.
+func (env *Env) Eval(t Term) (int64, error) {
+	switch t := t.(type) {
+	case Num:
+		return t.V, nil
+	case Var, Deref, Sel, Idx:
+		a, err := env.EvalAddr(t)
+		if err != nil {
+			return 0, err
+		}
+		return env.Mem[a], nil
+	case AddrOf:
+		return env.EvalAddr(t.X)
+	case Neg:
+		v, err := env.Eval(t.X)
+		return -v, err
+	case Arith:
+		x, err := env.Eval(t.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := env.Eval(t.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case OpAdd:
+			return x + y, nil
+		case OpSub:
+			return x - y, nil
+		case OpMul:
+			return x * y, nil
+		case OpDiv:
+			if y == 0 {
+				return 0, nil // total semantics for testing
+			}
+			return x / y, nil
+		case OpMod:
+			if y == 0 {
+				return 0, nil
+			}
+			return x % y, nil
+		}
+	}
+	return 0, fmt.Errorf("cannot evaluate term %s", t)
+}
+
+// Store writes value v to the location loc.
+func (env *Env) Store(loc Term, v int64) error {
+	a, err := env.EvalAddr(loc)
+	if err != nil {
+		return err
+	}
+	env.Mem[a] = v
+	return nil
+}
+
+// EvalFormula evaluates f to a truth value.
+func (env *Env) EvalFormula(f Formula) (bool, error) {
+	switch f := f.(type) {
+	case TrueF:
+		return true, nil
+	case FalseF:
+		return false, nil
+	case Cmp:
+		x, err := env.Eval(f.X)
+		if err != nil {
+			return false, err
+		}
+		y, err := env.Eval(f.Y)
+		if err != nil {
+			return false, err
+		}
+		switch f.Op {
+		case Eq:
+			return x == y, nil
+		case Ne:
+			return x != y, nil
+		case Lt:
+			return x < y, nil
+		case Le:
+			return x <= y, nil
+		case Gt:
+			return x > y, nil
+		case Ge:
+			return x >= y, nil
+		}
+	case Not:
+		v, err := env.EvalFormula(f.F)
+		return !v, err
+	case And:
+		for _, g := range f.Fs {
+			v, err := env.EvalFormula(g)
+			if err != nil {
+				return false, err
+			}
+			if !v {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Or:
+		for _, g := range f.Fs {
+			v, err := env.EvalFormula(g)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("cannot evaluate formula %s", f)
+}

@@ -1,0 +1,171 @@
+package form
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randTerm builds a random term over x, y, p (pointer-ish) with bounded
+// depth.
+func randTerm(r *rand.Rand, depth int) Term {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Num{V: int64(r.Intn(7) - 3)}
+		case 1:
+			return Var{Name: "x"}
+		case 2:
+			return Var{Name: "y"}
+		default:
+			return Var{Name: "p"}
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return Arith{Op: OpAdd, X: randTerm(r, depth-1), Y: randTerm(r, depth-1)}
+	case 1:
+		return Arith{Op: OpSub, X: randTerm(r, depth-1), Y: randTerm(r, depth-1)}
+	case 2:
+		return Neg{X: randTerm(r, depth-1)}
+	case 3:
+		return Deref{X: Var{Name: "p"}}
+	case 4:
+		return Sel{X: Deref{X: Var{Name: "p"}}, Field: "f"}
+	default:
+		return randTerm(r, depth-1)
+	}
+}
+
+func randFormula(r *rand.Rand, depth int) Formula {
+	if depth == 0 {
+		ops := []RelOp{Eq, Ne, Lt, Le, Gt, Ge}
+		return Cmp{Op: ops[r.Intn(len(ops))], X: randTerm(r, 1), Y: randTerm(r, 1)}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return MkAnd(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 1:
+		return MkOr(randFormula(r, depth-1), randFormula(r, depth-1))
+	case 2:
+		return MkNot(randFormula(r, depth-1))
+	default:
+		return randFormula(r, depth-1)
+	}
+}
+
+func randEnvQ(r *rand.Rand) *Env {
+	env := NewEnv()
+	env.Store(Var{Name: "x"}, int64(r.Intn(9)-4))
+	env.Store(Var{Name: "y"}, int64(r.Intn(9)-4))
+	// p points at x, y, or nowhere meaningful.
+	switch r.Intn(3) {
+	case 0:
+		env.Store(Var{Name: "p"}, env.AddrOfVar("x"))
+	case 1:
+		env.Store(Var{Name: "p"}, env.AddrOfVar("y"))
+	default:
+		env.Store(Var{Name: "p"}, int64(r.Intn(50)))
+	}
+	return env
+}
+
+// Property: NNF preserves truth on every environment.
+func TestNNFPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 800; trial++ {
+		f := randFormula(r, 3)
+		g := NNF(f)
+		env := randEnvQ(r)
+		vf, err1 := env.EvalFormula(f)
+		vg, err2 := env.EvalFormula(g)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval error: %v %v", err1, err2)
+		}
+		if vf != vg {
+			t.Fatalf("NNF changed semantics:\n  f = %s (%v)\n  g = %s (%v)", f, vf, g, vg)
+		}
+	}
+}
+
+// Property: MkNot is an involution semantically.
+func TestDoubleNegationSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 500; trial++ {
+		f := randFormula(r, 3)
+		g := MkNot(MkNot(f))
+		env := randEnvQ(r)
+		vf, _ := env.EvalFormula(f)
+		vg, _ := env.EvalFormula(g)
+		if vf != vg {
+			t.Fatalf("double negation changed semantics: %s vs %s", f, g)
+		}
+	}
+}
+
+// Property: substituting a variable by its current value preserves truth.
+func TestSubstByValuePreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 500; trial++ {
+		f := randFormula(r, 2)
+		env := randEnvQ(r)
+		xv, _ := env.Eval(Var{Name: "x"})
+		g := SubstReads(f, Var{Name: "x"}, Num{V: xv})
+		vf, err1 := env.EvalFormula(f)
+		vg, err2 := env.EvalFormula(g)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if vf != vg {
+			t.Fatalf("substitution by value changed truth:\n  f = %s\n  g = %s (x=%d)", f, g, xv)
+		}
+	}
+}
+
+// Property: SimplifyTerm preserves the value of terms.
+func TestSimplifyTermPreservesValue(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 800; trial++ {
+		tm := randTerm(r, 3)
+		st := SimplifyTerm(tm)
+		env := randEnvQ(r)
+		v1, err1 := env.Eval(tm)
+		v2, err2 := env.Eval(st)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if v1 != v2 {
+			t.Fatalf("SimplifyTerm changed value: %s=%d vs %s=%d", tm, v1, st, v2)
+		}
+	}
+}
+
+// Property: canonical strings identify semantics-relevant structure:
+// equal strings means equal evaluation everywhere (spot check).
+func TestCanonicalStringConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 300; trial++ {
+		f := randFormula(r, 2)
+		g := randFormula(r, 2)
+		if f.String() != g.String() {
+			continue
+		}
+		env := randEnvQ(r)
+		vf, _ := env.EvalFormula(f)
+		vg, _ := env.EvalFormula(g)
+		if vf != vg {
+			t.Fatalf("same string, different semantics: %s", f)
+		}
+	}
+}
+
+// Mutating-free check: Subst must not modify its input.
+func TestSubstDoesNotMutate(t *testing.T) {
+	f := MkAnd(Cmp{Op: Lt, X: Var{Name: "x"}, Y: Var{Name: "y"}},
+		Cmp{Op: Eq, X: Deref{X: Var{Name: "p"}}, Y: Num{V: 1}})
+	before := f.String()
+	_ = Subst(f, Var{Name: "x"}, Num{V: 9})
+	_ = SubstReads(f, Var{Name: "x"}, Num{V: 9})
+	if f.String() != before {
+		t.Fatal("substitution mutated its input")
+	}
+}

@@ -1,0 +1,210 @@
+package form
+
+// This file implements the read/address occurrence distinction needed by
+// Morris' general axiom of assignment (paper Section 4.2).
+//
+// A term like &v mentions the location v without reading its cell, and
+// p->f reads the cell of p (to compute the address) and the field cell
+// itself — but not the struct cell *p as a whole. Weakest preconditions
+// must only case-split on and substitute read occurrences.
+
+// ReadLocations returns the distinct locations whose cells are read by f,
+// outermost (largest) first.
+func ReadLocations(f Formula) []Term {
+	var terms []Term
+	collectFormulaTerms(f, &terms)
+	seen := map[string]bool{}
+	var out []Term
+	add := func(t Term) {
+		k := t.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range terms {
+		collectReads(t, add)
+	}
+	sortBySizeDesc(out)
+	return out
+}
+
+// TermReadLocations returns the read locations of a single term,
+// outermost first.
+func TermReadLocations(t Term) []Term {
+	seen := map[string]bool{}
+	var out []Term
+	add := func(t Term) {
+		k := t.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	collectReads(t, add)
+	sortBySizeDesc(out)
+	return out
+}
+
+// collectReads visits every location whose cell the value of t depends on.
+func collectReads(t Term, add func(Term)) {
+	switch t := t.(type) {
+	case Num:
+	case Var:
+		add(t)
+	case Deref:
+		add(t)
+		collectReads(t.X, add)
+	case Sel:
+		add(t)
+		collectAddrReads(t.X, add)
+	case Idx:
+		add(t)
+		collectAddrReads(t.X, add)
+		collectReads(t.I, add)
+	case AddrOf:
+		collectAddrReads(t.X, add)
+	case Arith:
+		collectReads(t.X, add)
+		collectReads(t.Y, add)
+	case Neg:
+		collectReads(t.X, add)
+	}
+}
+
+// collectAddrReads visits the locations read while computing the address
+// of location loc (the base of a Sel/Idx or the operand of AddrOf).
+func collectAddrReads(loc Term, add func(Term)) {
+	switch loc := loc.(type) {
+	case Var:
+		// Address of a variable reads nothing.
+	case Deref:
+		collectReads(loc.X, add)
+	case Sel:
+		collectAddrReads(loc.X, add)
+	case Idx:
+		collectAddrReads(loc.X, add)
+		collectReads(loc.I, add)
+	default:
+		collectReads(loc, add)
+	}
+}
+
+// SubstReads replaces read occurrences of location old in f with repl,
+// leaving address occurrences (under &, or as a Sel/Idx base) intact.
+func SubstReads(f Formula, old, repl Term) Formula {
+	switch f := f.(type) {
+	case TrueF, FalseF:
+		return f
+	case Cmp:
+		return MkCmp(f.Op, substReadsTerm(f.X, old, repl), substReadsTerm(f.Y, old, repl))
+	case Not:
+		return MkNot(SubstReads(f.F, old, repl))
+	case And:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = SubstReads(g, old, repl)
+		}
+		return MkAnd(out...)
+	case Or:
+		out := make([]Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = SubstReads(g, old, repl)
+		}
+		return MkOr(out...)
+	}
+	return f
+}
+
+func substReadsTerm(t, old, repl Term) Term {
+	if TermEq(t, old) {
+		return repl
+	}
+	switch t := t.(type) {
+	case Deref:
+		return SimplifyTerm(Deref{X: substReadsTerm(t.X, old, repl)})
+	case Sel:
+		return SimplifyTerm(Sel{X: substAddrTerm(t.X, old, repl), Field: t.Field})
+	case Idx:
+		return SimplifyTerm(Idx{X: substAddrTerm(t.X, old, repl), I: substReadsTerm(t.I, old, repl)})
+	case AddrOf:
+		return SimplifyTerm(AddrOf{X: substAddrTerm(t.X, old, repl)})
+	case Arith:
+		return SimplifyTerm(Arith{Op: t.Op, X: substReadsTerm(t.X, old, repl), Y: substReadsTerm(t.Y, old, repl)})
+	case Neg:
+		return SimplifyTerm(Neg{X: substReadsTerm(t.X, old, repl)})
+	}
+	return t
+}
+
+// substAddrTerm rewrites inside an address-position location: the location
+// itself is not a read, but pointers and indexes inside it are.
+func substAddrTerm(loc, old, repl Term) Term {
+	switch loc := loc.(type) {
+	case Var:
+		return loc
+	case Deref:
+		return SimplifyTerm(Deref{X: substReadsTerm(loc.X, old, repl)})
+	case Sel:
+		return SimplifyTerm(Sel{X: substAddrTerm(loc.X, old, repl), Field: loc.Field})
+	case Idx:
+		return SimplifyTerm(Idx{X: substAddrTerm(loc.X, old, repl), I: substReadsTerm(loc.I, old, repl)})
+	}
+	return substReadsTerm(loc, old, repl)
+}
+
+// SimplifyTerm applies local algebraic simplifications: *(&x) → x,
+// constant folding, x±0 → x, double negation.
+func SimplifyTerm(t Term) Term {
+	switch t := t.(type) {
+	case Deref:
+		if a, ok := t.X.(AddrOf); ok {
+			return a.X
+		}
+		return t
+	case Neg:
+		if n, ok := t.X.(Num); ok {
+			return Num{V: -n.V}
+		}
+		if n, ok := t.X.(Neg); ok {
+			return n.X
+		}
+		return t
+	case Arith:
+		nx, xok := t.X.(Num)
+		ny, yok := t.Y.(Num)
+		if xok && yok {
+			switch t.Op {
+			case OpAdd:
+				return Num{V: nx.V + ny.V}
+			case OpSub:
+				return Num{V: nx.V - ny.V}
+			case OpMul:
+				return Num{V: nx.V * ny.V}
+			case OpDiv:
+				if ny.V != 0 {
+					return Num{V: nx.V / ny.V}
+				}
+			case OpMod:
+				if ny.V != 0 {
+					return Num{V: nx.V % ny.V}
+				}
+			}
+			return t
+		}
+		if yok && ny.V == 0 && (t.Op == OpAdd || t.Op == OpSub) {
+			return t.X
+		}
+		if xok && nx.V == 0 && t.Op == OpAdd {
+			return t.Y
+		}
+		if yok && ny.V == 1 && t.Op == OpMul {
+			return t.X
+		}
+		if xok && nx.V == 1 && t.Op == OpMul {
+			return t.Y
+		}
+		return t
+	}
+	return t
+}

@@ -1,0 +1,196 @@
+package prover
+
+import "sort"
+
+// Linear integer arithmetic by Fourier-Motzkin elimination over the
+// rationals with gcd tightening (a light Omega test). Infeasibility
+// reports are sound for integers; some integer-only infeasibilities are
+// missed, which costs precision but never soundness.
+
+// linCons is Σ coefs[v]·v ≤ k.
+type linCons struct {
+	coefs map[string]int64
+	k     int64
+}
+
+func (c linCons) clone() linCons {
+	m := make(map[string]int64, len(c.coefs))
+	for v, co := range c.coefs {
+		m[v] = co
+	}
+	return linCons{coefs: m, k: c.k}
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// normalize divides by the gcd of the coefficients and floors the bound
+// (valid for integer variables); it reports false when the constraint is
+// an unsatisfiable ground fact.
+func (c *linCons) normalize() bool {
+	for v, co := range c.coefs {
+		if co == 0 {
+			delete(c.coefs, v)
+		}
+	}
+	if len(c.coefs) == 0 {
+		return c.k >= 0
+	}
+	var g int64
+	for _, co := range c.coefs {
+		g = gcd64(g, co)
+	}
+	if g > 1 {
+		for v := range c.coefs {
+			c.coefs[v] /= g
+		}
+		// floor division for the bound
+		k := c.k
+		if k >= 0 {
+			c.k = k / g
+		} else {
+			c.k = -((-k + g - 1) / g)
+		}
+	}
+	return true
+}
+
+// fmMaxConstraints caps Fourier-Motzkin growth; on overflow the solver
+// gives up and reports "feasible" (the sound direction).
+const fmMaxConstraints = 4000
+
+// laFeasible reports whether the constraint system has a rational
+// solution (false = definitely infeasible over the integers too).
+// The second result is false when the solver gave up (size cap).
+func laFeasible(cons []linCons) (feasible, precise bool) {
+	work := make([]linCons, 0, len(cons))
+	for _, c := range cons {
+		c2 := c.clone()
+		if !c2.normalize() {
+			return false, true
+		}
+		if len(c2.coefs) > 0 {
+			work = append(work, c2)
+		}
+	}
+	for {
+		// Pick the variable with the fewest pos×neg combinations.
+		counts := map[string][2]int{}
+		for _, c := range work {
+			for v, co := range c.coefs {
+				pc := counts[v]
+				if co > 0 {
+					pc[0]++
+				} else {
+					pc[1]++
+				}
+				counts[v] = pc
+			}
+		}
+		if len(counts) == 0 {
+			return true, true
+		}
+		vars := make([]string, 0, len(counts))
+		for v := range counts {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		best, bestCost := vars[0], 1<<30
+		for _, v := range vars {
+			pc := counts[v]
+			cost := pc[0] * pc[1]
+			if cost < bestCost {
+				best, bestCost = v, cost
+			}
+		}
+
+		var pos, neg, rest []linCons
+		for _, c := range work {
+			switch co := c.coefs[best]; {
+			case co > 0:
+				pos = append(pos, c)
+			case co < 0:
+				neg = append(neg, c)
+			default:
+				rest = append(rest, c)
+			}
+		}
+		work = rest
+		for _, a := range pos {
+			for _, b := range neg {
+				ca, cb := a.coefs[best], -b.coefs[best] // ca>0, cb>0
+				nc := linCons{coefs: map[string]int64{}}
+				for v, co := range a.coefs {
+					nc.coefs[v] += co * cb
+				}
+				for v, co := range b.coefs {
+					nc.coefs[v] += co * ca
+				}
+				nc.k = a.k*cb + b.k*ca
+				if !nc.normalize() {
+					return false, true
+				}
+				if len(nc.coefs) > 0 {
+					work = append(work, nc)
+				}
+				if len(work) > fmMaxConstraints {
+					return true, false // gave up
+				}
+			}
+		}
+	}
+}
+
+// entailsZero reports whether the system entails expr = 0 for the linear
+// expression (coefs, k), i.e. both expr ≤ -1 and expr ≥ 1 are infeasible.
+func entailsZero(cons []linCons, coefs map[string]int64, k int64) bool {
+	// expr <= -1 infeasible?
+	le := linCons{coefs: map[string]int64{}, k: -1 - k}
+	for v, co := range coefs {
+		le.coefs[v] = co
+	}
+	if f, prec := laFeasible(append(cons[:len(cons):len(cons)], le)); f || !prec {
+		return false
+	}
+	// expr >= 1 infeasible? (i.e. -expr <= -1)
+	ge := linCons{coefs: map[string]int64{}, k: -1 + k}
+	for v, co := range coefs {
+		ge.coefs[v] = -co
+	}
+	if f, prec := laFeasible(append(cons[:len(cons):len(cons)], ge)); f || !prec {
+		return false
+	}
+	return true
+}
+
+// linExpr is a linear combination of class keys plus a constant.
+type linExpr struct {
+	coefs map[string]int64
+	k     int64
+}
+
+func (e linExpr) sub(o linExpr) linExpr {
+	out := linExpr{coefs: map[string]int64{}, k: e.k - o.k}
+	for v, c := range e.coefs {
+		out.coefs[v] += c
+	}
+	for v, c := range o.coefs {
+		out.coefs[v] -= c
+	}
+	for v, c := range out.coefs {
+		if c == 0 {
+			delete(out.coefs, v)
+		}
+	}
+	return out
+}

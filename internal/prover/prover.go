@@ -1,0 +1,515 @@
+// Package prover implements the decision procedures backing C2bp's
+// predicate abstraction, playing the role of Simplify and Vampyre in the
+// paper: a validity checker for the quantifier-free combination of
+// equality with uninterpreted functions (dereference, field selection,
+// array indexing, address-of) and linear integer arithmetic, in the
+// Nelson-Oppen style.
+//
+// Soundness contract: Valid and Unsat answer true only when the claim
+// definitely holds; false means "could not prove", which predicate
+// abstraction tolerates (the paper notes its provers are incomplete).
+package prover
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"predabs/internal/form"
+)
+
+// Prover is a caching validity checker. The zero value is not ready; use
+// New.
+type Prover struct {
+	// Calls counts Valid/Unsat entry points — the paper's
+	// "thm. prover calls" column in Tables 1 and 2.
+	Calls int
+	// CacheHits counts queries answered from the cache.
+	CacheHits int
+	// GaveUp counts queries abandoned on resource caps (answered
+	// conservatively).
+	GaveUp int
+	// DisableCache turns result caching off (for ablation benchmarks).
+	DisableCache bool
+
+	cache  map[string]bool
+	budget int
+}
+
+// New returns a fresh prover.
+func New() *Prover {
+	return &Prover{cache: map[string]bool{}}
+}
+
+// maxLeafChecks bounds the number of theory checks per query.
+const maxLeafChecks = 50000
+
+// Valid reports whether hyp ⇒ goal is valid.
+func (p *Prover) Valid(hyp, goal form.Formula) bool {
+	p.Calls++
+	key := "V\x00" + hyp.String() + "\x00" + goal.String()
+	if !p.DisableCache {
+		if v, ok := p.cache[key]; ok {
+			p.CacheHits++
+			return v
+		}
+	}
+	f := form.NNF(form.MkAnd(hyp, form.MkNot(goal)))
+	p.budget = maxLeafChecks
+	res := !p.sat(f, nil)
+	if p.budget <= 0 {
+		p.GaveUp++
+		res = false // could not complete the search: do not claim validity
+	}
+	if !p.DisableCache {
+		p.cache[key] = res
+	}
+	return res
+}
+
+// Unsat reports whether f is definitely unsatisfiable.
+func (p *Prover) Unsat(f form.Formula) bool {
+	p.Calls++
+	key := "U\x00" + f.String()
+	if !p.DisableCache {
+		if v, ok := p.cache[key]; ok {
+			p.CacheHits++
+			return v
+		}
+	}
+	p.budget = maxLeafChecks
+	res := !p.sat(form.NNF(f), nil)
+	if p.budget <= 0 {
+		p.GaveUp++
+		res = false
+	}
+	if !p.DisableCache {
+		p.cache[key] = res
+	}
+	return res
+}
+
+// Sat reports whether f has a model as far as the prover can tell
+// (!Unsat; may answer true for formulas it cannot decide).
+func (p *Prover) Sat(f form.Formula) bool { return !p.Unsat(f) }
+
+// lit is a theory literal after polarity resolution.
+type lit struct {
+	op   form.RelOp // Eq, Ne, Le or Lt
+	x, y form.Term
+}
+
+func (l lit) String() string { return l.x.String() + " " + l.op.String() + " " + l.y.String() }
+
+// litOf resolves an atom assignment into a normalized theory literal.
+func litOf(c form.Cmp, val bool) lit {
+	switch c.Op {
+	case form.Eq:
+		if val {
+			return lit{form.Eq, c.X, c.Y}
+		}
+		return lit{form.Ne, c.X, c.Y}
+	case form.Ne:
+		if val {
+			return lit{form.Ne, c.X, c.Y}
+		}
+		return lit{form.Eq, c.X, c.Y}
+	case form.Lt:
+		if val {
+			return lit{form.Lt, c.X, c.Y}
+		}
+		return lit{form.Le, c.Y, c.X}
+	case form.Le:
+		if val {
+			return lit{form.Le, c.X, c.Y}
+		}
+		return lit{form.Lt, c.Y, c.X}
+	case form.Gt:
+		if val {
+			return lit{form.Lt, c.Y, c.X}
+		}
+		return lit{form.Le, c.X, c.Y}
+	default: // Ge
+		if val {
+			return lit{form.Le, c.Y, c.X}
+		}
+		return lit{form.Lt, c.X, c.Y}
+	}
+}
+
+// atomKey canonicalizes an atom so that equivalent comparisons (x<y,
+// y>x, ¬(x≥y)) share a key. flip reports whether the atom is the negation
+// of the canonical base.
+func atomKey(c form.Cmp) (key string, flip bool) {
+	xs, ys := c.X.String(), c.Y.String()
+	switch c.Op {
+	case form.Eq, form.Ne:
+		if xs > ys {
+			xs, ys = ys, xs
+		}
+		return xs + " == " + ys, c.Op == form.Ne
+	case form.Le:
+		return xs + " <= " + ys, false
+	case form.Lt:
+		return ys + " <= " + xs, true
+	case form.Gt:
+		return xs + " <= " + ys, true
+	default: // Ge
+		return ys + " <= " + xs, false
+	}
+}
+
+// sat performs DPLL-style search on the boolean skeleton with theory
+// checks at the leaves.
+func (p *Prover) sat(f form.Formula, lits []lit) bool {
+	if p.budget <= 0 {
+		return true // give up: cannot prove unsat
+	}
+	switch f.(type) {
+	case form.FalseF:
+		return false
+	case form.TrueF:
+		p.budget--
+		return theoryConsistent(lits)
+	}
+	atom := firstAtom(f)
+	key, flip := atomKey(atom)
+	for _, val := range []bool{true, false} {
+		// assignAtom takes the truth of the canonical base atom; val is
+		// the truth of the picked atom, which may be its negation.
+		f2 := assignAtom(f, key, val != flip)
+		if p.sat(f2, append(lits, litOf(atom, val))) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstAtom returns the first comparison atom in f (f is in NNF and not a
+// constant, so one exists).
+func firstAtom(f form.Formula) form.Cmp {
+	switch f := f.(type) {
+	case form.Cmp:
+		return f
+	case form.Not:
+		return firstAtom(f.F)
+	case form.And:
+		for _, g := range f.Fs {
+			if a, ok := tryFirstAtom(g); ok {
+				return a
+			}
+		}
+	case form.Or:
+		for _, g := range f.Fs {
+			if a, ok := tryFirstAtom(g); ok {
+				return a
+			}
+		}
+	}
+	panic(fmt.Sprintf("prover: no atom in %s", f))
+}
+
+func tryFirstAtom(f form.Formula) (form.Cmp, bool) {
+	switch f := f.(type) {
+	case form.Cmp:
+		return f, true
+	case form.Not:
+		return tryFirstAtom(f.F)
+	case form.And:
+		for _, g := range f.Fs {
+			if a, ok := tryFirstAtom(g); ok {
+				return a, true
+			}
+		}
+	case form.Or:
+		for _, g := range f.Fs {
+			if a, ok := tryFirstAtom(g); ok {
+				return a, true
+			}
+		}
+	}
+	return form.Cmp{}, false
+}
+
+// assignAtom substitutes a truth value for every atom with the given
+// canonical key and folds constants.
+func assignAtom(f form.Formula, key string, val bool) form.Formula {
+	switch f := f.(type) {
+	case form.TrueF, form.FalseF:
+		return f
+	case form.Cmp:
+		k, flip := atomKey(f)
+		if k != key {
+			return f
+		}
+		v := val != flip
+		if v {
+			return form.TrueF{}
+		}
+		return form.FalseF{}
+	case form.Not:
+		return form.MkNot(assignAtom(f.F, key, val))
+	case form.And:
+		out := make([]form.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = assignAtom(g, key, val)
+		}
+		return form.MkAnd(out...)
+	case form.Or:
+		out := make([]form.Formula, len(f.Fs))
+		for i, g := range f.Fs {
+			out[i] = assignAtom(g, key, val)
+		}
+		return form.MkOr(out...)
+	}
+	return f
+}
+
+// --- Theory combination (Nelson-Oppen light) ---
+
+// maxCombineIters bounds the CC ↔ LA equality-exchange loop.
+const maxCombineIters = 6
+
+// maxProbeVars bounds the quadratic equality probing.
+const maxProbeVars = 14
+
+// theoryConsistent decides whether a conjunction of literals is
+// satisfiable modulo EUF + linear integer arithmetic. A false answer is
+// definite; a true answer may be an over-approximation.
+func theoryConsistent(lits []lit) bool {
+	c := newCC()
+	for _, l := range lits {
+		switch l.op {
+		case form.Eq:
+			c.merge(l.x, l.y)
+		case form.Ne:
+			c.disequal(l.x, l.y)
+		default:
+			// Intern terms so their subterms participate in congruence.
+			c.add(l.x)
+			c.add(l.y)
+			c.propagate()
+		}
+		if c.failed {
+			return false
+		}
+	}
+
+	for iter := 0; iter < maxCombineIters; iter++ {
+		cons, neqs := buildLA(c, lits)
+		feasible, precise := laFeasible(cons)
+		if !feasible {
+			return false
+		}
+		if !precise {
+			return true // gave up: cannot prove inconsistency
+		}
+		// Disequalities refuted by arithmetic.
+		for _, d := range neqs {
+			if entailsZero(cons, d.coefs, d.k) {
+				return false
+			}
+		}
+		// Equality propagation LA → CC.
+		if !propagateEqualities(c, cons) {
+			if c.failed {
+				return false
+			}
+			return true // fixpoint
+		}
+		if c.failed {
+			return false
+		}
+	}
+	return true
+}
+
+// buildLA constructs the linear constraint system from the literals,
+// naming variables by congruence-class representative so that equalities
+// known to the congruence closure transfer for free. It also returns the
+// linear differences asserted non-zero (from Ne literals).
+func buildLA(c *cc, lits []lit) (cons []linCons, neqs []linExpr) {
+	for _, l := range lits {
+		lx := linearize(c, l.x)
+		ly := linearize(c, l.y)
+		d := lx.sub(ly)
+		switch l.op {
+		case form.Eq:
+			cons = append(cons,
+				linCons{coefs: d.coefs, k: -d.k},
+				negCons(d))
+		case form.Le:
+			cons = append(cons, linCons{coefs: d.coefs, k: -d.k})
+		case form.Lt:
+			cons = append(cons, linCons{coefs: d.coefs, k: -d.k - 1})
+		case form.Ne:
+			neqs = append(neqs, d)
+		}
+	}
+	return cons, neqs
+}
+
+func negCons(d linExpr) linCons {
+	m := map[string]int64{}
+	for v, co := range d.coefs {
+		m[v] = -co
+	}
+	return linCons{coefs: m, k: d.k}
+}
+
+// linearize maps a term to a linear expression over congruence-class
+// keys. Non-arithmetic terms (and nonlinear applications) become opaque
+// variables named by their class; classes holding an integer constant
+// fold to that constant.
+func linearize(c *cc, t form.Term) linExpr {
+	switch t := t.(type) {
+	case form.Num:
+		return linExpr{coefs: map[string]int64{}, k: t.V}
+	case form.Neg:
+		e := linearize(c, t.X)
+		for v := range e.coefs {
+			e.coefs[v] = -e.coefs[v]
+		}
+		e.k = -e.k
+		return e
+	case form.Arith:
+		switch t.Op {
+		case form.OpAdd, form.OpSub:
+			x := linearize(c, t.X)
+			y := linearize(c, t.Y)
+			if t.Op == form.OpAdd {
+				out := linExpr{coefs: map[string]int64{}, k: x.k + y.k}
+				for v, co := range x.coefs {
+					out.coefs[v] += co
+				}
+				for v, co := range y.coefs {
+					out.coefs[v] += co
+				}
+				return out
+			}
+			return x.sub(y)
+		case form.OpMul:
+			if n, ok := t.X.(form.Num); ok {
+				y := linearize(c, t.Y)
+				for v := range y.coefs {
+					y.coefs[v] *= n.V
+				}
+				y.k *= n.V
+				return y
+			}
+			if n, ok := t.Y.(form.Num); ok {
+				x := linearize(c, t.X)
+				for v := range x.coefs {
+					x.coefs[v] *= n.V
+				}
+				x.k *= n.V
+				return x
+			}
+		}
+	}
+	// Opaque: one variable named by congruence class (or its constant).
+	id, ok := c.byKey[t.String()]
+	if !ok {
+		id = c.add(t)
+	}
+	if v, has := c.classConst(id); has {
+		return linExpr{coefs: map[string]int64{}, k: v}
+	}
+	key := c.repKey(t)
+	return linExpr{coefs: map[string]int64{key: 1}, k: 0}
+}
+
+// propagateEqualities probes pairs of LA variables (and constants) for
+// entailed equalities and merges the corresponding congruence classes.
+// It reports whether any new merge happened.
+func propagateEqualities(c *cc, cons []linCons) bool {
+	varSet := map[string]bool{}
+	for _, cn := range cons {
+		for v := range cn.coefs {
+			varSet[v] = true
+		}
+	}
+	if len(varSet) == 0 || len(varSet) > maxProbeVars {
+		return false
+	}
+	vars := make([]string, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	// Deterministic order.
+	sortStrings(vars)
+
+	changed := false
+	// Pairwise variable equalities.
+	for i := 0; i < len(vars) && !c.failed; i++ {
+		for j := i + 1; j < len(vars) && !c.failed; j++ {
+			ni, nj := classID(vars[i]), classID(vars[j])
+			if ni < 0 || nj < 0 || c.find(ni) == c.find(nj) {
+				continue
+			}
+			d := linExpr{coefs: map[string]int64{vars[i]: 1, vars[j]: -1}}
+			if entailsZero(cons, d.coefs, d.k) {
+				c.mergeIDs(ni, nj)
+				changed = true
+			}
+		}
+	}
+	// Variable = integer constant.
+	consts := collectConstants(c)
+	for _, v := range vars {
+		if c.failed {
+			break
+		}
+		ni := classID(v)
+		if ni < 0 {
+			continue
+		}
+		if _, has := c.classConst(ni); has {
+			continue
+		}
+		for _, kv := range consts {
+			d := linExpr{coefs: map[string]int64{v: 1}, k: -kv.val}
+			if entailsZero(cons, d.coefs, d.k) {
+				c.mergeIDs(ni, kv.id)
+				changed = true
+				break
+			}
+		}
+	}
+	return changed
+}
+
+type constNode struct {
+	id  int
+	val int64
+}
+
+func collectConstants(c *cc) []constNode {
+	var out []constNode
+	for _, n := range c.nodes {
+		if n.parent == n.id && n.hasNum {
+			out = append(out, constNode{id: n.id, val: n.numVal})
+		}
+	}
+	return out
+}
+
+// classID parses the "c<id>" key produced by cc.repKey.
+func classID(key string) int {
+	if !strings.HasPrefix(key, "c") {
+		return -1
+	}
+	n, err := strconv.Atoi(key[1:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

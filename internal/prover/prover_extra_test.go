@@ -1,0 +1,136 @@
+package prover
+
+import (
+	"fmt"
+	"testing"
+
+	"predabs/internal/form"
+)
+
+func TestUninterpretedDivMod(t *testing.T) {
+	p := New()
+	// Division is uninterpreted but congruent.
+	if !p.Valid(pf(t, "x == y"), pf(t, "x / 2 == y / 2")) {
+		t.Error("congruence through / failed")
+	}
+	if !p.Valid(pf(t, "x == y && a == b"), pf(t, "x % a == y % b")) {
+		t.Error("congruence through % failed")
+	}
+	// But no arithmetic facts are assumed.
+	if p.Valid(pf(t, "x == 4"), pf(t, "x / 2 == 2")) {
+		t.Error("division must be uninterpreted (sound incompleteness)")
+	}
+}
+
+func TestNonlinearMultiplication(t *testing.T) {
+	p := New()
+	// x*y is uninterpreted...
+	if p.Valid(pf(t, "x == 2 && y == 3"), pf(t, "x * y == 6")) {
+		t.Error("nonlinear multiplication must be uninterpreted")
+	}
+	// ...but congruent,
+	if !p.Valid(pf(t, "x == a && y == b"), pf(t, "x * y == a * b")) {
+		t.Error("congruence through * failed")
+	}
+	// and multiplication by constants is linear.
+	if !p.Valid(pf(t, "2 * x == 6"), pf(t, "x == 3")) {
+		t.Error("2*x == 6 => x == 3")
+	}
+	if !p.Valid(pf(t, "x * 3 <= 9 && x >= 3"), pf(t, "x == 3")) {
+		t.Error("x*3 <= 9 and x >= 3 => x == 3")
+	}
+}
+
+func TestIntegerTightening(t *testing.T) {
+	p := New()
+	// Over the integers, 2x = 1 has no solution (gcd test).
+	if !p.Unsat(pf(t, "2 * x == 1")) {
+		t.Error("2x == 1 unsat over Z")
+	}
+	// x < y < x+1 has no integer solution.
+	if !p.Unsat(pf(t, "x < y && y < x + 1")) {
+		t.Error("no integer strictly between x and x+1")
+	}
+}
+
+func TestDeepCongruenceChains(t *testing.T) {
+	p := New()
+	if !p.Valid(pf(t, "a == b && b == c && c == d && d == e"), pf(t, "a->next->next == e->next->next")) {
+		t.Error("deep field congruence")
+	}
+	if !p.Valid(pf(t, "p == q"), pf(t, "*(*(p)) == *(*(q))")) {
+		t.Error("nested deref congruence")
+	}
+}
+
+func TestBudgetGiveUpIsConservative(t *testing.T) {
+	p := New()
+	p.DisableCache = true
+	// A formula with many atoms forces search work; the prover must never
+	// claim validity when it gives up.
+	big := form.Formula(form.TrueF{})
+	for i := 0; i < 24; i++ {
+		big = form.MkAnd(big, pf(t, fmt.Sprintf("x%d == 0 || x%d == 1", i, i)))
+	}
+	goal := pf(t, "x0 == 2")
+	if p.Valid(big, goal) {
+		t.Error("claimed an invalid implication")
+	}
+}
+
+func TestValidIsMonotoneUnderStrongerHyp(t *testing.T) {
+	p := New()
+	weak := pf(t, "x >= 0")
+	strong := pf(t, "x >= 0 && x <= 0")
+	goal := pf(t, "x == 0")
+	if p.Valid(weak, goal) {
+		t.Error("x>=0 alone must not imply x==0")
+	}
+	if !p.Valid(strong, goal) {
+		t.Error("x>=0 and x<=0 imply x==0")
+	}
+}
+
+func TestAddrConstantsInArithmetic(t *testing.T) {
+	p := New()
+	// Addresses participate in equality but have no arithmetic order.
+	if !p.Valid(pf(t, "p == &x && q == &x"), pf(t, "p == q")) {
+		t.Error("address equality")
+	}
+	if p.Valid(pf(t, "p == &x"), pf(t, "p > 0")) {
+		t.Error("no arithmetic facts about addresses beyond non-NULL")
+	}
+	if !p.Valid(pf(t, "p == &x"), pf(t, "p != 0")) {
+		t.Error("&x != NULL must hold")
+	}
+}
+
+func TestSelectStoreStyleReasoning(t *testing.T) {
+	p := New()
+	// a[i] is congruent in both the array and the index.
+	// i == j+1 does NOT give i == j, so elements are not equated.
+	if p.Valid(pf(t, "i == j + 1 && j == k - 1"), pf(t, "a[i] == a[j]")) {
+		t.Error("i=j+1 must not equate a[i] and a[j]")
+	}
+	if !p.Valid(pf(t, "i == j"), pf(t, "a[i] == a[j]")) {
+		t.Error("equal indexes equate elements")
+	}
+}
+
+func TestMixedPointerIntComparisons(t *testing.T) {
+	p := New()
+	if !p.Unsat(pf(t, "p == NULL && p->val == 3 && q == p && q != NULL")) {
+		t.Error("p == NULL && q == p && q != NULL is unsat")
+	}
+	if !p.Valid(pf(t, "curr == prev && curr != NULL"), pf(t, "prev != NULL")) {
+		t.Error("equality propagates non-NULLness")
+	}
+}
+
+func TestGaveUpCounter(t *testing.T) {
+	p := New()
+	p.Valid(pf(t, "x == 1"), pf(t, "x < 2"))
+	if p.GaveUp != 0 {
+		t.Errorf("trivial query should not give up (GaveUp=%d)", p.GaveUp)
+	}
+}

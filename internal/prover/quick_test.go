@@ -1,0 +1,125 @@
+package prover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predabs/internal/form"
+)
+
+// decodeFormula maps a byte string to a small formula over x and y, so
+// testing/quick can drive structured inputs.
+func decodeFormula(bs []byte) form.Formula {
+	atoms := []form.Formula{
+		form.Cmp{Op: form.Lt, X: form.Var{Name: "x"}, Y: form.Var{Name: "y"}},
+		form.Cmp{Op: form.Eq, X: form.Var{Name: "x"}, Y: form.Num{V: 0}},
+		form.Cmp{Op: form.Ge, X: form.Var{Name: "y"}, Y: form.Num{V: 1}},
+		form.Cmp{Op: form.Eq, X: form.Var{Name: "x"}, Y: form.Var{Name: "y"}},
+		form.Cmp{Op: form.Le, X: form.Arith{Op: form.OpAdd, X: form.Var{Name: "x"}, Y: form.Var{Name: "y"}}, Y: form.Num{V: 2}},
+		form.Cmp{Op: form.Ne, X: form.Var{Name: "y"}, Y: form.Num{V: 0}},
+	}
+	f := atoms[0]
+	for _, b := range bs {
+		a := atoms[int(b>>2)%len(atoms)]
+		switch b & 3 {
+		case 0:
+			f = form.MkAnd(f, a)
+		case 1:
+			f = form.MkOr(f, a)
+		case 2:
+			f = form.MkAnd(f, form.MkNot(a))
+		case 3:
+			f = form.MkOr(f, form.MkNot(a))
+		}
+	}
+	return f
+}
+
+func hasModelInBox(f form.Formula, lo, hi int64) bool {
+	for x := lo; x <= hi; x++ {
+		for y := lo; y <= hi; y++ {
+			env := form.NewEnv()
+			env.Store(form.Var{Name: "x"}, x)
+			env.Store(form.Var{Name: "y"}, y)
+			if v, err := env.EvalFormula(f); err == nil && v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// quick property: Unsat(f) implies no model exists in a finite box.
+func TestQuickUnsatSound(t *testing.T) {
+	p := New()
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(11))}
+	err := quick.Check(func(bs []byte) bool {
+		if len(bs) > 6 {
+			bs = bs[:6]
+		}
+		f := decodeFormula(bs)
+		if !p.Unsat(f) {
+			return true // nothing claimed
+		}
+		return !hasModelInBox(f, -5, 5)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick property: Valid(h, g) implies g holds in every boxed model of h.
+func TestQuickValidSound(t *testing.T) {
+	p := New()
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(12))}
+	err := quick.Check(func(hb, gb []byte) bool {
+		if len(hb) > 4 {
+			hb = hb[:4]
+		}
+		if len(gb) > 4 {
+			gb = gb[:4]
+		}
+		h, g := decodeFormula(hb), decodeFormula(gb)
+		if !p.Valid(h, g) {
+			return true
+		}
+		for x := int64(-4); x <= 4; x++ {
+			for y := int64(-4); y <= 4; y++ {
+				env := form.NewEnv()
+				env.Store(form.Var{Name: "x"}, x)
+				env.Store(form.Var{Name: "y"}, y)
+				hv, _ := env.EvalFormula(h)
+				gv, _ := env.EvalFormula(g)
+				if hv && !gv {
+					return false
+				}
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quick property: Valid is reflexive and respects conjunction weakening.
+func TestQuickValidStructural(t *testing.T) {
+	p := New()
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}
+	err := quick.Check(func(bs, cs []byte) bool {
+		if len(bs) > 4 {
+			bs = bs[:4]
+		}
+		if len(cs) > 4 {
+			cs = cs[:4]
+		}
+		f := decodeFormula(bs)
+		g := decodeFormula(cs)
+		// f ⇒ f, and f∧g ⇒ f.
+		return p.Valid(f, f) && p.Valid(form.MkAnd(f, g), f)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

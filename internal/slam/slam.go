@@ -1,0 +1,254 @@
+// Package slam implements the SLAM process (paper Section 6.1): given a C
+// program and a temporal safety property, iterate (1) abstraction with
+// C2bp, (2) model checking with Bebop, (3) predicate discovery with
+// Newton, until the property is validated or a feasible error path is
+// found. The toolkit never reports spurious error paths: infeasible
+// counterexamples refine the abstraction instead.
+package slam
+
+import (
+	"fmt"
+	"strings"
+
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bebop"
+	"predabs/internal/bp"
+	"predabs/internal/cast"
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/newton"
+	"predabs/internal/prover"
+	"predabs/internal/spec"
+)
+
+// Outcome classifies a verification run.
+type Outcome int
+
+// Verification outcomes.
+const (
+	// Verified: no abort/assert violation is reachable.
+	Verified Outcome = iota
+	// ErrorFound: a feasible error path exists; see Result.Trace.
+	ErrorFound
+	// Unknown: the refinement loop stopped without an answer (iteration
+	// budget, no new predicates, or prover incompleteness).
+	Unknown
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Verified:
+		return "verified"
+	case ErrorFound:
+		return "error-found"
+	case Unknown:
+		return "unknown"
+	}
+	return "?"
+}
+
+// Config tunes the CEGAR loop.
+type Config struct {
+	// MaxIterations bounds the abstract-check-refine loop (default 10).
+	MaxIterations int
+	// Opts configures C2bp.
+	Opts abstract.Options
+	// InitialPreds seeds the predicate set (may be nil).
+	InitialPreds []cparse.PredSection
+	// Trace enables per-iteration logging through Logf.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{MaxIterations: 10, Opts: abstract.DefaultOptions()}
+}
+
+// Result reports a verification run.
+type Result struct {
+	Outcome    Outcome
+	Iterations int
+	// Predicates used in the final round, per scope.
+	Predicates map[string][]string
+	// PredCount is the total number of predicates in the final round.
+	PredCount int
+	// ProverCalls accumulates theorem prover calls across all rounds.
+	ProverCalls int
+	// ErrorTrace holds the C-level rendering of the feasible error path.
+	ErrorTrace []string
+	// BPTrace is the boolean-program trace of the error.
+	BPTrace []bebop.Step
+	// FinalBP is the last boolean program (diagnostics).
+	FinalBP *bp.Program
+}
+
+// VerifySpec checks a temporal-safety specification against a MiniC
+// program: the spec is instrumented, then the abort reachability question
+// is answered by the CEGAR loop.
+func VerifySpec(src, specSrc, entry string, cfg Config) (*Result, error) {
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("slam: parse: %w", err)
+	}
+	sp, err := spec.Parse(specSrc)
+	if err != nil {
+		return nil, fmt.Errorf("slam: spec: %w", err)
+	}
+	inst, err := spec.Instrument(prog, sp, entry)
+	if err != nil {
+		return nil, fmt.Errorf("slam: instrument: %w", err)
+	}
+	return VerifyProgram(inst, entry, cfg)
+}
+
+// Verify checks that no assert in the program can fail, starting from
+// entry.
+func Verify(src, entry string, cfg Config) (*Result, error) {
+	prog, err := cparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("slam: parse: %w", err)
+	}
+	return VerifyProgram(prog, entry, cfg)
+}
+
+// VerifyProgram runs the CEGAR loop on a parsed program.
+func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error) {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 10
+	}
+	if cfg.Opts == (abstract.Options{}) {
+		cfg.Opts = abstract.DefaultOptions()
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	info, err := ctype.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("slam: type check: %w", err)
+	}
+	res, err := cnorm.Normalize(info)
+	if err != nil {
+		return nil, fmt.Errorf("slam: normalize: %w", err)
+	}
+	aa := alias.Analyze(res)
+	pv := prover.New()
+
+	// Predicate pool, per scope, in insertion order.
+	pool := map[string][]string{}
+	poolSeen := map[string]bool{}
+	addPred := func(scope, text string) bool {
+		key := scope + "\x00" + text
+		if poolSeen[key] {
+			return false
+		}
+		poolSeen[key] = true
+		pool[scope] = append(pool[scope], text)
+		return true
+	}
+	for _, sec := range cfg.InitialPreds {
+		for i := range sec.Exprs {
+			addPred(sec.Name, sec.Texts[i])
+		}
+	}
+
+	out := &Result{Outcome: Unknown}
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		out.Iterations = iter
+		sections := poolSections(res, pool)
+		out.Predicates = map[string][]string{}
+		out.PredCount = 0
+		for _, sec := range sections {
+			out.Predicates[sec.Name] = append([]string{}, sec.Texts...)
+			out.PredCount += len(sec.Texts)
+		}
+		logf("slam iteration %d: %d predicates", iter, out.PredCount)
+
+		abs, err := abstract.Abstract(res, aa, pv, sections, cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("slam: abstraction (iteration %d): %w", iter, err)
+		}
+		out.FinalBP = abs.BP
+		out.ProverCalls = pv.Calls
+
+		checker, err := bebop.Check(abs.BP, entry)
+		if err != nil {
+			return nil, fmt.Errorf("slam: bebop (iteration %d): %w", iter, err)
+		}
+		failure, bad := checker.ErrorReachable()
+		if !bad {
+			out.Outcome = Verified
+			logf("slam: verified after %d iteration(s)", iter)
+			return out, nil
+		}
+
+		trace, ok := checker.Trace(entry, failure)
+		if !ok {
+			logf("slam: counterexample trace extraction failed")
+			out.Outcome = Unknown
+			return out, nil
+		}
+		nres, err := newton.Analyze(res, aa, pv, trace)
+		if err != nil {
+			return nil, fmt.Errorf("slam: newton (iteration %d): %w", iter, err)
+		}
+		out.ProverCalls = pv.Calls
+		if nres.GaveUp {
+			logf("slam: newton gave up on the path condition; answer unknown")
+			out.Outcome = Unknown
+			return out, nil
+		}
+		if nres.Feasible {
+			out.Outcome = ErrorFound
+			out.BPTrace = trace
+			out.ErrorTrace = nres.Events
+			logf("slam: feasible error path found after %d iteration(s)", iter)
+			return out, nil
+		}
+
+		// Refine.
+		added := 0
+		for scope, preds := range nres.NewPreds {
+			for _, p := range preds {
+				if addPred(scope, p) {
+					added++
+					logf("slam: new predicate [%s] %s", scope, p)
+				}
+			}
+		}
+		if added == 0 {
+			logf("slam: no new predicates; giving up")
+			out.Outcome = Unknown
+			return out, nil
+		}
+	}
+	logf("slam: iteration budget exhausted")
+	return out, nil
+}
+
+// poolSections converts the predicate pool into parsed sections, dropping
+// predicates that no longer parse (should not happen).
+func poolSections(res *cnorm.Result, pool map[string][]string) []cparse.PredSection {
+	var out []cparse.PredSection
+	// Deterministic order: global first, then program function order.
+	scopes := []string{abstract.GlobalScope}
+	for _, f := range res.Prog.Funcs {
+		scopes = append(scopes, f.Name)
+	}
+	for _, scope := range scopes {
+		preds := pool[scope]
+		if len(preds) == 0 {
+			continue
+		}
+		src := scope + ":\n  " + strings.Join(preds, ",\n  ")
+		secs, err := cparse.ParsePredFile(src)
+		if err != nil {
+			continue
+		}
+		out = append(out, secs...)
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package slam
+
+import (
+	"testing"
+)
+
+const lockSpec = `
+state {
+  int locked = 0;
+}
+
+event AcquireLock entry {
+  if (locked == 1) { abort; }
+  locked = 1;
+}
+
+event ReleaseLock entry {
+  if (locked == 0) { abort; }
+  locked = 0;
+}
+`
+
+func logTo(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) { t.Logf(format, args...) }
+}
+
+func TestLockStraightLineVerified(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(void) {
+  AcquireLock();
+  ReleaseLock();
+  AcquireLock();
+  ReleaseLock();
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations (preds: %v)", res.Outcome, res.Iterations, res.Predicates)
+	}
+}
+
+func TestLockDoubleAcquireError(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(void) {
+  AcquireLock();
+  AcquireLock();
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != ErrorFound {
+		t.Fatalf("outcome %s, want error-found", res.Outcome)
+	}
+	if len(res.ErrorTrace) == 0 {
+		t.Error("error trace missing")
+	}
+}
+
+func TestLockReleaseWithoutAcquireError(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(void) {
+  ReleaseLock();
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != ErrorFound {
+		t.Fatalf("outcome %s, want error-found", res.Outcome)
+	}
+}
+
+// The classic SLAM motivating example: correlated branches guarded by the
+// same condition. Data predicates (x == 0 and the lock state) must be
+// discovered automatically by Newton.
+func TestLockCorrelatedBranchesVerified(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(int x) {
+  if (x == 0) {
+    AcquireLock();
+  }
+  if (x == 0) {
+    ReleaseLock();
+  }
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations (preds: %v)", res.Outcome, res.Iterations, res.Predicates)
+	}
+	if res.Iterations < 2 {
+		t.Errorf("expected CEGAR refinement, verified in %d iteration(s)", res.Iterations)
+	}
+}
+
+func TestLockMismatchedBranchesError(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(int x) {
+  if (x == 0) {
+    AcquireLock();
+  }
+  if (x == 1) {
+    ReleaseLock();
+  }
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x == 1 releases without acquiring: real error.
+	if res.Outcome != ErrorFound {
+		t.Fatalf("outcome %s, want error-found", res.Outcome)
+	}
+}
+
+// Lock usage in a loop, the pattern the paper highlights for NT drivers
+// ("it has converged on all NT device drivers we have analyzed (even
+// though they contain loops)").
+func TestLockLoopVerified(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void main(int n) {
+  while (n > 0) {
+    AcquireLock();
+    ReleaseLock();
+    n = n - 1;
+  }
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations", res.Outcome, res.Iterations)
+	}
+}
+
+func TestAssertDirectVerify(t *testing.T) {
+	src := `
+void main(int x) {
+  int y;
+  y = 1;
+  if (x > 0) {
+    y = 2;
+  }
+  assert(y > 0);
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := Verify(src, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations (preds %v)", res.Outcome, res.Iterations, res.Predicates)
+	}
+}
+
+func TestAssertDirectError(t *testing.T) {
+	src := `
+void main(int x) {
+  int y;
+  y = 0;
+  if (x > 0) {
+    y = 1;
+  }
+  assert(y == 1);
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := Verify(src, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != ErrorFound {
+		t.Fatalf("outcome %s, want error-found", res.Outcome)
+	}
+}
+
+// Interprocedural lock discipline: the helper acquires, the caller
+// releases; the correlation flows through the call.
+func TestLockInterproceduralVerified(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+
+void helper(void) {
+  AcquireLock();
+}
+
+void main(void) {
+  helper();
+  ReleaseLock();
+}
+`
+	cfg := DefaultConfig()
+	cfg.Logf = logTo(t)
+	res, err := VerifySpec(src, lockSpec, "main", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations (preds %v)", res.Outcome, res.Iterations, res.Predicates)
+	}
+}

@@ -1,0 +1,126 @@
+package soundness_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bebop"
+	"predabs/internal/cinterp"
+	"predabs/internal/cnorm"
+	"predabs/internal/corpus"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/form"
+	"predabs/internal/prover"
+	"predabs/internal/spec"
+)
+
+// TestSoundnessFloppyDriver drives the instrumented floppy driver — the
+// corpus subject with a real defect — through the concrete interpreter
+// and checks every visited state against the abstraction built from a
+// SLAM-style predicate set. This exercises the call abstraction (temps,
+// post-call updates, signatures) and global predicates under realistic
+// dispatch control flow.
+func TestSoundnessFloppyDriver(t *testing.T) {
+	p, ok := corpus.ByName("floppy")
+	if !ok {
+		t.Fatal("floppy missing")
+	}
+	parsed, err := cparse.Parse(p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Parse(p.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := spec.Instrument(parsed, sp, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ctype.Check(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cnorm.Normalize(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa := alias.Analyze(res)
+
+	// The predicate set SLAM converges to on this subject (spec states
+	// plus the branch correlations).
+	secs, err := cparse.ParsePredFile(`
+global:
+  locked == 1, irp != 0, irp == 2
+FloppyDispatch:
+  code == 4, status < 0
+FlQueueRequest:
+  kind == 9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := abstract.Abstract(res, aa, prover.New(), secs, abstract.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker, err := bebop.Check(abs.BP, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defect must be visible in the abstraction.
+	if _, bad := checker.ErrorReachable(); !bad {
+		t.Fatal("the floppy IRP defect must be reachable in the abstraction")
+	}
+
+	violations, checked := 0, 0
+	for seed := int64(0); seed < 250; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		env := form.NewEnv()
+		args := []int64{int64(r.Intn(10)), int64(r.Intn(3) - 1), int64(r.Intn(12) - 2)}
+
+		in := &cinterp.Interp{
+			Res:  res,
+			Env:  env,
+			Rand: r,
+			OnStmt: func(v cinterp.StmtVisit) {
+				state := map[string]bool{}
+				eval := func(pd abstract.Pred) {
+					f := cinterp.RenameFormula(v.Rename, pd.F)
+					val, err := v.Env.EvalFormula(f)
+					if err != nil {
+						return
+					}
+					state[pd.Name] = val
+				}
+				for _, pd := range abs.GlobalPreds {
+					eval(pd)
+				}
+				for _, pd := range abs.LocalPreds[v.Fn] {
+					eval(pd)
+				}
+				idxs := checker.StmtsWithOrigin(v.Fn, any(v.Stmt))
+				if len(idxs) == 0 {
+					return
+				}
+				checked++
+				if !checker.StateReachable(v.Fn, idxs[0], state) {
+					violations++
+				}
+			},
+		}
+		if _, _, err := in.Run(p.Entry, args); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("too few states checked: %d", checked)
+	}
+	if violations > 0 {
+		t.Fatalf("%d/%d driver states outside the abstraction's invariants", violations, checked)
+	}
+	t.Logf("floppy driver: %d interpreted states, all inside the abstraction", checked)
+}

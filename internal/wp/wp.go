@@ -1,0 +1,224 @@
+// Package wp computes weakest liberal preconditions for MiniC assignments
+// over the quantifier-free logic of package form, using Morris' general
+// axiom of assignment for pointer stores (paper Section 4.2):
+//
+//	φ[x,e,y] = (&x = &y ∧ φ[e/y]) ∨ (&x ≠ &y ∧ φ)
+//
+// applied simultaneously over every location read by φ. A may-alias oracle
+// prunes disjuncts for provably non-aliased pairs and partially evaluates
+// must-alias pairs, exactly as C2bp does with its points-to analysis.
+package wp
+
+import (
+	"sort"
+	"strings"
+
+	"predabs/internal/form"
+)
+
+// Oracle answers may-alias queries between two location terms. The zero
+// oracle (nil) is maximally conservative.
+type Oracle interface {
+	MayAlias(x, y form.Term) bool
+}
+
+// AlwaysMayAlias is the oracle without points-to information: every pair of
+// same-kind locations may alias (the paper's 2^k-disjunct worst case).
+type AlwaysMayAlias struct{}
+
+// MayAlias always reports true.
+func (AlwaysMayAlias) MayAlias(x, y form.Term) bool { return true }
+
+// placeholder is the protected variable standing for the assigned value
+// during simultaneous substitution; it cannot collide with program
+// variables because MiniC identifiers cannot contain '$'.
+var placeholder = form.Var{Name: "$rhs$"}
+
+// maxRounds bounds the alias-fixpoint iteration. Substituting the
+// right-hand side into dereference spines can create new read locations
+// (e.g. *q := e turns *p into *e when q may point at p); those must be
+// case-split too. Type-correct MiniC programs converge in one or two
+// rounds; the cap triggers only on pathological pointer-to-pointer chains.
+const maxRounds = 4
+
+// Assignment returns WP(lhs := rhs, phi). lhs must be a location term.
+// If the alias fixpoint does not converge it returns false, which is a
+// sound no-information answer for the abstraction (see AssignmentOK).
+func Assignment(o Oracle, lhs, rhs form.Term, phi form.Formula) form.Formula {
+	f, _ := AssignmentOK(o, lhs, rhs, phi)
+	return f
+}
+
+// AssignmentOK is Assignment with an explicit convergence flag. When ok is
+// false the returned formula is false: not the true weakest precondition,
+// but sound for predicate abstraction, where WP results are only ever used
+// positively (F_V(false) = false simply yields no information and the
+// abstraction havocs the predicate).
+func AssignmentOK(o Oracle, lhs, rhs form.Term, phi form.Formula) (res form.Formula, ok bool) {
+	if o == nil {
+		o = AlwaysMayAlias{}
+	}
+	processed := map[string]bool{}
+	cur := phi
+	for round := 0; ; round++ {
+		var pending []form.Term
+		for _, y := range form.ReadLocations(cur) {
+			s := y.String()
+			if processed[s] || s == placeholder.Name {
+				continue
+			}
+			// After the first round, everything already present is a
+			// pre-state read (including alias-guard terms); only locations
+			// newly created by substituting the placeholder into a
+			// dereference spine (*$rhs$, $rhs$->f, ...) read post-memory
+			// and still need case splits.
+			if round > 0 && !strings.Contains(s, placeholder.Name) {
+				continue
+			}
+			processed[s] = true
+			if classify(o, lhs, y) != aliasNo {
+				pending = append(pending, y)
+			}
+		}
+		if len(pending) == 0 {
+			return form.SubstReads(cur, placeholder, rhs), true
+		}
+		if round >= maxRounds {
+			return form.FalseF{}, false
+		}
+		// Innermost-first: a read like *p resolves its base pointer p
+		// before the dereference itself, mirroring bottom-up evaluation in
+		// the post-state. Outer chains rewritten by an inner substitution
+		// become placeholder-containing hybrids handled next round.
+		sort.SliceStable(pending, func(i, j int) bool {
+			si, sj := form.TermSize(pending[i]), form.TermSize(pending[j])
+			if si != sj {
+				return si < sj
+			}
+			return pending[i].String() < pending[j].String()
+		})
+		cur = split(o, lhs, cur, pending)
+	}
+}
+
+// aliasClass classifies the relationship of the assignment target with a
+// location read by the predicate.
+type aliasClass int
+
+const (
+	aliasNo aliasClass = iota
+	aliasMust
+	aliasMay
+)
+
+func classify(o Oracle, lhs, y form.Term) aliasClass {
+	if form.TermEq(lhs, y) {
+		return aliasMust
+	}
+	if !compatibleKinds(lhs, y) {
+		return aliasNo
+	}
+	if !o.MayAlias(lhs, y) {
+		return aliasNo
+	}
+	return aliasMay
+}
+
+// compatibleKinds applies purely syntactic never-alias rules so the
+// computation is sound even with the trivial oracle: distinct variables
+// never alias; different struct fields never alias.
+func compatibleKinds(x, y form.Term) bool {
+	if vx, ok := x.(form.Var); ok {
+		if vy, ok := y.(form.Var); ok {
+			return vx.Name == vy.Name
+		}
+	}
+	if sx, ok := x.(form.Sel); ok {
+		if sy, ok := y.(form.Sel); ok && sx.Field != sy.Field {
+			return false
+		}
+	}
+	return true
+}
+
+func split(o Oracle, lhs form.Term, phi form.Formula, locs []form.Term) form.Formula {
+	for len(locs) > 0 {
+		y := locs[0]
+		locs = locs[1:]
+		switch classify(o, lhs, y) {
+		case aliasNo:
+			continue
+		case aliasMust:
+			phi = form.SubstReads(phi, y, placeholder)
+			continue
+		case aliasMay:
+			addrEq := addrEqFormula(lhs, y)
+			thenF := split(o, lhs, form.SubstReads(phi, y, placeholder), locs)
+			elseF := split(o, lhs, phi, locs)
+			switch addrEq.(type) {
+			case form.TrueF:
+				return thenF
+			case form.FalseF:
+				return elseF
+			}
+			return form.MkOr(
+				form.MkAnd(addrEq, thenF),
+				form.MkAnd(form.MkNot(addrEq), elseF),
+			)
+		}
+	}
+	return phi
+}
+
+// addrEqFormula builds the formula expressing &x = &y, using structural
+// decompositions where possible so the prover sees simple pointer
+// equalities:
+//
+//	&*p = &*q      ⇔  p = q
+//	&(b1.f) = &(b2.f) ⇔ &b1 = &b2
+//	&a[i] = &a[j]  ⇔  &a = &a ∧ i = j
+func addrEqFormula(x, y form.Term) form.Formula {
+	switch x := x.(type) {
+	case form.Sel:
+		if ys, ok := y.(form.Sel); ok {
+			if x.Field != ys.Field {
+				return form.FalseF{}
+			}
+			return structBaseEq(x.X, ys.X)
+		}
+	case form.Idx:
+		if yi, ok := y.(form.Idx); ok {
+			baseEq := structBaseEq(x.X, yi.X)
+			idxEq := form.MkCmp(form.Eq, x.I, yi.I)
+			return form.MkAnd(baseEq, idxEq)
+		}
+	}
+	ax, ay := form.Addr(x), form.Addr(y)
+	// Prefer the plain pointer on the left ("p == &x" rather than
+	// "&x == p"), matching the paper's presentation.
+	if _, isAddr := ax.(form.AddrOf); isAddr {
+		if _, yAddr := ay.(form.AddrOf); !yAddr {
+			ax, ay = ay, ax
+		}
+	}
+	return form.MkCmp(form.Eq, ax, ay)
+}
+
+// structBaseEq expresses that two Sel/Idx base locations have equal
+// addresses.
+func structBaseEq(b1, b2 form.Term) form.Formula {
+	d1, ok1 := b1.(form.Deref)
+	d2, ok2 := b2.(form.Deref)
+	if ok1 && ok2 {
+		return form.MkCmp(form.Eq, d1.X, d2.X)
+	}
+	v1, okv1 := b1.(form.Var)
+	v2, okv2 := b2.(form.Var)
+	if okv1 && okv2 {
+		if v1.Name == v2.Name {
+			return form.TrueF{}
+		}
+		return form.FalseF{}
+	}
+	return form.MkCmp(form.Eq, form.Addr(b1), form.Addr(b2))
+}

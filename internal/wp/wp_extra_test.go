@@ -1,0 +1,132 @@
+package wp
+
+import (
+	"testing"
+
+	"predabs/internal/form"
+)
+
+func TestWPConvergenceFlag(t *testing.T) {
+	// Ordinary assignments converge.
+	_, ok := AssignmentOK(nil, pt(t, "x"), pt(t, "y"), pf(t, "x < 5"))
+	if !ok {
+		t.Fatal("simple assignment should converge")
+	}
+}
+
+func TestWPStructFieldOnValue(t *testing.T) {
+	// s.f is a direct sub-object: assigning it rewrites reads of s.f and
+	// nothing else.
+	got := Assignment(noAlias{}, pt(t, "s.f"), pt(t, "7"), pf(t, "s.f == 7 && s.g == 1"))
+	if got.String() != "s.g == 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPSameFieldDifferentValueVars(t *testing.T) {
+	// x.f vs y.f on distinct struct VALUES never alias.
+	got := Assignment(nil, pt(t, "x.f"), pt(t, "1"), pf(t, "y.f == 0"))
+	if got.String() != "y.f == 0" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPChainThroughTwoStores(t *testing.T) {
+	// Compose WP over a two-statement path manually:
+	//   p->next = q;  r = p->next;   φ = (r == q)
+	phi := pf(t, "r == q")
+	phi = Assignment(heapOnly{}, pt(t, "r"), pt(t, "p->next"), phi)
+	if phi.String() != "p->next == q" {
+		t.Fatalf("after r = p->next: %q", phi)
+	}
+	phi = Assignment(heapOnly{}, pt(t, "p->next"), pt(t, "q"), phi)
+	if _, ok := phi.(form.TrueF); !ok {
+		t.Fatalf("after p->next = q: %q, want true", phi)
+	}
+}
+
+func TestWPNullDerefTotalSemantics(t *testing.T) {
+	// Reads through NULL are total in the logic: WP stays well-defined.
+	got := Assignment(heapOnly{}, pt(t, "p"), pt(t, "NULL"), pf(t, "p->val > 0"))
+	// p->val becomes NULL->val, an opaque term.
+	if got.String() != "0->val > 0" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPPreservesUntouchedDisjunct(t *testing.T) {
+	got := Assignment(noAlias{}, pt(t, "x"), pt(t, "0"),
+		pf(t, "x == 1 || y == 2"))
+	if got.String() != "y == 2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPSelfAssignment(t *testing.T) {
+	got := Assignment(noAlias{}, pt(t, "x"), pt(t, "x"), pf(t, "x > 0 && y < x"))
+	if got.String() != "(x > 0) && (y < x)" {
+		t.Errorf("self assignment must be identity: %q", got)
+	}
+}
+
+func TestWPSwapComposition(t *testing.T) {
+	// tmp=x; x=y; y=tmp preserves {x==a && y==b} ↦ {x==b && y==a}.
+	phi := pf(t, "x == b && y == a")
+	phi = Assignment(noAlias{}, pt(t, "y"), pt(t, "tmp"), phi)
+	phi = Assignment(noAlias{}, pt(t, "x"), pt(t, "y"), phi)
+	phi = Assignment(noAlias{}, pt(t, "tmp"), pt(t, "x"), phi)
+	want := "(y == b) && (x == a)"
+	if phi.String() != want {
+		t.Errorf("got %q, want %q", phi, want)
+	}
+}
+
+func TestWPThroughIndexChain(t *testing.T) {
+	// a[a[i]] style nesting: the subscript itself reads a cell.
+	phi := pf(t, "a[j] == 1")
+	got := Assignment(heapOnly{}, pt(t, "j"), pt(t, "a[i]"), phi)
+	if got.String() != "a[a[i]] == 1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// A regression distilled from the randomized suite: storing through a
+// pointer that may point at the predicate's own base pointer (the
+// innermost-first + hybrid-rounds case).
+func TestWPStoreHitsBasePointer(t *testing.T) {
+	// *q := t, φ = (*p == 0), where q may point at p (int** world).
+	lhs, rhs := pt(t, "*q"), pt(t, "t")
+	phi := pf(t, "*p == 0")
+	wpf := Assignment(nil, lhs, rhs, phi)
+
+	// Concrete check across the aliasing scenarios.
+	for _, qAtP := range []bool{true, false} {
+		env := form.NewEnv()
+		pa := env.AddrOfVar("p")
+		env.AddrOfVar("x")
+		env.Store(form.Var{Name: "x"}, 0)
+		env.Store(form.Var{Name: "p"}, env.AddrOfVar("x"))
+		env.Store(form.Var{Name: "t"}, env.AddrOfVar("x"))
+		if qAtP {
+			env.Store(form.Var{Name: "q"}, pa)
+		} else {
+			env.Store(form.Var{Name: "q"}, env.AddrOfVar("y"))
+		}
+		pre, err := env.EvalFormula(wpf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		post := env.Clone()
+		tv, _ := post.Eval(rhs)
+		if err := post.Store(lhs, tv); err != nil {
+			t.Fatal(err)
+		}
+		after, err := post.EvalFormula(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pre != after {
+			t.Fatalf("qAtP=%v: pre=%v after=%v (wp=%s)", qAtP, pre, after, wpf)
+		}
+	}
+}

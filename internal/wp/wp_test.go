@@ -1,0 +1,367 @@
+package wp
+
+import (
+	"math/rand"
+	"testing"
+
+	"predabs/internal/cparse"
+	"predabs/internal/form"
+)
+
+func pf(t *testing.T, src string) form.Formula {
+	t.Helper()
+	e, err := cparse.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	f, err := form.FromCond(e)
+	if err != nil {
+		t.Fatalf("convert %q: %v", src, err)
+	}
+	return f
+}
+
+func pt(t *testing.T, src string) form.Term {
+	t.Helper()
+	e, err := cparse.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	tm, err := form.FromExpr(e)
+	if err != nil {
+		t.Fatalf("convert %q: %v", src, err)
+	}
+	return tm
+}
+
+// noAlias is an oracle where nothing aliases (beyond syntactic identity).
+type noAlias struct{}
+
+func (noAlias) MayAlias(x, y form.Term) bool { return false }
+
+// heapOnly is an oracle for programs where no variable has its address
+// taken: plain variables are never aliased, heap cells may be.
+type heapOnly struct{}
+
+func (heapOnly) MayAlias(x, y form.Term) bool {
+	if _, ok := x.(form.Var); ok {
+		return false
+	}
+	if _, ok := y.(form.Var); ok {
+		return false
+	}
+	return true
+}
+
+func TestWPScalarAssignment(t *testing.T) {
+	// Paper Section 4.1: WP(x=x+1, x<5) = x+1 < 5.
+	got := Assignment(nil, pt(t, "x"), pt(t, "x + 1"), pf(t, "x < 5"))
+	if got.String() != "(x + 1) < 5" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPUnrelatedPredicate(t *testing.T) {
+	got := Assignment(noAlias{}, pt(t, "x"), pt(t, "y"), pf(t, "z < 5"))
+	if got.String() != "z < 5" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPPointerStoreMorris(t *testing.T) {
+	// Paper Section 4.2: WP(x=3, *p>5) = (&x = p ∧ 3 > 5) ∨ (&x ≠ p ∧ *p > 5).
+	// The 3>5 disjunct folds away, leaving &x != p ∧ *p > 5.
+	got := Assignment(nil, pt(t, "x"), pt(t, "3"), pf(t, "*p > 5"))
+	want := "(p != &x) && (*p > 5)"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestWPDerefStore(t *testing.T) {
+	// WP(*p = 3, x > 5): case split on p == &x.
+	got := Assignment(nil, pt(t, "*p"), pt(t, "3"), pf(t, "x > 5"))
+	// (p == &x ∧ 3 > 5) ∨ (p ≠ &x ∧ x > 5) → p != &x && x > 5.
+	want := "(p != &x) && (x > 5)"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestWPDerefStoreBothDerefs(t *testing.T) {
+	// WP(*p = 1, *q == 1) = (p == q ∧ true) ∨ (p ≠ q ∧ *q == 1)
+	got := Assignment(heapOnly{}, pt(t, "*p"), pt(t, "1"), pf(t, "*q == 1"))
+	want := "(p == q) || ((p != q) && (*q == 1))"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestWPNoAliasOraclePrunes(t *testing.T) {
+	got := Assignment(noAlias{}, pt(t, "*p"), pt(t, "1"), pf(t, "*q == 1"))
+	if got.String() != "*q == 1" {
+		t.Errorf("got %q, want unchanged", got)
+	}
+}
+
+func TestWPFieldStore(t *testing.T) {
+	// WP(prev->next = nc, curr->next == w) splits on prev == curr.
+	got := Assignment(heapOnly{}, pt(t, "prev->next"), pt(t, "nc"), pf(t, "curr->next == w"))
+	want := "((prev == curr) && (nc == w)) || ((prev != curr) && (curr->next == w))"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestWPDifferentFieldsNoSplit(t *testing.T) {
+	got := Assignment(heapOnly{}, pt(t, "prev->next"), pt(t, "nc"), pf(t, "curr->val > v"))
+	if got.String() != "curr->val > v" {
+		t.Errorf("got %q, want unchanged", got)
+	}
+}
+
+func TestWPSameLocationMust(t *testing.T) {
+	got := Assignment(heapOnly{}, pt(t, "curr->val"), pt(t, "5"), pf(t, "curr->val > v"))
+	if got.String() != "5 > v" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPPointerVarAssignRewritesChain(t *testing.T) {
+	// WP(prev = curr, prev->val > v) = curr->val > v (address-not-taken).
+	got := Assignment(noAlias{}, pt(t, "prev"), pt(t, "curr"), pf(t, "prev->val > v"))
+	if got.String() != "curr->val > v" {
+		t.Errorf("got %q", got)
+	}
+	// WP(prev = NULL, prev == NULL) = true.
+	got = Assignment(noAlias{}, pt(t, "prev"), pt(t, "NULL"), pf(t, "prev == NULL"))
+	if _, ok := got.(form.TrueF); !ok {
+		t.Errorf("got %q, want true", got)
+	}
+}
+
+func TestWPArrayStore(t *testing.T) {
+	// WP(a[i] = 0, a[j] == 1) splits on i == j.
+	got := Assignment(heapOnly{}, pt(t, "a[i]"), pt(t, "0"), pf(t, "a[j] == 1"))
+	want := "(i != j) && (a[j] == 1)"
+	if got.String() != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Same index: must alias.
+	got = Assignment(heapOnly{}, pt(t, "a[i]"), pt(t, "7"), pf(t, "a[i] == 7"))
+	if _, ok := got.(form.TrueF); !ok {
+		t.Errorf("same-cell store: got %q, want true", got)
+	}
+}
+
+func TestWPAddressOfOccurrenceUntouched(t *testing.T) {
+	// Assigning to x must not rewrite &x.
+	got := Assignment(nil, pt(t, "x"), pt(t, "9"), pf(t, "p == &x"))
+	if got.String() != "p == &x" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestWPIndexVariableInSubscript(t *testing.T) {
+	// Assigning the index variable rewrites the subscript read.
+	got := Assignment(noAlias{}, pt(t, "i"), pt(t, "i + 1"), pf(t, "a[i] == 0"))
+	if got.String() != "a[(i + 1)] == 0" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// --- Property-based testing against the concrete little machine ---
+
+// randomEnv builds an environment where pointer variables hold plausible
+// addresses, so aliasing actually happens.
+func randomEnv(r *rand.Rand, intVars, ptrVars []string) *form.Env {
+	env := form.NewEnv()
+	for _, v := range intVars {
+		env.Store(form.Var{Name: v}, int64(r.Intn(9)-4))
+	}
+	// Allocate addresses for all vars first.
+	for _, v := range intVars {
+		env.AddrOfVar(v)
+	}
+	for _, v := range ptrVars {
+		env.AddrOfVar(v)
+	}
+	for _, v := range ptrVars {
+		var val int64
+		switch r.Intn(4) {
+		case 0:
+			val = 0 // NULL
+		case 1, 2:
+			// Address of a random int variable.
+			val = env.AddrOfVar(intVars[r.Intn(len(intVars))])
+		case 3:
+			// Address of a random pointer variable (pointer to pointer).
+			val = env.AddrOfVar(ptrVars[r.Intn(len(ptrVars))])
+		}
+		env.Store(form.Var{Name: v}, val)
+	}
+	return env
+}
+
+// randomPredicate builds a random formula over the given variables.
+func randomPredicate(r *rand.Rand, t *testing.T) form.Formula {
+	preds := []string{
+		"x < y", "x == 0", "y >= 1", "*p == x", "*q <= y", "p == q",
+		"p == NULL", "*p != *q", "x + y < 3", "p == &x", "*p + 1 == y",
+	}
+	f := pf(t, preds[r.Intn(len(preds))])
+	if r.Intn(2) == 0 {
+		g := pf(t, preds[r.Intn(len(preds))])
+		if r.Intn(2) == 0 {
+			return form.MkAnd(f, g)
+		}
+		return form.MkOr(f, g)
+	}
+	return f
+}
+
+// TestWPAgainstConcreteSemantics: for random states, random assignments and
+// random predicates, WP(s,φ) holds before executing s iff φ holds after.
+// This is the defining property of the weakest (liberal) precondition for
+// terminating deterministic assignments.
+func TestWPAgainstConcreteSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	intVars := []string{"x", "y"}
+	ptrVars := []string{"p", "q"}
+
+	assignments := []struct{ lhs, rhs string }{
+		{"x", "x + 1"}, {"x", "y"}, {"x", "0"}, {"y", "x + y"},
+		{"*p", "3"}, {"*p", "x"}, {"*q", "*p"}, {"*p", "*p + 1"},
+		{"p", "q"}, {"p", "&x"}, {"q", "&y"}, {"x", "*q"},
+	}
+
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		env := randomEnv(r, intVars, ptrVars)
+		phi := randomPredicate(r, t)
+		asn := assignments[r.Intn(len(assignments))]
+		lhs, rhs := pt(t, asn.lhs), pt(t, asn.rhs)
+
+		// Skip executions that would dereference NULL (undefined in C).
+		if d, ok := lhs.(form.Deref); ok {
+			pv, err := env.Eval(d.X)
+			if err != nil || pv == 0 {
+				continue
+			}
+		}
+		wpf := Assignment(nil, lhs, rhs, phi)
+
+		pre, err := env.EvalFormula(wpf)
+		if err != nil {
+			t.Fatalf("eval WP: %v (wp=%s)", err, wpf)
+		}
+		// Execute.
+		post := env.Clone()
+		rv, err := post.Eval(rhs)
+		if err != nil {
+			t.Fatalf("eval rhs: %v", err)
+		}
+		if err := post.Store(lhs, rv); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+		after, err := post.EvalFormula(phi)
+		if err != nil {
+			t.Fatalf("eval post: %v", err)
+		}
+		if pre != after {
+			t.Fatalf("WP mismatch (trial %d):\n  stmt: %s = %s\n  phi:  %s\n  wp:   %s\n  pre=%v after=%v\n  env: %+v",
+				i, asn.lhs, asn.rhs, phi, wpf, pre, after, env)
+		}
+	}
+}
+
+// Same property for field stores over linked-list shapes.
+func TestWPFieldsAgainstConcreteSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const trials = 3000
+	assignments := []struct{ lhs, rhs string }{
+		{"this->next", "tmp"}, {"prev->next", "this"}, {"this->mark", "1"},
+		{"this", "prev"}, {"prev", "this->next"}, {"tmp", "prev->next"},
+	}
+	preds := []string{
+		"this->next == h", "prev->next == tmp", "this == prev",
+		"this->mark == 1", "prev->next->mark == 0", "this != NULL",
+	}
+	for i := 0; i < trials; i++ {
+		env := form.NewEnv()
+		// Three node variables acting as heap cells, plus pointers.
+		nodes := []string{"n1", "n2", "n3"}
+		for _, n := range nodes {
+			env.AddrOfVar(n)
+		}
+		addrOf := func(n string) int64 { return env.AddrOfVar(n) }
+		randNode := func() int64 {
+			if r.Intn(5) == 0 {
+				return 0
+			}
+			return addrOf(nodes[r.Intn(len(nodes))])
+		}
+		for _, n := range nodes {
+			env.Store(form.Sel{X: form.Var{Name: n}, Field: "next"}, randNode())
+			env.Store(form.Sel{X: form.Var{Name: n}, Field: "mark"}, int64(r.Intn(2)))
+		}
+		for _, p := range []string{"this", "prev", "tmp", "h"} {
+			env.Store(form.Var{Name: p}, randNode())
+		}
+
+		phi := pf(t, preds[r.Intn(len(preds))])
+		asn := assignments[r.Intn(len(assignments))]
+		lhs, rhs := pt(t, asn.lhs), pt(t, asn.rhs)
+
+		// Skip NULL dereferences on either side.
+		skip := false
+		for _, tm := range []form.Term{lhs, rhs} {
+			for _, loc := range form.TermReadLocations(tm) {
+				if s, ok := loc.(form.Sel); ok {
+					if d, ok := s.X.(form.Deref); ok {
+						pv, err := env.Eval(d.X)
+						if err != nil || pv == 0 {
+							skip = true
+						}
+					}
+				}
+			}
+		}
+		// Predicates reading through NULL are undefined too.
+		for _, loc := range form.ReadLocations(phi) {
+			if s, ok := loc.(form.Sel); ok {
+				if d, ok := s.X.(form.Deref); ok {
+					pv, err := env.Eval(d.X)
+					if err != nil || pv == 0 {
+						skip = true
+					}
+				}
+			}
+		}
+		if skip {
+			continue
+		}
+
+		wpf := Assignment(nil, lhs, rhs, phi)
+		pre, err := env.EvalFormula(wpf)
+		if err != nil {
+			t.Fatalf("eval WP: %v", err)
+		}
+		post := env.Clone()
+		rv, err := post.Eval(rhs)
+		if err != nil {
+			t.Fatalf("eval rhs: %v", err)
+		}
+		if err := post.Store(lhs, rv); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+		after, err := post.EvalFormula(phi)
+		if err != nil {
+			t.Fatalf("eval post: %v", err)
+		}
+		if pre != after {
+			t.Fatalf("WP mismatch (trial %d):\n  stmt: %s = %s\n  phi:  %s\n  wp:   %s\n  pre=%v after=%v",
+				i, asn.lhs, asn.rhs, phi, wpf, pre, after)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package predabs is a from-scratch reproduction of "Automatic Predicate
+// Abstraction of C Programs" (Ball, Majumdar, Millstein, Rajamani; PLDI
+// 2001): the C2bp predicate-abstraction tool, the Bebop boolean-program
+// model checker, the Newton predicate-discovery step, and the SLAM
+// counterexample-guided abstraction refinement loop that ties them
+// together.
+//
+// The package operates on MiniC, a C subset with integers, structs,
+// pointers, arrays (under the paper's logical memory model) and
+// procedures. Three entry points cover the paper's workflows:
+//
+//   - Load + Program.Abstract: run C2bp, producing a boolean program
+//     (paper Sections 2-5);
+//   - BooleanProgram.Check: run Bebop reachability, yielding
+//     per-statement invariants and assertion results (Section 2.2);
+//   - Verify / VerifySpec: the full SLAM loop for temporal safety
+//     properties, with automatic predicate discovery (Section 6.1).
+package predabs
+
+import (
+	"fmt"
+
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bebop"
+	"predabs/internal/bp"
+	"predabs/internal/cnorm"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/newton"
+	"predabs/internal/prover"
+	"predabs/internal/slam"
+)
+
+// Options re-exports the C2bp precision/efficiency knobs (Section 5.2).
+type Options = abstract.Options
+
+// DefaultOptions returns the paper's standard configuration: cube length
+// limit 3, cone of influence, syntactic heuristics, skip-unchanged, and
+// enforce invariants all enabled.
+func DefaultOptions() Options { return abstract.DefaultOptions() }
+
+// Program is a parsed, type-checked MiniC program in the paper's simple
+// intermediate form, with points-to information attached.
+type Program struct {
+	norm  *cnorm.Result
+	alias *alias.Analysis
+}
+
+// Load parses, type checks and normalizes MiniC source, then runs the
+// flow-insensitive points-to analysis.
+func Load(src string) (*Program, error) {
+	parsed, err := cparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: parse: %w", err)
+	}
+	info, err := ctype.Check(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: type check: %w", err)
+	}
+	norm, err := cnorm.Normalize(info)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: normalize: %w", err)
+	}
+	return &Program{norm: norm, alias: alias.Analyze(norm)}, nil
+}
+
+// LoadGhostAliasing loads like Load, but entry-point parameters are NOT
+// assumed to alias each other or the heap reachable from other
+// parameters. This reproduces the paper's auxiliary-variable idiom
+// (Figure 3's h "chosen non-deterministically to point at any element of
+// the list"): h and hnext act as ghost observers whose cells the list
+// mutations do not touch. The mode is unsound as a general alias
+// treatment — use it only for ghost-style observer parameters; see the
+// Figure 3 discussion in EXPERIMENTS.md.
+func LoadGhostAliasing(src string) (*Program, error) {
+	parsed, err := cparse.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: parse: %w", err)
+	}
+	info, err := ctype.Check(parsed)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: type check: %w", err)
+	}
+	norm, err := cnorm.Normalize(info)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: normalize: %w", err)
+	}
+	return &Program{norm: norm, alias: alias.AnalyzeOpts(norm, alias.Options{OpenCallers: false})}, nil
+}
+
+// AbstractStats reports the cost of one abstraction run (the columns of
+// the paper's Tables 1 and 2).
+type AbstractStats struct {
+	// ProverCalls is the number of theorem-prover queries.
+	ProverCalls int
+	// CubesChecked counts cube implication candidates examined.
+	CubesChecked int
+	// Predicates is the number of input predicates.
+	Predicates int
+}
+
+// BooleanProgram is the result of predicate abstraction: BP(P, E).
+type BooleanProgram struct {
+	prog  *bp.Program
+	stats AbstractStats
+}
+
+// Abstract runs C2bp on the program with the given predicate input file
+// (sections "procname: e1, e2, ..." and optionally "global: ...").
+func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, error) {
+	sections, err := cparse.ParsePredFile(predicates)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: predicates: %w", err)
+	}
+	pv := prover.New()
+	res, err := abstract.Abstract(p.norm, p.alias, pv, sections, opts)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: abstraction: %w", err)
+	}
+	n := 0
+	for _, sec := range sections {
+		n += len(sec.Exprs)
+	}
+	return &BooleanProgram{
+		prog: res.BP,
+		stats: AbstractStats{
+			ProverCalls:  pv.Calls,
+			CubesChecked: res.Stats.CubesChecked,
+			Predicates:   n,
+		},
+	}, nil
+}
+
+// Text renders the boolean program in its surface syntax (parseable by
+// ParseBooleanProgram and the bebop command).
+func (b *BooleanProgram) Text() string { return bp.Print(b.prog) }
+
+// Stats returns the abstraction cost metrics.
+func (b *BooleanProgram) Stats() AbstractStats { return b.stats }
+
+// ParseBooleanProgram parses boolean-program surface syntax, for use with
+// Check (the standalone Bebop workflow).
+func ParseBooleanProgram(src string) (*BooleanProgram, error) {
+	prog, err := bp.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: boolean program: %w", err)
+	}
+	return &BooleanProgram{prog: prog}, nil
+}
+
+// CheckResult is the outcome of Bebop reachability analysis.
+type CheckResult struct {
+	checker *bebop.Checker
+	entry   string
+}
+
+// Check runs the Bebop model checker from the entry procedure.
+func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
+	ch, err := bebop.Check(b.prog, entry)
+	if err != nil {
+		return nil, fmt.Errorf("predabs: bebop: %w", err)
+	}
+	return &CheckResult{checker: ch, entry: entry}, nil
+}
+
+// ErrorReachable reports whether some assert can fail, and where.
+func (r *CheckResult) ErrorReachable() (proc string, stmt int, reachable bool) {
+	f, bad := r.checker.ErrorReachable()
+	return f.Proc, f.Stmt, bad
+}
+
+// InvariantAt returns the reachable-state invariant at a labelled
+// statement, rendered as a disjunction of cubes over the boolean
+// variables (Section 2.2's output format).
+func (r *CheckResult) InvariantAt(proc, label string) (string, error) {
+	idx, ok := r.checker.StmtAtLabel(proc, label)
+	if !ok {
+		return "", fmt.Errorf("predabs: no label %q in %q", label, proc)
+	}
+	return r.checker.InvariantString(proc, idx), nil
+}
+
+// InvariantHolds reports whether the boolean-program expression holds in
+// every reachable state at the labelled statement.
+func (r *CheckResult) InvariantHolds(proc, label, expr string) (bool, error) {
+	idx, ok := r.checker.StmtAtLabel(proc, label)
+	if !ok {
+		return false, fmt.Errorf("predabs: no label %q in %q", label, proc)
+	}
+	cond, err := bp.ParseExpr(expr)
+	if err != nil {
+		return false, fmt.Errorf("predabs: expression: %w", err)
+	}
+	return r.checker.HoldsAt(proc, idx, cond), nil
+}
+
+// LabelledInvariants renders "proc:label: invariant" lines for every
+// labelled statement in the program (the paper's invariant-detection
+// use case).
+func (r *CheckResult) LabelledInvariants() []string {
+	return r.checker.LabelledInvariants()
+}
+
+// ErrorTrace renders a counterexample trace for the first reachable
+// assertion violation as human-readable lines.
+func (r *CheckResult) ErrorTrace() ([]string, bool) {
+	f, bad := r.checker.ErrorReachable()
+	if !bad {
+		return nil, false
+	}
+	steps, ok := r.checker.Trace(r.entry, f)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, 0, len(steps))
+	for _, s := range steps {
+		line := fmt.Sprintf("%s:%d  %s", s.Proc, s.Stmt, bp.StmtString(s.BP))
+		if s.BP.Comment != "" {
+			line += "   // " + s.BP.Comment
+		}
+		out = append(out, line)
+	}
+	return out, true
+}
+
+// Outcome re-exports the SLAM verdicts.
+type Outcome = slam.Outcome
+
+// SLAM outcomes.
+const (
+	Verified   = slam.Verified
+	ErrorFound = slam.ErrorFound
+	Unknown    = slam.Unknown
+)
+
+// VerifyResult re-exports the SLAM result.
+type VerifyResult = slam.Result
+
+// VerifyConfig re-exports the SLAM configuration.
+type VerifyConfig = slam.Config
+
+// DefaultVerifyConfig returns the standard CEGAR configuration.
+func DefaultVerifyConfig() VerifyConfig { return slam.DefaultConfig() }
+
+// Verify checks that no assert in the MiniC source can fail, running the
+// full SLAM abstract-check-refine loop from the entry procedure.
+func Verify(src, entry string, cfg VerifyConfig) (*VerifyResult, error) {
+	return slam.Verify(src, entry, cfg)
+}
+
+// VerifySpec checks a SLIC-style temporal-safety specification against
+// the program (see package spec for the specification syntax).
+func VerifySpec(src, specSrc, entry string, cfg VerifyConfig) (*VerifyResult, error) {
+	return slam.VerifySpec(src, specSrc, entry, cfg)
+}
+
+// PathFeasibility runs Newton alone on the first counterexample of the
+// abstraction built from the given predicates; exposed for tooling and
+// tests.
+func (p *Program) PathFeasibility(predicates, entry string) (feasible bool, newPreds map[string][]string, err error) {
+	bprog, err := p.Abstract(predicates, DefaultOptions())
+	if err != nil {
+		return false, nil, err
+	}
+	ch, err := bebop.Check(bprog.prog, entry)
+	if err != nil {
+		return false, nil, err
+	}
+	f, bad := ch.ErrorReachable()
+	if !bad {
+		return false, nil, fmt.Errorf("predabs: no counterexample to analyze")
+	}
+	trace, ok := ch.Trace(entry, f)
+	if !ok {
+		return false, nil, fmt.Errorf("predabs: trace extraction failed")
+	}
+	nres, err := newton.Analyze(p.norm, p.alias, prover.New(), trace)
+	if err != nil {
+		return false, nil, err
+	}
+	return nres.Feasible, nres.NewPreds, nil
+}

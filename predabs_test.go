@@ -1,0 +1,258 @@
+package predabs
+
+import (
+	"strings"
+	"testing"
+)
+
+const partitionSrc = `
+typedef struct cell { int val; struct cell* next; } *list;
+
+list partition(list *l, int v) {
+  list curr, prev, newl, nextCurr;
+  curr = *l;
+  prev = NULL;
+  newl = NULL;
+  while (curr != NULL) {
+    nextCurr = curr->next;
+    if (curr->val > v) {
+      if (prev != NULL) { prev->next = nextCurr; }
+      if (curr == *l) { *l = nextCurr; }
+      curr->next = newl;
+L:    newl = curr;
+    } else {
+      prev = curr;
+    }
+    curr = nextCurr;
+  }
+  return newl;
+}
+`
+
+const partitionPreds = `
+partition:
+  curr == NULL, prev == NULL, curr->val > v, prev->val > v
+`
+
+// TestSection22InvariantAtL reproduces the paper's Section 2.2 result:
+// Bebop's invariant at label L is
+//
+//	(curr ≠ NULL) ∧ (curr->val > v) ∧ ((prev->val ≤ v) ∨ (prev = NULL)).
+func TestSection22InvariantAtL(t *testing.T) {
+	prog, err := Load(partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprog, err := prog.Abstract(partitionPreds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bprog.Check("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := res.InvariantAt("partition", "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("invariant at L: %s", inv)
+
+	holds := func(expr string) bool {
+		ok, err := res.InvariantHolds("partition", "L", expr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !holds("!{curr == NULL}") {
+		t.Error("invariant must imply curr != NULL")
+	}
+	if !holds("{curr->val > v}") {
+		t.Error("invariant must imply curr->val > v")
+	}
+	if !holds("!{prev->val > v} | {prev == NULL}") {
+		t.Error("invariant must imply prev->val <= v or prev == NULL")
+	}
+	// And it is not degenerate.
+	if holds("{prev == NULL}") {
+		t.Error("prev == NULL alone should not be invariant (loop iterates)")
+	}
+	if inv == "false" {
+		t.Error("L must be reachable")
+	}
+}
+
+// TestFigure3MarkInvariant reproduces the Section 6.2 reverse example:
+// the mark procedure traverses a list setting back pointers, then
+// restores them; the shape is preserved: h->next == hnext at the end,
+// for an arbitrary non-NULL node h with hnext = h->next initially.
+func TestFigure3MarkInvariant(t *testing.T) {
+	src := `
+struct node { int mark; struct node* next; };
+
+void mark(struct node* list, struct node* h) {
+  struct node* this;
+  struct node* tmp;
+  struct node* prev;
+  struct node* hnext;
+  assume(h != NULL);
+  hnext = h->next;
+  prev = NULL;
+  this = list;
+  while (this != NULL) {
+    if (this->mark == 1) { break; }
+    this->mark = 1;
+    tmp = prev;
+    prev = this;
+    this = this->next;
+    prev->next = tmp;
+  }
+  while (prev != NULL) {
+    tmp = this;
+    this = prev;
+    prev = prev->next;
+    this->next = tmp;
+  }
+  assert(h->next == hnext);
+}
+`
+	preds := `
+mark:
+  h == NULL, prev == h, this == h, this->next == hnext,
+  prev == this, h->next == hnext, hnext->next == h
+`
+	// The paper's auxiliary variables h/hnext are ghost observers; see
+	// EXPERIMENTS.md ("Figure 3 and ghost aliasing") for why the sound
+	// open-caller alias mode cannot prove this with quantifier-free
+	// predicates.
+	prog, err := LoadGhostAliasing(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprog, err := prog.Abstract(preds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bprog.Check("mark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc, stmt, bad := res.ErrorReachable(); bad {
+		t.Fatalf("h->next == hnext not preserved: violation at %s:%d\nboolean program:\n%s",
+			proc, stmt, bprog.Text())
+	}
+}
+
+func TestQuickstartAPI(t *testing.T) {
+	prog, err := Load(`
+void main(int x) {
+  int y;
+  y = x + 1;
+L: assert(y > x);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprog, err := prog.Abstract("main:\n y > x", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bprog.Stats().Predicates != 1 {
+		t.Errorf("stats: %+v", bprog.Stats())
+	}
+	res, err := bprog.Check("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, bad := res.ErrorReachable(); bad {
+		t.Fatalf("y > x always holds after y = x+1:\n%s", bprog.Text())
+	}
+}
+
+func TestParseBooleanProgramRoundTrip(t *testing.T) {
+	prog, err := Load(partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bprog, err := prog.Abstract(partitionPreds, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ParseBooleanProgram(bprog.Text())
+	if err != nil {
+		t.Fatalf("printed boolean program does not reparse: %v", err)
+	}
+	res, err := reparsed.Check("partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := res.InvariantAt("partition", "L")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv == "false" {
+		t.Error("reparsed program lost reachability")
+	}
+}
+
+func TestVerifyFacade(t *testing.T) {
+	res, err := Verify(`
+void main(int x) {
+  int y;
+  y = 0;
+  if (x > 3) { y = 1; }
+  if (x > 5) { assert(y == 1); }
+}
+`, "main", DefaultVerifyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s (x>5 implies x>3 implies y==1); preds %v", res.Outcome, res.Predicates)
+	}
+}
+
+func TestVerifySpecFacade(t *testing.T) {
+	src := `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+void main(int n) {
+  AcquireLock();
+  if (n > 0) {
+    ReleaseLock();
+    AcquireLock();
+  }
+  ReleaseLock();
+}
+`
+	specSrc := `
+state { int locked = 0; }
+event AcquireLock entry { if (locked == 1) { abort; } locked = 1; }
+event ReleaseLock entry { if (locked == 0) { abort; } locked = 0; }
+`
+	res, err := VerifySpec(src, specSrc, "main", DefaultVerifyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Verified {
+		t.Fatalf("outcome %s after %d iterations; preds %v", res.Outcome, res.Iterations, res.Predicates)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"void f( {",
+		"void f(void) { x = 1; }",
+	}
+	for _, src := range cases {
+		if _, err := Load(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+	prog, _ := Load("void f(int x) { x = 1; }")
+	if _, err := prog.Abstract("nosuch:\n x == 1", DefaultOptions()); err == nil ||
+		!strings.Contains(err.Error(), "unknown procedure") {
+		t.Errorf("got %v", err)
+	}
+}
