@@ -52,7 +52,7 @@ func abstractOnce(b *testing.B, p corpus.Program, opts abstract.Options) (int, i
 	for _, s := range secs {
 		n += len(s.Exprs)
 	}
-	return n, pv.Calls
+	return n, pv.Calls()
 }
 
 // BenchmarkTable1 reproduces Table 1: the device drivers run through the
@@ -286,7 +286,7 @@ func BenchmarkAblationCache(b *testing.B) {
 				if _, err := abstract.Abstract(res, aa, pv, secs, abstract.DefaultOptions()); err != nil {
 					b.Fatal(err)
 				}
-				hits = pv.CacheHits
+				hits = pv.CacheHits()
 			}
 			b.ReportMetric(float64(hits), "cacheHits")
 		})
@@ -312,6 +312,27 @@ func BenchmarkAblationHeuristics(b *testing.B) {
 			opts := abstract.DefaultOptions()
 			c.mod(&opts)
 			ablationRun(b, "partition", opts)
+		})
+	}
+}
+
+// BenchmarkCubeSearch compares the sequential cube search (-j 1) with
+// the bounded-worker-pool parallel search on the most prover-intensive
+// Table 2 subject. The outputs are byte-identical (see
+// TestParallelAbstractionDeterminism); only wall-clock should move.
+// Run with: go test -run Bench -bench CubeSearch
+func BenchmarkCubeSearch(b *testing.B) {
+	p, _ := corpus.ByName("qsort")
+	for _, j := range []int{1, 2, 4, 8} {
+		j := j
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := abstract.DefaultOptions()
+			opts.Jobs = j
+			var calls int
+			for i := 0; i < b.N; i++ {
+				_, calls = abstractOnce(b, p, opts)
+			}
+			b.ReportMetric(float64(calls), "proverCalls")
 		})
 	}
 }

@@ -23,6 +23,7 @@ func main() {
 	invariant := flag.String("invariant", "", "print the invariant at proc:label")
 	allInvariants := flag.Bool("invariants", false, "print the invariant at every labelled statement")
 	showTrace := flag.Bool("trace", false, "print a counterexample trace for a reachable violation")
+	stats := flag.Bool("stats", false, "print fixpoint statistics to stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -40,6 +41,11 @@ func main() {
 	res, err := bprog.Check(*entry)
 	if err != nil {
 		fatal(err)
+	}
+	if *stats {
+		s := res.Stats()
+		fmt.Fprintf(os.Stderr, "fixpoint iterations: %d\nfixpoint time: %v\n",
+			s.Iterations, s.FixpointTime)
 	}
 	if *invariant != "" {
 		parts := strings.SplitN(*invariant, ":", 2)

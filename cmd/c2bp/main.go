@@ -20,11 +20,12 @@ func main() {
 	maxCube := flag.Int("maxcube", 3, "maximum cube length in the F computation (0 = unlimited)")
 	noCone := flag.Bool("nocone", false, "disable the cone-of-influence optimization")
 	noEnforce := flag.Bool("noenforce", false, "do not emit enforce invariants")
-	stats := flag.Bool("stats", false, "print abstraction statistics to stderr")
+	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	stats := flag.Bool("stats", false, "print abstraction statistics and per-stage timings to stderr")
 	flag.Parse()
 
 	if *predFile == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: c2bp -preds <predfile> <source.c>")
+		fmt.Fprintln(os.Stderr, "usage: c2bp [-j N] [-stats] -preds <predfile> <source.c>")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -43,6 +44,7 @@ func main() {
 	opts.MaxCubeLen = *maxCube
 	opts.ConeOfInfluence = !*noCone
 	opts.EmitEnforce = !*noEnforce
+	opts.Jobs = *jobs
 	bprog, err := prog.Abstract(string(preds), opts)
 	if err != nil {
 		fatal(err)
@@ -50,8 +52,13 @@ func main() {
 	fmt.Print(bprog.Text())
 	if *stats {
 		s := bprog.Stats()
-		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\ncubes checked: %d\n",
-			s.Predicates, s.ProverCalls, s.CubesChecked)
+		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\nprover cache hits: %d\nprover gave up: %d\ncubes checked: %d\n",
+			s.Predicates, s.ProverCalls, s.CacheHits, s.ProverGaveUp, s.CubesChecked)
+		fmt.Fprintf(os.Stderr, "stage parse+check+normalize: %v\nstage alias analysis: %v\nstage signatures: %v\nstage abstraction: %v\n  of which cube search: %v\n  of which theory solving: %v\n",
+			s.ParseTime, s.AliasTime, s.SignatureTime, s.AbstractTime, s.CubeSearchTime, s.SolverTime)
+		for _, pt := range s.ProcTimes {
+			fmt.Fprintf(os.Stderr, "  proc %s: %v\n", pt.Name, pt.D)
+		}
 	}
 }
 

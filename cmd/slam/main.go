@@ -20,6 +20,8 @@ func main() {
 	specFile := flag.String("spec", "", "SLIC-style specification file (optional; without it, asserts in the source are checked)")
 	entry := flag.String("entry", "main", "entry procedure")
 	maxIters := flag.Int("maxiters", 10, "maximum abstraction refinement iterations")
+	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	stats := flag.Bool("stats", false, "print per-stage timings and prover statistics to stderr")
 	verbose := flag.Bool("v", false, "log each refinement iteration")
 	flag.Parse()
 
@@ -33,6 +35,7 @@ func main() {
 	}
 	cfg := predabs.DefaultVerifyConfig()
 	cfg.MaxIterations = *maxIters
+	cfg.Opts.Jobs = *jobs
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -58,6 +61,12 @@ func main() {
 
 	fmt.Printf("RESULT: %s (iterations: %d, predicates: %d, prover calls: %d)\n",
 		res.Outcome, res.Iterations, res.PredCount, res.ProverCalls)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "prover calls: %d\nprover cache hits: %d\ntheory solver time: %v\n",
+			res.ProverCalls, res.CacheHits, res.SolverTime)
+		fmt.Fprintf(os.Stderr, "stage abstraction (c2bp): %v\nstage model checking (bebop): %v\nstage predicate discovery (newton): %v\n",
+			res.AbstractTime, res.CheckTime, res.NewtonTime)
+	}
 	switch res.Outcome {
 	case predabs.ErrorFound:
 		fmt.Println("error path:")

@@ -1,0 +1,67 @@
+package predabs
+
+import (
+	"testing"
+
+	"predabs/internal/corpus"
+)
+
+// TestParallelAbstractionDeterminism asserts that the boolean-program
+// output of C2bp is byte-identical whether the cube search runs on one
+// worker or eight: the parallel rounds merge their prover verdicts in
+// canonical enumeration order, so scheduling must never leak into the
+// output. Runs over the whole Table 2 golden corpus.
+func TestParallelAbstractionDeterminism(t *testing.T) {
+	for _, p := range corpus.Table2() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			load := Load
+			if p.GhostAliasing {
+				load = LoadGhostAliasing
+			}
+			texts := map[int]string{}
+			for _, jobs := range []int{1, 8} {
+				prog, err := load(p.Source)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := DefaultOptions()
+				opts.Jobs = jobs
+				bprog, err := prog.Abstract(p.Preds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				texts[jobs] = bprog.Text()
+			}
+			if texts[1] != texts[8] {
+				t.Errorf("%s: -j 1 and -j 8 outputs differ:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+					p.Name, texts[1], texts[8])
+			}
+		})
+	}
+}
+
+// TestParallelAbstractionStatsDeterminism pins the deterministic subset
+// of the statistics: the cube candidates submitted to the prover must
+// not depend on the worker count (prover cache hits may, since workers
+// race on first computation of a shared query).
+func TestParallelAbstractionStatsDeterminism(t *testing.T) {
+	p, _ := corpus.ByName("partition")
+	checked := map[int]int{}
+	for _, jobs := range []int{1, 8} {
+		prog, err := Load(p.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Jobs = jobs
+		bprog, err := prog.Abstract(p.Preds, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked[jobs] = bprog.Stats().CubesChecked
+	}
+	if checked[1] != checked[8] {
+		t.Errorf("CubesChecked differs: j=1 %d, j=8 %d", checked[1], checked[8])
+	}
+}

@@ -9,6 +9,7 @@ package abstract
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"predabs/internal/alias"
 	"predabs/internal/bp"
@@ -20,7 +21,8 @@ import (
 	"predabs/internal/wp"
 )
 
-// Options are the precision/efficiency knobs from Section 5.2.
+// Options are the precision/efficiency knobs from Section 5.2, plus the
+// parallelism knob for the prover-backed cube search.
 type Options struct {
 	// MaxCubeLen bounds cube length in the F computation (paper: k=3
 	// "provides the needed precision in most cases"). <= 0 means
@@ -37,6 +39,11 @@ type Options struct {
 	FOnAtoms bool
 	// EmitEnforce computes per-procedure enforce invariants (Section 5.1).
 	EmitEnforce bool
+	// Jobs bounds the worker pool for the parallel cube search (the
+	// paper's dominant cost, Section 4.1). <= 0 means GOMAXPROCS; 1
+	// restores the strictly sequential scan. The boolean-program output
+	// is byte-identical for every value.
+	Jobs int
 }
 
 // DefaultOptions returns the configuration used in the paper's
@@ -52,12 +59,33 @@ func DefaultOptions() Options {
 }
 
 // Stats accumulates abstraction metrics (the paper's Tables 1 and 2
-// columns come from here plus prover.Prover.Calls).
+// columns come from here plus prover.Prover.Calls) and per-stage wall
+// times for the -stats observability surface of cmd/c2bp and cmd/slam.
 type Stats struct {
+	// CubesChecked counts cube implication candidates submitted to the
+	// prover-backed search (after superset pruning).
 	CubesChecked int
+	// Assignments, Calls and Conditionals count translated C statements.
 	Assignments  int
 	Calls        int
 	Conditionals int
+
+	// SignatureTime is the wall time of the first pass computing every
+	// procedure's (E_f, E_r) signature (Section 4.5.2).
+	SignatureTime time.Duration
+	// CubeSearchTime is the cumulative wall time of the prover-backed
+	// cube search (F_V/G_V rounds plus enforce invariants) — the cost the
+	// paper's optimizations 1-5 attack.
+	CubeSearchTime time.Duration
+	// ProcTimes records the wall time spent abstracting each procedure,
+	// in program order.
+	ProcTimes []ProcTime
+}
+
+// ProcTime is the abstraction wall time of one procedure.
+type ProcTime struct {
+	Name string
+	D    time.Duration
 }
 
 // Signature is the paper's four-tuple (F_R, r, E_f, E_r) restricted to
@@ -82,7 +110,11 @@ type Result struct {
 	LocalPreds  map[string][]Pred
 }
 
-// Abstractor holds the state of one abstraction run.
+// Abstractor holds the state of one abstraction run. It is not safe for
+// concurrent use — the cube search spawns its own worker goroutines
+// internally (Options.Jobs), and they share only the concurrency-safe
+// Prover; all Abstractor state is mutated by the single coordinating
+// goroutine.
 type Abstractor struct {
 	res  *cnorm.Result
 	aa   *alias.Analysis
@@ -122,19 +154,24 @@ func Abstract(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover,
 	}
 	ab.computeModifiedFormals()
 	// First pass: signatures (each procedure in isolation, Section 4.5.2).
+	sigStart := time.Now()
 	for _, f := range res.Prog.Funcs {
 		ab.sigs[f.Name] = ab.signature(f)
 	}
+	ab.Stats.SignatureTime = time.Since(sigStart)
 	// Second pass: abstract each procedure.
 	prog := &bp.Program{}
 	for _, p := range ab.globalPreds {
 		prog.Globals = append(prog.Globals, p.Name)
 	}
 	for _, f := range res.Prog.Funcs {
+		procStart := time.Now()
 		pr, err := ab.abstractProc(f)
 		if err != nil {
 			return nil, err
 		}
+		ab.Stats.ProcTimes = append(ab.Stats.ProcTimes,
+			ProcTime{Name: f.Name, D: time.Since(procStart)})
 		prog.Procs = append(prog.Procs, pr)
 	}
 	if err := prog.Resolve(); err != nil {

@@ -471,8 +471,8 @@ func TestSkipUnchangedCutsProverCalls(t *testing.T) {
 	_, pvOn := pipeline(t, partitionSrc, partitionPreds, opts)
 	opts.SkipUnchanged = false
 	_, pvOff := pipeline(t, partitionSrc, partitionPreds, opts)
-	if pvOn.Calls >= pvOff.Calls {
-		t.Errorf("skip-unchanged should reduce prover calls: on=%d off=%d", pvOn.Calls, pvOff.Calls)
+	if pvOn.Calls() >= pvOff.Calls() {
+		t.Errorf("skip-unchanged should reduce prover calls: on=%d off=%d", pvOn.Calls(), pvOff.Calls())
 	}
 }
 

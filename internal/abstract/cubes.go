@@ -1,32 +1,52 @@
 package abstract
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"predabs/internal/bp"
 	"predabs/internal/form"
 )
 
 // Pred pairs a boolean-variable name with the C predicate it stands for.
+// Construct predicates with NewPred; the zero value is still safe to use
+// (Neg falls back to recomputing) but loses the negation memoization.
 type Pred struct {
 	// Name is the boolean program variable name (the predicate's source
 	// text, e.g. "curr->val > v").
 	Name string
 	// F is the predicate as a formula.
 	F form.Formula
-	// neg caches NNF(¬F).
-	neg form.Formula
+	// neg lazily caches NNF(¬F). It is a pointer cell so the value-type
+	// Pred can memoize across copies, and a sync.Once so concurrent cube
+	// workers can share it safely.
+	neg *negCell
 }
 
-// NewPred builds a predicate entry.
+// negCell memoizes a predicate's negation in NNF.
+type negCell struct {
+	once sync.Once
+	f    form.Formula
+}
+
+// NewPred builds a predicate entry with a memoization cell for its
+// negation (computed lazily on first use of Neg).
 func NewPred(name string, f form.Formula) Pred {
-	return Pred{Name: name, F: f, neg: form.NNF(form.MkNot(f))}
+	return Pred{Name: name, F: f, neg: &negCell{}}
 }
 
-// Neg returns NNF(¬F).
+// Neg returns NNF(¬F). For predicates built with NewPred the result is
+// computed once and cached (safely under concurrent use); a zero-value
+// Pred recomputes on every call, which is correct but slow — prefer
+// NewPred.
 func (p Pred) Neg() form.Formula {
 	if p.neg == nil {
 		return form.NNF(form.MkNot(p.F))
 	}
-	return p.neg
+	p.neg.once.Do(func() { p.neg.f = form.NNF(form.MkNot(p.F)) })
+	return p.neg.f
 }
 
 // literal is one signed predicate occurrence in a cube.
@@ -35,10 +55,109 @@ type literal struct {
 	pos bool
 }
 
+// cubeVerdict classifies one candidate cube after its prover checks.
+type cubeVerdict int8
+
+const (
+	// verdictNone: the cube neither implies the goal nor its negation.
+	verdictNone cubeVerdict = iota
+	// verdictImplicant: the cube implies the goal (kept as a disjunct).
+	verdictImplicant
+	// verdictContradiction: the cube implies ¬goal (pruned from longer
+	// rounds: no consistent superset can imply the goal).
+	verdictContradiction
+)
+
+// jobs resolves the worker-pool width for the parallel cube search
+// (Options.Jobs; <= 0 means GOMAXPROCS).
+func (ab *Abstractor) jobs() int {
+	if ab.opts.Jobs > 0 {
+		return ab.opts.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minParallelRound is the smallest round worth fanning out: spawning
+// workers for a handful of cubes costs more than the prover calls save.
+const minParallelRound = 4
+
+// checkRound evaluates check(i) for i in [0, n) on a bounded worker
+// pool. Workers pull indices from a shared atomic counter; callers store
+// per-index results, so output order is independent of scheduling. With
+// jobs <= 1 (or a tiny round) it degenerates to the sequential scan,
+// prover-call-for-prover-call identical to the pre-parallel code.
+func checkRound(n, jobs int, check func(i int)) {
+	if jobs > n {
+		jobs = n
+	}
+	if n < minParallelRound {
+		jobs = 1
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			check(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				check(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// enumerateCubes generates every signed cube of exactly size literals
+// over predicate indices [0, n), in the canonical order (ascending
+// indices; positive literal before negative at each position), keeping
+// those that pass the filter. This order is the contract that makes the
+// parallel search deterministic: rounds are merged back in it.
+func enumerateCubes(n, size int, keep func([]literal) bool) [][]literal {
+	var out [][]literal
+	cube := make([]literal, 0, size)
+	var rec func(start, need int)
+	rec = func(start, need int) {
+		if need == 0 {
+			if keep(cube) {
+				out = append(out, append([]literal(nil), cube...))
+			}
+			return
+		}
+		for i := start; i <= n-need; i++ {
+			for _, pos := range []bool{true, false} {
+				cube = append(cube, literal{idx: i, pos: pos})
+				rec(i+1, need-1)
+				cube = cube[:len(cube)-1]
+			}
+		}
+	}
+	rec(0, size)
+	return out
+}
+
 // fv computes F_V(phi): the largest disjunction of cubes over preds that
-// implies phi (Section 4.1), as a boolean-program expression. hyp is an
-// extra hypothesis conjoined to every cube (used to thread the enforce
-// invariant through signatures); it may be nil.
+// implies phi (Section 4.1), as a boolean-program expression.
+//
+// The cube space is enumerated in sized rounds (Section 5.2,
+// optimization 1) so pruning sees short implicants first, yielding prime
+// implicants only. Within one round the candidate cubes are checked
+// against the prover on a bounded worker pool (Options.Jobs wide): the
+// superset pruning can never fire between two cubes of the same size
+// (equal-size containment means equality, and enumeration never repeats
+// a cube), so the recorded implicant/contradiction sets only change at
+// round boundaries and the round's checks are order-independent. Results
+// are merged back in canonical enumeration order, making the output
+// byte-identical to the sequential scan for any worker count.
 func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 	switch phi.(type) {
 	case form.TrueF:
@@ -80,6 +199,10 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 		}
 	}
 
+	// Everything below is prover-backed cube search; time it as one stage.
+	searchStart := time.Now()
+	defer func() { ab.Stats.CubeSearchTime += time.Since(searchStart) }()
+
 	// Degenerate goals: a valid phi needs no cubes at all, and an
 	// unsatisfiable phi has none.
 	if ab.pv.Valid(form.TrueF{}, phi) {
@@ -111,46 +234,39 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 	var disjuncts []bp.Expr
 	notPhi := form.NNF(form.MkNot(phi))
 
-	var cube []literal
-
-	// Sized rounds: all cubes of length 1, then 2, ... so pruning sees
-	// short implicants first (prime implicants only).
 	for size := 1; size <= maxLen; size++ {
-		var enumerateExact func(start int, need int)
-		enumerateExact = func(start, need int) {
-			if need == 0 {
-				if supersetOfAny(cube, implicants) || supersetOfAny(cube, contradictions) {
-					return
-				}
-				cubeF := cubeFormula(domain, cube)
-				ab.Stats.CubesChecked++
-				if ab.pv.Valid(cubeF, phi) {
-					c := append([]literal(nil), cube...)
-					implicants = append(implicants, c)
-					disjuncts = append(disjuncts, cubeExpr(domain, cube))
-					return
-				}
-				if ab.pv.Valid(cubeF, notPhi) {
-					c := append([]literal(nil), cube...)
-					contradictions = append(contradictions, c)
-				}
-				return
+		cands := enumerateCubes(len(domain), size, func(cube []literal) bool {
+			return !supersetOfAny(cube, implicants) && !supersetOfAny(cube, contradictions)
+		})
+		if len(cands) == 0 {
+			continue
+		}
+		ab.Stats.CubesChecked += len(cands)
+		verdicts := make([]cubeVerdict, len(cands))
+		checkRound(len(cands), ab.jobs(), func(i int) {
+			cubeF := cubeFormula(domain, cands[i])
+			if ab.pv.Valid(cubeF, phi) {
+				verdicts[i] = verdictImplicant
+			} else if ab.pv.Valid(cubeF, notPhi) {
+				verdicts[i] = verdictContradiction
 			}
-			for i := start; i <= len(domain)-need; i++ {
-				for _, pos := range []bool{true, false} {
-					cube = append(cube, literal{idx: i, pos: pos})
-					enumerateExact(i+1, need-1)
-					cube = cube[:len(cube)-1]
-				}
+		})
+		for i, v := range verdicts {
+			switch v {
+			case verdictImplicant:
+				implicants = append(implicants, cands[i])
+				disjuncts = append(disjuncts, cubeExpr(domain, cands[i]))
+			case verdictContradiction:
+				contradictions = append(contradictions, cands[i])
 			}
 		}
-		enumerateExact(0, size)
 	}
 	return bp.OrAll(disjuncts)
 }
 
 // gv computes G_V(phi) = ¬F_V(¬phi): the strongest expressible formula
-// implied by phi.
+// implied by phi (Section 4.1). It inherits fv's parallelism and
+// determinism guarantees.
 func (ab *Abstractor) gv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 	inner := ab.fv(fn, preds, form.NNF(form.MkNot(phi)))
 	return bpNot(inner)
@@ -255,39 +371,39 @@ func (ab *Abstractor) predTouches(fn string, p Pred, locs []form.Term) bool {
 
 // enforceExpr computes the per-procedure data invariant ¬F_{V}(false)
 // (Section 5.1): F_V(false) is the disjunction of minimal inconsistent
-// cubes over the predicates, which the enforce statement rules out.
+// cubes over the predicates, which the enforce statement rules out. The
+// rounds run on the same worker pool as fv with the same deterministic
+// merge.
 func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
+	searchStart := time.Now()
+	defer func() { ab.Stats.CubeSearchTime += time.Since(searchStart) }()
+
 	maxLen := ab.opts.MaxCubeLen
 	if maxLen <= 0 || maxLen > len(preds) {
 		maxLen = len(preds)
 	}
 	var found [][]literal
 	var disjuncts []bp.Expr
-	var cube []literal
 	for size := 1; size <= maxLen; size++ {
-		var enumerate func(start, need int)
-		enumerate = func(start, need int) {
-			if need == 0 {
-				if supersetOfAny(cube, found) {
-					return
-				}
-				ab.Stats.CubesChecked++
-				if ab.pv.Unsat(cubeFormula(preds, cube)) {
-					c := append([]literal(nil), cube...)
-					found = append(found, c)
-					disjuncts = append(disjuncts, cubeExpr(preds, cube))
-				}
-				return
+		cands := enumerateCubes(len(preds), size, func(cube []literal) bool {
+			return !supersetOfAny(cube, found)
+		})
+		if len(cands) == 0 {
+			continue
+		}
+		ab.Stats.CubesChecked += len(cands)
+		verdicts := make([]cubeVerdict, len(cands))
+		checkRound(len(cands), ab.jobs(), func(i int) {
+			if ab.pv.Unsat(cubeFormula(preds, cands[i])) {
+				verdicts[i] = verdictContradiction
 			}
-			for i := start; i <= len(preds)-need; i++ {
-				for _, pos := range []bool{true, false} {
-					cube = append(cube, literal{idx: i, pos: pos})
-					enumerate(i+1, need-1)
-					cube = cube[:len(cube)-1]
-				}
+		})
+		for i, v := range verdicts {
+			if v == verdictContradiction {
+				found = append(found, cands[i])
+				disjuncts = append(disjuncts, cubeExpr(preds, cands[i]))
 			}
 		}
-		enumerate(0, size)
 	}
 	if len(disjuncts) == 0 {
 		return nil

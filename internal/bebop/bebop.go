@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"predabs/internal/bdd"
 	"predabs/internal/bp"
@@ -59,7 +60,14 @@ type Failure struct {
 	Stmt int
 }
 
-// Checker runs reachability on one boolean program.
+// Checker runs reachability on one boolean program and answers queries
+// about the computed fixpoint (paper Section 2.2: per-statement
+// reachable-state sets, assertion reachability, counterexample traces).
+//
+// A Checker is not safe for concurrent use: both the fixpoint and the
+// query methods (Reachable, InvariantRows, Trace, ...) mutate the shared
+// BDD manager's node and memo tables. Run independent checks on
+// independent Checkers.
 type Checker struct {
 	Prog  *bp.Program
 	m     *bdd.Manager
@@ -78,12 +86,19 @@ type Checker struct {
 	// Failures lists reachable assertion violations.
 	Failures []Failure
 
-	// Stats
+	// Iterations counts worklist items processed until the RHS fixpoint
+	// (the model checker's cost metric; the paper reports Bebop "ran in
+	// under 10 seconds" on every subject).
 	Iterations int
+	// FixpointTime is the wall time of the reachability fixpoint,
+	// excluding BDD layout and CFG construction.
+	FixpointTime time.Duration
 }
 
 // Check runs Bebop on prog starting from the entry procedure with
-// unconstrained globals and parameters. prog must be resolved.
+// unconstrained globals and parameters, computing the interprocedural
+// reachability fixpoint with procedure summaries (paper Section 2.2).
+// prog must be resolved.
 func Check(prog *bp.Program, entry string) (*Checker, error) {
 	e := prog.Proc(entry)
 	if e == nil {
@@ -99,7 +114,9 @@ func Check(prog *bp.Program, entry string) (*Checker, error) {
 	}
 	c.layout()
 	c.buildCFGs()
+	start := time.Now()
 	c.run(entry)
+	c.FixpointTime = time.Since(start)
 	return c, nil
 }
 

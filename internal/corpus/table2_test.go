@@ -42,7 +42,7 @@ func TestTable2Abstraction(t *testing.T) {
 			for _, s := range secs {
 				npreds += len(s.Exprs)
 			}
-			t.Logf("%s: %d lines, %d preds, %d prover calls", p.Name, p.Lines(), npreds, pv.Calls)
+			t.Logf("%s: %d lines, %d preds, %d prover calls", p.Name, p.Lines(), npreds, pv.Calls())
 			ch, err := bebop.Check(abs.BP, p.Entry)
 			if err != nil {
 				t.Fatal(err)

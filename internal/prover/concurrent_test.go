@@ -1,0 +1,95 @@
+package prover
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"predabs/internal/cparse"
+	"predabs/internal/form"
+)
+
+// TestConcurrentQueries hammers one shared Prover from many goroutines
+// with overlapping Valid/Unsat queries, checking (a) every answer is
+// correct regardless of interleaving and (b) the atomic counters add up.
+// Run under `go test -race` (part of the tier-1 verify recipe) this also
+// exercises the striped cache for data races.
+func TestConcurrentQueries(t *testing.T) {
+	mk := func(src string) form.Formula {
+		e, err := cparse.ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := form.FromCond(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	type query struct {
+		hyp, goal string
+		valid     bool
+	}
+	queries := []query{
+		{"x == 1", "x < 2", true},
+		{"x == 1", "x > 2", false},
+		{"p == q && *p == 3", "*q == 3", true},
+		{"i <= j && j <= i", "i == j", true},
+		{"a[i] == 1 && i == j", "a[j] == 1", true},
+		{"x > 0", "x > 1", false},
+		{"curr != NULL && prev == NULL", "prev != curr", true},
+		{"x + y == 4 && x - y == 2", "x == 3", true},
+	}
+	hyps := make([]form.Formula, len(queries))
+	goals := make([]form.Formula, len(queries))
+	for i, q := range queries {
+		hyps[i] = mk(q.hyp)
+		goals[i] = mk(q.goal)
+	}
+
+	p := New()
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(queries)
+				if got := p.Valid(hyps[i], goals[i]); got != queries[i].valid {
+					errs <- fmt.Sprintf("worker %d: Valid(%s => %s) = %v, want %v",
+						w, queries[i].hyp, queries[i].goal, got, queries[i].valid)
+					return
+				}
+				// Unsat of hyp ∧ ¬goal is the same question.
+				f := form.MkAnd(hyps[i], form.MkNot(goals[i]))
+				if got := p.Unsat(f); got != queries[i].valid {
+					errs <- fmt.Sprintf("worker %d: Unsat round-trip for (%s => %s) = %v, want %v",
+						w, queries[i].hyp, queries[i].goal, got, queries[i].valid)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	wantCalls := workers * rounds * 2
+	if p.Calls() != wantCalls {
+		t.Errorf("Calls = %d, want %d", p.Calls(), wantCalls)
+	}
+	// Each distinct key is computed at least once; everything else should
+	// hit the cache (racing duplicates may recompute, so only a bound).
+	if hits := p.CacheHits(); hits == 0 || hits >= wantCalls {
+		t.Errorf("CacheHits = %d, want in (0, %d)", hits, wantCalls)
+	}
+	if p.SolverTime() <= 0 {
+		t.Error("SolverTime should be positive after uncached queries")
+	}
+}

@@ -8,89 +8,165 @@
 // Soundness contract: Valid and Unsat answer true only when the claim
 // definitely holds; false means "could not prove", which predicate
 // abstraction tolerates (the paper notes its provers are incomplete).
+//
+// A Prover is safe for concurrent use: results are memoized in a
+// mutex-striped cache keyed by the canonical formula string (the paper's
+// optimization 5), and the statistics counters are atomic, so the
+// parallel cube search in internal/abstract can share one instance
+// across workers.
 package prover
 
 import (
 	"fmt"
+	"hash/maphash"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"predabs/internal/form"
 )
 
-// Prover is a caching validity checker. The zero value is not ready; use
-// New.
-type Prover struct {
-	// Calls counts Valid/Unsat entry points — the paper's
-	// "thm. prover calls" column in Tables 1 and 2.
-	Calls int
-	// CacheHits counts queries answered from the cache.
-	CacheHits int
-	// GaveUp counts queries abandoned on resource caps (answered
-	// conservatively).
-	GaveUp int
-	// DisableCache turns result caching off (for ablation benchmarks).
-	DisableCache bool
+// cacheShards stripes the query cache to keep lock contention low under
+// the parallel cube search. Must be a power of two.
+const cacheShards = 64
 
-	cache  map[string]bool
-	budget int
+// cacheShard is one stripe of the memo table.
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]bool
 }
 
-// New returns a fresh prover.
+// Prover is a caching validity checker for the paper's logic fragment.
+// The zero value is not ready; use New. All methods are safe for
+// concurrent use, except that DisableCache must be set before the
+// prover is shared between goroutines.
+type Prover struct {
+	// DisableCache turns result caching off (for ablation benchmarks).
+	// Set it before issuing queries; it must not be flipped while other
+	// goroutines are calling Valid/Unsat.
+	DisableCache bool
+
+	calls     atomic.Int64
+	cacheHits atomic.Int64
+	gaveUp    atomic.Int64
+	theoryNS  atomic.Int64
+
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+}
+
+// New returns a fresh prover with an empty cache.
 func New() *Prover {
-	return &Prover{cache: map[string]bool{}}
+	p := &Prover{seed: maphash.MakeSeed()}
+	for i := range p.shards {
+		p.shards[i].m = map[string]bool{}
+	}
+	return p
+}
+
+// Calls reports the number of Valid/Unsat entry points taken — the
+// paper's "thm. prover calls" column in Tables 1 and 2.
+func (p *Prover) Calls() int { return int(p.calls.Load()) }
+
+// CacheHits reports the number of queries answered from the memo cache.
+func (p *Prover) CacheHits() int { return int(p.cacheHits.Load()) }
+
+// GaveUp reports the number of queries abandoned on resource caps
+// (answered conservatively: "could not prove").
+func (p *Prover) GaveUp() int { return int(p.gaveUp.Load()) }
+
+// SolverTime reports the cumulative wall-clock time spent inside the
+// decision procedures (cache hits excluded). Under the parallel cube
+// search this sums across workers, so it can exceed elapsed time.
+func (p *Prover) SolverTime() time.Duration {
+	return time.Duration(p.theoryNS.Load())
+}
+
+// shard picks the cache stripe for a key.
+func (p *Prover) shard(key string) *cacheShard {
+	h := maphash.String(p.seed, key)
+	return &p.shards[h&(cacheShards-1)]
+}
+
+// cacheGet looks a key up in the striped cache.
+func (p *Prover) cacheGet(key string) (bool, bool) {
+	s := p.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// cachePut records a result. Two workers racing on the same key write
+// the same deterministic answer, so last-write-wins is harmless.
+func (p *Prover) cachePut(key string, v bool) {
+	s := p.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
 }
 
 // maxLeafChecks bounds the number of theory checks per query.
 const maxLeafChecks = 50000
 
-// Valid reports whether hyp ⇒ goal is valid.
+// Valid reports whether hyp ⇒ goal is valid. This is the paper's prover
+// interface for the cube search: F_V asks Valid(cube, φ) for every
+// candidate cube (Section 4.1). Safe for concurrent use.
 func (p *Prover) Valid(hyp, goal form.Formula) bool {
-	p.Calls++
+	p.calls.Add(1)
 	key := "V\x00" + hyp.String() + "\x00" + goal.String()
 	if !p.DisableCache {
-		if v, ok := p.cache[key]; ok {
-			p.CacheHits++
+		if v, ok := p.cacheGet(key); ok {
+			p.cacheHits.Add(1)
 			return v
 		}
 	}
+	start := time.Now()
 	f := form.NNF(form.MkAnd(hyp, form.MkNot(goal)))
-	p.budget = maxLeafChecks
-	res := !p.sat(f, nil)
-	if p.budget <= 0 {
-		p.GaveUp++
+	budget := maxLeafChecks
+	res := !p.sat(f, nil, &budget)
+	if budget <= 0 {
+		p.gaveUp.Add(1)
 		res = false // could not complete the search: do not claim validity
 	}
+	p.theoryNS.Add(int64(time.Since(start)))
 	if !p.DisableCache {
-		p.cache[key] = res
+		p.cachePut(key, res)
 	}
 	return res
 }
 
-// Unsat reports whether f is definitely unsatisfiable.
+// Unsat reports whether f is definitely unsatisfiable (used for the
+// enforce invariant F_V(false) of Section 5.1 and Newton's path
+// conditions). Safe for concurrent use.
 func (p *Prover) Unsat(f form.Formula) bool {
-	p.Calls++
+	p.calls.Add(1)
 	key := "U\x00" + f.String()
 	if !p.DisableCache {
-		if v, ok := p.cache[key]; ok {
-			p.CacheHits++
+		if v, ok := p.cacheGet(key); ok {
+			p.cacheHits.Add(1)
 			return v
 		}
 	}
-	p.budget = maxLeafChecks
-	res := !p.sat(form.NNF(f), nil)
-	if p.budget <= 0 {
-		p.GaveUp++
+	start := time.Now()
+	budget := maxLeafChecks
+	res := !p.sat(form.NNF(f), nil, &budget)
+	if budget <= 0 {
+		p.gaveUp.Add(1)
 		res = false
 	}
+	p.theoryNS.Add(int64(time.Since(start)))
 	if !p.DisableCache {
-		p.cache[key] = res
+		p.cachePut(key, res)
 	}
 	return res
 }
 
 // Sat reports whether f has a model as far as the prover can tell
-// (!Unsat; may answer true for formulas it cannot decide).
+// (!Unsat; may answer true for formulas it cannot decide). Safe for
+// concurrent use.
 func (p *Prover) Sat(f form.Formula) bool { return !p.Unsat(f) }
 
 // lit is a theory literal after polarity resolution.
@@ -160,16 +236,17 @@ func atomKey(c form.Cmp) (key string, flip bool) {
 }
 
 // sat performs DPLL-style search on the boolean skeleton with theory
-// checks at the leaves.
-func (p *Prover) sat(f form.Formula, lits []lit) bool {
-	if p.budget <= 0 {
+// checks at the leaves. budget is per-query state (not per-Prover) so
+// that concurrent queries cannot interfere.
+func (p *Prover) sat(f form.Formula, lits []lit, budget *int) bool {
+	if *budget <= 0 {
 		return true // give up: cannot prove unsat
 	}
 	switch f.(type) {
 	case form.FalseF:
 		return false
 	case form.TrueF:
-		p.budget--
+		*budget--
 		return theoryConsistent(lits)
 	}
 	atom := firstAtom(f)
@@ -178,7 +255,7 @@ func (p *Prover) sat(f form.Formula, lits []lit) bool {
 		// assignAtom takes the truth of the canonical base atom; val is
 		// the truth of the picked atom, which may be its negation.
 		f2 := assignAtom(f, key, val != flip)
-		if p.sat(f2, append(lits, litOf(atom, val))) {
+		if p.sat(f2, append(lits, litOf(atom, val)), budget) {
 			return true
 		}
 	}

@@ -130,7 +130,7 @@ func TestMixedPointerIntComparisons(t *testing.T) {
 func TestGaveUpCounter(t *testing.T) {
 	p := New()
 	p.Valid(pf(t, "x == 1"), pf(t, "x < 2"))
-	if p.GaveUp != 0 {
-		t.Errorf("trivial query should not give up (GaveUp=%d)", p.GaveUp)
+	if p.GaveUp() != 0 {
+		t.Errorf("trivial query should not give up (GaveUp=%d)", p.GaveUp())
 	}
 }

@@ -185,13 +185,13 @@ func TestBooleanStructure(t *testing.T) {
 
 func TestCallCounting(t *testing.T) {
 	p := New()
-	before := p.Calls
+	before := p.Calls()
 	p.Valid(pf(t, "x == 1"), pf(t, "x < 2"))
 	p.Valid(pf(t, "x == 1"), pf(t, "x < 2")) // cached, still counted
-	if p.Calls != before+2 {
-		t.Errorf("Calls = %d, want %d", p.Calls, before+2)
+	if p.Calls() != before+2 {
+		t.Errorf("Calls = %d, want %d", p.Calls(), before+2)
 	}
-	if p.CacheHits == 0 {
+	if p.CacheHits() == 0 {
 		t.Error("second identical query should hit the cache")
 	}
 }
@@ -201,7 +201,7 @@ func TestDisableCache(t *testing.T) {
 	p.DisableCache = true
 	p.Valid(pf(t, "x == 1"), pf(t, "x < 2"))
 	p.Valid(pf(t, "x == 1"), pf(t, "x < 2"))
-	if p.CacheHits != 0 {
+	if p.CacheHits() != 0 {
 		t.Error("cache disabled but hits recorded")
 	}
 }

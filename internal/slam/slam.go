@@ -9,6 +9,7 @@ package slam
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"predabs/internal/abstract"
 	"predabs/internal/alias"
@@ -76,6 +77,19 @@ type Result struct {
 	PredCount int
 	// ProverCalls accumulates theorem prover calls across all rounds.
 	ProverCalls int
+	// CacheHits accumulates prover queries answered from the memo cache
+	// (optimization 5 working across CEGAR iterations).
+	CacheHits int
+	// SolverTime is the cumulative wall time inside the decision
+	// procedures.
+	SolverTime time.Duration
+	// AbstractTime, CheckTime and NewtonTime are the per-stage wall
+	// times accumulated across all CEGAR iterations (C2bp, Bebop, Newton
+	// respectively), the paper's "C2bp dominates the cost" observation
+	// made measurable.
+	AbstractTime time.Duration
+	CheckTime    time.Duration
+	NewtonTime   time.Duration
 	// ErrorTrace holds the C-level rendering of the feasible error path.
 	ErrorTrace []string
 	// BPTrace is the boolean-program trace of the error.
@@ -167,14 +181,20 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		}
 		logf("slam iteration %d: %d predicates", iter, out.PredCount)
 
+		absStart := time.Now()
 		abs, err := abstract.Abstract(res, aa, pv, sections, cfg.Opts)
+		out.AbstractTime += time.Since(absStart)
 		if err != nil {
 			return nil, fmt.Errorf("slam: abstraction (iteration %d): %w", iter, err)
 		}
 		out.FinalBP = abs.BP
-		out.ProverCalls = pv.Calls
+		out.ProverCalls = pv.Calls()
+		out.CacheHits = pv.CacheHits()
+		out.SolverTime = pv.SolverTime()
 
+		checkStart := time.Now()
 		checker, err := bebop.Check(abs.BP, entry)
+		out.CheckTime += time.Since(checkStart)
 		if err != nil {
 			return nil, fmt.Errorf("slam: bebop (iteration %d): %w", iter, err)
 		}
@@ -191,11 +211,15 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 			out.Outcome = Unknown
 			return out, nil
 		}
+		newtonStart := time.Now()
 		nres, err := newton.Analyze(res, aa, pv, trace)
+		out.NewtonTime += time.Since(newtonStart)
 		if err != nil {
 			return nil, fmt.Errorf("slam: newton (iteration %d): %w", iter, err)
 		}
-		out.ProverCalls = pv.Calls
+		out.ProverCalls = pv.Calls()
+		out.CacheHits = pv.CacheHits()
+		out.SolverTime = pv.SolverTime()
 		if nres.GaveUp {
 			logf("slam: newton gave up on the path condition; answer unknown")
 			out.Outcome = Unknown

@@ -19,6 +19,7 @@ package predabs
 
 import (
 	"fmt"
+	"time"
 
 	"predabs/internal/abstract"
 	"predabs/internal/alias"
@@ -45,11 +46,21 @@ func DefaultOptions() Options { return abstract.DefaultOptions() }
 type Program struct {
 	norm  *cnorm.Result
 	alias *alias.Analysis
+
+	parseTime time.Duration
+	aliasTime time.Duration
+}
+
+// LoadStats reports the wall time of the frontend stages run by Load:
+// parsing/type checking/normalization, and the points-to analysis.
+func (p *Program) LoadStats() (parse, aliasAnalysis time.Duration) {
+	return p.parseTime, p.aliasTime
 }
 
 // Load parses, type checks and normalizes MiniC source, then runs the
 // flow-insensitive points-to analysis.
 func Load(src string) (*Program, error) {
+	start := time.Now()
 	parsed, err := cparse.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: parse: %w", err)
@@ -62,7 +73,13 @@ func Load(src string) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("predabs: normalize: %w", err)
 	}
-	return &Program{norm: norm, alias: alias.Analyze(norm)}, nil
+	parseTime := time.Since(start)
+	aliasStart := time.Now()
+	aa := alias.Analyze(norm)
+	return &Program{
+		norm: norm, alias: aa,
+		parseTime: parseTime, aliasTime: time.Since(aliasStart),
+	}, nil
 }
 
 // LoadGhostAliasing loads like Load, but entry-point parameters are NOT
@@ -74,6 +91,7 @@ func Load(src string) (*Program, error) {
 // treatment — use it only for ghost-style observer parameters; see the
 // Figure 3 discussion in EXPERIMENTS.md.
 func LoadGhostAliasing(src string) (*Program, error) {
+	start := time.Now()
 	parsed, err := cparse.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: parse: %w", err)
@@ -86,18 +104,56 @@ func LoadGhostAliasing(src string) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("predabs: normalize: %w", err)
 	}
-	return &Program{norm: norm, alias: alias.AnalyzeOpts(norm, alias.Options{OpenCallers: false})}, nil
+	parseTime := time.Since(start)
+	aliasStart := time.Now()
+	aa := alias.AnalyzeOpts(norm, alias.Options{OpenCallers: false})
+	return &Program{
+		norm: norm, alias: aa,
+		parseTime: parseTime, aliasTime: time.Since(aliasStart),
+	}, nil
 }
 
-// AbstractStats reports the cost of one abstraction run (the columns of
-// the paper's Tables 1 and 2).
+// StageTime is a named wall-time measurement (per-procedure abstraction
+// times in AbstractStats).
+type StageTime struct {
+	Name string
+	D    time.Duration
+}
+
+// AbstractStats reports the cost of one abstraction run: the columns of
+// the paper's Tables 1 and 2, plus the per-stage timings and prover
+// cache behaviour behind the -stats flag of cmd/c2bp.
 type AbstractStats struct {
 	// ProverCalls is the number of theorem-prover queries.
 	ProverCalls int
+	// CacheHits counts prover queries answered from the memo cache
+	// (the paper's optimization 5).
+	CacheHits int
+	// ProverGaveUp counts queries abandoned on resource caps.
+	ProverGaveUp int
 	// CubesChecked counts cube implication candidates examined.
 	CubesChecked int
 	// Predicates is the number of input predicates.
 	Predicates int
+
+	// ParseTime covers parsing, type checking and normalization (from
+	// Load).
+	ParseTime time.Duration
+	// AliasTime covers the points-to analysis (from Load).
+	AliasTime time.Duration
+	// SignatureTime covers the signature pass (Section 4.5.2).
+	SignatureTime time.Duration
+	// AbstractTime covers the whole abstraction run.
+	AbstractTime time.Duration
+	// CubeSearchTime is the portion of AbstractTime spent in the
+	// prover-backed cube search F_V/G_V (the paper's dominant cost).
+	CubeSearchTime time.Duration
+	// SolverTime is the wall time inside the decision procedures,
+	// summed across cube-search workers (can exceed AbstractTime when
+	// Options.Jobs > 1).
+	SolverTime time.Duration
+	// ProcTimes lists the abstraction wall time of each procedure.
+	ProcTimes []StageTime
 }
 
 // BooleanProgram is the result of predicate abstraction: BP(P, E).
@@ -108,26 +164,43 @@ type BooleanProgram struct {
 
 // Abstract runs C2bp on the program with the given predicate input file
 // (sections "procname: e1, e2, ..." and optionally "global: ...").
+// Opts.Jobs controls the cube-search worker pool; the output is
+// byte-identical for every value.
 func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, error) {
 	sections, err := cparse.ParsePredFile(predicates)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: predicates: %w", err)
 	}
 	pv := prover.New()
+	start := time.Now()
 	res, err := abstract.Abstract(p.norm, p.alias, pv, sections, opts)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: abstraction: %w", err)
 	}
+	abstractTime := time.Since(start)
 	n := 0
 	for _, sec := range sections {
 		n += len(sec.Exprs)
 	}
+	procTimes := make([]StageTime, len(res.Stats.ProcTimes))
+	for i, pt := range res.Stats.ProcTimes {
+		procTimes[i] = StageTime{Name: pt.Name, D: pt.D}
+	}
 	return &BooleanProgram{
 		prog: res.BP,
 		stats: AbstractStats{
-			ProverCalls:  pv.Calls,
-			CubesChecked: res.Stats.CubesChecked,
-			Predicates:   n,
+			ProverCalls:    pv.Calls(),
+			CacheHits:      pv.CacheHits(),
+			ProverGaveUp:   pv.GaveUp(),
+			CubesChecked:   res.Stats.CubesChecked,
+			Predicates:     n,
+			ParseTime:      p.parseTime,
+			AliasTime:      p.aliasTime,
+			SignatureTime:  res.Stats.SignatureTime,
+			AbstractTime:   abstractTime,
+			CubeSearchTime: res.Stats.CubeSearchTime,
+			SolverTime:     pv.SolverTime(),
+			ProcTimes:      procTimes,
 		},
 	}, nil
 }
@@ -162,6 +235,21 @@ func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
 		return nil, fmt.Errorf("predabs: bebop: %w", err)
 	}
 	return &CheckResult{checker: ch, entry: entry}, nil
+}
+
+// CheckStats reports the model checker's cost: worklist iterations to
+// the interprocedural fixpoint and the fixpoint wall time.
+type CheckStats struct {
+	Iterations   int
+	FixpointTime time.Duration
+}
+
+// Stats returns the Bebop cost metrics for this check.
+func (r *CheckResult) Stats() CheckStats {
+	return CheckStats{
+		Iterations:   r.checker.Iterations,
+		FixpointTime: r.checker.FixpointTime,
+	}
 }
 
 // ErrorReachable reports whether some assert can fail, and where.
