@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test verify verify-extended bench tools
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: everything must build and the full suite must pass.
+verify: build test
+
+# Extended gate: static analysis plus the race detector over the whole
+# tree (exercises the parallel cube search and the concurrent tracer).
+verify-extended: verify
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+tools:
+	$(GO) build -o bin/ ./cmd/...

@@ -7,54 +7,78 @@
 //
 //	bebop -entry main program.bp
 //	bebop -entry partition -invariant partition:L program.bp
+//	bebop -trace-out run.jsonl -report -entry main program.bp
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"predabs"
+	"predabs/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	entry := flag.String("entry", "main", "entry procedure")
 	invariant := flag.String("invariant", "", "print the invariant at proc:label")
 	allInvariants := flag.Bool("invariants", false, "print the invariant at every labelled statement")
 	showTrace := flag.Bool("trace", false, "print a counterexample trace for a reachable violation")
 	stats := flag.Bool("stats", false, "print fixpoint statistics to stderr")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bebop -entry <proc> [-invariant proc:label] <program.bp>")
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	bprog, err := predabs.ParseBooleanProgram(string(src))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	res, err := bprog.Check(*entry)
+	tracer, finish, err := obsFlags.Start()
 	if err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+	res, err := bprog.CheckTraced(*entry, tracer)
+	if err != nil {
+		finish()
+		return fatal(err)
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "bebop:", err)
 	}
 	if *stats {
 		s := res.Stats()
 		fmt.Fprintf(os.Stderr, "fixpoint iterations: %d\nfixpoint time: %v\n",
 			s.Iterations, s.FixpointTime)
+		procs := make([]string, 0, len(s.IterationsByProc))
+		for p := range s.IterationsByProc {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		for _, p := range procs {
+			fmt.Fprintf(os.Stderr, "  proc %s: %d\n", p, s.IterationsByProc[p])
+		}
 	}
 	if *invariant != "" {
 		parts := strings.SplitN(*invariant, ":", 2)
 		if len(parts) != 2 {
-			fatal(fmt.Errorf("bad -invariant %q, want proc:label", *invariant))
+			return fatal(fmt.Errorf("bad -invariant %q, want proc:label", *invariant))
 		}
 		inv, err := res.InvariantAt(parts[0], parts[1])
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		fmt.Printf("invariant at %s:\n  %s\n", *invariant, inv)
 	}
@@ -76,12 +100,13 @@ func main() {
 				fmt.Println("trace: (extraction failed)")
 			}
 		}
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println("RESULT: no assertion violation is reachable")
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "bebop:", err)
-	os.Exit(1)
+	return 1
 }

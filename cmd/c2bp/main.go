@@ -5,6 +5,7 @@
 // Usage:
 //
 //	c2bp -preds partition.preds partition.c
+//	c2bp -preds partition.preds -trace-out run.jsonl -report partition.c
 package main
 
 import (
@@ -13,56 +14,76 @@ import (
 	"os"
 
 	"predabs"
+	"predabs/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	predFile := flag.String("preds", "", "predicate input file (required)")
 	maxCube := flag.Int("maxcube", 3, "maximum cube length in the F computation (0 = unlimited)")
 	noCone := flag.Bool("nocone", false, "disable the cone-of-influence optimization")
 	noEnforce := flag.Bool("noenforce", false, "do not emit enforce invariants")
 	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	stats := flag.Bool("stats", false, "print abstraction statistics and per-stage timings to stderr")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	if *predFile == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: c2bp [-j N] [-stats] -preds <predfile> <source.c>")
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	preds, err := os.ReadFile(*predFile)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+	tracer, finish, err := obsFlags.Start()
+	if err != nil {
+		return fatal(err)
 	}
 	prog, err := predabs.Load(string(src))
 	if err != nil {
-		fatal(err)
+		finish()
+		return fatal(err)
 	}
 	opts := predabs.DefaultOptions()
 	opts.MaxCubeLen = *maxCube
 	opts.ConeOfInfluence = !*noCone
 	opts.EmitEnforce = !*noEnforce
 	opts.Jobs = *jobs
+	opts.Tracer = tracer
 	bprog, err := prog.Abstract(string(preds), opts)
 	if err != nil {
-		fatal(err)
+		finish()
+		return fatal(err)
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "c2bp:", err)
 	}
 	fmt.Print(bprog.Text())
 	if *stats {
 		s := bprog.Stats()
-		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\nprover cache hits: %d\nprover gave up: %d\ncubes checked: %d\n",
-			s.Predicates, s.ProverCalls, s.CacheHits, s.ProverGaveUp, s.CubesChecked)
+		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\nprover cache hits: %d\nprover cache misses: %d\nprover gave up: %d\ncubes checked: %d\ncube-search rounds: %d\n",
+			s.Predicates, s.ProverCalls, s.CacheHits, s.CacheMisses, s.ProverGaveUp, s.CubesChecked, s.CubeRounds)
 		fmt.Fprintf(os.Stderr, "stage parse+check+normalize: %v\nstage alias analysis: %v\nstage signatures: %v\nstage abstraction: %v\n  of which cube search: %v\n  of which theory solving: %v\n",
 			s.ParseTime, s.AliasTime, s.SignatureTime, s.AbstractTime, s.CubeSearchTime, s.SolverTime)
 		for _, pt := range s.ProcTimes {
 			fmt.Fprintf(os.Stderr, "  proc %s: %v\n", pt.Name, pt.D)
 		}
+		for _, pc := range s.ProcCubes {
+			fmt.Fprintf(os.Stderr, "  proc %s: %d cube rounds, %d cubes\n", pc.Name, pc.Rounds, pc.Cubes)
+		}
 	}
+	return 0
 }
 
-func fatal(err error) {
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "c2bp:", err)
-	os.Exit(1)
+	return 1
 }

@@ -6,36 +6,50 @@
 //
 //	slam -spec locking.slic -entry main driver.c
 //	slam -entry main program_with_asserts.c
+//	slam -trace-out run.jsonl -report -explain -entry main program.c
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"predabs"
+	"predabs/internal/obs"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	specFile := flag.String("spec", "", "SLIC-style specification file (optional; without it, asserts in the source are checked)")
 	entry := flag.String("entry", "main", "entry procedure")
 	maxIters := flag.Int("maxiters", 10, "maximum abstraction refinement iterations")
 	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	stats := flag.Bool("stats", false, "print per-stage timings and prover statistics to stderr")
+	explain := flag.Bool("explain", false, "render a found error path as an annotated source-level trace")
 	verbose := flag.Bool("v", false, "log each refinement iteration")
+	obsFlags := obs.Register()
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: slam [-spec file] -entry <proc> <source.c>")
-		os.Exit(2)
+		return 2
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fatal(err)
+	}
+	tracer, finish, err := obsFlags.Start()
+	if err != nil {
+		return fatal(err)
 	}
 	cfg := predabs.DefaultVerifyConfig()
 	cfg.MaxIterations = *maxIters
 	cfg.Opts.Jobs = *jobs
+	cfg.Tracer = tracer
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -46,17 +60,23 @@ func main() {
 	if *specFile != "" {
 		specSrc, err := os.ReadFile(*specFile)
 		if err != nil {
-			fatal(err)
+			finish()
+			return fatal(err)
 		}
 		res, err = predabs.VerifySpec(string(src), string(specSrc), *entry, cfg)
 		if err != nil {
-			fatal(err)
+			finish()
+			return fatal(err)
 		}
 	} else {
 		res, err = predabs.Verify(string(src), *entry, cfg)
 		if err != nil {
-			fatal(err)
+			finish()
+			return fatal(err)
 		}
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "slam:", err)
 	}
 
 	fmt.Printf("RESULT: %s (iterations: %d, predicates: %d, prover calls: %d)\n",
@@ -66,20 +86,41 @@ func main() {
 			res.ProverCalls, res.CacheHits, res.SolverTime)
 		fmt.Fprintf(os.Stderr, "stage abstraction (c2bp): %v\nstage model checking (bebop): %v\nstage predicate discovery (newton): %v\n",
 			res.AbstractTime, res.CheckTime, res.NewtonTime)
+		fmt.Fprintf(os.Stderr, "bebop iterations: %d\n", res.CheckIterations)
+		for _, p := range sortedProcs(res.CheckIterationsByProc) {
+			fmt.Fprintf(os.Stderr, "  proc %s: %d\n", p, res.CheckIterationsByProc[p])
+		}
 	}
 	switch res.Outcome {
 	case predabs.ErrorFound:
-		fmt.Println("error path:")
-		for _, e := range res.ErrorTrace {
-			fmt.Println("  " + e)
+		if *explain {
+			fmt.Println("error path (annotated):")
+			for _, e := range res.Explain(flag.Arg(0)) {
+				fmt.Println("  " + e)
+			}
+		} else {
+			fmt.Println("error path:")
+			for _, e := range res.ErrorTrace {
+				fmt.Println("  " + e)
+			}
 		}
-		os.Exit(1)
+		return 1
 	case predabs.Unknown:
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func fatal(err error) {
+func sortedProcs(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "slam:", err)
-	os.Exit(1)
+	return 1
 }

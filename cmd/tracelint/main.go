@@ -1,0 +1,59 @@
+// Command tracelint validates a structured trace emitted by the predabs
+// tools with -trace-out: every line must be a JSON object matching the
+// event schema (known category/name taxonomy, non-negative timestamps,
+// span/event duration rules, scalar field values).
+//
+// Usage:
+//
+//	tracelint run.jsonl [more.jsonl ...]
+//	slam -trace-out /dev/stdout prog.c | tracelint
+//
+// Exit status 0 when every line validates, 1 on the first invalid line
+// (reported with its file and line number), 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"predabs/internal/trace"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the per-file ok lines")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		if code := lint("<stdin>", os.Stdin, *quiet); code != 0 {
+			os.Exit(code)
+		}
+		return
+	}
+	status := 0
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracelint:", err)
+			os.Exit(2)
+		}
+		if code := lint(name, f, *quiet); code > status {
+			status = code
+		}
+		f.Close()
+	}
+	os.Exit(status)
+}
+
+func lint(name string, r io.Reader, quiet bool) int {
+	n, err := trace.Validate(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", name, err)
+		return 1
+	}
+	if !quiet {
+		fmt.Printf("%s: %d events ok\n", name, n)
+	}
+	return 0
+}

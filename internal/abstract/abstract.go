@@ -18,6 +18,7 @@ import (
 	"predabs/internal/cparse"
 	"predabs/internal/form"
 	"predabs/internal/prover"
+	"predabs/internal/trace"
 	"predabs/internal/wp"
 )
 
@@ -44,6 +45,10 @@ type Options struct {
 	// restores the strictly sequential scan. The boolean-program output
 	// is byte-identical for every value.
 	Jobs int
+	// Tracer receives structured events (per-procedure spans, cube-search
+	// rounds, worker lanes). nil disables tracing at zero cost. A pointer
+	// keeps Options comparable.
+	Tracer *trace.Tracer
 }
 
 // DefaultOptions returns the configuration used in the paper's
@@ -65,6 +70,9 @@ type Stats struct {
 	// CubesChecked counts cube implication candidates submitted to the
 	// prover-backed search (after superset pruning).
 	CubesChecked int
+	// CubeRounds counts prover-backed search rounds (one per cube size
+	// that produced candidates, across every F_V/G_V/enforce invocation).
+	CubeRounds int
 	// Assignments, Calls and Conditionals count translated C statements.
 	Assignments  int
 	Calls        int
@@ -80,12 +88,23 @@ type Stats struct {
 	// ProcTimes records the wall time spent abstracting each procedure,
 	// in program order.
 	ProcTimes []ProcTime
+	// ProcCubes records per-procedure cube-search activity (rounds and
+	// candidate cubes), in program order.
+	ProcCubes []ProcCubeStat
 }
 
 // ProcTime is the abstraction wall time of one procedure.
 type ProcTime struct {
 	Name string
 	D    time.Duration
+}
+
+// ProcCubeStat is the cube-search activity of one procedure's
+// abstraction.
+type ProcCubeStat struct {
+	Name   string
+	Rounds int
+	Cubes  int
 }
 
 // Signature is the paper's four-tuple (F_R, r, E_f, E_r) restricted to
@@ -149,15 +168,25 @@ func Abstract(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover,
 		sigs:            map[string]*Signature{},
 		modifiedFormals: map[string]map[string]bool{},
 	}
+	tracer := opts.Tracer
+	runSpan := tracer.Begin("abstract", "run")
+	defer runSpan.End()
 	if err := ab.loadPredicates(sections); err != nil {
 		return nil, err
 	}
+	nPreds := len(ab.globalPreds)
+	for _, ps := range ab.localPreds {
+		nPreds += len(ps)
+	}
+	tracer.Event("abstract", "predicates", trace.Int("count", nPreds))
 	ab.computeModifiedFormals()
 	// First pass: signatures (each procedure in isolation, Section 4.5.2).
 	sigStart := time.Now()
+	sigSpan := tracer.Begin("abstract", "signatures")
 	for _, f := range res.Prog.Funcs {
 		ab.sigs[f.Name] = ab.signature(f)
 	}
+	sigSpan.End()
 	ab.Stats.SignatureTime = time.Since(sigStart)
 	// Second pass: abstract each procedure.
 	prog := &bp.Program{}
@@ -166,10 +195,17 @@ func Abstract(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover,
 	}
 	for _, f := range res.Prog.Funcs {
 		procStart := time.Now()
+		procSpan := tracer.Begin("abstract", "proc")
+		rounds0, cubes0 := ab.Stats.CubeRounds, ab.Stats.CubesChecked
 		pr, err := ab.abstractProc(f)
 		if err != nil {
 			return nil, err
 		}
+		rounds, cubes := ab.Stats.CubeRounds-rounds0, ab.Stats.CubesChecked-cubes0
+		procSpan.End(trace.Str("proc", f.Name),
+			trace.Int("rounds", rounds), trace.Int("cubes", cubes))
+		ab.Stats.ProcCubes = append(ab.Stats.ProcCubes,
+			ProcCubeStat{Name: f.Name, Rounds: rounds, Cubes: cubes})
 		ab.Stats.ProcTimes = append(ab.Stats.ProcTimes,
 			ProcTime{Name: f.Name, D: time.Since(procStart)})
 		prog.Procs = append(prog.Procs, pr)

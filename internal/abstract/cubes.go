@@ -8,6 +8,7 @@ import (
 
 	"predabs/internal/bp"
 	"predabs/internal/form"
+	"predabs/internal/trace"
 )
 
 // Pred pairs a boolean-variable name with the C predicate it stands for.
@@ -86,7 +87,11 @@ const minParallelRound = 4
 // per-index results, so output order is independent of scheduling. With
 // jobs <= 1 (or a tiny round) it degenerates to the sequential scan,
 // prover-call-for-prover-call identical to the pre-parallel code.
-func checkRound(n, jobs int, check func(i int)) {
+//
+// When a tracer is active, each parallel worker's participation in the
+// round is emitted as a cube.worker span on its own lane (Chrome tid
+// w+1), so the workers render as parallel rows in Perfetto.
+func checkRound(tr *trace.Tracer, n, jobs int, check func(i int)) {
 	if jobs > n {
 		jobs = n
 	}
@@ -103,16 +108,20 @@ func checkRound(n, jobs int, check func(i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			sp := tr.BeginLane(w+1, "cube", "worker")
+			done := 0
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					sp.End(trace.Int("cubes", done))
 					return
 				}
 				check(i)
+				done++
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -201,7 +210,11 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 
 	// Everything below is prover-backed cube search; time it as one stage.
 	searchStart := time.Now()
-	defer func() { ab.Stats.CubeSearchTime += time.Since(searchStart) }()
+	searchSpan := ab.opts.Tracer.Begin("cube", "search")
+	defer func() {
+		ab.Stats.CubeSearchTime += time.Since(searchStart)
+		searchSpan.End()
+	}()
 
 	// Degenerate goals: a valid phi needs no cubes at all, and an
 	// unsatisfiable phi has none.
@@ -242,8 +255,10 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 			continue
 		}
 		ab.Stats.CubesChecked += len(cands)
+		ab.Stats.CubeRounds++
+		roundSpan := ab.opts.Tracer.Begin("cube", "round")
 		verdicts := make([]cubeVerdict, len(cands))
-		checkRound(len(cands), ab.jobs(), func(i int) {
+		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
 			cubeF := cubeFormula(domain, cands[i])
 			if ab.pv.Valid(cubeF, phi) {
 				verdicts[i] = verdictImplicant
@@ -251,6 +266,7 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 				verdicts[i] = verdictContradiction
 			}
 		})
+		roundSpan.End(trace.Int("len", size), trace.Int("candidates", len(cands)))
 		for i, v := range verdicts {
 			switch v {
 			case verdictImplicant:
@@ -376,7 +392,11 @@ func (ab *Abstractor) predTouches(fn string, p Pred, locs []form.Term) bool {
 // merge.
 func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
 	searchStart := time.Now()
-	defer func() { ab.Stats.CubeSearchTime += time.Since(searchStart) }()
+	searchSpan := ab.opts.Tracer.Begin("cube", "enforce")
+	defer func() {
+		ab.Stats.CubeSearchTime += time.Since(searchStart)
+		searchSpan.End()
+	}()
 
 	maxLen := ab.opts.MaxCubeLen
 	if maxLen <= 0 || maxLen > len(preds) {
@@ -392,12 +412,15 @@ func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
 			continue
 		}
 		ab.Stats.CubesChecked += len(cands)
+		ab.Stats.CubeRounds++
+		roundSpan := ab.opts.Tracer.Begin("cube", "round")
 		verdicts := make([]cubeVerdict, len(cands))
-		checkRound(len(cands), ab.jobs(), func(i int) {
+		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
 			if ab.pv.Unsat(cubeFormula(preds, cands[i])) {
 				verdicts[i] = verdictContradiction
 			}
 		})
+		roundSpan.End(trace.Int("len", size), trace.Int("candidates", len(cands)))
 		for i, v := range verdicts {
 			if v == verdictContradiction {
 				found = append(found, cands[i])

@@ -15,6 +15,7 @@ import (
 
 	"predabs/internal/bdd"
 	"predabs/internal/bp"
+	"predabs/internal/trace"
 )
 
 // Column identifies one of the per-variable BDD variable copies.
@@ -90,9 +91,16 @@ type Checker struct {
 	// (the model checker's cost metric; the paper reports Bebop "ran in
 	// under 10 seconds" on every subject).
 	Iterations int
+	// IterationsByProc splits Iterations by the procedure whose statement
+	// was processed.
+	IterationsByProc map[string]int
 	// FixpointTime is the wall time of the reachability fixpoint,
 	// excluding BDD layout and CFG construction.
 	FixpointTime time.Duration
+
+	// tr receives one bebop.iter event per worklist item (worklist depth,
+	// BDD node count) plus check/fixpoint spans. nil-safe.
+	tr *trace.Tracer
 }
 
 // Check runs Bebop on prog starting from the entry procedure with
@@ -100,23 +108,35 @@ type Checker struct {
 // reachability fixpoint with procedure summaries (paper Section 2.2).
 // prog must be resolved.
 func Check(prog *bp.Program, entry string) (*Checker, error) {
+	return CheckTraced(prog, entry, nil)
+}
+
+// CheckTraced is Check with a structured-event tracer attached (nil
+// behaves exactly like Check).
+func CheckTraced(prog *bp.Program, entry string, tr *trace.Tracer) (*Checker, error) {
 	e := prog.Proc(entry)
 	if e == nil {
 		return nil, fmt.Errorf("bebop: no procedure %q", entry)
 	}
 	c := &Checker{
-		Prog:       prog,
-		m:          bdd.New(0),
-		procs:      map[string]*procInfo{},
-		pathEdges:  map[string][]int{},
-		summaries:  map[string]int{},
-		entrySeeds: map[string]int{},
+		Prog:             prog,
+		m:                bdd.New(0),
+		procs:            map[string]*procInfo{},
+		pathEdges:        map[string][]int{},
+		summaries:        map[string]int{},
+		entrySeeds:       map[string]int{},
+		IterationsByProc: map[string]int{},
+		tr:               tr,
 	}
+	checkSpan := tr.Begin("bebop", "check")
 	c.layout()
 	c.buildCFGs()
 	start := time.Now()
+	fixSpan := tr.Begin("bebop", "fixpoint")
 	c.run(entry)
+	fixSpan.End(trace.Int("iterations", c.Iterations))
 	c.FixpointTime = time.Since(start)
+	checkSpan.End(trace.Int("bdd_nodes", c.m.NumNodes()))
 	return c, nil
 }
 
@@ -366,6 +386,9 @@ func (c *Checker) run(entry string) {
 		queue = queue[1:]
 		inQueue[w] = false
 		c.Iterations++
+		c.IterationsByProc[w.proc]++
+		c.tr.Event("bebop", "iter", trace.Str("proc", w.proc),
+			trace.Int("worklist", len(queue)), trace.Int("bdd_nodes", c.m.NumNodes()))
 
 		pi := c.procs[w.proc]
 		pe := c.pathEdges[w.proc][w.stmt]

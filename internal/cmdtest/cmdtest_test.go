@@ -21,7 +21,7 @@ func TestMain(m *testing.M) {
 		panic(err)
 	}
 	binDir = dir
-	build := exec.Command("go", "build", "-o", binDir, "predabs/cmd/c2bp", "predabs/cmd/bebop", "predabs/cmd/slam")
+	build := exec.Command("go", "build", "-o", binDir, "predabs/cmd/c2bp", "predabs/cmd/bebop", "predabs/cmd/slam", "predabs/cmd/tracelint")
 	build.Dir = repoRoot()
 	if out, err := build.CombinedOutput(); err != nil {
 		panic("building tools: " + err.Error() + "\n" + string(out))
@@ -232,5 +232,117 @@ end
 	}
 	if !strings.Contains(out, "violation reachable") {
 		t.Errorf("verdict:\n%s", out)
+	}
+}
+
+const lockBadC = `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+void main(void) {
+  AcquireLock();
+  AcquireLock();
+}
+`
+
+// TestSlamObservabilityFlags drives the full observability surface in one
+// run: JSONL trace (validated by tracelint), Chrome export, text and JSON
+// reports, and the annotated -explain rendering of the error path.
+func TestSlamObservabilityFlags(t *testing.T) {
+	cFile := write(t, "bad.c", lockBadC)
+	sFile := write(t, "lock.slic", lockSpec)
+	dir := filepath.Dir(cFile)
+	jsonl := filepath.Join(dir, "run.jsonl")
+	chrome := filepath.Join(dir, "run.chrome.json")
+	report := filepath.Join(dir, "report.json")
+
+	out, code := run(t, "slam",
+		"-spec", sFile, "-entry", "main",
+		"-trace-out", jsonl, "-trace-chrome", chrome,
+		"-report", "-report-json", report, "-explain", cFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	for _, frag := range []string{
+		"RESULT: error-found",
+		"=== run report ===",
+		"error path (annotated):",
+		"[then branch taken]",
+		"bad.c:",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+
+	lintOut, lintCode := run(t, "tracelint", jsonl)
+	if lintCode != 0 {
+		t.Errorf("tracelint exit %d:\n%s", lintCode, lintOut)
+	}
+	if !strings.Contains(lintOut, "events ok") {
+		t.Errorf("tracelint output:\n%s", lintOut)
+	}
+
+	for _, f := range []string{chrome, report} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("%s not written: %v", f, err)
+		}
+		if len(data) == 0 || data[0] != '{' {
+			t.Errorf("%s does not look like JSON: %.40q", f, data)
+		}
+	}
+}
+
+// TestC2bpTraceFlags checks the abstraction-only workflow emits a valid
+// trace and a report whose totals agree with -stats.
+func TestC2bpTraceFlags(t *testing.T) {
+	cFile := write(t, "p.c", partitionC)
+	pFile := write(t, "p.preds", partitionPreds)
+	jsonl := filepath.Join(filepath.Dir(cFile), "c2bp.jsonl")
+
+	out, code := run(t, "c2bp", "-preds", pFile, "-trace-out", jsonl, "-report", "-stats", cFile)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "=== run report ===") {
+		t.Errorf("report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cube-search rounds:") {
+		t.Errorf("-stats cube round count missing:\n%s", out)
+	}
+	if lintOut, lintCode := run(t, "tracelint", "-q", jsonl); lintCode != 0 {
+		t.Errorf("tracelint exit %d:\n%s", lintCode, lintOut)
+	}
+}
+
+// TestBebopStatsByProc checks -stats reports per-procedure fixpoint
+// iteration counts.
+func TestBebopStatsByProc(t *testing.T) {
+	bpFile := write(t, "s.bp", `
+void main() begin
+  decl a;
+  a := *;
+  return;
+end
+`)
+	out, code := run(t, "bebop", "-entry", "main", "-stats", bpFile)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "fixpoint iterations:") || !strings.Contains(out, "proc main:") {
+		t.Errorf("-stats per-proc counts missing:\n%s", out)
+	}
+}
+
+// TestTracelintRejectsInvalid feeds tracelint a file violating the event
+// schema.
+func TestTracelintRejectsInvalid(t *testing.T) {
+	bad := write(t, "bad.jsonl", `{"ts":1,"type":"event","cat":"nope","name":"what"}`+"\n")
+	out, code := run(t, "tracelint", bad)
+	if code != 1 {
+		t.Errorf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "line 1") {
+		t.Errorf("diagnostic missing line number:\n%s", out)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"predabs/internal/cnorm"
 	"predabs/internal/form"
 	"predabs/internal/prover"
+	tracepkg "predabs/internal/trace"
 	"predabs/internal/wp"
 )
 
@@ -41,6 +42,10 @@ type Result struct {
 	GaveUp bool
 	// Condition is the accumulated path condition over the initial state.
 	Condition form.Formula
+	// InfeasibleIndex is the backward-step count (from the end of the
+	// path) at which the condition became unsatisfiable; -1 when the path
+	// was feasible or the analysis gave up.
+	InfeasibleIndex int
 	// Events is the rendered C-level path (diagnostics).
 	Events []string
 }
@@ -61,6 +66,31 @@ const frameSep = "::"
 // Analyze decides the feasibility of a Bebop counterexample trace against
 // the original (normalized) C program.
 func Analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []bebop.Step) (*Result, error) {
+	return AnalyzeTraced(res, aa, pv, trace, nil)
+}
+
+// AnalyzeTraced is Analyze with a structured-event tracer attached: one
+// newton.analyze span per refinement round, carrying the path length,
+// the infeasibility point and the number of predicates harvested. A nil
+// tracer behaves exactly like Analyze.
+func AnalyzeTraced(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, steps []bebop.Step, tr *tracepkg.Tracer) (*Result, error) {
+	span := tr.Begin("newton", "analyze")
+	out, err := analyze(res, aa, pv, steps)
+	if err != nil {
+		span.End(tracepkg.Int("path_len", len(steps)))
+		return nil, err
+	}
+	span.End(
+		tracepkg.Int("path_len", len(steps)),
+		tracepkg.Int("infeasible_index", out.InfeasibleIndex),
+		tracepkg.Int("preds_harvested", predCount(out.NewPreds)),
+		tracepkg.Bool("feasible", out.Feasible),
+		tracepkg.Bool("gave_up", out.GaveUp),
+	)
+	return out, err
+}
+
+func analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []bebop.Step) (*Result, error) {
 	events, err := buildEvents(res, trace)
 	if err != nil {
 		return nil, err
@@ -71,7 +101,7 @@ func Analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 	// Backward WP sweep with per-step satisfiability checks: the first
 	// point (from the end) where the condition becomes unsatisfiable
 	// pinpoints the contradiction.
-	out := &Result{NewPreds: map[string][]string{}}
+	out := &Result{NewPreds: map[string][]string{}, InfeasibleIndex: -1}
 	for _, e := range events {
 		out.Events = append(out.Events, e.text)
 	}
@@ -106,6 +136,7 @@ func Analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 			// round; SLAM's Newton similarly limits predicates).
 			out.Feasible = false
 			out.Condition = phi
+			out.InfeasibleIndex = len(snapshots) - 1
 			if !e.isAssign {
 				harvest(res, e.cond, out.NewPreds)
 			}

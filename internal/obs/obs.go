@@ -1,0 +1,137 @@
+// Package obs wires the shared observability command-line flags —
+// structured tracing, run reports and CPU profiling — into the predabs
+// CLIs (c2bp, bebop, slam). It owns the lifecycle: open sinks before the
+// run, attach a *trace.Tracer, then flush the Chrome export, render the
+// report and stop the profiler afterwards.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+
+	"predabs/internal/trace"
+)
+
+// Flags holds the shared observability flag values.
+type Flags struct {
+	// TraceOut is the JSONL structured-event log path (-trace-out).
+	TraceOut string
+	// ChromeOut is the Chrome trace_event JSON path (-trace-chrome),
+	// loadable in Perfetto or chrome://tracing.
+	ChromeOut string
+	// Report enables the end-of-run text report on stderr (-report).
+	Report bool
+	// ReportJSON is the end-of-run JSON report path (-report-json).
+	ReportJSON string
+	// CPUProfile is the pprof CPU profile path (-pprof).
+	CPUProfile string
+}
+
+// Register declares the shared flags on the default flag set.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.TraceOut, "trace-out", "", "write structured JSONL trace events to `file`")
+	flag.StringVar(&f.ChromeOut, "trace-chrome", "", "write a Chrome trace_event JSON (Perfetto-loadable) to `file`")
+	flag.BoolVar(&f.Report, "report", false, "print an end-of-run report to stderr")
+	flag.StringVar(&f.ReportJSON, "report-json", "", "write the end-of-run report as JSON to `file`")
+	flag.StringVar(&f.CPUProfile, "pprof", "", "write a CPU profile to `file`")
+	return f
+}
+
+// session tracks the open sinks between Start and Finish.
+type session struct {
+	flags     *Flags
+	tracer    *trace.Tracer
+	jsonlFile *os.File
+	pprofFile *os.File
+}
+
+// Start opens the requested sinks and returns the tracer to thread
+// through the pipeline (nil when no observability flag was given, which
+// disables tracing at zero cost) plus a finish func to call after the
+// run. The finish func is safe to call exactly once, including on the
+// error paths that skip the run's output.
+func (f *Flags) Start() (*trace.Tracer, func() error, error) {
+	s := &session{flags: f}
+	var cfg trace.Config
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace-out: %w", err)
+		}
+		s.jsonlFile = file
+		cfg.JSONL = file
+	}
+	cfg.RetainChrome = f.ChromeOut != ""
+	if f.TraceOut != "" || f.ChromeOut != "" || f.Report || f.ReportJSON != "" {
+		s.tracer = trace.New(cfg)
+	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			s.close()
+			return nil, nil, fmt.Errorf("pprof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			s.close()
+			return nil, nil, fmt.Errorf("pprof: %w", err)
+		}
+		s.pprofFile = file
+	}
+	return s.tracer, s.finish, nil
+}
+
+func (s *session) close() {
+	if s.jsonlFile != nil {
+		s.jsonlFile.Close()
+		s.jsonlFile = nil
+	}
+}
+
+// finish stops the profiler, writes the Chrome export and report sinks,
+// and closes every open file. The first error wins; later steps still
+// run.
+func (s *session) finish() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s.pprofFile != nil {
+		pprof.StopCPUProfile()
+		keep(s.pprofFile.Close())
+		s.pprofFile = nil
+	}
+	if s.jsonlFile != nil {
+		keep(s.jsonlFile.Close())
+		s.jsonlFile = nil
+	}
+	if s.flags.ChromeOut != "" && s.tracer != nil {
+		file, err := os.Create(s.flags.ChromeOut)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(s.tracer.WriteChrome(file))
+			keep(file.Close())
+		}
+	}
+	if s.tracer != nil && (s.flags.Report || s.flags.ReportJSON != "") {
+		rep := s.tracer.Report()
+		if s.flags.Report {
+			fmt.Fprint(os.Stderr, rep.Text())
+		}
+		if s.flags.ReportJSON != "" {
+			data, err := rep.JSON()
+			if err != nil {
+				keep(err)
+			} else {
+				keep(os.WriteFile(s.flags.ReportJSON, append(data, '\n'), 0o644))
+			}
+		}
+	}
+	return firstErr
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"predabs/internal/form"
+	"predabs/internal/trace"
 )
 
 // cacheShards stripes the query cache to keep lock contention low under
@@ -47,6 +48,11 @@ type Prover struct {
 	// Set it before issuing queries; it must not be flipped while other
 	// goroutines are calling Valid/Unsat.
 	DisableCache bool
+
+	// Trace, when non-nil, receives one prover.query event per Valid/Unsat
+	// call (including cache hits). Set it before sharing the prover between
+	// goroutines; the tracer itself is concurrency-safe.
+	Trace *trace.Tracer
 
 	calls     atomic.Int64
 	cacheHits atomic.Int64
@@ -111,6 +117,17 @@ func (p *Prover) cachePut(key string, v bool) {
 // maxLeafChecks bounds the number of theory checks per query.
 const maxLeafChecks = 50000
 
+// queryDesc renders a cache key as a human-readable formula description
+// for the trace ("hyp => goal" for validity keys, the formula itself for
+// unsat keys). Only called when tracing is on.
+func queryDesc(key string) string {
+	body := key[2:] // strip the "V\x00" / "U\x00" tag
+	if i := strings.IndexByte(body, 0); i >= 0 {
+		return body[:i] + " => " + body[i+1:]
+	}
+	return body
+}
+
 // Valid reports whether hyp ⇒ goal is valid. This is the paper's prover
 // interface for the cube search: F_V asks Valid(cube, φ) for every
 // candidate cube (Section 4.1). Safe for concurrent use.
@@ -120,6 +137,9 @@ func (p *Prover) Valid(hyp, goal form.Formula) bool {
 	if !p.DisableCache {
 		if v, ok := p.cacheGet(key); ok {
 			p.cacheHits.Add(1)
+			if p.Trace != nil {
+				p.Trace.ProverQuery("valid", queryDesc(key), len(key), 0, v, true, false)
+			}
 			return v
 		}
 	}
@@ -127,13 +147,18 @@ func (p *Prover) Valid(hyp, goal form.Formula) bool {
 	f := form.NNF(form.MkAnd(hyp, form.MkNot(goal)))
 	budget := maxLeafChecks
 	res := !p.sat(f, nil, &budget)
-	if budget <= 0 {
+	gave := budget <= 0
+	if gave {
 		p.gaveUp.Add(1)
 		res = false // could not complete the search: do not claim validity
 	}
-	p.theoryNS.Add(int64(time.Since(start)))
+	dur := time.Since(start)
+	p.theoryNS.Add(int64(dur))
 	if !p.DisableCache {
 		p.cachePut(key, res)
+	}
+	if p.Trace != nil {
+		p.Trace.ProverQuery("valid", queryDesc(key), len(key), dur, res, false, gave)
 	}
 	return res
 }
@@ -147,19 +172,27 @@ func (p *Prover) Unsat(f form.Formula) bool {
 	if !p.DisableCache {
 		if v, ok := p.cacheGet(key); ok {
 			p.cacheHits.Add(1)
+			if p.Trace != nil {
+				p.Trace.ProverQuery("unsat", queryDesc(key), len(key), 0, v, true, false)
+			}
 			return v
 		}
 	}
 	start := time.Now()
 	budget := maxLeafChecks
 	res := !p.sat(form.NNF(f), nil, &budget)
-	if budget <= 0 {
+	gave := budget <= 0
+	if gave {
 		p.gaveUp.Add(1)
 		res = false
 	}
-	p.theoryNS.Add(int64(time.Since(start)))
+	dur := time.Since(start)
+	p.theoryNS.Add(int64(dur))
 	if !p.DisableCache {
 		p.cachePut(key, res)
+	}
+	if p.Trace != nil {
+		p.Trace.ProverQuery("unsat", queryDesc(key), len(key), dur, res, false, gave)
 	}
 	return res
 }

@@ -1,0 +1,101 @@
+package slam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"predabs/internal/abstract"
+	"predabs/internal/bp"
+	"predabs/internal/cast"
+)
+
+// Explain renders the boolean-program counterexample in Result.BPTrace as
+// an annotated source-level error path: one line per executed statement
+// with its C source location (filename:line) and source text, followed by
+// the predicate valuations that held at that step. Boolean-program
+// bookkeeping steps with no C origin (gotos, skips) are elided, as are
+// compiler temporaries (names containing '$') in the valuations. Returns
+// nil when the run produced no counterexample trace.
+func (r *Result) Explain(filename string) []string {
+	if len(r.BPTrace) == 0 {
+		return nil
+	}
+	var out []string
+	lastProc := ""
+	lastVals := ""
+	for _, s := range r.BPTrace {
+		origin := s.BP.Origin
+		branch := ""
+		if bo, ok := origin.(abstract.BranchOrigin); ok {
+			if bo.Then {
+				branch = "   [then branch taken]"
+			} else {
+				branch = "   [else branch taken]"
+			}
+			origin = bo.Stmt
+		} else if o, ok := origin.(interface{ OriginStmt() any }); ok {
+			origin = o.OriginStmt()
+		}
+		st, _ := origin.(cast.Stmt)
+		if st == nil && s.BP.Comment == "" {
+			continue
+		}
+		if s.Proc != lastProc {
+			out = append(out, fmt.Sprintf("in %s:", s.Proc))
+			lastProc = s.Proc
+			lastVals = ""
+		}
+		loc := filename
+		if st != nil {
+			loc = fmt.Sprintf("%s:%d", filename, st.Pos().Line)
+		}
+		text := s.BP.Comment
+		if text == "" && st != nil {
+			text = firstLine(cast.PrintStmt(st))
+		}
+		if text == "" {
+			text = bp.StmtString(s.BP)
+		}
+		out = append(out, fmt.Sprintf("  %-12s %s%s", loc, text, branch))
+		if vals := valuationString(s.State); vals != "" && vals != lastVals {
+			out = append(out, "               "+vals)
+			lastVals = vals
+		}
+	}
+	return out
+}
+
+// firstLine compresses a multi-line statement rendering (a block, an if
+// with a body) to its first line.
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = strings.TrimSpace(s[:i]) + " ..."
+	}
+	return s
+}
+
+// valuationString renders a step's predicate valuations in deterministic
+// order, skipping compiler temporaries.
+func valuationString(state map[string]bool) string {
+	if len(state) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(state))
+	for n := range state {
+		if strings.Contains(n, "$") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("{%s}=%v", n, state[n])
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -22,6 +22,7 @@ import (
 	"predabs/internal/newton"
 	"predabs/internal/prover"
 	"predabs/internal/spec"
+	tracepkg "predabs/internal/trace"
 )
 
 // Outcome classifies a verification run.
@@ -60,6 +61,10 @@ type Config struct {
 	InitialPreds []cparse.PredSection
 	// Trace enables per-iteration logging through Logf.
 	Logf func(format string, args ...any)
+	// Tracer receives structured events from every pipeline stage
+	// (frontend, abstraction, cube search, prover, Bebop, Newton, CEGAR
+	// iterations). nil disables tracing at zero cost.
+	Tracer *tracepkg.Tracer
 }
 
 // DefaultConfig returns the standard configuration.
@@ -90,6 +95,10 @@ type Result struct {
 	AbstractTime time.Duration
 	CheckTime    time.Duration
 	NewtonTime   time.Duration
+	// CheckIterations accumulates Bebop worklist iterations across all
+	// CEGAR rounds; CheckIterationsByProc splits them per procedure.
+	CheckIterations       int
+	CheckIterationsByProc map[string]int
 	// ErrorTrace holds the C-level rendering of the feasible error path.
 	ErrorTrace []string
 	// BPTrace is the boolean-program trace of the error.
@@ -102,7 +111,9 @@ type Result struct {
 // program: the spec is instrumented, then the abort reachability question
 // is answered by the CEGAR loop.
 func VerifySpec(src, specSrc, entry string, cfg Config) (*Result, error) {
+	parseSpan := cfg.Tracer.Begin("frontend", "parse")
 	prog, err := cparse.Parse(src)
+	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("slam: parse: %w", err)
 	}
@@ -120,7 +131,9 @@ func VerifySpec(src, specSrc, entry string, cfg Config) (*Result, error) {
 // Verify checks that no assert in the program can fail, starting from
 // entry.
 func Verify(src, entry string, cfg Config) (*Result, error) {
+	parseSpan := cfg.Tracer.Begin("frontend", "parse")
 	prog, err := cparse.Parse(src)
+	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("slam: parse: %w", err)
 	}
@@ -129,12 +142,26 @@ func Verify(src, entry string, cfg Config) (*Result, error) {
 
 // VerifyProgram runs the CEGAR loop on a parsed program.
 func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error) {
+	out, err := verifyProgram(prog, entry, cfg)
+	if err == nil && out != nil {
+		cfg.Tracer.Event("slam", "outcome",
+			tracepkg.Str("outcome", out.Outcome.String()),
+			tracepkg.Int("iterations", out.Iterations))
+	}
+	return out, err
+}
+
+func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error) {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10
 	}
 	if cfg.Opts == (abstract.Options{}) {
 		cfg.Opts = abstract.DefaultOptions()
 	}
+	if cfg.Tracer != nil {
+		cfg.Opts.Tracer = cfg.Tracer
+	}
+	tracer := cfg.Tracer
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -148,8 +175,11 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 	if err != nil {
 		return nil, fmt.Errorf("slam: normalize: %w", err)
 	}
+	aliasSpan := tracer.Begin("frontend", "alias")
 	aa := alias.Analyze(res)
+	aliasSpan.End()
 	pv := prover.New()
+	pv.Trace = tracer
 
 	// Predicate pool, per scope, in insertion order.
 	pool := map[string][]string{}
@@ -169,7 +199,7 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		}
 	}
 
-	out := &Result{Outcome: Unknown}
+	out := &Result{Outcome: Unknown, CheckIterationsByProc: map[string]int{}}
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		out.Iterations = iter
 		sections := poolSections(res, pool)
@@ -180,6 +210,10 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 			out.PredCount += len(sec.Texts)
 		}
 		logf("slam iteration %d: %d predicates", iter, out.PredCount)
+		iterSpan := tracer.Begin("slam", "iteration")
+		endIter := func() {
+			iterSpan.End(tracepkg.Int("n", iter), tracepkg.Int("predicates", out.PredCount))
+		}
 
 		absStart := time.Now()
 		abs, err := abstract.Abstract(res, aa, pv, sections, cfg.Opts)
@@ -193,15 +227,20 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		out.SolverTime = pv.SolverTime()
 
 		checkStart := time.Now()
-		checker, err := bebop.Check(abs.BP, entry)
+		checker, err := bebop.CheckTraced(abs.BP, entry, tracer)
 		out.CheckTime += time.Since(checkStart)
 		if err != nil {
 			return nil, fmt.Errorf("slam: bebop (iteration %d): %w", iter, err)
+		}
+		out.CheckIterations += checker.Iterations
+		for p, n := range checker.IterationsByProc {
+			out.CheckIterationsByProc[p] += n
 		}
 		failure, bad := checker.ErrorReachable()
 		if !bad {
 			out.Outcome = Verified
 			logf("slam: verified after %d iteration(s)", iter)
+			endIter()
 			return out, nil
 		}
 
@@ -209,10 +248,11 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		if !ok {
 			logf("slam: counterexample trace extraction failed")
 			out.Outcome = Unknown
+			endIter()
 			return out, nil
 		}
 		newtonStart := time.Now()
-		nres, err := newton.Analyze(res, aa, pv, trace)
+		nres, err := newton.AnalyzeTraced(res, aa, pv, trace, tracer)
 		out.NewtonTime += time.Since(newtonStart)
 		if err != nil {
 			return nil, fmt.Errorf("slam: newton (iteration %d): %w", iter, err)
@@ -223,6 +263,7 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		if nres.GaveUp {
 			logf("slam: newton gave up on the path condition; answer unknown")
 			out.Outcome = Unknown
+			endIter()
 			return out, nil
 		}
 		if nres.Feasible {
@@ -230,6 +271,7 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 			out.BPTrace = trace
 			out.ErrorTrace = nres.Events
 			logf("slam: feasible error path found after %d iteration(s)", iter)
+			endIter()
 			return out, nil
 		}
 
@@ -243,6 +285,7 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 				}
 			}
 		}
+		endIter()
 		if added == 0 {
 			logf("slam: no new predicates; giving up")
 			out.Outcome = Unknown

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSONL schema, enforced by Validate (and cmd/tracelint) so the
+// sinks cannot drift from their consumers:
+//
+//	{"ts": <ns int ≥ 0>,            required
+//	 "type": "span" | "event",      required
+//	 "dur": <ns int ≥ 0>,           required iff type == "span"
+//	 "cat": <known category>,       required
+//	 "name": <known name for cat>,  required
+//	 "tid": <int ≥ 1>,              optional (lane; 0 is implied)
+//	 "fields": {k: str|num|bool}}   optional
+//
+// Categories and event names form a closed taxonomy (Taxonomy). Adding a
+// new trace point means adding it there first — tests validate every
+// emitted line against it.
+
+// Taxonomy is the closed registry of event categories and names.
+var Taxonomy = map[string][]string{
+	"frontend": {"parse", "alias"},
+	"abstract": {"run", "signatures", "proc", "predicates"},
+	"cube":     {"search", "enforce", "round", "worker"},
+	"prover":   {"query"},
+	"bebop":    {"check", "fixpoint", "iter"},
+	"newton":   {"analyze"},
+	"slam":     {"iteration", "outcome"},
+}
+
+// rawEvent mirrors one JSONL line for validation.
+type rawEvent struct {
+	TS     *int64                     `json:"ts"`
+	Type   string                     `json:"type"`
+	Dur    *int64                     `json:"dur"`
+	Cat    string                     `json:"cat"`
+	Name   string                     `json:"name"`
+	Tid    *int64                     `json:"tid"`
+	Fields map[string]json.RawMessage `json:"fields"`
+}
+
+// ValidateLine checks one JSONL line against the schema.
+func ValidateLine(line []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var e rawEvent
+	if err := dec.Decode(&e); err != nil {
+		return fmt.Errorf("not a schema-conforming JSON object: %v", err)
+	}
+	if e.TS == nil || *e.TS < 0 {
+		return fmt.Errorf("missing or negative ts")
+	}
+	switch e.Type {
+	case "span":
+		if e.Dur == nil || *e.Dur < 0 {
+			return fmt.Errorf("span without non-negative dur")
+		}
+	case "event":
+		if e.Dur != nil {
+			return fmt.Errorf("instant event must not carry dur")
+		}
+	default:
+		return fmt.Errorf("type %q is not span|event", e.Type)
+	}
+	names, ok := Taxonomy[e.Cat]
+	if !ok {
+		return fmt.Errorf("unknown category %q", e.Cat)
+	}
+	if !containsStr(names, e.Name) {
+		return fmt.Errorf("unknown name %q in category %q", e.Name, e.Cat)
+	}
+	if e.Tid != nil && *e.Tid < 1 {
+		return fmt.Errorf("explicit tid must be >= 1")
+	}
+	for k, v := range e.Fields {
+		if k == "" {
+			return fmt.Errorf("empty field key")
+		}
+		var s string
+		var n float64
+		var bo bool
+		if json.Unmarshal(v, &s) != nil && json.Unmarshal(v, &n) != nil && json.Unmarshal(v, &bo) != nil {
+			return fmt.Errorf("field %q is not string|number|bool", k)
+		}
+	}
+	return nil
+}
+
+// Validate checks a whole JSONL stream, returning the first violation
+// with its 1-based line number, and the number of valid lines read.
+func Validate(r io.Reader) (lines int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if err := ValidateLine(line); err != nil {
+			return n, fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -31,6 +31,7 @@ import (
 	"predabs/internal/newton"
 	"predabs/internal/prover"
 	"predabs/internal/slam"
+	"predabs/internal/trace"
 )
 
 // Options re-exports the C2bp precision/efficiency knobs (Section 5.2).
@@ -129,10 +130,16 @@ type AbstractStats struct {
 	// CacheHits counts prover queries answered from the memo cache
 	// (the paper's optimization 5).
 	CacheHits int
+	// CacheMisses counts prover queries that reached the decision
+	// procedures (ProverCalls - CacheHits).
+	CacheMisses int
 	// ProverGaveUp counts queries abandoned on resource caps.
 	ProverGaveUp int
 	// CubesChecked counts cube implication candidates examined.
 	CubesChecked int
+	// CubeRounds counts prover-backed cube-search rounds (one per cube
+	// size that produced candidates).
+	CubeRounds int
 	// Predicates is the number of input predicates.
 	Predicates int
 
@@ -154,7 +161,13 @@ type AbstractStats struct {
 	SolverTime time.Duration
 	// ProcTimes lists the abstraction wall time of each procedure.
 	ProcTimes []StageTime
+	// ProcCubes lists each procedure's cube-search rounds and candidate
+	// cubes, in program order.
+	ProcCubes []ProcCubeStat
 }
+
+// ProcCubeStat re-exports the per-procedure cube-search counters.
+type ProcCubeStat = abstract.ProcCubeStat
 
 // BooleanProgram is the result of predicate abstraction: BP(P, E).
 type BooleanProgram struct {
@@ -172,6 +185,7 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 		return nil, fmt.Errorf("predabs: predicates: %w", err)
 	}
 	pv := prover.New()
+	pv.Trace = opts.Tracer
 	start := time.Now()
 	res, err := abstract.Abstract(p.norm, p.alias, pv, sections, opts)
 	if err != nil {
@@ -191,8 +205,10 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 		stats: AbstractStats{
 			ProverCalls:    pv.Calls(),
 			CacheHits:      pv.CacheHits(),
+			CacheMisses:    pv.Calls() - pv.CacheHits(),
 			ProverGaveUp:   pv.GaveUp(),
 			CubesChecked:   res.Stats.CubesChecked,
+			CubeRounds:     res.Stats.CubeRounds,
 			Predicates:     n,
 			ParseTime:      p.parseTime,
 			AliasTime:      p.aliasTime,
@@ -201,6 +217,7 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 			CubeSearchTime: res.Stats.CubeSearchTime,
 			SolverTime:     pv.SolverTime(),
 			ProcTimes:      procTimes,
+			ProcCubes:      append([]ProcCubeStat{}, res.Stats.ProcCubes...),
 		},
 	}, nil
 }
@@ -230,7 +247,13 @@ type CheckResult struct {
 
 // Check runs the Bebop model checker from the entry procedure.
 func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
-	ch, err := bebop.Check(b.prog, entry)
+	return b.CheckTraced(entry, nil)
+}
+
+// CheckTraced is Check with a structured-event tracer attached (nil
+// behaves exactly like Check).
+func (b *BooleanProgram) CheckTraced(entry string, tr *trace.Tracer) (*CheckResult, error) {
+	ch, err := bebop.CheckTraced(b.prog, entry, tr)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: bebop: %w", err)
 	}
@@ -238,17 +261,25 @@ func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
 }
 
 // CheckStats reports the model checker's cost: worklist iterations to
-// the interprocedural fixpoint and the fixpoint wall time.
+// the interprocedural fixpoint (total and split per procedure) and the
+// fixpoint wall time.
 type CheckStats struct {
 	Iterations   int
 	FixpointTime time.Duration
+	// IterationsByProc counts worklist items per procedure.
+	IterationsByProc map[string]int
 }
 
 // Stats returns the Bebop cost metrics for this check.
 func (r *CheckResult) Stats() CheckStats {
+	byProc := map[string]int{}
+	for p, n := range r.checker.IterationsByProc {
+		byProc[p] = n
+	}
 	return CheckStats{
-		Iterations:   r.checker.Iterations,
-		FixpointTime: r.checker.FixpointTime,
+		Iterations:       r.checker.Iterations,
+		FixpointTime:     r.checker.FixpointTime,
+		IterationsByProc: byProc,
 	}
 }
 
