@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended bench tools
+.PHONY: build test verify verify-extended chaos leakcheck bench tools
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,22 @@ test:
 verify: build test
 
 # Extended gate: static analysis plus the race detector over the whole
-# tree (exercises the parallel cube search and the concurrent tracer).
-verify-extended: verify
+# tree (exercises the parallel cube search and the concurrent tracer),
+# then the fault-injection matrix and the cancellation leak check.
+verify-extended: verify chaos leakcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Chaos gate: the deterministic fault-injection matrix (seeded prover
+# timeouts, spurious failures, forced unknowns, latency spikes, crashes)
+# run against the end-to-end soundness oracle under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faultinject/
+
+# Leak gate: concurrent cancellation mid-cube-search at -j 8 must leave
+# no goroutine behind and keep the degraded report deterministic.
+leakcheck:
+	$(GO) test -race -count=1 -run 'TestConcurrentCancellationNoGoroutineLeak|TestDegradedReportDeterministic' ./internal/slam/
 
 bench:
 	$(GO) test -bench=. -benchmem .

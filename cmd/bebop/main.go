@@ -25,7 +25,14 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
+	// Convert any internal crash into a diagnosable error exit.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "bebop: internal error: %v\n", p)
+			code = 1
+		}
+	}()
 	entry := flag.String("entry", "main", "entry procedure")
 	invariant := flag.String("invariant", "", "print the invariant at proc:label")
 	allInvariants := flag.Bool("invariants", false, "print the invariant at every labelled statement")
@@ -44,13 +51,15 @@ func run() int {
 	}
 	bprog, err := predabs.ParseBooleanProgram(string(src))
 	if err != nil {
-		return fatal(err)
+		return fatalFile(flag.Arg(0), err)
 	}
 	tracer, finish, err := obsFlags.Start()
 	if err != nil {
 		return fatal(err)
 	}
-	res, err := bprog.CheckTraced(*entry, tracer)
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
+	res, err := bprog.CheckCtx(ctx, *entry, tracer, obsFlags.Limits())
 	if err != nil {
 		finish()
 		return fatal(err)
@@ -88,6 +97,9 @@ func run() int {
 		}
 	}
 	if proc, stmt, bad := res.ErrorReachable(); bad {
+		// Failures found by a truncated fixpoint are genuine (the
+		// explored set under-approximates reachability), so degradation
+		// does not soften this verdict.
 		fmt.Printf("RESULT: assertion violation reachable at %s (statement %d)\n", proc, stmt)
 		if *showTrace {
 			steps, ok := res.ErrorTrace()
@@ -102,11 +114,27 @@ func run() int {
 		}
 		return 1
 	}
+	if reason, degraded := res.Degraded(); degraded {
+		// A failure-free truncated fixpoint proves nothing: the answer
+		// is unknown, with the partial exploration named.
+		fmt.Printf("RESULT: unknown (fixpoint truncated by limit %q; no violation found in the explored states)\n", reason)
+		for _, d := range res.Degradations() {
+			fmt.Fprintf(os.Stderr, "bebop: degraded: stage %s limit %s %s (x%d)\n", d.Stage, d.Limit, d.Detail, d.Count)
+		}
+		return 2
+	}
 	fmt.Println("RESULT: no assertion violation is reachable")
 	return 0
 }
 
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "bebop:", err)
+	return 1
+}
+
+// fatalFile attributes an input error to its file; parser errors carry
+// the line, yielding file:line diagnostics.
+func fatalFile(name string, err error) int {
+	fmt.Fprintf(os.Stderr, "bebop: %s: %v\n", name, err)
 	return 1
 }

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"predabs"
+	"predabs/internal/cparse"
 	"predabs/internal/obs"
 )
 
@@ -21,7 +22,15 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
+	// A crash anywhere below becomes a diagnosable error exit: the
+	// abstraction must never take the terminal down with a raw panic.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "c2bp: internal error: %v\n", p)
+			code = 1
+		}
+	}()
 	predFile := flag.String("preds", "", "predicate input file (required)")
 	maxCube := flag.Int("maxcube", 3, "maximum cube length in the F computation (0 = unlimited)")
 	noCone := flag.Bool("nocone", false, "disable the cone-of-influence optimization")
@@ -50,7 +59,7 @@ func run() int {
 	prog, err := predabs.Load(string(src))
 	if err != nil {
 		finish()
-		return fatal(err)
+		return fatalFile(flag.Arg(0), err)
 	}
 	opts := predabs.DefaultOptions()
 	opts.MaxCubeLen = *maxCube
@@ -58,10 +67,16 @@ func run() int {
 	opts.EmitEnforce = !*noEnforce
 	opts.Jobs = *jobs
 	opts.Tracer = tracer
-	bprog, err := prog.Abstract(string(preds), opts)
+	if _, err := cparse.ParsePredFile(string(preds)); err != nil {
+		finish()
+		return fatalFile(*predFile, err)
+	}
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
+	bprog, err := prog.AbstractCtx(ctx, string(preds), opts, obsFlags.Limits())
 	if err != nil {
 		finish()
-		return fatal(err)
+		return fatalFile(flag.Arg(0), err)
 	}
 	if err := finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "c2bp:", err)
@@ -80,10 +95,28 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "  proc %s: %d cube rounds, %d cubes\n", pc.Name, pc.Rounds, pc.Cubes)
 		}
 	}
+	// A degraded abstraction is weaker but still sound, so the program
+	// above is usable as-is and the exit stays 0; the truncations are
+	// named on stderr so nobody mistakes it for the most precise output.
+	if bprog.Degraded() {
+		s := bprog.Stats()
+		fmt.Fprintf(os.Stderr, "c2bp: output soundly weakened by resource limits (degraded procs: %d, prover timeouts: %d):\n",
+			len(s.DegradedProcs), s.ProverTimeouts)
+		for _, d := range s.Degradations {
+			fmt.Fprintf(os.Stderr, "  stage %-8s limit %-14s %s (x%d)\n", d.Stage, d.Limit, d.Detail, d.Count)
+		}
+	}
 	return 0
 }
 
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "c2bp:", err)
+	return 1
+}
+
+// fatalFile attributes an input error to its file; the parser errors
+// already carry the line, so this yields file:line diagnostics.
+func fatalFile(name string, err error) int {
+	fmt.Fprintf(os.Stderr, "c2bp: %s: %v\n", name, err)
 	return 1
 }

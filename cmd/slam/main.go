@@ -23,7 +23,16 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
+	// Stage panics are already converted to StageErrors inside the
+	// pipeline; this net catches everything else (flag handling, output
+	// rendering) so the CLI never dies with a raw panic.
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "slam: internal error: %v\n", p)
+			code = 1
+		}
+	}()
 	specFile := flag.String("spec", "", "SLIC-style specification file (optional; without it, asserts in the source are checked)")
 	entry := flag.String("entry", "main", "entry procedure")
 	maxIters := flag.Int("maxiters", 10, "maximum abstraction refinement iterations")
@@ -50,11 +59,14 @@ func run() int {
 	cfg.MaxIterations = *maxIters
 	cfg.Opts.Jobs = *jobs
 	cfg.Tracer = tracer
+	cfg.Limits = obsFlags.Limits()
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	ctx, cancel := obsFlags.Context()
+	defer cancel()
 
 	var res *predabs.VerifyResult
 	if *specFile != "" {
@@ -63,16 +75,16 @@ func run() int {
 			finish()
 			return fatal(err)
 		}
-		res, err = predabs.VerifySpec(string(src), string(specSrc), *entry, cfg)
+		res, err = predabs.VerifySpecCtx(ctx, string(src), string(specSrc), *entry, cfg)
 		if err != nil {
 			finish()
-			return fatal(err)
+			return fatalFile(flag.Arg(0), err)
 		}
 	} else {
-		res, err = predabs.Verify(string(src), *entry, cfg)
+		res, err = predabs.VerifyCtx(ctx, string(src), *entry, cfg)
 		if err != nil {
 			finish()
-			return fatal(err)
+			return fatalFile(flag.Arg(0), err)
 		}
 	}
 	if err := finish(); err != nil {
@@ -106,6 +118,18 @@ func run() int {
 		}
 		return 1
 	case predabs.Unknown:
+		if res.LimitName != "" {
+			fmt.Printf("stopped by limit %q in stage %q\n", res.LimitName, res.LimitStage)
+		}
+		for _, d := range res.Degradations {
+			fmt.Fprintf(os.Stderr, "slam: degraded: stage %s limit %s %s (x%d)\n", d.Stage, d.Limit, d.Detail, d.Count)
+		}
+		if *explain {
+			fmt.Println("partial results:")
+			for _, line := range res.ExplainUnknown() {
+				fmt.Println("  " + line)
+			}
+		}
 		return 2
 	}
 	return 0
@@ -122,5 +146,12 @@ func sortedProcs(m map[string]int) []string {
 
 func fatal(err error) int {
 	fmt.Fprintln(os.Stderr, "slam:", err)
+	return 1
+}
+
+// fatalFile attributes an input error to its file; parser errors carry
+// the line, yielding file:line diagnostics.
+func fatalFile(name string, err error) int {
+	fmt.Fprintf(os.Stderr, "slam: %s: %v\n", name, err)
 	return 1
 }

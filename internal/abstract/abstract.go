@@ -13,6 +13,7 @@ import (
 
 	"predabs/internal/alias"
 	"predabs/internal/bp"
+	"predabs/internal/budget"
 	"predabs/internal/cast"
 	"predabs/internal/cnorm"
 	"predabs/internal/cparse"
@@ -49,6 +50,19 @@ type Options struct {
 	// rounds, worker lanes). nil disables tracing at zero cost. A pointer
 	// keeps Options comparable.
 	Tracer *trace.Tracer
+	// CubeBudget caps the cube candidates submitted to the prover per
+	// procedure. Once spent, the procedure's remaining transfer functions
+	// degrade soundly: F_V answers false, so assignments become the
+	// trivially sound choose(*,*) havoc and assumes become assume(true).
+	// The budget is consumed by truncating candidate lists in canonical
+	// enumeration order, so the (weaker) output stays byte-identical for
+	// every Jobs value. <= 0 means unlimited.
+	CubeBudget int
+	// Budget, when non-nil, carries the run deadline/cancellation and the
+	// degradation log (internal/budget). A cancelled run degrades every
+	// remaining procedure the same sound way the cube budget does. A
+	// pointer keeps Options comparable.
+	Budget *budget.Tracker
 }
 
 // DefaultOptions returns the configuration used in the paper's
@@ -91,6 +105,11 @@ type Stats struct {
 	// ProcCubes records per-procedure cube-search activity (rounds and
 	// candidate cubes), in program order.
 	ProcCubes []ProcCubeStat
+
+	// DegradedProcs names the procedures whose abstraction hit the cube
+	// budget or the run deadline (their remaining transfer functions are
+	// the trivially sound fallback), in program order.
+	DegradedProcs []string
 }
 
 // ProcTime is the abstraction wall time of one procedure.
@@ -137,8 +156,16 @@ type Result struct {
 type Abstractor struct {
 	res  *cnorm.Result
 	aa   *alias.Analysis
-	pv   *prover.Prover
+	pv   prover.Querier
 	opts Options
+
+	// Per-procedure degradation state (reset by beginProc). cubesUsed
+	// counts upward against opts.CubeBudget so that a zero-value
+	// Abstractor (unit tests drive fv directly) is unlimited.
+	curProc      string
+	cubesUsed    int
+	procDegraded bool
+	degradeLimit string
 
 	globalPreds []Pred
 	localPreds  map[string][]Pred
@@ -155,8 +182,10 @@ type Abstractor struct {
 const GlobalScope = "global"
 
 // Abstract runs C2bp. The predicate sections use procedure names or
-// "global" as scope names.
-func Abstract(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover,
+// "global" as scope names. pv is usually a *prover.Prover; any Querier
+// honoring the prover soundness contract (e.g. a fault-injecting
+// wrapper) yields a sound, if possibly weaker, abstraction.
+func Abstract(res *cnorm.Result, aa *alias.Analysis, pv prover.Querier,
 	sections []cparse.PredSection, opts Options) (*Result, error) {
 
 	ab := &Abstractor{
@@ -453,8 +482,65 @@ type translator struct {
 	labelN        int
 }
 
+// beginProc resets the per-procedure degradation state: each procedure
+// gets a fresh cube budget, so one pathological procedure cannot starve
+// the rest of the program of precision.
+func (ab *Abstractor) beginProc(name string) {
+	ab.curProc = name
+	ab.procDegraded = false
+	ab.degradeLimit = ""
+	ab.cubesUsed = 0
+}
+
+// degraded reports whether the current procedure's prover-backed search
+// has degraded, folding in a run cancellation first. Called only from
+// the coordinating goroutine (never from cube workers).
+func (ab *Abstractor) degraded() bool {
+	if !ab.procDegraded && ab.opts.Budget.Cancelled() {
+		ab.markDegraded(budget.LimitDeadline)
+	}
+	return ab.procDegraded
+}
+
+func (ab *Abstractor) markDegraded(limit string) {
+	if !ab.procDegraded {
+		ab.procDegraded = true
+		ab.degradeLimit = limit
+	}
+}
+
+// takeCubes spends the procedure's cube budget on a canonical candidate
+// list, truncating it (in enumeration order, so partial output is
+// byte-identical for every worker count) and marking the procedure
+// degraded when the budget runs dry.
+func (ab *Abstractor) takeCubes(cands [][]literal) [][]literal {
+	limit := ab.opts.CubeBudget
+	if limit <= 0 {
+		return cands
+	}
+	left := limit - ab.cubesUsed
+	if len(cands) <= left {
+		ab.cubesUsed += len(cands)
+		return cands
+	}
+	if left < 0 {
+		left = 0
+	}
+	cands = cands[:left]
+	ab.cubesUsed = limit
+	ab.markDegraded(budget.LimitCubeBudget)
+	return cands
+}
+
 func (ab *Abstractor) abstractProc(f *cast.FuncDef) (*bp.Proc, error) {
 	sig := ab.sigs[f.Name]
+	ab.beginProc(f.Name)
+	defer func() {
+		if ab.procDegraded {
+			ab.Stats.DegradedProcs = append(ab.Stats.DegradedProcs, f.Name)
+			ab.opts.Budget.Degrade("abstract", ab.degradeLimit, "proc "+f.Name)
+		}
+	}()
 	tr := &translator{
 		ab:     ab,
 		f:      f,

@@ -208,6 +208,16 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 		}
 	}
 
+	// Degraded fallback: once the procedure's cube budget is spent or the
+	// run deadline has passed, F_V answers its weakest sound value. false
+	// under-approximates every φ (Section 4.1 admits any
+	// under-approximation), so assignments become choose(*,*) havoc,
+	// assumes become assume(true), and asserts may report spurious
+	// violations — precision is lost, soundness is not.
+	if ab.degraded() {
+		return bp.Const{Val: false}
+	}
+
 	// Everything below is prover-backed cube search; time it as one stage.
 	searchStart := time.Now()
 	searchSpan := ab.opts.Tracer.Begin("cube", "search")
@@ -248,9 +258,15 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 	notPhi := form.NNF(form.MkNot(phi))
 
 	for size := 1; size <= maxLen; size++ {
+		// A mid-search limit keeps the implicants found so far: each one
+		// individually implies phi, so the partial disjunction is sound.
+		if ab.degraded() {
+			break
+		}
 		cands := enumerateCubes(len(domain), size, func(cube []literal) bool {
 			return !supersetOfAny(cube, implicants) && !supersetOfAny(cube, contradictions)
 		})
+		cands = ab.takeCubes(cands)
 		if len(cands) == 0 {
 			continue
 		}
@@ -391,6 +407,13 @@ func (ab *Abstractor) predTouches(fn string, p Pred, locs []form.Term) bool {
 // rounds run on the same worker pool as fv with the same deterministic
 // merge.
 func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
+	// A degraded procedure emits no (or a partial) enforce invariant.
+	// Every cube the search did record is genuinely unsatisfiable, so a
+	// partial disjunction only prunes impossible states — sound; pruning
+	// fewer states than the full invariant merely loses precision.
+	if ab.degraded() {
+		return nil
+	}
 	searchStart := time.Now()
 	searchSpan := ab.opts.Tracer.Begin("cube", "enforce")
 	defer func() {
@@ -405,9 +428,13 @@ func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
 	var found [][]literal
 	var disjuncts []bp.Expr
 	for size := 1; size <= maxLen; size++ {
+		if ab.degraded() {
+			break
+		}
 		cands := enumerateCubes(len(preds), size, func(cube []literal) bool {
 			return !supersetOfAny(cube, found)
 		})
+		cands = ab.takeCubes(cands)
 		if len(cands) == 0 {
 			continue
 		}

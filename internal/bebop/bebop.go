@@ -15,8 +15,21 @@ import (
 
 	"predabs/internal/bdd"
 	"predabs/internal/bp"
+	"predabs/internal/budget"
 	"predabs/internal/trace"
 )
+
+// Limits bounds one model-checking run. The zero value is unlimited.
+type Limits struct {
+	// Budget carries the run deadline/cancellation and the degradation
+	// log; nil means no deadline.
+	Budget *budget.Tracker
+	// MaxBDDNodes stops the fixpoint once the BDD node table exceeds this
+	// many nodes (<= 0: unlimited). The paper reports Bebop's BDDs
+	// staying small in practice; this is the safety net for the cases
+	// where they do not.
+	MaxBDDNodes int
+}
 
 // Column identifies one of the per-variable BDD variable copies.
 type column int
@@ -98,6 +111,18 @@ type Checker struct {
 	// excluding BDD layout and CFG construction.
 	FixpointTime time.Duration
 
+	// Degraded reports that the fixpoint stopped early on a resource
+	// limit. The path edges computed so far are then an
+	// UNDER-approximation of the reachable states: every Failure found is
+	// a genuine abstract failure, but the absence of failures must not be
+	// read as "verified" — callers map a degraded, failure-free check to
+	// an Unknown outcome.
+	Degraded bool
+	// DegradeReason is the canonical limit name that stopped the fixpoint
+	// (budget.LimitBDDNodes or budget.LimitDeadline); "" when not
+	// degraded.
+	DegradeReason string
+
 	// tr receives one bebop.iter event per worklist item (worklist depth,
 	// BDD node count) plus check/fixpoint spans. nil-safe.
 	tr *trace.Tracer
@@ -114,6 +139,14 @@ func Check(prog *bp.Program, entry string) (*Checker, error) {
 // CheckTraced is Check with a structured-event tracer attached (nil
 // behaves exactly like Check).
 func CheckTraced(prog *bp.Program, entry string, tr *trace.Tracer) (*Checker, error) {
+	return CheckLimited(prog, entry, tr, Limits{})
+}
+
+// CheckLimited is CheckTraced under resource limits: the fixpoint stops
+// early when the run deadline passes or the BDD node table exceeds
+// lim.MaxBDDNodes, leaving the Checker Degraded (see that field's
+// soundness note).
+func CheckLimited(prog *bp.Program, entry string, tr *trace.Tracer, lim Limits) (*Checker, error) {
 	e := prog.Proc(entry)
 	if e == nil {
 		return nil, fmt.Errorf("bebop: no procedure %q", entry)
@@ -133,7 +166,7 @@ func CheckTraced(prog *bp.Program, entry string, tr *trace.Tracer) (*Checker, er
 	c.buildCFGs()
 	start := time.Now()
 	fixSpan := tr.Begin("bebop", "fixpoint")
-	c.run(entry)
+	c.run(entry, lim)
 	fixSpan.End(trace.Int("iterations", c.Iterations))
 	c.FixpointTime = time.Since(start)
 	checkSpan.End(trace.Int("bdd_nodes", c.m.NumNodes()))
@@ -350,7 +383,18 @@ type workItem struct {
 }
 
 // run executes the RHS-style worklist to a fixpoint.
-func (c *Checker) run(entry string) {
+// cancelPollStride is how many worklist items run between cancellation
+// polls (BDD-node checks are O(1) and run every item).
+const cancelPollStride = 32
+
+// degrade marks the fixpoint as truncated and records the event.
+func (c *Checker) degrade(lim Limits, limit, detail string) {
+	c.Degraded = true
+	c.DegradeReason = limit
+	lim.Budget.Degrade("bebop", limit, detail)
+}
+
+func (c *Checker) run(entry string, lim Limits) {
 	for name, pi := range c.procs {
 		c.pathEdges[name] = make([]int, len(pi.proc.Stmts))
 		c.summaries[name] = c.m.False()
@@ -382,6 +426,18 @@ func (c *Checker) run(entry string) {
 	c.seedEntry(entry, seed, push)
 
 	for len(queue) > 0 {
+		// Resource limits: stopping the worklist early leaves the path
+		// edges an under-approximation (see Checker.Degraded).
+		if lim.MaxBDDNodes > 0 && c.m.NumNodes() > lim.MaxBDDNodes {
+			c.degrade(lim, budget.LimitBDDNodes,
+				fmt.Sprintf("%d nodes after %d iterations", c.m.NumNodes(), c.Iterations))
+			return
+		}
+		if c.Iterations%cancelPollStride == 0 && lim.Budget.Cancelled() {
+			c.degrade(lim, budget.LimitDeadline,
+				fmt.Sprintf("after %d iterations", c.Iterations))
+			return
+		}
 		w := queue[0]
 		queue = queue[1:]
 		inQueue[w] = false

@@ -1,0 +1,154 @@
+package cmdtest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// lineCol matches the parsers' "line:col" positions in diagnostics.
+var lineCol = regexp.MustCompile(`\d+:\d+`)
+
+const correlatedC = `
+void AcquireLock(void) { }
+void ReleaseLock(void) { }
+void main(int x) {
+  if (x == 0) {
+    AcquireLock();
+  }
+  if (x == 0) {
+    ReleaseLock();
+  }
+}
+`
+
+// TestSlamTimeoutExitsCleanly pins the tentpole's CLI contract: a run
+// that hits its wall-clock deadline exits 2 with a report naming the
+// limit, instead of hanging or being killed.
+func TestSlamTimeoutExitsCleanly(t *testing.T) {
+	cFile := write(t, "corr.c", correlatedC)
+	sFile := write(t, "lock.slic", lockSpec)
+	out, code := run(t, "slam", "-timeout", "1ns", "-spec", sFile, "-entry", "main", cFile)
+	if code != 2 {
+		t.Fatalf("exit %d (want 2):\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: unknown") {
+		t.Errorf("verdict missing:\n%s", out)
+	}
+	if !strings.Contains(out, `stopped by limit "deadline"`) {
+		t.Errorf("limit report missing:\n%s", out)
+	}
+}
+
+// TestSlamExplainUnknownPartialResults: iteration exhaustion renders the
+// predicates tried and the last abstraction's invariants under -explain.
+func TestSlamExplainUnknownPartialResults(t *testing.T) {
+	cFile := write(t, "corr.c", correlatedC)
+	sFile := write(t, "lock.slic", lockSpec)
+	out, code := run(t, "slam", "-maxiters", "1", "-explain", "-spec", sFile, "-entry", "main", cFile)
+	if code != 2 {
+		t.Fatalf("exit %d (want 2):\n%s", code, out)
+	}
+	for _, frag := range []string{
+		`stopped by limit "iterations"`,
+		"partial results:",
+		"partial invariants",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestBebopBDDCeilingUnknown: a truncated, failure-free fixpoint must
+// answer unknown (exit 2), never "no violation reachable".
+func TestBebopBDDCeilingUnknown(t *testing.T) {
+	bpFile := write(t, "loop.bp", `
+void main() begin
+  decl a, b, c;
+  a := *;
+  b := *;
+  c := *;
+ L:
+  a := b;
+  b := c;
+  c := !a;
+  goto L;
+end
+`)
+	out, code := run(t, "bebop", "-bdd-max-nodes", "1", "-entry", "main", bpFile)
+	if code != 2 {
+		t.Fatalf("exit %d (want 2):\n%s", code, out)
+	}
+	if !strings.Contains(out, "RESULT: unknown") || !strings.Contains(out, "bdd-max-nodes") {
+		t.Errorf("degradation report missing:\n%s", out)
+	}
+	// Without the ceiling the same program is conclusively clean.
+	out0, code0 := run(t, "bebop", "-entry", "main", bpFile)
+	if code0 != 0 || !strings.Contains(out0, "no assertion violation") {
+		t.Errorf("unlimited run: exit %d\n%s", code0, out0)
+	}
+}
+
+// TestC2bpCubeBudgetDegradedStillExitsZero: a budget-truncated
+// abstraction is weaker but sound, so the program is emitted and the
+// exit stays 0, with the weakening named on stderr.
+func TestC2bpCubeBudgetDegradedStillExitsZero(t *testing.T) {
+	cFile := write(t, "p.c", partitionC)
+	pFile := write(t, "p.preds", partitionPreds)
+	out, code := run(t, "c2bp", "-cube-budget", "1", "-preds", pFile, cFile)
+	if code != 0 {
+		t.Fatalf("exit %d (want 0):\n%s", code, out)
+	}
+	if !strings.Contains(out, "void partition() begin") {
+		t.Errorf("boolean program missing:\n%s", out)
+	}
+	if !strings.Contains(out, "soundly weakened") || !strings.Contains(out, "cube-budget") {
+		t.Errorf("degradation note missing:\n%s", out)
+	}
+}
+
+// Satellite: malformed user input exits with file:line diagnostics,
+// never a panic.
+func TestC2bpBadPredicatesFileLine(t *testing.T) {
+	cFile := write(t, "p.c", partitionC)
+	pFile := write(t, "bad.preds", "partition:\n  curr == ((\n")
+	out, code := run(t, "c2bp", "-preds", pFile, cFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "bad.preds") || !lineCol.MatchString(out) {
+		t.Errorf("diagnostic missing file/line:\n%s", out)
+	}
+	if strings.Contains(out, "goroutine") {
+		t.Errorf("looks like a panic:\n%s", out)
+	}
+}
+
+func TestSlamBadSourceFileLine(t *testing.T) {
+	cFile := write(t, "broken.c", "void main(void) { int x; x = ; }\n")
+	out, code := run(t, "slam", "-entry", "main", cFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "broken.c") || !lineCol.MatchString(out) {
+		t.Errorf("diagnostic missing file/line:\n%s", out)
+	}
+	if strings.Contains(out, "goroutine") {
+		t.Errorf("looks like a panic:\n%s", out)
+	}
+}
+
+func TestBebopBadProgramFileLine(t *testing.T) {
+	bpFile := write(t, "broken.bp", "void main() begin\n  a := ;\nend\n")
+	out, code := run(t, "bebop", "-entry", "main", bpFile)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1):\n%s", code, out)
+	}
+	if !strings.Contains(out, "broken.bp") || !strings.Contains(out, "line") {
+		t.Errorf("diagnostic missing file/line:\n%s", out)
+	}
+	if strings.Contains(out, "goroutine") {
+		t.Errorf("looks like a panic:\n%s", out)
+	}
+}

@@ -1,0 +1,196 @@
+// Package faultinject wraps a theorem prover with deterministic,
+// seed-driven fault injection: simulated query timeouts, spurious
+// "cannot prove" failures, forced unknowns, latency spikes, and (for
+// stage-recovery testing) panics.
+//
+// Every fault decision is a pure function of (seed, fault kind, query
+// kind, formula text), so a fault schedule replays identically across
+// processes, goroutine schedules and worker counts — the property that
+// makes the chaos matrix debuggable: a failing seed is a reproducible
+// test case, not a flake.
+//
+// The injected faults respect the prover soundness contract (see
+// prover.Querier): a fault only ever forces the conservative "could not
+// prove" answer, never a positive claim. The pipeline treats that answer
+// by weakening the abstraction, so ANY fault schedule must leave the
+// boolean program a sound over-approximation — which is exactly what the
+// chaos tests check against the internal/soundness oracle.
+package faultinject
+
+import (
+	"hash/fnv"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"predabs/internal/form"
+	"predabs/internal/prover"
+)
+
+// Fault kinds, as reported by Injected.
+const (
+	// KindTimeout simulates a per-query deadline: the query is abandoned
+	// with "could not prove".
+	KindTimeout = "timeout"
+	// KindUnknown simulates an incomplete decision procedure giving up.
+	KindUnknown = "unknown"
+	// KindFailure simulates a transient prover failure (crash of an
+	// external prover process, I/O error) surfaced as "could not prove".
+	KindFailure = "failure"
+	// KindLatency injects a delay, then answers normally: the fault that
+	// flushes out goroutine-coordination bugs rather than logic bugs.
+	KindLatency = "latency"
+	// KindPanic crashes the query outright; only the SLAM stage-boundary
+	// recovery may observe it. Keep Config.PanicRate zero except in tests
+	// that exercise that recovery.
+	KindPanic = "panic"
+)
+
+// Config sets the per-query fault probabilities (each in [0, 1]) and the
+// schedule seed. The rates are independent: timeout is decided first,
+// then unknown, then failure, then panic; latency composes with a normal
+// answer.
+type Config struct {
+	Seed        int64
+	TimeoutRate float64
+	UnknownRate float64
+	FailureRate float64
+	LatencyRate float64
+	// Latency is the injected delay for latency faults (default 50µs:
+	// enough to reorder goroutines, cheap enough for big matrices).
+	Latency time.Duration
+	PanicRate float64
+}
+
+// Prover wraps an inner Querier with fault injection. It satisfies
+// prover.Querier itself, so it can stand in anywhere a prover is
+// accepted (slam.Config.Prover, abstract.Abstract, the soundness
+// oracle). Prover statistics of the inner prover pass through via the
+// optional Calls / CacheHits / SolverTime methods.
+type Prover struct {
+	Inner prover.Querier
+	cfg   Config
+
+	injTimeout atomic.Int64
+	injUnknown atomic.Int64
+	injFailure atomic.Int64
+	injLatency atomic.Int64
+	injPanic   atomic.Int64
+}
+
+var _ prover.Querier = (*Prover)(nil)
+
+// New wraps inner with the fault schedule cfg describes.
+func New(inner prover.Querier, cfg Config) *Prover {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 50 * time.Microsecond
+	}
+	return &Prover{Inner: inner, cfg: cfg}
+}
+
+// Valid implements prover.Querier. An injected fault forces the sound
+// "could not prove" answer (false); otherwise the inner prover decides.
+func (p *Prover) Valid(hyp, goal form.Formula) bool {
+	key := "valid\x00" + hyp.String() + "\x00" + goal.String()
+	if p.fault(key) {
+		return false
+	}
+	return p.Inner.Valid(hyp, goal)
+}
+
+// Unsat implements prover.Querier; injected faults force false ("could
+// not prove unsatisfiability"), which callers must treat conservatively.
+func (p *Prover) Unsat(f form.Formula) bool {
+	key := "unsat\x00" + f.String()
+	if p.fault(key) {
+		return false
+	}
+	return p.Inner.Unsat(f)
+}
+
+// fault rolls the deterministic dice for one query; reports whether the
+// answer must degrade to "could not prove".
+func (p *Prover) fault(key string) bool {
+	if p.roll(KindPanic, key, p.cfg.PanicRate) {
+		p.injPanic.Add(1)
+		panic("faultinject: injected prover crash")
+	}
+	if p.roll(KindLatency, key, p.cfg.LatencyRate) {
+		p.injLatency.Add(1)
+		time.Sleep(p.cfg.Latency)
+	}
+	switch {
+	case p.roll(KindTimeout, key, p.cfg.TimeoutRate):
+		p.injTimeout.Add(1)
+	case p.roll(KindUnknown, key, p.cfg.UnknownRate):
+		p.injUnknown.Add(1)
+	case p.roll(KindFailure, key, p.cfg.FailureRate):
+		p.injFailure.Add(1)
+	default:
+		return false
+	}
+	return true
+}
+
+// roll hashes (seed, fault kind, query key) into [0, 1) and fires when
+// the result falls under rate.
+func (p *Prover) roll(kind, key string, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	var seed [8]byte
+	s := uint64(p.cfg.Seed)
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(s >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return float64(h.Sum64())/math.MaxUint64 < rate
+}
+
+// Injected reports how many faults of each kind fired.
+func (p *Prover) Injected() map[string]int64 {
+	return map[string]int64{
+		KindTimeout: p.injTimeout.Load(),
+		KindUnknown: p.injUnknown.Load(),
+		KindFailure: p.injFailure.Load(),
+		KindLatency: p.injLatency.Load(),
+		KindPanic:   p.injPanic.Load(),
+	}
+}
+
+// InjectedTotal sums the degrading faults (timeout+unknown+failure).
+func (p *Prover) InjectedTotal() int64 {
+	return p.injTimeout.Load() + p.injUnknown.Load() + p.injFailure.Load()
+}
+
+// Calls passes the inner prover's query count through (0 when the inner
+// prover does not expose one).
+func (p *Prover) Calls() int {
+	if s, ok := p.Inner.(interface{ Calls() int }); ok {
+		return s.Calls()
+	}
+	return 0
+}
+
+// CacheHits passes the inner prover's cache-hit count through.
+func (p *Prover) CacheHits() int {
+	if s, ok := p.Inner.(interface{ CacheHits() int }); ok {
+		return s.CacheHits()
+	}
+	return 0
+}
+
+// SolverTime passes the inner prover's decision-procedure time through.
+func (p *Prover) SolverTime() time.Duration {
+	if s, ok := p.Inner.(interface{ SolverTime() time.Duration }); ok {
+		return s.SolverTime()
+	}
+	return 0
+}

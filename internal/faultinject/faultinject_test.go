@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"testing"
+
+	"predabs/internal/form"
+	"predabs/internal/prover"
+)
+
+func eq(name string, v int64) form.Formula {
+	return form.Cmp{Op: form.Eq, X: form.Var{Name: name}, Y: form.Num{V: v}}
+}
+
+// queries issues a fixed mix of valid/unsat queries and returns the
+// answer vector.
+func queries(p *Prover) []bool {
+	var out []bool
+	for i := int64(0); i < 40; i++ {
+		out = append(out, p.Valid(eq("x", i), eq("x", i)))
+		out = append(out, p.Unsat(form.MkAnd(eq("y", i), eq("y", i+1))))
+	}
+	return out
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, TimeoutRate: 0.3, UnknownRate: 0.1, FailureRate: 0.1}
+	a := queries(New(prover.New(), cfg))
+	b := queries(New(prover.New(), cfg))
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: run A answered %v, run B %v — schedule not deterministic", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	pa := New(prover.New(), Config{Seed: 1, TimeoutRate: 0.5})
+	pb := New(prover.New(), Config{Seed: 2, TimeoutRate: 0.5})
+	qa, qb := queries(pa), queries(pb)
+	if pa.InjectedTotal() == 0 || pb.InjectedTotal() == 0 {
+		t.Fatalf("rate 0.5 injected nothing: %d / %d", pa.InjectedTotal(), pb.InjectedTotal())
+	}
+	same := true
+	for i := range qa {
+		if qa[i] != qb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 1 and 2 produced identical fault schedules over 80 queries")
+	}
+}
+
+func TestFaultsNeverForceTrue(t *testing.T) {
+	// Rate 1: every query degrades to "could not prove" — even trivially
+	// valid ones. The wrapper must never strengthen an answer.
+	p := New(prover.New(), Config{Seed: 3, TimeoutRate: 1})
+	if p.Valid(form.TrueF{}, form.TrueF{}) {
+		t.Error("injected timeout still answered valid=true")
+	}
+	if p.Unsat(form.MkAnd(eq("x", 1), eq("x", 2))) {
+		t.Error("injected timeout still answered unsat=true")
+	}
+	if got := p.Injected()[KindTimeout]; got != 2 {
+		t.Errorf("timeout injections = %d, want 2", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := New(prover.New(), Config{Seed: 4, PanicRate: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("PanicRate 1 did not panic")
+		}
+	}()
+	p.Valid(form.TrueF{}, form.TrueF{})
+}
+
+func TestStatsPassThrough(t *testing.T) {
+	inner := prover.New()
+	p := New(inner, Config{Seed: 5})
+	p.Valid(form.TrueF{}, form.TrueF{})
+	if p.Calls() != inner.Calls() || p.Calls() == 0 {
+		t.Errorf("Calls passthrough: wrapper %d inner %d", p.Calls(), inner.Calls())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"predabs/internal/alias"
 	"predabs/internal/bebop"
 	"predabs/internal/bp"
+	"predabs/internal/budget"
 	"predabs/internal/cast"
 	"predabs/internal/cnorm"
 	"predabs/internal/form"
@@ -65,7 +66,7 @@ const frameSep = "::"
 
 // Analyze decides the feasibility of a Bebop counterexample trace against
 // the original (normalized) C program.
-func Analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []bebop.Step) (*Result, error) {
+func Analyze(res *cnorm.Result, aa *alias.Analysis, pv prover.Querier, trace []bebop.Step) (*Result, error) {
 	return AnalyzeTraced(res, aa, pv, trace, nil)
 }
 
@@ -73,9 +74,17 @@ func Analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 // newton.analyze span per refinement round, carrying the path length,
 // the infeasibility point and the number of predicates harvested. A nil
 // tracer behaves exactly like Analyze.
-func AnalyzeTraced(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, steps []bebop.Step, tr *tracepkg.Tracer) (*Result, error) {
+func AnalyzeTraced(res *cnorm.Result, aa *alias.Analysis, pv prover.Querier, steps []bebop.Step, tr *tracepkg.Tracer) (*Result, error) {
+	return AnalyzeLimited(res, aa, pv, steps, tr, nil)
+}
+
+// AnalyzeLimited is AnalyzeTraced with a resource-budget tracker attached.
+// A cancelled tracker makes the backward sweep give up at the next step
+// boundary: GaveUp is reported and no verdict is claimed, which is sound
+// because SLAM maps GaveUp to Unknown. A nil tracker never cancels.
+func AnalyzeLimited(res *cnorm.Result, aa *alias.Analysis, pv prover.Querier, steps []bebop.Step, tr *tracepkg.Tracer, bt *budget.Tracker) (*Result, error) {
 	span := tr.Begin("newton", "analyze")
-	out, err := analyze(res, aa, pv, steps)
+	out, err := analyze(res, aa, pv, steps, bt)
 	if err != nil {
 		span.End(tracepkg.Int("path_len", len(steps)))
 		return nil, err
@@ -90,7 +99,7 @@ func AnalyzeTraced(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, ste
 	return out, err
 }
 
-func analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []bebop.Step) (*Result, error) {
+func analyze(res *cnorm.Result, aa *alias.Analysis, pv prover.Querier, trace []bebop.Step, bt *budget.Tracker) (*Result, error) {
 	events, err := buildEvents(res, trace)
 	if err != nil {
 		return nil, err
@@ -116,6 +125,16 @@ func analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 	// frames (e.g. a return value flowing through a local into an assert).
 	var snapshots []form.Formula
 	for i := len(events) - 1; i >= 0; i-- {
+		if bt.Cancelled() {
+			// Deadline hit mid-sweep: neither verdict is claimed, so SLAM
+			// answers Unknown — a sound retreat, never a wrong claim.
+			bt.Degrade("newton", budget.LimitDeadline,
+				fmt.Sprintf("gave up %d steps into the backward sweep", len(snapshots)))
+			out.GaveUp = true
+			out.Feasible = false
+			out.Condition = phi
+			return out, nil
+		}
 		e := events[i]
 		if e.isAssign {
 			phi = wp.Assignment(oracle, e.lhs, e.rhs, phi)
@@ -124,6 +143,8 @@ func analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 		}
 		snapshots = append(snapshots, phi)
 		if len(phi.String()) > maxCondSize {
+			bt.Degrade("newton", budget.LimitCondSize,
+				fmt.Sprintf("path condition exceeded %d chars after %d backward steps", maxCondSize, len(snapshots)))
 			out.GaveUp = true
 			out.Feasible = false
 			out.Condition = phi
@@ -145,6 +166,17 @@ func analyze(res *cnorm.Result, aa *alias.Analysis, pv *prover.Prover, trace []b
 			}
 			return out, nil
 		}
+	}
+	if bt.Cancelled() {
+		// A cancelled tracker short-circuits prover queries to "could not
+		// prove", so a sweep that reached the start may have skipped the
+		// very unsat check that would have refuted the path. Don't claim
+		// feasibility off skipped queries.
+		bt.Degrade("newton", budget.LimitDeadline, "sweep finished under cancellation; feasibility not claimed")
+		out.GaveUp = true
+		out.Feasible = false
+		out.Condition = phi
+		return out, nil
 	}
 	out.Feasible = true
 	out.Condition = phi

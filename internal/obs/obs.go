@@ -6,11 +6,14 @@
 package obs
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
+	"predabs/internal/budget"
 	"predabs/internal/trace"
 )
 
@@ -27,6 +30,19 @@ type Flags struct {
 	ReportJSON string
 	// CPUProfile is the pprof CPU profile path (-pprof).
 	CPUProfile string
+
+	// Timeout bounds the whole run's wall clock (-timeout); the pipeline
+	// degrades soundly to a partial answer instead of being killed.
+	Timeout time.Duration
+	// QueryTimeout bounds each theorem-prover query (-query-timeout); a
+	// timed-out query answers "could not prove".
+	QueryTimeout time.Duration
+	// CubeBudget caps prover-backed cube candidates per procedure
+	// (-cube-budget); exhausted procedures weaken soundly.
+	CubeBudget int
+	// BDDMaxNodes caps Bebop's BDD node count (-bdd-max-nodes); hitting
+	// it truncates the fixpoint, so a failure-free answer means unknown.
+	BDDMaxNodes int
 }
 
 // Register declares the shared flags on the default flag set.
@@ -37,7 +53,30 @@ func Register() *Flags {
 	flag.BoolVar(&f.Report, "report", false, "print an end-of-run report to stderr")
 	flag.StringVar(&f.ReportJSON, "report-json", "", "write the end-of-run report as JSON to `file`")
 	flag.StringVar(&f.CPUProfile, "pprof", "", "write a CPU profile to `file`")
+	flag.DurationVar(&f.Timeout, "timeout", 0, "whole-run wall-clock deadline (0 = none); the run degrades soundly and reports partial results")
+	flag.DurationVar(&f.QueryTimeout, "query-timeout", 0, "per-prover-query deadline (0 = none); timed-out queries count as \"could not prove\"")
+	flag.IntVar(&f.CubeBudget, "cube-budget", 0, "max prover-backed cube candidates per procedure (0 = unlimited)")
+	flag.IntVar(&f.BDDMaxNodes, "bdd-max-nodes", 0, "Bebop BDD node ceiling (0 = unlimited); exceeding it truncates the fixpoint")
 	return f
+}
+
+// Limits bundles the resource-limit flag values.
+func (f *Flags) Limits() budget.Limits {
+	return budget.Limits{
+		RunTimeout:   f.Timeout,
+		QueryTimeout: f.QueryTimeout,
+		CubeBudget:   f.CubeBudget,
+		BDDMaxNodes:  f.BDDMaxNodes,
+	}
+}
+
+// Context returns the run's root context, honouring -timeout. Call the
+// returned cancel func when the run finishes.
+func (f *Flags) Context() (context.Context, context.CancelFunc) {
+	if f.Timeout > 0 {
+		return context.WithTimeout(context.Background(), f.Timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // session tracks the open sinks between Start and Finish.

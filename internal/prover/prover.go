@@ -25,9 +25,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"predabs/internal/budget"
 	"predabs/internal/form"
 	"predabs/internal/trace"
 )
+
+// Querier is the decision-procedure interface the abstraction stages
+// (cube search, enforce, Newton) depend on. *Prover is the real
+// implementation; internal/faultinject wraps one for chaos testing.
+//
+// Implementations must honor the soundness contract at the top of this
+// package: a true answer means the claim definitely holds, a false
+// answer means "could not prove" and is always safe to return.
+type Querier interface {
+	Valid(hyp, goal form.Formula) bool
+	Unsat(f form.Formula) bool
+}
 
 // cacheShards stripes the query cache to keep lock contention low under
 // the parallel cube search. Must be a power of two.
@@ -54,14 +67,29 @@ type Prover struct {
 	// goroutines; the tracer itself is concurrency-safe.
 	Trace *trace.Tracer
 
+	// QueryTimeout, when positive, bounds each uncached query's wall
+	// clock. A query that exceeds it answers "could not prove" — sound
+	// per the package contract — and the result is NOT cached (wall-clock
+	// stops are environmental, not semantic). Set before sharing.
+	QueryTimeout time.Duration
+
+	// Budget, when non-nil, carries the run's cancellation context and
+	// degradation log: a cancelled run makes every subsequent query answer
+	// "could not prove" immediately. Set before sharing.
+	Budget *budget.Tracker
+
 	calls     atomic.Int64
 	cacheHits atomic.Int64
 	gaveUp    atomic.Int64
+	timeouts  atomic.Int64
+	cancels   atomic.Int64
 	theoryNS  atomic.Int64
 
 	seed   maphash.Seed
 	shards [cacheShards]cacheShard
 }
+
+var _ Querier = (*Prover)(nil)
 
 // New returns a fresh prover with an empty cache.
 func New() *Prover {
@@ -80,8 +108,16 @@ func (p *Prover) Calls() int { return int(p.calls.Load()) }
 func (p *Prover) CacheHits() int { return int(p.cacheHits.Load()) }
 
 // GaveUp reports the number of queries abandoned on resource caps
-// (answered conservatively: "could not prove").
+// (answered conservatively: "could not prove"). It includes timeouts
+// and cancellations.
 func (p *Prover) GaveUp() int { return int(p.gaveUp.Load()) }
+
+// Timeouts reports the number of queries abandoned on QueryTimeout.
+func (p *Prover) Timeouts() int { return int(p.timeouts.Load()) }
+
+// Cancels reports the number of queries abandoned because the run
+// context was cancelled (deadline or external cancellation).
+func (p *Prover) Cancels() int { return int(p.cancels.Load()) }
 
 // SolverTime reports the cumulative wall-clock time spent inside the
 // decision procedures (cache hits excluded). Under the parallel cube
@@ -132,67 +168,72 @@ func queryDesc(key string) string {
 // interface for the cube search: F_V asks Valid(cube, φ) for every
 // candidate cube (Section 4.1). Safe for concurrent use.
 func (p *Prover) Valid(hyp, goal form.Formula) bool {
-	p.calls.Add(1)
 	key := "V\x00" + hyp.String() + "\x00" + goal.String()
-	if !p.DisableCache {
-		if v, ok := p.cacheGet(key); ok {
-			p.cacheHits.Add(1)
-			if p.Trace != nil {
-				p.Trace.ProverQuery("valid", queryDesc(key), len(key), 0, v, true, false)
-			}
-			return v
-		}
-	}
-	start := time.Now()
-	f := form.NNF(form.MkAnd(hyp, form.MkNot(goal)))
-	budget := maxLeafChecks
-	res := !p.sat(f, nil, &budget)
-	gave := budget <= 0
-	if gave {
-		p.gaveUp.Add(1)
-		res = false // could not complete the search: do not claim validity
-	}
-	dur := time.Since(start)
-	p.theoryNS.Add(int64(dur))
-	if !p.DisableCache {
-		p.cachePut(key, res)
-	}
-	if p.Trace != nil {
-		p.Trace.ProverQuery("valid", queryDesc(key), len(key), dur, res, false, gave)
-	}
-	return res
+	return p.decide("valid", key, form.MkAnd(hyp, form.MkNot(goal)))
 }
 
 // Unsat reports whether f is definitely unsatisfiable (used for the
 // enforce invariant F_V(false) of Section 5.1 and Newton's path
 // conditions). Safe for concurrent use.
 func (p *Prover) Unsat(f form.Formula) bool {
+	return p.decide("unsat", "U\x00"+f.String(), f)
+}
+
+// decide answers one query (unsat of f under the key's kind) through
+// the cache, the cancellation fast path and the budgeted search.
+func (p *Prover) decide(kind, key string, f form.Formula) bool {
 	p.calls.Add(1)
-	key := "U\x00" + f.String()
 	if !p.DisableCache {
 		if v, ok := p.cacheGet(key); ok {
 			p.cacheHits.Add(1)
 			if p.Trace != nil {
-				p.Trace.ProverQuery("unsat", queryDesc(key), len(key), 0, v, true, false)
+				p.Trace.ProverQuery(kind, queryDesc(key), len(key), 0, v, true, false)
 			}
 			return v
 		}
 	}
+	// Fast path: the run is already cancelled. Answer "could not prove"
+	// without searching, and without poisoning the cache.
+	if p.Budget.Cancelled() {
+		p.gaveUp.Add(1)
+		p.cancels.Add(1)
+		if p.Trace != nil {
+			p.Trace.ProverQuery(kind, queryDesc(key), len(key), 0, false, false, true)
+		}
+		return false
+	}
 	start := time.Now()
-	budget := maxLeafChecks
-	res := !p.sat(form.NNF(f), nil, &budget)
-	gave := budget <= 0
+	st := satState{budget: maxLeafChecks}
+	if p.QueryTimeout > 0 {
+		st.deadline = start.Add(p.QueryTimeout)
+	}
+	if p.Budget != nil {
+		st.done = p.Budget.Context().Done()
+	}
+	res := !p.sat(form.NNF(f), nil, &st)
+	gave := st.budget <= 0 || st.stop != stopNone
 	if gave {
 		p.gaveUp.Add(1)
-		res = false
+		res = false // could not complete the search: do not claim the result
+	}
+	switch st.stop {
+	case stopTimeout:
+		p.timeouts.Add(1)
+		p.Budget.Degrade("prover", budget.LimitQueryTimeout, queryDesc(key))
+	case stopCancel:
+		p.cancels.Add(1)
 	}
 	dur := time.Since(start)
 	p.theoryNS.Add(int64(dur))
-	if !p.DisableCache {
+	// Leaf-budget exhaustion is deterministic for a given formula, so it
+	// is cacheable like any other verdict. Wall-clock stops are
+	// environmental — the same query could finish within the timeout on a
+	// retry or a faster machine — so they are never memoized.
+	if !p.DisableCache && st.stop == stopNone {
 		p.cachePut(key, res)
 	}
 	if p.Trace != nil {
-		p.Trace.ProverQuery("unsat", queryDesc(key), len(key), dur, res, false, gave)
+		p.Trace.ProverQuery(kind, queryDesc(key), len(key), dur, res, false, gave)
 	}
 	return res
 }
@@ -268,18 +309,66 @@ func atomKey(c form.Cmp) (key string, flip bool) {
 	}
 }
 
+// stopReason says why a search was abandoned mid-query.
+type stopReason uint8
+
+const (
+	stopNone    stopReason = iota
+	stopTimeout            // QueryTimeout elapsed
+	stopCancel             // run context cancelled
+)
+
+// checkStride is how many search nodes run between wall-clock /
+// cancellation polls. Polling at nodes rather than theory leaves
+// matters: a propositionally hard skeleton can burn arbitrary time
+// folding constants without ever reaching a leaf. A node does O(|f|)
+// work in assignAtom, so a counter increment plus a rare time.Now is
+// noise.
+const checkStride = 16
+
+// satState is one query's search state: the leaf-check budget plus the
+// optional wall-clock deadline and run-cancellation channel. Per-query
+// (not per-Prover) so that concurrent queries cannot interfere.
+type satState struct {
+	budget     int
+	deadline   time.Time       // zero: no per-query cap
+	done       <-chan struct{} // nil: no run context
+	sinceCheck int
+	stop       stopReason
+}
+
+// tick polls the wall-clock limits every checkStride search nodes.
+func (st *satState) tick() {
+	st.sinceCheck++
+	if st.sinceCheck < checkStride || st.stop != stopNone {
+		return
+	}
+	st.sinceCheck = 0
+	if st.done != nil {
+		select {
+		case <-st.done:
+			st.stop = stopCancel
+			return
+		default:
+		}
+	}
+	if !st.deadline.IsZero() && time.Now().After(st.deadline) {
+		st.stop = stopTimeout
+	}
+}
+
 // sat performs DPLL-style search on the boolean skeleton with theory
-// checks at the leaves. budget is per-query state (not per-Prover) so
-// that concurrent queries cannot interfere.
-func (p *Prover) sat(f form.Formula, lits []lit, budget *int) bool {
-	if *budget <= 0 {
+// checks at the leaves.
+func (p *Prover) sat(f form.Formula, lits []lit, st *satState) bool {
+	st.tick()
+	if st.budget <= 0 || st.stop != stopNone {
 		return true // give up: cannot prove unsat
 	}
 	switch f.(type) {
 	case form.FalseF:
 		return false
 	case form.TrueF:
-		*budget--
+		st.budget--
 		return theoryConsistent(lits)
 	}
 	atom := firstAtom(f)
@@ -288,7 +377,7 @@ func (p *Prover) sat(f form.Formula, lits []lit, budget *int) bool {
 		// assignAtom takes the truth of the canonical base atom; val is
 		// the truth of the picked atom, which may be its negation.
 		f2 := assignAtom(f, key, val != flip)
-		if p.sat(f2, append(lits, litOf(atom, val)), budget) {
+		if p.sat(f2, append(lits, litOf(atom, val)), st) {
 			return true
 		}
 	}

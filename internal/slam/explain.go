@@ -66,6 +66,52 @@ func (r *Result) Explain(filename string) []string {
 	return out
 }
 
+// ExplainUnknown renders an inconclusive run's partial results: why the
+// loop stopped (the first resource limit hit, or a refinement dead end),
+// every sound degradation taken along the way, the predicate set tried,
+// and the labelled invariants of the last abstraction — which remain
+// sound for that predicate set even though the property stayed open.
+// Returns nil for conclusive runs.
+func (r *Result) ExplainUnknown() []string {
+	if r.Outcome != Unknown {
+		return nil
+	}
+	var out []string
+	switch {
+	case r.LimitName != "":
+		out = append(out, fmt.Sprintf("stopped by limit %q in stage %q after %d iteration(s)",
+			r.LimitName, r.LimitStage, r.Iterations))
+	default:
+		out = append(out, fmt.Sprintf("refinement dead end after %d iteration(s) (no new predicates or no usable trace)",
+			r.Iterations))
+	}
+	for _, d := range r.Degradations {
+		line := fmt.Sprintf("degraded: stage %-8s limit %-14s %s", d.Stage, d.Limit, d.Detail)
+		if d.Count > 1 {
+			line += fmt.Sprintf(" (x%d)", d.Count)
+		}
+		out = append(out, line)
+	}
+	if r.PredCount > 0 {
+		out = append(out, fmt.Sprintf("predicates tried (%d):", r.PredCount))
+		scopes := make([]string, 0, len(r.Predicates))
+		for s := range r.Predicates {
+			scopes = append(scopes, s)
+		}
+		sort.Strings(scopes)
+		for _, s := range scopes {
+			out = append(out, fmt.Sprintf("  %s: %s", s, strings.Join(r.Predicates[s], ", ")))
+		}
+	}
+	if len(r.PartialInvariants) > 0 {
+		out = append(out, "partial invariants (sound for the predicates above):")
+		for _, inv := range r.PartialInvariants {
+			out = append(out, "  "+inv)
+		}
+	}
+	return out
+}
+
 // firstLine compresses a multi-line statement rendering (a block, an if
 // with a body) to its first line.
 func firstLine(s string) string {

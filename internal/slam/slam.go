@@ -7,6 +7,7 @@
 package slam
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"predabs/internal/alias"
 	"predabs/internal/bebop"
 	"predabs/internal/bp"
+	"predabs/internal/budget"
 	"predabs/internal/cast"
 	"predabs/internal/cnorm"
 	"predabs/internal/cparse"
@@ -65,6 +67,19 @@ type Config struct {
 	// (frontend, abstraction, cube search, prover, Bebop, Newton, CEGAR
 	// iterations). nil disables tracing at zero cost.
 	Tracer *tracepkg.Tracer
+	// Limits bounds the run's resources: whole-run wall clock, per-query
+	// prover timeout, per-procedure cube budget and Bebop BDD node
+	// ceiling. Every limit degrades soundly (the answer weakens toward
+	// Unknown, never toward a wrong Verified/ErrorFound claim); zero
+	// values are unlimited.
+	Limits budget.Limits
+	// Prover overrides the theorem prover — the hook for fault injection
+	// and alternative decision procedures. nil builds a prover.New()
+	// configured from Limits. An override is used as-is (QueryTimeout
+	// from Limits is NOT applied to it); prover statistics appear in the
+	// Result only when the override implements the optional Calls /
+	// CacheHits / SolverTime / Timeouts methods.
+	Prover prover.Querier
 }
 
 // DefaultConfig returns the standard configuration.
@@ -105,12 +120,35 @@ type Result struct {
 	BPTrace []bebop.Step
 	// FinalBP is the last boolean program (diagnostics).
 	FinalBP *bp.Program
+	// LimitStage and LimitName identify the first resource limit the run
+	// hit ("" when none): the stage that degraded ("prover", "abstract",
+	// "bebop", "newton", "slam") and the canonical limit name (see
+	// package budget). An Unknown outcome with a non-empty LimitName is a
+	// resource retreat, not a refinement dead end.
+	LimitStage, LimitName string
+	// Degradations lists every sound weakening taken under a resource
+	// limit, deduplicated by (stage, limit) with repeat counts.
+	Degradations []budget.Event
+	// PartialInvariants holds the labelled reachable-state invariants of
+	// the last abstraction when the loop stopped without a verdict
+	// (iteration budget, resource limit, or no new predicates): partial
+	// results that remain sound over-approximations for the predicate
+	// set in Predicates.
+	PartialInvariants []string
 }
 
 // VerifySpec checks a temporal-safety specification against a MiniC
 // program: the spec is instrumented, then the abort reachability question
 // is answered by the CEGAR loop.
 func VerifySpec(src, specSrc, entry string, cfg Config) (*Result, error) {
+	return VerifySpecCtx(context.Background(), src, specSrc, entry, cfg)
+}
+
+// VerifySpecCtx is VerifySpec under a cancellation context: when ctx is
+// cancelled (or cfg.Limits.RunTimeout elapses) the loop retreats soundly
+// to Unknown, carrying whatever partial results the finished stages
+// produced.
+func VerifySpecCtx(ctx context.Context, src, specSrc, entry string, cfg Config) (*Result, error) {
 	parseSpan := cfg.Tracer.Begin("frontend", "parse")
 	prog, err := cparse.Parse(src)
 	parseSpan.End()
@@ -125,24 +163,35 @@ func VerifySpec(src, specSrc, entry string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slam: instrument: %w", err)
 	}
-	return VerifyProgram(inst, entry, cfg)
+	return VerifyProgramCtx(ctx, inst, entry, cfg)
 }
 
 // Verify checks that no assert in the program can fail, starting from
 // entry.
 func Verify(src, entry string, cfg Config) (*Result, error) {
+	return VerifyCtx(context.Background(), src, entry, cfg)
+}
+
+// VerifyCtx is Verify under a cancellation context; see VerifySpecCtx.
+func VerifyCtx(ctx context.Context, src, entry string, cfg Config) (*Result, error) {
 	parseSpan := cfg.Tracer.Begin("frontend", "parse")
 	prog, err := cparse.Parse(src)
 	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("slam: parse: %w", err)
 	}
-	return VerifyProgram(prog, entry, cfg)
+	return VerifyProgramCtx(ctx, prog, entry, cfg)
 }
 
 // VerifyProgram runs the CEGAR loop on a parsed program.
 func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error) {
-	out, err := verifyProgram(prog, entry, cfg)
+	return VerifyProgramCtx(context.Background(), prog, entry, cfg)
+}
+
+// VerifyProgramCtx runs the CEGAR loop on a parsed program under a
+// cancellation context and the resource limits in cfg.Limits.
+func VerifyProgramCtx(ctx context.Context, prog *cast.Program, entry string, cfg Config) (*Result, error) {
+	out, err := verifyProgram(ctx, prog, entry, cfg)
 	if err == nil && out != nil {
 		cfg.Tracer.Event("slam", "outcome",
 			tracepkg.Str("outcome", out.Outcome.String()),
@@ -151,7 +200,7 @@ func VerifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 	return out, err
 }
 
-func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error) {
+func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Config) (*Result, error) {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10
 	}
@@ -167,19 +216,45 @@ func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		logf = func(string, ...any) {}
 	}
 
-	info, err := ctype.Check(prog)
-	if err != nil {
-		return nil, fmt.Errorf("slam: type check: %w", err)
+	if cfg.Limits.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Limits.RunTimeout)
+		defer cancel()
 	}
-	res, err := cnorm.Normalize(info)
-	if err != nil {
-		return nil, fmt.Errorf("slam: normalize: %w", err)
+	bt := budget.New(ctx, cfg.Limits, tracer)
+	cfg.Opts.Budget = bt
+	if cfg.Limits.CubeBudget > 0 {
+		cfg.Opts.CubeBudget = cfg.Limits.CubeBudget
 	}
-	aliasSpan := tracer.Begin("frontend", "alias")
-	aa := alias.Analyze(res)
-	aliasSpan.End()
-	pv := prover.New()
-	pv.Trace = tracer
+	bebopLimits := bebop.Limits{Budget: bt, MaxBDDNodes: cfg.Limits.BDDMaxNodes}
+
+	var res *cnorm.Result
+	var aa *alias.Analysis
+	if err := runStage("frontend", func() error {
+		info, err := ctype.Check(prog)
+		if err != nil {
+			return fmt.Errorf("type check: %w", err)
+		}
+		res, err = cnorm.Normalize(info)
+		if err != nil {
+			return fmt.Errorf("normalize: %w", err)
+		}
+		aliasSpan := tracer.Begin("frontend", "alias")
+		aa = alias.Analyze(res)
+		aliasSpan.End()
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("slam: %w", err)
+	}
+
+	pv := cfg.Prover
+	if pv == nil {
+		p := prover.New()
+		p.Trace = tracer
+		p.QueryTimeout = cfg.Limits.QueryTimeout
+		p.Budget = bt
+		pv = p
+	}
 
 	// Predicate pool, per scope, in insertion order.
 	pool := map[string][]string{}
@@ -200,7 +275,45 @@ func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 	}
 
 	out := &Result{Outcome: Unknown, CheckIterationsByProc: map[string]int{}}
+	defer func() {
+		out.Degradations = bt.Events()
+		if ev, ok := bt.First(); ok {
+			out.LimitStage, out.LimitName = ev.Stage, ev.Limit
+		}
+	}()
+	// lastChecker keeps the most recent Bebop fixpoint so an inconclusive
+	// exit can surface its invariants as partial results.
+	var lastChecker *bebop.Checker
+	keepPartial := func() {
+		if lastChecker == nil {
+			return
+		}
+		// Entry invariants cover label-free programs; labelled invariants
+		// add the user's marked program points. A degraded fixpoint makes
+		// these under-approximations of the abstract reachable states —
+		// still honest partial results, flagged by out.LimitName.
+		for _, pr := range lastChecker.Prog.Procs {
+			if len(pr.Stmts) == 0 {
+				continue
+			}
+			inv := lastChecker.InvariantString(pr.Name, 0)
+			if inv == "" {
+				// Reachable with no predicate variables in scope.
+				inv = "true"
+			}
+			out.PartialInvariants = append(out.PartialInvariants,
+				pr.Name+": entry: "+inv)
+		}
+		out.PartialInvariants = append(out.PartialInvariants, lastChecker.LabelledInvariants()...)
+	}
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if bt.Cancelled() {
+			bt.Degrade("slam", budget.LimitDeadline,
+				fmt.Sprintf("stopped before iteration %d", iter))
+			logf("slam: deadline hit; answer unknown")
+			keepPartial()
+			return out, nil
+		}
 		out.Iterations = iter
 		sections := poolSections(res, pool)
 		out.Predicates = map[string][]string{}
@@ -216,28 +329,45 @@ func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		}
 
 		absStart := time.Now()
-		abs, err := abstract.Abstract(res, aa, pv, sections, cfg.Opts)
+		var abs *abstract.Result
+		err := runStage("abstract", func() (err error) {
+			abs, err = abstract.Abstract(res, aa, pv, sections, cfg.Opts)
+			return err
+		})
 		out.AbstractTime += time.Since(absStart)
 		if err != nil {
-			return nil, fmt.Errorf("slam: abstraction (iteration %d): %w", iter, err)
+			return nil, fmt.Errorf("slam (iteration %d): %w", iter, err)
 		}
 		out.FinalBP = abs.BP
-		out.ProverCalls = pv.Calls()
-		out.CacheHits = pv.CacheHits()
-		out.SolverTime = pv.SolverTime()
+		recordProverStats(out, pv)
 
 		checkStart := time.Now()
-		checker, err := bebop.CheckTraced(abs.BP, entry, tracer)
+		var checker *bebop.Checker
+		err = runStage("bebop", func() (err error) {
+			checker, err = bebop.CheckLimited(abs.BP, entry, tracer, bebopLimits)
+			return err
+		})
 		out.CheckTime += time.Since(checkStart)
 		if err != nil {
-			return nil, fmt.Errorf("slam: bebop (iteration %d): %w", iter, err)
+			return nil, fmt.Errorf("slam (iteration %d): %w", iter, err)
 		}
+		lastChecker = checker
 		out.CheckIterations += checker.Iterations
 		for p, n := range checker.IterationsByProc {
 			out.CheckIterationsByProc[p] += n
 		}
 		failure, bad := checker.ErrorReachable()
 		if !bad {
+			if checker.Degraded {
+				// The truncated fixpoint under-approximates reachability:
+				// absence of a failure in the explored prefix proves
+				// nothing. Retreat to Unknown with the partial fixpoint.
+				logf("slam: bebop hit %s; answer unknown", checker.DegradeReason)
+				out.Outcome = Unknown
+				keepPartial()
+				endIter()
+				return out, nil
+			}
 			out.Outcome = Verified
 			logf("slam: verified after %d iteration(s)", iter)
 			endIter()
@@ -248,21 +378,25 @@ func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		if !ok {
 			logf("slam: counterexample trace extraction failed")
 			out.Outcome = Unknown
+			keepPartial()
 			endIter()
 			return out, nil
 		}
 		newtonStart := time.Now()
-		nres, err := newton.AnalyzeTraced(res, aa, pv, trace, tracer)
+		var nres *newton.Result
+		err = runStage("newton", func() (err error) {
+			nres, err = newton.AnalyzeLimited(res, aa, pv, trace, tracer, bt)
+			return err
+		})
 		out.NewtonTime += time.Since(newtonStart)
 		if err != nil {
-			return nil, fmt.Errorf("slam: newton (iteration %d): %w", iter, err)
+			return nil, fmt.Errorf("slam (iteration %d): %w", iter, err)
 		}
-		out.ProverCalls = pv.Calls()
-		out.CacheHits = pv.CacheHits()
-		out.SolverTime = pv.SolverTime()
+		recordProverStats(out, pv)
 		if nres.GaveUp {
 			logf("slam: newton gave up on the path condition; answer unknown")
 			out.Outcome = Unknown
+			keepPartial()
 			endIter()
 			return out, nil
 		}
@@ -289,23 +423,59 @@ func verifyProgram(prog *cast.Program, entry string, cfg Config) (*Result, error
 		if added == 0 {
 			logf("slam: no new predicates; giving up")
 			out.Outcome = Unknown
+			keepPartial()
 			return out, nil
 		}
 	}
+	// Iteration budget exhausted: surface the last round's invariants and
+	// the predicate pool (already in out.Predicates — the pool only grows,
+	// so the final round's set is every predicate tried) as partial
+	// results, and record the limit like any other resource retreat.
+	bt.Degrade("slam", budget.LimitIterations,
+		fmt.Sprintf("refinement stopped after %d iterations", cfg.MaxIterations))
 	logf("slam: iteration budget exhausted")
+	out.Predicates = map[string][]string{}
+	out.PredCount = 0
+	for _, scope := range poolScopes(res) {
+		if len(pool[scope]) == 0 {
+			continue
+		}
+		out.Predicates[scope] = append([]string{}, pool[scope]...)
+		out.PredCount += len(pool[scope])
+	}
+	keepPartial()
 	return out, nil
+}
+
+// recordProverStats copies the prover's running counters into the result
+// when the Querier exposes them (a Config.Prover override may not).
+func recordProverStats(out *Result, pv prover.Querier) {
+	if s, ok := pv.(interface{ Calls() int }); ok {
+		out.ProverCalls = s.Calls()
+	}
+	if s, ok := pv.(interface{ CacheHits() int }); ok {
+		out.CacheHits = s.CacheHits()
+	}
+	if s, ok := pv.(interface{ SolverTime() time.Duration }); ok {
+		out.SolverTime = s.SolverTime()
+	}
 }
 
 // poolSections converts the predicate pool into parsed sections, dropping
 // predicates that no longer parse (should not happen).
-func poolSections(res *cnorm.Result, pool map[string][]string) []cparse.PredSection {
-	var out []cparse.PredSection
-	// Deterministic order: global first, then program function order.
+// poolScopes lists the predicate scopes in deterministic order: global
+// first, then program function order.
+func poolScopes(res *cnorm.Result) []string {
 	scopes := []string{abstract.GlobalScope}
 	for _, f := range res.Prog.Funcs {
 		scopes = append(scopes, f.Name)
 	}
-	for _, scope := range scopes {
+	return scopes
+}
+
+func poolSections(res *cnorm.Result, pool map[string][]string) []cparse.PredSection {
+	var out []cparse.PredSection
+	for _, scope := range poolScopes(res) {
 		preds := pool[scope]
 		if len(preds) == 0 {
 			continue

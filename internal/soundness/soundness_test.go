@@ -1,366 +1,34 @@
-// Package soundness property-tests the paper's central theorem (Section
-// 4.6): for any feasible path of the C program, the corresponding path is
-// feasible in BP(P,E), and the boolean variables agree with the
-// predicates' concrete valuations along it.
-//
-// Concretely: we run the concrete MiniC interpreter on random inputs and
-// heaps, observe every executed statement, evaluate the predicate set in
-// the concrete state, and check that the resulting bit vector lies inside
-// Bebop's reachable-state set at the statement's boolean-program
-// counterpart. Since Bebop computes reachability OF the abstraction, any
-// unsoundness anywhere in the pipeline — weakest preconditions, alias
-// pruning, cube search, call signatures, Bebop's fixpoint — would
-// eventually produce a concrete state outside the computed invariant.
+// Property tests driving the exported oracle (see oracle.go) over the
+// standard subject corpus with a well-behaved prover: the baseline that
+// the fault-injection chaos matrix (internal/faultinject) perturbs.
 package soundness_test
 
 import (
-	"math/rand"
 	"testing"
 
 	"predabs/internal/abstract"
-	"predabs/internal/alias"
-	"predabs/internal/bebop"
-	"predabs/internal/cast"
-	"predabs/internal/cinterp"
-	"predabs/internal/cnorm"
-	"predabs/internal/cparse"
-	"predabs/internal/ctype"
-	"predabs/internal/form"
 	"predabs/internal/prover"
+	"predabs/internal/soundness"
 )
 
-type subject struct {
-	name   string
-	src    string
-	preds  string
-	entry  string
-	argGen func(r *rand.Rand, env *form.Env) []int64
-	runs   int
-}
-
-// checkSoundness runs the full pipeline on one subject and replays many
-// random concrete executions against the abstraction's invariants.
-func checkSoundness(t *testing.T, sub subject) {
+func subjectNamed(t *testing.T, name string) soundness.Subject {
 	t.Helper()
-	prog, err := cparse.Parse(sub.src)
-	if err != nil {
-		t.Fatalf("parse: %v", err)
-	}
-	info, err := ctype.Check(prog)
-	if err != nil {
-		t.Fatalf("check: %v", err)
-	}
-	res, err := cnorm.Normalize(info)
-	if err != nil {
-		t.Fatalf("normalize: %v", err)
-	}
-	aa := alias.Analyze(res)
-	pv := prover.New()
-	secs, err := cparse.ParsePredFile(sub.preds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	abs, err := abstract.Abstract(res, aa, pv, secs, abstract.DefaultOptions())
-	if err != nil {
-		t.Fatalf("abstract: %v", err)
-	}
-	checker, err := bebop.Check(abs.BP, sub.entry)
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Predicate formulas per scope.
-	localPreds := abs.LocalPreds
-	globalPreds := abs.GlobalPreds
-
-	violations := 0
-	checked := 0
-	for seed := int64(0); seed < int64(sub.runs); seed++ {
-		r := rand.New(rand.NewSource(seed))
-		env := form.NewEnv()
-		args := sub.argGen(r, env)
-
-		in := &cinterp.Interp{
-			Res:  res,
-			Env:  env,
-			Rand: r,
-			OnStmt: func(v cinterp.StmtVisit) {
-				// Evaluate the in-scope predicates in the concrete state.
-				state := map[string]bool{}
-				eval := func(p abstract.Pred) {
-					f := cinterp.RenameFormula(v.Rename, p.F)
-					val, err := v.Env.EvalFormula(f)
-					if err != nil {
-						return // predicates reading unmapped cells: skip
-					}
-					state[p.Name] = val
-				}
-				for _, p := range globalPreds {
-					eval(p)
-				}
-				for _, p := range localPreds[v.Fn] {
-					eval(p)
-				}
-				// Locate the statement in the boolean program.
-				idxs := checker.StmtsWithOrigin(v.Fn, any(v.Stmt))
-				if len(idxs) == 0 {
-					return
-				}
-				checked++
-				if !checker.StateReachable(v.Fn, idxs[0], state) {
-					violations++
-					if violations <= 3 {
-						t.Errorf("seed %d: concrete state %v at %s (stmt %q) outside Bebop's reachable set",
-							seed, state, v.Fn, cast.PrintStmt(v.Stmt))
-					}
-				}
-			},
-		}
-		if _, _, err := in.Run(sub.entry, args); err != nil {
-			t.Fatalf("seed %d: interpreter: %v", seed, err)
+	for _, sub := range soundness.Subjects() {
+		if sub.Name == name {
+			return sub
 		}
 	}
-	if checked == 0 {
-		t.Fatal("no statements were checked (origin mapping broken?)")
-	}
-	if violations > 0 {
-		t.Fatalf("%d/%d soundness violations", violations, checked)
-	}
-	t.Logf("%s: %d statement states checked against the abstraction, all inside", sub.name, checked)
+	t.Fatalf("no subject %q", name)
+	return soundness.Subject{}
 }
 
-// buildList wires up to n heap cells into a list, returning the head
-// address (or 0). Cells get random val fields; next pointers follow the
-// chain with a chance of early NULL.
-func buildList(r *rand.Rand, env *form.Env, field string, n int) int64 {
-	addrs := make([]int64, n)
-	for i := 0; i < n; i++ {
-		name := cellName(i)
-		addrs[i] = env.AddrOfVar(name)
-		env.Store(form.Sel{X: form.Var{Name: name}, Field: "val"}, int64(r.Intn(9)-4))
-		env.Store(form.Sel{X: form.Var{Name: name}, Field: "mark"}, int64(r.Intn(2)))
-	}
-	for i := 0; i < n; i++ {
-		next := int64(0)
-		if i+1 < n && r.Intn(4) != 0 {
-			next = addrs[i+1]
-		}
-		env.Store(form.Sel{X: form.Var{Name: cellName(i)}, Field: field}, next)
-	}
-	if r.Intn(6) == 0 {
-		return 0
-	}
-	return addrs[0]
+func checkNamed(t *testing.T, name string) {
+	t.Helper()
+	soundness.Check(t, subjectNamed(t, name), prover.New(), abstract.DefaultOptions())
 }
 
-func cellName(i int) string {
-	return "$cell" + string(rune('A'+i))
-}
-
-func TestSoundnessPartition(t *testing.T) {
-	checkSoundness(t, subject{
-		name: "partition",
-		src: `
-typedef struct cell { int val; struct cell* next; } *list;
-list partition(list *l, int v) {
-  list curr, prev, newl, nextCurr;
-  curr = *l;
-  prev = NULL;
-  newl = NULL;
-  while (curr != NULL) {
-    nextCurr = curr->next;
-    if (curr->val > v) {
-      if (prev != NULL) { prev->next = nextCurr; }
-      if (curr == *l) { *l = nextCurr; }
-      curr->next = newl;
-      newl = curr;
-    } else {
-      prev = curr;
-    }
-    curr = nextCurr;
-  }
-  return newl;
-}
-`,
-		preds: `
-partition:
-  curr == NULL, prev == NULL, curr->val > v, prev->val > v
-`,
-		entry: "partition",
-		argGen: func(r *rand.Rand, env *form.Env) []int64 {
-			head := buildList(r, env, "next", 4)
-			// The *l argument: a cell holding the head pointer.
-			slot := env.AddrOfVar("$headslot")
-			env.Mem[slot] = head
-			return []int64{slot, int64(r.Intn(5) - 2)}
-		},
-		runs: 150,
-	})
-}
-
-func TestSoundnessMark(t *testing.T) {
-	checkSoundness(t, subject{
-		name: "mark",
-		src: `
-struct node { int mark; struct node* next; };
-void mark(struct node* list, struct node* h) {
-  struct node* this;
-  struct node* tmp;
-  struct node* prev;
-  struct node* hnext;
-  assume(h != NULL);
-  hnext = h->next;
-  prev = NULL;
-  this = list;
-  while (this != NULL) {
-    if (this->mark == 1) { break; }
-    this->mark = 1;
-    tmp = prev;
-    prev = this;
-    this = this->next;
-    prev->next = tmp;
-  }
-  while (prev != NULL) {
-    tmp = this;
-    this = prev;
-    prev = prev->next;
-    this->next = tmp;
-  }
-}
-`,
-		preds: `
-mark:
-  h == NULL, prev == h, this == h, this->next == hnext,
-  prev == this, h->next == hnext, hnext->next == h
-`,
-		entry: "mark",
-		argGen: func(r *rand.Rand, env *form.Env) []int64 {
-			head := buildList(r, env, "next", 4)
-			// Fresh marks so the first loop traverses.
-			for i := 0; i < 4; i++ {
-				env.Store(form.Sel{X: form.Var{Name: cellName(i)}, Field: "mark"}, 0)
-			}
-			// h: some cell of the heap (possibly the head, possibly not).
-			h := env.AddrOfVar(cellName(r.Intn(4)))
-			return []int64{head, h}
-		},
-		runs: 150,
-	})
-}
-
-func TestSoundnessInterprocedural(t *testing.T) {
-	checkSoundness(t, subject{
-		name: "foobar",
-		src: `
-int bar(int* q, int y) {
-  int l1, l2;
-  l1 = y;
-  l2 = y - 1;
-  if (*q <= y) { l1 = *q; }
-  return l1;
-}
-
-void foo(int* p, int x) {
-  int r;
-  if (*p <= x) {
-    *p = x;
-  } else {
-    *p = *p + x;
-  }
-  r = bar(p, x);
-}
-`,
-		preds: `
-bar:
-  y >= 0, *q <= y, y == l1, y > l2
-foo:
-  *p <= 0, x == 0, r == 0
-`,
-		entry: "foo",
-		argGen: func(r *rand.Rand, env *form.Env) []int64 {
-			slot := env.AddrOfVar("$pcell")
-			env.Mem[slot] = int64(r.Intn(9) - 4)
-			return []int64{slot, int64(r.Intn(5) - 2)}
-		},
-		runs: 300,
-	})
-}
-
-func TestSoundnessLoopArithmetic(t *testing.T) {
-	checkSoundness(t, subject{
-		name: "scan",
-		src: `
-int scan(int a[], int n, int key) {
-  int i;
-  int found;
-  assume(n >= 0);
-  assume(n <= 6);
-  found = 0 - 1;
-  i = 0;
-  while (i < n) {
-    if (a[i] == key) {
-      found = i;
-    }
-    i = i + 1;
-  }
-  return found;
-}
-`,
-		preds: `
-scan:
-  i >= 0, i < n, n >= 0, found == 0 - 1
-`,
-		entry: "scan",
-		argGen: func(r *rand.Rand, env *form.Env) []int64 {
-			arr := env.AddrOfVar("$arr")
-			for i := int64(0); i < 6; i++ {
-				env.Mem[arr+1+i] = int64(r.Intn(5))
-			}
-			return []int64{arr, int64(r.Intn(7)), int64(r.Intn(5))}
-		},
-		runs: 200,
-	})
-}
-
-func TestSoundnessGlobalState(t *testing.T) {
-	checkSoundness(t, subject{
-		name: "lockish",
-		src: `
-int locked;
-
-void acquire(void) {
-  assume(locked == 0);
-  locked = 1;
-}
-
-void release(void) {
-  assume(locked == 1);
-  locked = 0;
-}
-
-void main(int n) {
-  locked = 0;
-  while (n > 0) {
-    acquire();
-    if (n == 1) {
-      release();
-    } else {
-      release();
-    }
-    n = n - 1;
-  }
-}
-`,
-		preds: `
-global:
-  locked == 1
-main:
-  n > 0, n == 1
-`,
-		entry: "main",
-		argGen: func(r *rand.Rand, env *form.Env) []int64 {
-			return []int64{int64(r.Intn(5))}
-		},
-		runs: 120,
-	})
-}
+func TestSoundnessPartition(t *testing.T)       { checkNamed(t, "partition") }
+func TestSoundnessMark(t *testing.T)            { checkNamed(t, "mark") }
+func TestSoundnessInterprocedural(t *testing.T) { checkNamed(t, "foobar") }
+func TestSoundnessLoopArithmetic(t *testing.T)  { checkNamed(t, "scan") }
+func TestSoundnessGlobalState(t *testing.T)     { checkNamed(t, "lockish") }

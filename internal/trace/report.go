@@ -60,6 +60,16 @@ type NewtonRound struct {
 	GaveUp          bool `json:"gave_up"`
 }
 
+// DegradeCost is one degradation row of the report: a (stage, limit)
+// pair that fired, with the first occurrence's detail. The count comes
+// from the structured result (budget.Tracker); the trace stream carries
+// only the first firing per pair.
+type DegradeCost struct {
+	Stage  string `json:"stage"`
+	Limit  string `json:"limit"`
+	Detail string `json:"detail,omitempty"`
+}
+
 // Report is the end-of-run aggregation of the event stream: the paper's
 // Table 1/2 cost columns plus latency detail. The deterministic subset
 // (counts, not wall times) is identical for any cube-search worker count;
@@ -100,6 +110,10 @@ type Report struct {
 
 	NewtonRounds []NewtonRound `json:"newton_rounds,omitempty"`
 
+	// Degradations lists the resource limits that fired during the run,
+	// in first-fired order (empty for an undegraded run).
+	Degradations []DegradeCost `json:"degradations,omitempty"`
+
 	// ProverHist is the query-latency histogram (non-cache-hit queries).
 	ProverHist []HistBucket `json:"prover_hist,omitempty"`
 	// TopQueries lists the most expensive individual prover queries.
@@ -137,6 +151,8 @@ type aggregator struct {
 	maxBDDNodes      int
 
 	newtonRounds []NewtonRound
+
+	degradations []DegradeCost
 
 	hist [histBuckets]int
 	topQ []QueryCost // sorted descending by NS, at most topKQueries
@@ -269,6 +285,15 @@ func (a *aggregator) consume(cat, name string, dur time.Duration, fields []Field
 		r.Feasible = fieldBoolVal(fields, "feasible")
 		r.GaveUp = fieldBoolVal(fields, "gave_up")
 		a.newtonRounds = append(a.newtonRounds, r)
+	case "degrade":
+		if name != "limit" {
+			return
+		}
+		d := DegradeCost{}
+		d.Stage, _ = fieldStrVal(fields, "stage")
+		d.Limit, _ = fieldStrVal(fields, "limit")
+		d.Detail, _ = fieldStrVal(fields, "detail")
+		a.degradations = append(a.degradations, d)
 	case "slam":
 		if name == "outcome" {
 			if s, ok := fieldStrVal(fields, "outcome"); ok {
@@ -365,6 +390,7 @@ func (t *Tracer) Report() *Report {
 		}
 	}
 	r.NewtonRounds = append(r.NewtonRounds, a.newtonRounds...)
+	r.Degradations = append(r.Degradations, a.degradations...)
 	for i, n := range a.hist {
 		if n > 0 {
 			r.ProverHist = append(r.ProverHist, HistBucket{Label: histLabel(i), Count: n})
@@ -451,6 +477,17 @@ func (r *Report) Text() string {
 		default:
 			fmt.Fprintf(&b, "infeasible at suffix index %d, %d predicate(s) harvested\n",
 				nr.InfeasibleIndex, nr.PredsHarvested)
+		}
+	}
+
+	if len(r.Degradations) > 0 {
+		b.WriteString("degradations (soundly weakened on resource limits):\n")
+		for _, d := range r.Degradations {
+			if d.Detail != "" {
+				fmt.Fprintf(&b, "  %-10s %-14s %s\n", d.Stage, d.Limit, d.Detail)
+			} else {
+				fmt.Fprintf(&b, "  %-10s %s\n", d.Stage, d.Limit)
+			}
 		}
 	}
 

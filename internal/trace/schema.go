@@ -32,6 +32,7 @@ var Taxonomy = map[string][]string{
 	"bebop":    {"check", "fixpoint", "iter"},
 	"newton":   {"analyze"},
 	"slam":     {"iteration", "outcome"},
+	"degrade":  {"limit"},
 }
 
 // rawEvent mirrors one JSONL line for validation.

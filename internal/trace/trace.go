@@ -199,6 +199,20 @@ func (t *Tracer) ProverQuery(kind string, desc string, size int, d time.Duration
 	})
 }
 
+// Degrade records the first firing of a resource limit: the stage that
+// degraded, the canonical limit name, and a short detail (procedure or
+// query description). internal/budget deduplicates repeats, so each
+// (stage, limit) pair appears at most once per run.
+func (t *Tracer) Degrade(stage, limit, detail string) {
+	if t == nil {
+		return
+	}
+	t.Event("degrade", "limit",
+		Str("stage", stage),
+		Str("limit", limit),
+		Str("detail", truncate(detail, maxQueryDesc)))
+}
+
 // maxQueryDesc bounds the retained formula text per prover query.
 const maxQueryDesc = 160
 

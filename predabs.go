@@ -18,6 +18,7 @@
 package predabs
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"predabs/internal/alias"
 	"predabs/internal/bebop"
 	"predabs/internal/bp"
+	"predabs/internal/budget"
 	"predabs/internal/cnorm"
 	"predabs/internal/cparse"
 	"predabs/internal/ctype"
@@ -36,6 +38,16 @@ import (
 
 // Options re-exports the C2bp precision/efficiency knobs (Section 5.2).
 type Options = abstract.Options
+
+// Limits re-exports the resource limits every pipeline stage honours:
+// whole-run wall clock, per-prover-query timeout, per-procedure cube
+// budget, and Bebop's BDD node ceiling. Hitting any limit weakens the
+// result soundly instead of aborting; zero values are unlimited.
+type Limits = budget.Limits
+
+// DegradeEvent re-exports one recorded sound weakening: the stage and
+// limit that triggered it, with a repeat count.
+type DegradeEvent = budget.Event
 
 // DefaultOptions returns the paper's standard configuration: cube length
 // limit 3, cone of influence, syntactic heuristics, skip-unchanged, and
@@ -135,6 +147,9 @@ type AbstractStats struct {
 	CacheMisses int
 	// ProverGaveUp counts queries abandoned on resource caps.
 	ProverGaveUp int
+	// ProverTimeouts counts queries abandoned on the per-query deadline
+	// (a subset of ProverGaveUp; their verdicts are not cached).
+	ProverTimeouts int
 	// CubesChecked counts cube implication candidates examined.
 	CubesChecked int
 	// CubeRounds counts prover-backed cube-search rounds (one per cube
@@ -164,6 +179,14 @@ type AbstractStats struct {
 	// ProcCubes lists each procedure's cube-search rounds and candidate
 	// cubes, in program order.
 	ProcCubes []ProcCubeStat
+
+	// DegradedProcs lists procedures whose cube search was truncated by
+	// a resource limit: their statements are soundly weaker than the
+	// most precise abstraction.
+	DegradedProcs []string
+	// Degradations lists every sound weakening taken under a resource
+	// limit during this run.
+	Degradations []DegradeEvent
 }
 
 // ProcCubeStat re-exports the per-procedure cube-search counters.
@@ -180,12 +203,33 @@ type BooleanProgram struct {
 // Opts.Jobs controls the cube-search worker pool; the output is
 // byte-identical for every value.
 func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, error) {
+	return p.AbstractCtx(context.Background(), predicates, opts, Limits{})
+}
+
+// AbstractCtx is Abstract under a cancellation context and resource
+// limits. Hitting a limit (or the context's deadline) truncates the cube
+// search, which weakens the emitted boolean program but keeps it a sound
+// abstraction; the truncations appear in Stats().Degradations. The
+// truncated output is still byte-identical for every Opts.Jobs value.
+func (p *Program) AbstractCtx(ctx context.Context, predicates string, opts Options, lim Limits) (*BooleanProgram, error) {
 	sections, err := cparse.ParsePredFile(predicates)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: predicates: %w", err)
 	}
+	if lim.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.RunTimeout)
+		defer cancel()
+	}
+	bt := budget.New(ctx, lim, opts.Tracer)
+	opts.Budget = bt
+	if lim.CubeBudget > 0 {
+		opts.CubeBudget = lim.CubeBudget
+	}
 	pv := prover.New()
 	pv.Trace = opts.Tracer
+	pv.QueryTimeout = lim.QueryTimeout
+	pv.Budget = bt
 	start := time.Now()
 	res, err := abstract.Abstract(p.norm, p.alias, pv, sections, opts)
 	if err != nil {
@@ -207,6 +251,7 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 			CacheHits:      pv.CacheHits(),
 			CacheMisses:    pv.Calls() - pv.CacheHits(),
 			ProverGaveUp:   pv.GaveUp(),
+			ProverTimeouts: pv.Timeouts(),
 			CubesChecked:   res.Stats.CubesChecked,
 			CubeRounds:     res.Stats.CubeRounds,
 			Predicates:     n,
@@ -218,9 +263,16 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 			SolverTime:     pv.SolverTime(),
 			ProcTimes:      procTimes,
 			ProcCubes:      append([]ProcCubeStat{}, res.Stats.ProcCubes...),
+			DegradedProcs:  append([]string{}, res.Stats.DegradedProcs...),
+			Degradations:   bt.Events(),
 		},
 	}, nil
 }
+
+// Degraded reports whether any resource limit truncated this
+// abstraction; the program is then soundly weaker than the most precise
+// BP(P, E).
+func (b *BooleanProgram) Degraded() bool { return len(b.stats.Degradations) > 0 }
 
 // Text renders the boolean program in its surface syntax (parseable by
 // ParseBooleanProgram and the bebop command).
@@ -243,7 +295,19 @@ func ParseBooleanProgram(src string) (*BooleanProgram, error) {
 type CheckResult struct {
 	checker *bebop.Checker
 	entry   string
+	budget  *budget.Tracker
 }
+
+// Degraded reports whether a resource limit truncated the fixpoint, and
+// which limit. A degraded, failure-free check proves nothing (the
+// explored state set under-approximates reachability); a failure found
+// by a degraded check is still a genuine abstract failure.
+func (r *CheckResult) Degraded() (reason string, degraded bool) {
+	return r.checker.DegradeReason, r.checker.Degraded
+}
+
+// Degradations lists the sound truncations this check recorded.
+func (r *CheckResult) Degradations() []DegradeEvent { return r.budget.Events() }
 
 // Check runs the Bebop model checker from the entry procedure.
 func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
@@ -253,11 +317,27 @@ func (b *BooleanProgram) Check(entry string) (*CheckResult, error) {
 // CheckTraced is Check with a structured-event tracer attached (nil
 // behaves exactly like Check).
 func (b *BooleanProgram) CheckTraced(entry string, tr *trace.Tracer) (*CheckResult, error) {
-	ch, err := bebop.CheckTraced(b.prog, entry, tr)
+	return b.CheckCtx(context.Background(), entry, tr, Limits{})
+}
+
+// CheckCtx is CheckTraced under a cancellation context and resource
+// limits (the BDD node ceiling and the wall clock apply here). A
+// truncated fixpoint UNDER-approximates the abstraction's reachable
+// states: failures it finds are genuine abstract failures, but a
+// failure-free degraded run proves nothing — check Degraded before
+// trusting a clean answer.
+func (b *BooleanProgram) CheckCtx(ctx context.Context, entry string, tr *trace.Tracer, lim Limits) (*CheckResult, error) {
+	if lim.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.RunTimeout)
+		defer cancel()
+	}
+	bt := budget.New(ctx, lim, tr)
+	ch, err := bebop.CheckLimited(b.prog, entry, tr, bebop.Limits{Budget: bt, MaxBDDNodes: lim.BDDMaxNodes})
 	if err != nil {
 		return nil, fmt.Errorf("predabs: bebop: %w", err)
 	}
-	return &CheckResult{checker: ch, entry: entry}, nil
+	return &CheckResult{checker: ch, entry: entry, budget: bt}, nil
 }
 
 // CheckStats reports the model checker's cost: worklist iterations to
@@ -362,16 +442,35 @@ type VerifyConfig = slam.Config
 // DefaultVerifyConfig returns the standard CEGAR configuration.
 func DefaultVerifyConfig() VerifyConfig { return slam.DefaultConfig() }
 
+// StageError re-exports the stage-attributed pipeline failure: Verify
+// and VerifySpec convert a panicking stage (frontend, abstract, bebop,
+// newton) into one of these instead of crashing the process.
+type StageError = slam.StageError
+
 // Verify checks that no assert in the MiniC source can fail, running the
 // full SLAM abstract-check-refine loop from the entry procedure.
 func Verify(src, entry string, cfg VerifyConfig) (*VerifyResult, error) {
 	return slam.Verify(src, entry, cfg)
 }
 
+// VerifyCtx is Verify under a cancellation context: when ctx is
+// cancelled or cfg.Limits.RunTimeout elapses, the loop retreats soundly
+// to Unknown with partial results (see VerifyResult.LimitName,
+// Degradations and PartialInvariants) instead of hanging.
+func VerifyCtx(ctx context.Context, src, entry string, cfg VerifyConfig) (*VerifyResult, error) {
+	return slam.VerifyCtx(ctx, src, entry, cfg)
+}
+
 // VerifySpec checks a SLIC-style temporal-safety specification against
 // the program (see package spec for the specification syntax).
 func VerifySpec(src, specSrc, entry string, cfg VerifyConfig) (*VerifyResult, error) {
 	return slam.VerifySpec(src, specSrc, entry, cfg)
+}
+
+// VerifySpecCtx is VerifySpec under a cancellation context; see
+// VerifyCtx.
+func VerifySpecCtx(ctx context.Context, src, specSrc, entry string, cfg VerifyConfig) (*VerifyResult, error) {
+	return slam.VerifySpecCtx(ctx, src, specSrc, entry, cfg)
 }
 
 // PathFeasibility runs Newton alone on the first counterexample of the
