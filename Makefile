@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos leakcheck bench tools
+.PHONY: build test verify verify-extended chaos crash corrupt leakcheck bench tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify chaos leakcheck
+verify-extended: verify chaos crash corrupt leakcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -23,6 +23,19 @@ verify-extended: verify chaos leakcheck
 # run against the end-to-end soundness oracle under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos' ./internal/faultinject/
+
+# Crash gate: the kill/resume matrix — the real slam binary SIGKILLed at
+# every checkpoint commit point (full and torn frames), resumed, and
+# required to reproduce the uninterrupted run byte-for-byte at -j 1 and
+# -j 8, with the buggy subject never laundered into "verified".
+crash:
+	$(GO) test -count=1 -run 'TestCrash' ./internal/faultinject/
+
+# Corruption gate: damaged journals (bit-flip sweep, truncation, bad
+# magic, wrong compatibility hash) must be detected and recovered from —
+# tail truncation or a diagnosed cold start — never a wrong answer.
+corrupt:
+	$(GO) test -count=1 -run 'TestCorrupt' ./internal/faultinject/
 
 # Leak gate: concurrent cancellation mid-cube-search at -j 8 must leave
 # no goroutine behind and keep the degraded report deterministic.

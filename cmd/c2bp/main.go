@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"predabs"
+	"predabs/internal/checkpoint"
 	"predabs/internal/cparse"
 	"predabs/internal/obs"
 )
@@ -71,12 +72,31 @@ func run() (code int) {
 		finish()
 		return fatalFile(*predFile, err)
 	}
+	// The key pins what this abstraction computes; -j and wall-clock
+	// limits stay out (worker-count-independent output, environmental
+	// degradations never persisted).
+	ckpt, err := obsFlags.OpenCheckpoint(checkpoint.CompatKey{
+		Tool: "c2bp", Version: predabs.Version,
+		Program: string(src), Spec: string(preds),
+		MaxCubeLen:  opts.MaxCubeLen,
+		CubeBudget:  int64(obsFlags.CubeBudget),
+		BDDMaxNodes: int64(obsFlags.BDDMaxNodes),
+		Extra:       fmt.Sprintf("cone=%t/enforce=%t", opts.ConeOfInfluence, opts.EmitEnforce),
+	}, tracer)
+	if err != nil {
+		finish()
+		return fatal(err)
+	}
+	defer ckpt.Close()
 	ctx, cancel := obsFlags.Context()
 	defer cancel()
-	bprog, err := prog.AbstractCtx(ctx, string(preds), opts, obsFlags.Limits())
+	bprog, err := prog.AbstractCheckpointed(ctx, string(preds), opts, obsFlags.Limits(), ckpt)
 	if err != nil {
 		finish()
 		return fatalFile(flag.Arg(0), err)
+	}
+	if err := ckpt.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "c2bp: warning: checkpointing disabled:", err)
 	}
 	if err := finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "c2bp:", err)

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"predabs"
+	"predabs/internal/checkpoint"
 	"predabs/internal/obs"
 )
 
@@ -51,6 +52,12 @@ func run() (code int) {
 	if err != nil {
 		return fatal(err)
 	}
+	var specSrc []byte
+	if *specFile != "" {
+		if specSrc, err = os.ReadFile(*specFile); err != nil {
+			return fatal(err)
+		}
+	}
 	tracer, finish, err := obsFlags.Start()
 	if err != nil {
 		return fatal(err)
@@ -65,27 +72,38 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	// The compatibility key covers everything that changes what the run
+	// computes. -j and the wall-clock limits are deliberately absent:
+	// results are worker-count-independent, and wall-clock degradations
+	// are never persisted.
+	ckpt, err := obsFlags.OpenCheckpoint(checkpoint.CompatKey{
+		Tool: "slam", Version: predabs.Version,
+		Program: string(src), Spec: string(specSrc), Entry: *entry,
+		MaxCubeLen:  cfg.Opts.MaxCubeLen,
+		CubeBudget:  int64(obsFlags.CubeBudget),
+		BDDMaxNodes: int64(obsFlags.BDDMaxNodes),
+	}, tracer)
+	if err != nil {
+		finish()
+		return fatal(err)
+	}
+	defer ckpt.Close()
+	cfg.Checkpoint = ckpt
 	ctx, cancel := obsFlags.Context()
 	defer cancel()
 
 	var res *predabs.VerifyResult
 	if *specFile != "" {
-		specSrc, err := os.ReadFile(*specFile)
-		if err != nil {
-			finish()
-			return fatal(err)
-		}
 		res, err = predabs.VerifySpecCtx(ctx, string(src), string(specSrc), *entry, cfg)
-		if err != nil {
-			finish()
-			return fatalFile(flag.Arg(0), err)
-		}
 	} else {
 		res, err = predabs.VerifyCtx(ctx, string(src), *entry, cfg)
-		if err != nil {
-			finish()
-			return fatalFile(flag.Arg(0), err)
-		}
+	}
+	if err != nil {
+		finish()
+		return fatalFile(flag.Arg(0), err)
+	}
+	if err := ckpt.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "slam: warning: checkpointing disabled:", err)
 	}
 	if err := finish(); err != nil {
 		fmt.Fprintln(os.Stderr, "slam:", err)

@@ -1,0 +1,37 @@
+package abstract
+
+// SigRecord is the canonical serialized form of one procedure's
+// signature (E_f, E_r): predicate names in predicate-file order, exactly
+// as they become the boolean procedure's parameters and return values.
+// internal/checkpoint journals these per CEGAR iteration, and a golden
+// test pins the serialization so the checkpoint compatibility story
+// survives refactors of the Signature computation.
+type SigRecord struct {
+	Proc string   `json:"proc"`
+	Ef   []string `json:"ef,omitempty"`
+	Er   []string `json:"er,omitempty"`
+}
+
+// SignatureRecords serializes the signature map in canonical order: one
+// record per procedure, following procOrder (program order — the order
+// slam and c2bp see res.Prog.Funcs). Procedures missing from sigs are
+// skipped; predicate order within a record is the signature's own
+// (predicate-file) order.
+func SignatureRecords(sigs map[string]*Signature, procOrder []string) []SigRecord {
+	out := make([]SigRecord, 0, len(procOrder))
+	for _, proc := range procOrder {
+		sig := sigs[proc]
+		if sig == nil {
+			continue
+		}
+		rec := SigRecord{Proc: proc}
+		for _, p := range sig.Ef {
+			rec.Ef = append(rec.Ef, p.Name)
+		}
+		for _, p := range sig.Er {
+			rec.Er = append(rec.Er, p.Name)
+		}
+		out = append(out, rec)
+	}
+	return out
+}

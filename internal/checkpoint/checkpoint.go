@@ -1,0 +1,538 @@
+// Package checkpoint makes the SLAM refinement loop crash-safe: an
+// append-only, checksummed on-disk journal records, per CEGAR iteration,
+// the predicate pool, the per-procedure signatures (E_f/E_r) and a spill
+// of the prover's memo cache. A later run pointed at the same state
+// directory validates the journal, replays the last good iteration and
+// continues from there with a warm prover cache — a resumed run produces
+// byte-identical final reports to an uninterrupted one.
+//
+// # Journal format
+//
+// One file, journal.predabs, inside the state directory:
+//
+//	magic "PREDABSJNL1\x00"                       (12 bytes)
+//	record*                                       (append-only)
+//
+//	record := len(u32 LE) | crc32(u32 LE) | payload
+//
+// where crc32 is IEEE over the payload bytes and the payload is one JSON
+// object discriminated by "type": a "header" record (format version +
+// compatibility hash) first, then "iteration" records (one per commit
+// point) and "final" records (run outcome). Iteration records spill the
+// prover cache as a delta against everything already journaled, so the
+// file grows with new verdicts only.
+//
+// # Corruption handling
+//
+// Every record is validated by length and CRC on replay. A torn or
+// corrupted record — a crash mid-append, a truncated file, a flipped bit
+// — invalidates that record and EVERYTHING after it: the journal is
+// truncated back to the last good record and the run resumes from the
+// most recent intact commit. A corrupted magic/header, or a
+// compatibility-hash mismatch (different program, spec, tool version or
+// deterministic limit flags), rejects the whole journal with a typed
+// error so the caller can fall back to a cold start with a clear
+// diagnostic. Nothing after a checksum failure is ever trusted.
+//
+// # Soundness under crashes
+//
+// The journal only ever persists facts that are independent of the
+// crash schedule: the predicate pool (candidate predicates are
+// heuristics — any pool yields a sound abstraction), signatures
+// (recomputed on resume; journaled for diagnosis and format pinning)
+// and fully decided prover verdicts. Verdicts abandoned on a wall-clock
+// timeout or a cancellation are never cached in memory (internal/prover)
+// and therefore never reach disk, so no kill/resume schedule can launder
+// a degraded "could not prove" — much less upgrade a buggy program to
+// Verified. The kill/resume chaos harness in internal/faultinject
+// asserts this against the soundness oracle.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"predabs/internal/abstract"
+	"predabs/internal/prover"
+)
+
+// JournalName is the journal's file name inside the state directory.
+const JournalName = "journal.predabs"
+
+// magic identifies a predabs checkpoint journal (format 1).
+const magic = "PREDABSJNL1\x00"
+
+// maxRecordLen bounds one record's payload, so a corrupted length field
+// cannot drive a huge allocation.
+const maxRecordLen = 1 << 28
+
+// CorruptError reports a journal whose magic or header cannot be
+// trusted; the caller should cold-start (Create) with a diagnostic.
+type CorruptError struct {
+	Path   string
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: %s: corrupted journal (%s)", e.Path, e.Detail)
+}
+
+// IncompatibleError reports a valid journal written for a different
+// (program, spec, tool version, limit flags) combination.
+type IncompatibleError struct {
+	Path string
+	Want string
+	Got  string
+}
+
+func (e *IncompatibleError) Error() string {
+	return fmt.Sprintf("checkpoint: %s: journal belongs to a different run (compatibility hash %.12s…, want %.12s…)",
+		e.Path, e.Got, e.Want)
+}
+
+// ScopePreds is one scope's predicate pool slice, in insertion order —
+// the order the CEGAR loop replays it in, so a resumed pool is
+// indistinguishable from the live one.
+type ScopePreds struct {
+	Scope string   `json:"scope"`
+	Preds []string `json:"preds"`
+}
+
+// Counters are the cumulative deterministic run counters at a commit
+// point; a resumed run adds its own deltas on top so final reports
+// match an uninterrupted run's.
+type Counters struct {
+	ProverCalls           int            `json:"prover_calls"`
+	CacheHits             int            `json:"cache_hits"`
+	CheckIterations       int            `json:"check_iterations"`
+	CheckIterationsByProc map[string]int `json:"check_iterations_by_proc,omitempty"`
+}
+
+// IterationRecord is one commit point: the full state needed to resume
+// the CEGAR loop after this iteration. Cache carries the FULL prover
+// cache at the boundary; the Manager spills only the delta against
+// records already journaled.
+type IterationRecord struct {
+	Iter     int
+	Pool     []ScopePreds
+	Sigs     []abstract.SigRecord
+	Cache    []prover.CacheEntry
+	Counters Counters
+}
+
+// Snapshot is the replayed journal state: the last good iteration
+// record plus the union of every cache spill.
+type Snapshot struct {
+	// Iter is the last committed iteration; resume starts at Iter+1.
+	Iter int
+	Pool []ScopePreds
+	Sigs []abstract.SigRecord
+	// Cache is the union of all journaled spills, in canonical (sorted
+	// by key) order.
+	Cache    []prover.CacheEntry
+	Counters Counters
+	// Outcome is the last journaled final outcome ("" if the previous
+	// run never completed).
+	Outcome string
+}
+
+// journal payload shapes (the on-disk JSON).
+type headerPayload struct {
+	Type    string `json:"type"` // "header"
+	Version int    `json:"version"`
+	Tool    string `json:"tool"`
+	Hash    string `json:"hash"`
+}
+
+type iterationPayload struct {
+	Type     string               `json:"type"` // "iteration"
+	Iter     int                  `json:"iter"`
+	Pool     []ScopePreds         `json:"pool"`
+	Sigs     []abstract.SigRecord `json:"sigs,omitempty"`
+	Cache    []prover.CacheEntry  `json:"cache"`
+	Counters Counters             `json:"counters"`
+}
+
+type finalPayload struct {
+	Type    string `json:"type"` // "final"
+	Outcome string `json:"outcome"`
+	Limit   string `json:"limit,omitempty"`
+}
+
+// formatVersion is the journal payload schema version; bumped on any
+// incompatible change (it also feeds the compatibility hash).
+const formatVersion = 1
+
+// Manager owns one open journal: it replays existing state on Open and
+// appends commit records durably (each append is fsynced before it
+// returns). Safe for concurrent use, though the CEGAR loop commits from
+// a single goroutine.
+type Manager struct {
+	path     string
+	readOnly bool
+
+	mu        sync.Mutex
+	f         *os.File
+	persisted map[string]bool // cache keys already journaled
+	snap      *Snapshot
+	warnings  []string
+	commits   int
+	lastErr   error
+}
+
+// Open validates and replays the journal under dir for the given
+// compatibility key. A missing journal is created fresh (cold start). A
+// journal whose magic/header cannot be validated returns *CorruptError;
+// a valid journal for a different key returns *IncompatibleError — in
+// both cases the caller decides whether to Create over it. A torn or
+// corrupted tail is truncated (never trusted) and noted in Warnings;
+// replay resumes from the last intact record.
+//
+// readOnly opens for warm-start only: nothing is written, not even the
+// truncation repair of a torn tail (the tail is simply ignored).
+func Open(dir string, key CompatKey, readOnly bool) (*Manager, error) {
+	path := filepath.Join(dir, JournalName)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if readOnly {
+			// Nothing to resume and nothing may be written: an inert
+			// manager whose commits are no-ops.
+			return &Manager{path: path, readOnly: true, persisted: map[string]bool{}}, nil
+		}
+		return Create(dir, key)
+	}
+	flag := os.O_RDWR
+	if readOnly {
+		flag = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flag, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	m := &Manager{path: path, f: f, readOnly: readOnly, persisted: map[string]bool{}}
+	if err := m.replay(key); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Create starts a fresh journal under dir (truncating any previous
+// one), writing the magic and the header record for the key.
+func Create(dir string, key CompatKey) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, JournalName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	m := &Manager{path: path, f: f, persisted: map[string]bool{}}
+	hdr, err := json.Marshal(headerPayload{Type: "header", Version: formatVersion, Tool: key.Tool, Hash: key.Hash()})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write([]byte(magic)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := m.writeFrame(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return m, nil
+}
+
+// replay validates the magic and header, then folds every intact record
+// into the snapshot, truncating a bad tail.
+func (m *Manager) replay(key CompatKey) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(m.f, buf); err != nil || string(buf) != magic {
+		return &CorruptError{Path: m.path, Detail: "bad magic"}
+	}
+	hdrPayload, _, err := readFrame(m.f, int64(len(magic)))
+	if err != nil {
+		return &CorruptError{Path: m.path, Detail: "unreadable header record"}
+	}
+	var hdr headerPayload
+	if json.Unmarshal(hdrPayload, &hdr) != nil || hdr.Type != "header" {
+		return &CorruptError{Path: m.path, Detail: "malformed header record"}
+	}
+	if hdr.Version != formatVersion {
+		return &CorruptError{Path: m.path, Detail: fmt.Sprintf("journal format version %d, want %d", hdr.Version, formatVersion)}
+	}
+	if want := key.Hash(); hdr.Hash != want {
+		return &IncompatibleError{Path: m.path, Want: want, Got: hdr.Hash}
+	}
+
+	offset := int64(len(magic)) + frameOverhead + int64(len(hdrPayload))
+	var last *iterationPayload
+	outcome := ""
+	for {
+		payload, n, err := readFrame(m.f, offset)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupted tail: truncate back to the last good
+			// record (append must start from a trusted prefix) and stop
+			// trusting anything beyond it.
+			m.warnings = append(m.warnings,
+				fmt.Sprintf("journal tail invalid at offset %d (%v): truncated to last good record", offset, err))
+			if !m.readOnly {
+				if terr := m.f.Truncate(offset); terr != nil {
+					return fmt.Errorf("checkpoint: repairing torn tail: %w", terr)
+				}
+				if serr := m.f.Sync(); serr != nil {
+					return fmt.Errorf("checkpoint: repairing torn tail: %w", serr)
+				}
+			}
+			break
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if json.Unmarshal(payload, &probe) == nil {
+			switch probe.Type {
+			case "iteration":
+				var it iterationPayload
+				if json.Unmarshal(payload, &it) == nil && it.Iter > 0 {
+					for _, e := range it.Cache {
+						m.persisted[e.Key] = e.Val
+					}
+					last = &it
+				}
+			case "final":
+				var fin finalPayload
+				if json.Unmarshal(payload, &fin) == nil {
+					outcome = fin.Outcome
+				}
+			}
+		}
+		offset += n
+	}
+	if _, err := m.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if last != nil {
+		snap := &Snapshot{
+			Iter:     last.Iter,
+			Pool:     last.Pool,
+			Sigs:     last.Sigs,
+			Counters: last.Counters,
+			Outcome:  outcome,
+		}
+		snap.Cache = make([]prover.CacheEntry, 0, len(m.persisted))
+		for k, v := range m.persisted {
+			snap.Cache = append(snap.Cache, prover.CacheEntry{Key: k, Val: v})
+		}
+		sort.Slice(snap.Cache, func(i, j int) bool { return snap.Cache[i].Key < snap.Cache[j].Key })
+		m.snap = snap
+	}
+	return nil
+}
+
+// Snapshot returns the replayed resume state, or nil when the journal
+// held no committed iteration (cold start).
+func (m *Manager) Snapshot() *Snapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap
+}
+
+// Warnings lists non-fatal journal repairs (torn-tail truncations)
+// performed on Open.
+func (m *Manager) Warnings() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.warnings...)
+}
+
+// Path returns the journal file path ("" for an inert manager).
+func (m *Manager) Path() string {
+	if m == nil {
+		return ""
+	}
+	return m.path
+}
+
+// ReadOnly reports whether commits are disabled (-no-persist).
+func (m *Manager) ReadOnly() bool { return m != nil && m.readOnly }
+
+// Commits reports how many iteration records this manager appended.
+func (m *Manager) Commits() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits
+}
+
+// Err returns the first append error, if any. Persistence failures
+// never abort the verification run; callers surface them at exit.
+func (m *Manager) Err() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
+}
+
+// AppendIteration durably commits one iteration record: the cache spill
+// is reduced to the delta against everything already journaled, the
+// frame is appended, and the file is fsynced before returning. Nil
+// managers and read-only managers are no-ops.
+func (m *Manager) AppendIteration(rec IterationRecord) error {
+	if m == nil || m.readOnly {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	delta := make([]prover.CacheEntry, 0, 16)
+	for _, e := range rec.Cache {
+		if _, ok := m.persisted[e.Key]; !ok {
+			delta = append(delta, e)
+		}
+	}
+	payload, err := json.Marshal(iterationPayload{
+		Type: "iteration", Iter: rec.Iter, Pool: rec.Pool, Sigs: rec.Sigs,
+		Cache: delta, Counters: rec.Counters,
+	})
+	if err != nil {
+		m.lastErr = err
+		return err
+	}
+	m.commits++
+	crashHook(m.commits, m.f, payload)
+	if err := m.writeFrame(payload); err != nil {
+		m.lastErr = err
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		m.lastErr = err
+		return err
+	}
+	for _, e := range delta {
+		m.persisted[e.Key] = e.Val
+	}
+	return nil
+}
+
+// AppendFinal durably journals the run outcome (and the limit that
+// stopped it, if any). Called on every loop exit, including the
+// deadline retreat, so a -timeout run's last commit is flushed before
+// the process exits 2.
+func (m *Manager) AppendFinal(outcome, limit string) error {
+	if m == nil || m.readOnly {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	payload, err := json.Marshal(finalPayload{Type: "final", Outcome: outcome, Limit: limit})
+	if err != nil {
+		m.lastErr = err
+		return err
+	}
+	if err := m.writeFrame(payload); err != nil {
+		m.lastErr = err
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		m.lastErr = err
+		return err
+	}
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (m *Manager) Close() error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	var err error
+	if !m.readOnly {
+		err = m.f.Sync()
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	m.f = nil
+	return err
+}
+
+// frameOverhead is the per-record framing cost: u32 length + u32 CRC.
+const frameOverhead = 8
+
+// writeFrame appends one length-prefixed, checksummed record. The
+// caller holds m.mu and syncs afterwards.
+func (m *Manager) writeFrame(payload []byte) error {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := m.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("checkpoint: append: %w", err)
+	}
+	if _, err := m.f.Write(payload); err != nil {
+		return fmt.Errorf("checkpoint: append: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads the record at offset, validating length and CRC. It
+// returns the payload and the total frame size. Any violation — short
+// header, oversized length, short payload, checksum mismatch — comes
+// back as a non-EOF error; a clean end-of-file is io.EOF.
+func readFrame(f *os.File, offset int64) (payload []byte, size int64, err error) {
+	var hdr [frameOverhead]byte
+	n, err := f.ReadAt(hdr[:], offset)
+	if n == 0 && err == io.EOF {
+		return nil, 0, io.EOF
+	}
+	if n < frameOverhead {
+		return nil, 0, fmt.Errorf("torn record header")
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordLen {
+		return nil, 0, fmt.Errorf("implausible record length %d", length)
+	}
+	payload = make([]byte, length)
+	if _, err := f.ReadAt(payload, offset+frameOverhead); err != nil {
+		return nil, 0, fmt.Errorf("torn record payload")
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, fmt.Errorf("checksum mismatch")
+	}
+	return payload, frameOverhead + int64(length), nil
+}

@@ -1,0 +1,360 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"predabs/internal/abstract"
+	"predabs/internal/prover"
+)
+
+func testKey() CompatKey {
+	return CompatKey{
+		Tool: "slam", Version: "test", Program: "void main() {}", Spec: "x > 0",
+		Entry: "main", MaxCubeLen: 3,
+	}
+}
+
+func testRecord(iter int) IterationRecord {
+	return IterationRecord{
+		Iter: iter,
+		Pool: []ScopePreds{
+			{Scope: "<global>", Preds: []string{"x > 0"}},
+			{Scope: "main", Preds: []string{"y == x", "y > 0"}},
+		},
+		Sigs: []abstract.SigRecord{{Proc: "main", Ef: []string{"b0"}, Er: []string{"b1"}}},
+		Cache: []prover.CacheEntry{
+			{Key: "U\x00a", Val: false},
+			{Key: "V\x00h\x00g", Val: true},
+		},
+		Counters: Counters{ProverCalls: 10 * iter, CacheHits: iter, CheckIterations: iter},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, err := Create(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendIteration(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	rec2 := testRecord(2)
+	rec2.Cache = append(rec2.Cache, prover.CacheEntry{Key: "U\x00b", Val: true})
+	if err := m.AppendIteration(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendFinal("Unknown", "deadline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	snap := re.Snapshot()
+	if snap == nil {
+		t.Fatal("no snapshot after replay")
+	}
+	if snap.Iter != 2 {
+		t.Errorf("Iter = %d, want 2", snap.Iter)
+	}
+	if len(snap.Pool) != 2 || snap.Pool[1].Scope != "main" || len(snap.Pool[1].Preds) != 2 {
+		t.Errorf("pool not replayed: %+v", snap.Pool)
+	}
+	if len(snap.Sigs) != 1 || snap.Sigs[0].Proc != "main" {
+		t.Errorf("sigs not replayed: %+v", snap.Sigs)
+	}
+	// Union of both spills, canonical (sorted) order.
+	if len(snap.Cache) != 3 {
+		t.Fatalf("cache union = %d entries, want 3: %+v", len(snap.Cache), snap.Cache)
+	}
+	for i := 1; i < len(snap.Cache); i++ {
+		if snap.Cache[i-1].Key >= snap.Cache[i].Key {
+			t.Errorf("cache not in canonical order at %d", i)
+		}
+	}
+	if snap.Counters.ProverCalls != 20 {
+		t.Errorf("counters = %+v, want ProverCalls 20", snap.Counters)
+	}
+	if snap.Outcome != "Unknown" {
+		t.Errorf("outcome = %q, want Unknown", snap.Outcome)
+	}
+	if len(re.Warnings()) != 0 {
+		t.Errorf("unexpected warnings: %v", re.Warnings())
+	}
+}
+
+func TestDeltaSpill(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Create(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.AppendIteration(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := os.Stat(filepath.Join(dir, JournalName))
+	// Same cache again: the second record's spill must be empty, so the
+	// growth is just the (cache-free) record.
+	if err := m.AppendIteration(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := os.Stat(filepath.Join(dir, JournalName))
+	growth := st2.Size() - st1.Size()
+	rec := testRecord(1)
+	if growth <= 0 || growth > st1.Size() {
+		t.Errorf("second commit grew journal by %d bytes (first record region %d); delta spill not applied for %d cache entries",
+			growth, st1.Size(), len(rec.Cache))
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, err := Create(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendIteration(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendIteration(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	path := filepath.Join(dir, JournalName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the last record: a torn append.
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatalf("torn tail must not fail open: %v", err)
+	}
+	defer re.Close()
+	snap := re.Snapshot()
+	if snap == nil || snap.Iter != 1 {
+		t.Fatalf("want resume from iteration 1 after torn tail, got %+v", snap)
+	}
+	if len(re.Warnings()) == 0 {
+		t.Error("torn-tail truncation should be reported in Warnings")
+	}
+	// The repair must leave a journal that appends and replays cleanly.
+	if err := re.AppendIteration(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if snap := re2.Snapshot(); snap == nil || snap.Iter != 2 {
+		t.Fatalf("want iteration 2 after repaired append, got %+v", snap)
+	}
+}
+
+func TestBitFlipTruncatesFromFlip(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, err := Create(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendIteration(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	off, _ := m.f.Seek(0, io.SeekEnd)
+	if err := m.AppendIteration(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendIteration(testRecord(3)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	path := filepath.Join(dir, JournalName)
+	raw, _ := os.ReadFile(path)
+	raw[off+frameOverhead+3] ^= 0x40 // flip a bit inside record 2's payload
+	os.WriteFile(path, raw, 0o644)
+
+	re, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatalf("bit flip must not fail open: %v", err)
+	}
+	defer re.Close()
+	// Record 3 came after the corrupted record 2: neither is trusted.
+	if snap := re.Snapshot(); snap == nil || snap.Iter != 1 {
+		t.Fatalf("want resume from iteration 1 after mid-file bit flip, got %+v", snap)
+	}
+	if len(re.Warnings()) == 0 {
+		t.Error("bit-flip truncation should be reported in Warnings")
+	}
+}
+
+func TestBadMagicIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, _ := Create(dir, key)
+	m.AppendIteration(testRecord(1))
+	m.Close()
+	path := filepath.Join(dir, JournalName)
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0xFF
+	os.WriteFile(path, raw, 0o644)
+
+	_, err := Open(dir, key, false)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CorruptError for bad magic, got %v", err)
+	}
+}
+
+func TestWrongKeyIsIncompatible(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := Create(dir, testKey())
+	m.AppendIteration(testRecord(1))
+	m.Close()
+
+	other := testKey()
+	other.Program = "void main() { int x; }"
+	_, err := Open(dir, other, false)
+	var ie *IncompatibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want IncompatibleError for different program, got %v", err)
+	}
+}
+
+func TestCompatKeyFields(t *testing.T) {
+	base := testKey()
+	perturb := []struct {
+		name string
+		f    func(*CompatKey)
+	}{
+		{"Tool", func(k *CompatKey) { k.Tool = "c2bp" }},
+		{"Version", func(k *CompatKey) { k.Version = "other" }},
+		{"Program", func(k *CompatKey) { k.Program = "x" }},
+		{"Spec", func(k *CompatKey) { k.Spec = "y" }},
+		{"Entry", func(k *CompatKey) { k.Entry = "init" }},
+		{"MaxCubeLen", func(k *CompatKey) { k.MaxCubeLen++ }},
+		{"CubeBudget", func(k *CompatKey) { k.CubeBudget = 7 }},
+		{"BDDMaxNodes", func(k *CompatKey) { k.BDDMaxNodes = 7 }},
+		{"Extra", func(k *CompatKey) { k.Extra = "nocone" }},
+	}
+	for _, p := range perturb {
+		k := base
+		p.f(&k)
+		if k.Hash() == base.Hash() {
+			t.Errorf("perturbing %s did not change the compatibility hash", p.name)
+		}
+	}
+	// Injective encoding: shifting a boundary between adjacent fields
+	// must not collide.
+	a := CompatKey{Program: "ab", Spec: "c"}
+	b := CompatKey{Program: "a", Spec: "bc"}
+	if a.Hash() == b.Hash() {
+		t.Error("field-boundary shift collides — encoding not injective")
+	}
+}
+
+func TestReadOnlyMode(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, _ := Create(dir, key)
+	m.AppendIteration(testRecord(1))
+	m.Close()
+	path := filepath.Join(dir, JournalName)
+	before, _ := os.ReadFile(path)
+
+	ro, err := Open(dir, key, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.ReadOnly() {
+		t.Error("ReadOnly() = false")
+	}
+	if snap := ro.Snapshot(); snap == nil || snap.Iter != 1 {
+		t.Fatalf("read-only open must still replay, got %+v", snap)
+	}
+	if err := ro.AppendIteration(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.AppendFinal("Verified", ""); err != nil {
+		t.Fatal(err)
+	}
+	ro.Close()
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Error("read-only manager modified the journal")
+	}
+}
+
+func TestReadOnlyMissingJournal(t *testing.T) {
+	dir := t.TempDir()
+	ro, err := Open(dir, testKey(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if ro.Snapshot() != nil {
+		t.Error("missing journal should give a nil snapshot")
+	}
+	if _, err := os.Stat(filepath.Join(dir, JournalName)); !os.IsNotExist(err) {
+		t.Error("read-only open of a missing journal must not create one")
+	}
+}
+
+func TestOpenMissingCreates(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey()
+	m, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot() != nil {
+		t.Error("fresh journal should have nil snapshot")
+	}
+	m.AppendIteration(testRecord(1))
+	m.Close()
+	re, err := Open(dir, key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if snap := re.Snapshot(); snap == nil || snap.Iter != 1 {
+		t.Fatalf("want iteration 1, got %+v", snap)
+	}
+}
+
+func TestNilManagerSafe(t *testing.T) {
+	var m *Manager
+	if err := m.AppendIteration(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendFinal("Verified", ""); err != nil {
+		t.Fatal(err)
+	}
+	if m.Snapshot() != nil || m.Warnings() != nil || m.Commits() != 0 || m.Err() != nil || m.ReadOnly() || m.Path() != "" {
+		t.Error("nil manager accessors must be inert")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

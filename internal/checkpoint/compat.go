@@ -1,0 +1,65 @@
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CompatKey identifies what a journal is valid FOR. Two runs may share a
+// journal only when every field matches: same program text, same spec,
+// same entry point, same tool and version, and the same values for the
+// deterministic limits (they change which verdicts the run computes and
+// caches).
+//
+// Deliberately excluded:
+//
+//   - The worker count -j: results are j-independent (the determinism
+//     tests pin that), and a run checkpointed at one -j must resume at
+//     any other.
+//   - The wall-clock limits -timeout/-query-timeout: their degradations
+//     are environmental and never persisted, so differing wall-clock
+//     budgets cannot make journaled state stale.
+//   - The iteration budget -maxiters: it only decides when the loop
+//     STOPS — the state committed at any iteration boundary is
+//     identical for every value — and the prime resume use case is
+//     continuing a budget-stopped run with a larger budget.
+type CompatKey struct {
+	Tool    string // "slam", "c2bp", "bebop"
+	Version string
+	Program string // full source text
+	Spec    string // predicate/spec file text ("" when none)
+	Entry   string
+
+	// MaxCubeLen changes which cube queries the search enumerates;
+	// CubeBudget and BDDMaxNodes change which deterministic
+	// budget-degraded verdicts get computed (and, for the cube budget,
+	// cached). All three therefore pin the journal.
+	MaxCubeLen  int
+	CubeBudget  int64
+	BDDMaxNodes int64
+
+	// Extra fingerprints tool-specific deterministic knobs that have no
+	// dedicated field (e.g. c2bp's -nocone/-noenforce).
+	Extra string
+}
+
+// Hash returns the compatibility hash: a hex SHA-256 over an injective
+// encoding of every field (length-prefixed, so no concatenation of
+// fields can collide with another split).
+func (k CompatKey) Hash() string {
+	h := sha256.New()
+	put := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		h.Write([]byte(s))
+	}
+	put(fmt.Sprintf("predabs-journal-v%d", formatVersion))
+	put(k.Tool)
+	put(k.Version)
+	put(k.Program)
+	put(k.Spec)
+	put(k.Entry)
+	put(fmt.Sprintf("%d/%d/%d", k.MaxCubeLen, k.CubeBudget, k.BDDMaxNodes))
+	put(k.Extra)
+	return hex.EncodeToString(h.Sum(nil))
+}

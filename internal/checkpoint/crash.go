@@ -1,0 +1,64 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// CrashEnv names the test-only environment variable that kills the
+// process at a chosen commit point, for the kill/resume chaos harness
+// (internal/faultinject). Values:
+//
+//	"N"       — commit iteration record N fully (write + fsync), then
+//	            SIGKILL the process: the journal ends on a good record.
+//	"N:torn"  — write only a prefix of iteration record N's frame, fsync
+//	            that, then SIGKILL: the journal ends on a torn record
+//	            that replay must truncate.
+//
+// SIGKILL (not exit) so no deferred cleanup runs — the on-disk state is
+// exactly what a power cut or OOM kill would leave.
+const CrashEnv = "PREDABS_CRASH_COMMIT"
+
+// crashHook implements CrashEnv. Called with the commit ordinal and the
+// marshaled payload BEFORE the real frame is written; on a torn-mode
+// match it performs the partial write itself and then kills the process.
+func crashHook(commit int, f *os.File, payload []byte) {
+	v := os.Getenv(CrashEnv)
+	if v == "" {
+		return
+	}
+	spec, torn := strings.CutSuffix(v, ":torn")
+	n, err := strconv.Atoi(spec)
+	if err != nil || n != commit {
+		return
+	}
+	if torn {
+		var hdr [frameOverhead]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+		f.Write(hdr[:])
+		f.Write(payload[:len(payload)/2]) // half a record, then the lights go out
+		f.Sync()
+		kill()
+	}
+	// Full-commit mode: let the real write+sync happen, then die on the
+	// next hook entry — simplest is to write here ourselves and kill.
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	f.Write(hdr[:])
+	f.Write(payload)
+	f.Sync()
+	kill()
+}
+
+func kill() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not deliverable to self synchronously in all cases;
+	// block forever rather than continue past the crash point.
+	select {}
+}

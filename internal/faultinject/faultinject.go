@@ -18,6 +18,7 @@
 package faultinject
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"sync/atomic"
@@ -60,6 +61,11 @@ type Config struct {
 	// enough to reorder goroutines, cheap enough for big matrices).
 	Latency time.Duration
 	PanicRate float64
+	// Ctx, when set, bounds latency injection: a cancelled run must not
+	// sit out the remaining sleep (a cancellation test at a high latency
+	// rate would otherwise serialize on dead queries). Nil means sleeps
+	// run to completion.
+	Ctx context.Context
 }
 
 // Prover wraps an inner Querier with fault injection. It satisfies
@@ -117,7 +123,7 @@ func (p *Prover) fault(key string) bool {
 	}
 	if p.roll(KindLatency, key, p.cfg.LatencyRate) {
 		p.injLatency.Add(1)
-		time.Sleep(p.cfg.Latency)
+		p.sleep()
 	}
 	switch {
 	case p.roll(KindTimeout, key, p.cfg.TimeoutRate):
@@ -130,6 +136,21 @@ func (p *Prover) fault(key string) bool {
 		return false
 	}
 	return true
+}
+
+// sleep injects one latency spike, cut short when the schedule's
+// context is cancelled.
+func (p *Prover) sleep() {
+	if p.cfg.Ctx == nil {
+		time.Sleep(p.cfg.Latency)
+		return
+	}
+	t := time.NewTimer(p.cfg.Latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-p.cfg.Ctx.Done():
+	}
 }
 
 // roll hashes (seed, fault kind, query key) into [0, 1) and fires when

@@ -1,7 +1,9 @@
 package faultinject
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"predabs/internal/form"
 	"predabs/internal/prover"
@@ -77,6 +79,28 @@ func TestPanicInjection(t *testing.T) {
 		}
 	}()
 	p.Valid(form.TrueF{}, form.TrueF{})
+}
+
+// A cancelled run must not sit out injected sleeps: with an hour-long
+// latency on every query, only context cancellation can let this test
+// finish.
+func TestLatencyRespectsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := New(prover.New(), Config{Seed: 6, LatencyRate: 1, Latency: time.Hour, Ctx: ctx})
+	done := make(chan bool, 1)
+	go func() { done <- p.Valid(form.TrueF{}, form.TrueF{}) }()
+	select {
+	case v := <-done:
+		if !v {
+			t.Error("a latency fault must not change the answer")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("latency injection ignored the cancelled context")
+	}
+	if got := p.Injected()[KindLatency]; got != 1 {
+		t.Errorf("latency injections = %d, want 1", got)
+	}
 }
 
 func TestStatsPassThrough(t *testing.T) {

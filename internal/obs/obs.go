@@ -7,6 +7,7 @@ package obs
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"predabs/internal/budget"
+	"predabs/internal/checkpoint"
 	"predabs/internal/trace"
 )
 
@@ -43,6 +45,18 @@ type Flags struct {
 	// BDDMaxNodes caps Bebop's BDD node count (-bdd-max-nodes); hitting
 	// it truncates the fixpoint, so a failure-free answer means unknown.
 	BDDMaxNodes int
+
+	// State is the checkpoint state directory (-state): enable the
+	// durable journal there, warm-starting from a compatible one when it
+	// exists, cold-starting (with a diagnostic) otherwise.
+	State string
+	// Resume (-resume) makes warm-starting mandatory: a missing,
+	// corrupted or incompatible journal is a startup error instead of a
+	// silent cold start.
+	Resume bool
+	// NoPersist (-no-persist) warm-starts read-only: the journal is
+	// replayed but never written, not even torn-tail repairs.
+	NoPersist bool
 }
 
 // Register declares the shared flags on the default flag set.
@@ -57,7 +71,51 @@ func Register() *Flags {
 	flag.DurationVar(&f.QueryTimeout, "query-timeout", 0, "per-prover-query deadline (0 = none); timed-out queries count as \"could not prove\"")
 	flag.IntVar(&f.CubeBudget, "cube-budget", 0, "max prover-backed cube candidates per procedure (0 = unlimited)")
 	flag.IntVar(&f.BDDMaxNodes, "bdd-max-nodes", 0, "Bebop BDD node ceiling (0 = unlimited); exceeding it truncates the fixpoint")
+	flag.StringVar(&f.State, "state", "", "checkpoint state `dir`: journal refinement state there and warm-start from a compatible journal")
+	flag.BoolVar(&f.Resume, "resume", false, "require a valid compatible journal in -state (error instead of cold start)")
+	flag.BoolVar(&f.NoPersist, "no-persist", false, "warm-start from -state read-only; never write the journal")
 	return f
+}
+
+// OpenCheckpoint applies the -state/-resume/-no-persist semantics for
+// key, returning the manager to hand to the pipeline (nil when -state is
+// unset). Diagnostics — torn-tail repairs, rejected journals — go to
+// stderr and the tracer; a corrupt or incompatible journal under plain
+// -state cold-starts with a fresh journal, under -resume it is fatal.
+func (f *Flags) OpenCheckpoint(key checkpoint.CompatKey, tracer *trace.Tracer) (*checkpoint.Manager, error) {
+	if f.State == "" {
+		if f.Resume || f.NoPersist {
+			return nil, fmt.Errorf("-resume and -no-persist require -state")
+		}
+		return nil, nil
+	}
+	m, err := checkpoint.Open(f.State, key, f.NoPersist)
+	if err != nil {
+		var ce *checkpoint.CorruptError
+		var ie *checkpoint.IncompatibleError
+		if !errors.As(err, &ce) && !errors.As(err, &ie) {
+			return nil, err
+		}
+		if f.Resume {
+			return nil, fmt.Errorf("%w (-resume forbids a cold start)", err)
+		}
+		fmt.Fprintf(os.Stderr, "warning: %v; cold-starting with a fresh journal\n", err)
+		tracer.Event("checkpoint", "coldstart", trace.Str("reason", err.Error()))
+		if f.NoPersist {
+			// Nothing to recreate read-only: run stateless.
+			return nil, nil
+		}
+		return checkpoint.Create(f.State, key)
+	}
+	for _, w := range m.Warnings() {
+		fmt.Fprintf(os.Stderr, "warning: checkpoint: %s\n", w)
+		tracer.Event("checkpoint", "repair", trace.Str("detail", w))
+	}
+	if f.Resume && m.Snapshot() == nil {
+		m.Close()
+		return nil, fmt.Errorf("checkpoint: %s: no committed iteration to resume from (-resume forbids a cold start)", f.State)
+	}
+	return m, nil
 }
 
 // Limits bundles the resource-limit flag values.

@@ -18,7 +18,7 @@ import (
 // compiler temporaries (names containing '$') in the valuations. Returns
 // nil when the run produced no counterexample trace.
 func (r *Result) Explain(filename string) []string {
-	if len(r.BPTrace) == 0 {
+	if r == nil || len(r.BPTrace) == 0 {
 		return nil
 	}
 	var out []string
@@ -73,11 +73,19 @@ func (r *Result) Explain(filename string) []string {
 // sound for that predicate set even though the property stayed open.
 // Returns nil for conclusive runs.
 func (r *Result) ExplainUnknown() []string {
-	if r.Outcome != Unknown {
+	if r == nil || r.Outcome != Unknown {
 		return nil
 	}
 	var out []string
 	switch {
+	// A run can go Unknown before its first iteration finishes (a tight
+	// -timeout, a stage error): there is no partial state to explain, so
+	// say that instead of "after 0 iteration(s)".
+	case r.Iterations == 0 && r.LimitName != "":
+		out = append(out, fmt.Sprintf("no iterations completed (stopped by limit %q in stage %q)",
+			r.LimitName, r.LimitStage))
+	case r.Iterations == 0:
+		out = append(out, "no iterations completed")
 	case r.LimitName != "":
 		out = append(out, fmt.Sprintf("stopped by limit %q in stage %q after %d iteration(s)",
 			r.LimitName, r.LimitStage, r.Iterations))

@@ -1,0 +1,50 @@
+package slam
+
+import (
+	"strings"
+	"testing"
+
+	"predabs/internal/budget"
+)
+
+// A run stopped before any iteration completed (tight deadline, stage
+// error) has no partial state: -explain must say so instead of
+// rendering "after 0 iteration(s)" around an empty report.
+func TestExplainUnknownZeroIterations(t *testing.T) {
+	r := &Result{Outcome: Unknown, LimitName: budget.LimitDeadline, LimitStage: "slam"}
+	lines := r.ExplainUnknown()
+	if len(lines) == 0 {
+		t.Fatal("ExplainUnknown returned nothing for a zero-iteration Unknown")
+	}
+	if !strings.Contains(lines[0], "no iterations completed") {
+		t.Errorf("first line = %q, want a 'no iterations completed' notice", lines[0])
+	}
+	if !strings.Contains(lines[0], budget.LimitDeadline) {
+		t.Errorf("first line = %q, should still name the limit that stopped the run", lines[0])
+	}
+
+	r = &Result{Outcome: Unknown}
+	lines = r.ExplainUnknown()
+	if len(lines) == 0 || lines[0] != "no iterations completed" {
+		t.Errorf("limit-free zero-iteration explanation = %q, want \"no iterations completed\"", lines)
+	}
+}
+
+func TestExplainNilResult(t *testing.T) {
+	var r *Result
+	if got := r.Explain("x.c"); got != nil {
+		t.Errorf("nil Result Explain = %v, want nil", got)
+	}
+	if got := r.ExplainUnknown(); got != nil {
+		t.Errorf("nil Result ExplainUnknown = %v, want nil", got)
+	}
+}
+
+// Completed iterations keep the iteration-count phrasing.
+func TestExplainUnknownAfterIterations(t *testing.T) {
+	r := &Result{Outcome: Unknown, Iterations: 3}
+	lines := r.ExplainUnknown()
+	if len(lines) == 0 || !strings.Contains(lines[0], "after 3 iteration(s)") {
+		t.Errorf("explanation = %q, want the dead-end phrasing with the count", lines)
+	}
+}

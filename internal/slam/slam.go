@@ -18,6 +18,7 @@ import (
 	"predabs/internal/bp"
 	"predabs/internal/budget"
 	"predabs/internal/cast"
+	"predabs/internal/checkpoint"
 	"predabs/internal/cnorm"
 	"predabs/internal/cparse"
 	"predabs/internal/ctype"
@@ -73,6 +74,16 @@ type Config struct {
 	// Unknown, never toward a wrong Verified/ErrorFound claim); zero
 	// values are unlimited.
 	Limits budget.Limits
+	// Checkpoint persists refinement state across process deaths: each
+	// iteration boundary appends one durable journal record (predicate
+	// pool, per-procedure signatures, prover-cache spill), and when the
+	// manager replayed a snapshot on open, the loop resumes after the
+	// last committed iteration with the pool and prover cache warm. A
+	// resumed run produces byte-identical deterministic results
+	// (outcome, iterations, predicates, prover calls) to an
+	// uninterrupted one. nil disables checkpointing; persistence errors
+	// are logged, never fatal to the verification itself.
+	Checkpoint *checkpoint.Manager
 	// Prover overrides the theorem prover — the hook for fault injection
 	// and alternative decision procedures. nil builds a prover.New()
 	// configured from Limits. An override is used as-is (QueryTimeout
@@ -200,7 +211,7 @@ func VerifyProgramCtx(ctx context.Context, prog *cast.Program, entry string, cfg
 	return out, err
 }
 
-func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Config) (*Result, error) {
+func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Config) (out *Result, retErr error) {
 	if cfg.MaxIterations <= 0 {
 		cfg.MaxIterations = 10
 	}
@@ -274,13 +285,69 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 		}
 	}
 
-	out := &Result{Outcome: Unknown, CheckIterationsByProc: map[string]int{}}
+	ckpt := cfg.Checkpoint
+	out = &Result{Outcome: Unknown, CheckIterationsByProc: map[string]int{}}
 	defer func() {
+		// Runs after the degradation defer below (LIFO), so LimitName is
+		// final: journal the outcome durably on every loop exit —
+		// including the deadline retreat, so a timed-out run's journal
+		// ends on a final record before the process exits.
+		if retErr != nil || out == nil || ckpt == nil {
+			return
+		}
+		if err := ckpt.AppendFinal(out.Outcome.String(), out.LimitName); err != nil {
+			logf("slam: checkpoint final record failed: %v", err)
+		}
+		tracer.Event("checkpoint", "final",
+			tracepkg.Str("outcome", out.Outcome.String()),
+			tracepkg.Int("commits", ckpt.Commits()))
+	}()
+	defer func() {
+		// Stage-error returns hand back a nil result; there is nothing
+		// to annotate (named returns: `return nil, err` nils out).
+		if out == nil {
+			return
+		}
 		out.Degradations = bt.Events()
 		if ev, ok := bt.First(); ok {
 			out.LimitStage, out.LimitName = ev.Stage, ev.Limit
 		}
 	}()
+
+	// Resume: replay the journal's last committed iteration — predicate
+	// pool in original insertion order (addPred dedups the InitialPreds
+	// prefix), warm prover cache, and the deterministic counters as the
+	// base the fresh process accumulates on.
+	var base checkpoint.Counters
+	startIter := 1
+	if snap := ckpt.Snapshot(); snap != nil {
+		restoreSpan := tracer.Begin("checkpoint", "restore")
+		for _, sp := range snap.Pool {
+			for _, text := range sp.Preds {
+				addPred(sp.Scope, text)
+			}
+		}
+		if imp, ok := pv.(interface{ ImportCache([]prover.CacheEntry) }); ok {
+			imp.ImportCache(snap.Cache)
+		}
+		base = snap.Counters
+		startIter = snap.Iter + 1
+		// Seed the result as if iterations 1..snap.Iter ran here, so
+		// every exit path — including "iteration budget already spent",
+		// where the loop body never runs — reports the same totals an
+		// uninterrupted run would.
+		out.Iterations = snap.Iter
+		out.ProverCalls = base.ProverCalls
+		out.CacheHits = base.CacheHits
+		out.CheckIterations = base.CheckIterations
+		for p, n := range base.CheckIterationsByProc {
+			out.CheckIterationsByProc[p] = n
+		}
+		restoreSpan.End(tracepkg.Int("iteration", snap.Iter),
+			tracepkg.Int("cache_entries", len(snap.Cache)))
+		logf("slam: resumed from checkpoint: iteration %d committed, %d cached verdicts",
+			snap.Iter, len(snap.Cache))
+	}
 	// lastChecker keeps the most recent Bebop fixpoint so an inconclusive
 	// exit can surface its invariants as partial results.
 	var lastChecker *bebop.Checker
@@ -306,7 +373,7 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 		}
 		out.PartialInvariants = append(out.PartialInvariants, lastChecker.LabelledInvariants()...)
 	}
-	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+	for iter := startIter; iter <= cfg.MaxIterations; iter++ {
 		if bt.Cancelled() {
 			bt.Degrade("slam", budget.LimitDeadline,
 				fmt.Sprintf("stopped before iteration %d", iter))
@@ -339,7 +406,7 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 			return nil, fmt.Errorf("slam (iteration %d): %w", iter, err)
 		}
 		out.FinalBP = abs.BP
-		recordProverStats(out, pv)
+		recordProverStats(out, pv, base)
 
 		checkStart := time.Now()
 		var checker *bebop.Checker
@@ -392,7 +459,7 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 		if err != nil {
 			return nil, fmt.Errorf("slam (iteration %d): %w", iter, err)
 		}
-		recordProverStats(out, pv)
+		recordProverStats(out, pv, base)
 		if nres.GaveUp {
 			logf("slam: newton gave up on the path condition; answer unknown")
 			out.Outcome = Unknown
@@ -426,6 +493,12 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 			keepPartial()
 			return out, nil
 		}
+		// Commit point: the iteration refined the abstraction, so the
+		// state entering iteration iter+1 — grown pool, signatures,
+		// every fully decided prover verdict — is journaled durably
+		// before the next round starts. Iterations that end the run
+		// instead are covered by the final record.
+		commitCheckpoint(ckpt, tracer, logf, iter, res, pool, abs, pv, out)
 	}
 	// Iteration budget exhausted: surface the last round's invariants and
 	// the predicate pool (already in out.Predicates — the pool only grows,
@@ -448,17 +521,57 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 }
 
 // recordProverStats copies the prover's running counters into the result
-// when the Querier exposes them (a Config.Prover override may not).
-func recordProverStats(out *Result, pv prover.Querier) {
+// when the Querier exposes them (a Config.Prover override may not). base
+// carries the totals a resumed run inherited from its checkpoint: the
+// fresh process's prover counts only post-resume work, and the sum
+// reproduces the uninterrupted run's totals.
+func recordProverStats(out *Result, pv prover.Querier, base checkpoint.Counters) {
 	if s, ok := pv.(interface{ Calls() int }); ok {
-		out.ProverCalls = s.Calls()
+		out.ProverCalls = base.ProverCalls + s.Calls()
 	}
 	if s, ok := pv.(interface{ CacheHits() int }); ok {
-		out.CacheHits = s.CacheHits()
+		out.CacheHits = base.CacheHits + s.CacheHits()
 	}
 	if s, ok := pv.(interface{ SolverTime() time.Duration }); ok {
 		out.SolverTime = s.SolverTime()
 	}
+}
+
+// commitCheckpoint journals one iteration boundary. The prover is
+// quiescent here (the loop runs stages sequentially), so the cache
+// export is the deterministic boundary state the byte-identical-resume
+// guarantee needs. Persistence failures are logged and the run
+// continues un-checkpointed — a verification answer is never sacrificed
+// to a full disk.
+func commitCheckpoint(ckpt *checkpoint.Manager, tracer *tracepkg.Tracer, logf func(string, ...any),
+	iter int, res *cnorm.Result, pool map[string][]string, abs *abstract.Result, pv prover.Querier, out *Result) {
+	if ckpt == nil || ckpt.ReadOnly() {
+		return
+	}
+	span := tracer.Begin("checkpoint", "commit")
+	scopes := poolScopes(res)
+	rec := checkpoint.IterationRecord{Iter: iter}
+	for _, scope := range scopes {
+		if len(pool[scope]) == 0 {
+			continue
+		}
+		rec.Pool = append(rec.Pool, checkpoint.ScopePreds{
+			Scope: scope, Preds: append([]string{}, pool[scope]...)})
+	}
+	rec.Sigs = abstract.SignatureRecords(abs.Sigs, scopes[1:])
+	if exp, ok := pv.(interface{ ExportCache() []prover.CacheEntry }); ok {
+		rec.Cache = exp.ExportCache()
+	}
+	rec.Counters = checkpoint.Counters{
+		ProverCalls:           out.ProverCalls,
+		CacheHits:             out.CacheHits,
+		CheckIterations:       out.CheckIterations,
+		CheckIterationsByProc: out.CheckIterationsByProc,
+	}
+	if err := ckpt.AppendIteration(rec); err != nil {
+		logf("slam: checkpoint commit failed: %v (continuing without persistence)", err)
+	}
+	span.End(tracepkg.Int("n", iter), tracepkg.Int("cache_entries", len(rec.Cache)))
 }
 
 // poolSections converts the predicate pool into parsed sections, dropping

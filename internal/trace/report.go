@@ -70,6 +70,30 @@ type DegradeCost struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// CheckpointInfo is the report's checkpoint/resume section, present only
+// when the run touched a state directory (-state/-resume/-no-persist).
+type CheckpointInfo struct {
+	// Resumed is true when the run warm-started from a journal snapshot;
+	// ResumedIteration is the last committed iteration it continued
+	// after, and RestoredVerdicts the prover-cache entries imported.
+	Resumed          bool `json:"resumed"`
+	ResumedIteration int  `json:"resumed_iteration,omitempty"`
+	RestoredVerdicts int  `json:"restored_verdicts,omitempty"`
+	// RestoreNS is the wall time of journal replay + warm start.
+	RestoreNS int64 `json:"restore_ns,omitempty"`
+	// Commits counts durable iteration records appended this run;
+	// CommitNS is their cumulative wall time (fsync included).
+	Commits  int   `json:"commits"`
+	CommitNS int64 `json:"commit_ns,omitempty"`
+	// Repairs counts torn-tail truncations performed on open; ColdStarts
+	// counts journals rejected (corrupt or incompatible) and recreated.
+	Repairs    int `json:"repairs,omitempty"`
+	ColdStarts int `json:"cold_starts,omitempty"`
+	// FinalOutcome is the outcome durably journaled at exit ("" when the
+	// run did not reach a final record).
+	FinalOutcome string `json:"final_outcome,omitempty"`
+}
+
 // Report is the end-of-run aggregation of the event stream: the paper's
 // Table 1/2 cost columns plus latency detail. The deterministic subset
 // (counts, not wall times) is identical for any cube-search worker count;
@@ -119,6 +143,10 @@ type Report struct {
 	// TopQueries lists the most expensive individual prover queries.
 	TopQueries []QueryCost `json:"top_queries,omitempty"`
 
+	// Checkpoint reports checkpoint/resume activity (nil when the run
+	// had no state directory).
+	Checkpoint *CheckpointInfo `json:"checkpoint,omitempty"`
+
 	// Events is the total number of trace records consumed.
 	Events int `json:"events"`
 }
@@ -156,6 +184,8 @@ type aggregator struct {
 
 	hist [histBuckets]int
 	topQ []QueryCost // sorted descending by NS, at most topKQueries
+
+	ckpt *CheckpointInfo
 }
 
 func (a *aggregator) init() {
@@ -294,6 +324,32 @@ func (a *aggregator) consume(cat, name string, dur time.Duration, fields []Field
 		d.Limit, _ = fieldStrVal(fields, "limit")
 		d.Detail, _ = fieldStrVal(fields, "detail")
 		a.degradations = append(a.degradations, d)
+	case "checkpoint":
+		if a.ckpt == nil {
+			a.ckpt = &CheckpointInfo{}
+		}
+		switch name {
+		case "restore":
+			a.ckpt.Resumed = true
+			a.ckpt.RestoreNS += int64(dur)
+			if n, ok := fieldIntVal(fields, "iteration"); ok {
+				a.ckpt.ResumedIteration = int(n)
+			}
+			if n, ok := fieldIntVal(fields, "cache_entries"); ok {
+				a.ckpt.RestoredVerdicts = int(n)
+			}
+		case "commit":
+			a.ckpt.Commits++
+			a.ckpt.CommitNS += int64(dur)
+		case "repair":
+			a.ckpt.Repairs++
+		case "coldstart":
+			a.ckpt.ColdStarts++
+		case "final":
+			if s, ok := fieldStrVal(fields, "outcome"); ok {
+				a.ckpt.FinalOutcome = s
+			}
+		}
 	case "slam":
 		if name == "outcome" {
 			if s, ok := fieldStrVal(fields, "outcome"); ok {
@@ -397,6 +453,10 @@ func (t *Tracer) Report() *Report {
 		}
 	}
 	r.TopQueries = append(r.TopQueries, a.topQ...)
+	if a.ckpt != nil {
+		c := *a.ckpt
+		r.Checkpoint = &c
+	}
 	return r
 }
 
@@ -477,6 +537,26 @@ func (r *Report) Text() string {
 		default:
 			fmt.Fprintf(&b, "infeasible at suffix index %d, %d predicate(s) harvested\n",
 				nr.InfeasibleIndex, nr.PredsHarvested)
+		}
+	}
+
+	if c := r.Checkpoint; c != nil {
+		b.WriteString("checkpoint:\n")
+		if c.Resumed {
+			fmt.Fprintf(&b, "  resumed after iteration %d (%d cached verdicts restored in %v)\n",
+				c.ResumedIteration, c.RestoredVerdicts, time.Duration(c.RestoreNS))
+		} else {
+			b.WriteString("  cold start (no prior committed iteration)\n")
+		}
+		fmt.Fprintf(&b, "  commits: %d (%v)\n", c.Commits, time.Duration(c.CommitNS))
+		if c.Repairs > 0 {
+			fmt.Fprintf(&b, "  torn-tail repairs: %d\n", c.Repairs)
+		}
+		if c.ColdStarts > 0 {
+			fmt.Fprintf(&b, "  journals rejected and recreated: %d\n", c.ColdStarts)
+		}
+		if c.FinalOutcome != "" {
+			fmt.Fprintf(&b, "  final record: %s\n", c.FinalOutcome)
 		}
 	}
 

@@ -33,6 +33,12 @@ var Taxonomy = map[string][]string{
 	"newton":   {"analyze"},
 	"slam":     {"iteration", "outcome"},
 	"degrade":  {"limit"},
+	// Checkpoint/resume (internal/checkpoint): "restore" spans the
+	// journal replay + warm start, "commit" spans one durable iteration
+	// record, "final" marks the outcome record, "repair" reports a
+	// torn-tail truncation and "coldstart" a journal rejected as corrupt
+	// or incompatible.
+	"checkpoint": {"restore", "commit", "final", "repair", "coldstart"},
 }
 
 // rawEvent mirrors one JSONL line for validation.

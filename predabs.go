@@ -27,6 +27,7 @@ import (
 	"predabs/internal/bebop"
 	"predabs/internal/bp"
 	"predabs/internal/budget"
+	"predabs/internal/checkpoint"
 	"predabs/internal/cnorm"
 	"predabs/internal/cparse"
 	"predabs/internal/ctype"
@@ -35,6 +36,11 @@ import (
 	"predabs/internal/slam"
 	"predabs/internal/trace"
 )
+
+// Version identifies the toolkit build. It feeds the checkpoint
+// compatibility hash, so bump it whenever a change alters what any tool
+// computes — a stale journal must never warm-start a newer binary.
+const Version = "0.4"
 
 // Options re-exports the C2bp precision/efficiency knobs (Section 5.2).
 type Options = abstract.Options
@@ -212,6 +218,17 @@ func (p *Program) Abstract(predicates string, opts Options) (*BooleanProgram, er
 // abstraction; the truncations appear in Stats().Degradations. The
 // truncated output is still byte-identical for every Opts.Jobs value.
 func (p *Program) AbstractCtx(ctx context.Context, predicates string, opts Options, lim Limits) (*BooleanProgram, error) {
+	return p.AbstractCheckpointed(ctx, predicates, opts, lim, nil)
+}
+
+// AbstractCheckpointed is AbstractCtx with a durable checkpoint
+// attached: the prover's memo cache warm-starts from the journal's
+// replayed snapshot, and on success one iteration record (predicates,
+// signatures, cache spill) plus a final record are committed — so a
+// later c2bp (or slam) run over the same inputs skips straight to cache
+// hits. A nil manager behaves exactly like AbstractCtx. Persistence
+// errors are reported via ckpt.Err(), never by failing the abstraction.
+func (p *Program) AbstractCheckpointed(ctx context.Context, predicates string, opts Options, lim Limits, ckpt *checkpoint.Manager) (*BooleanProgram, error) {
 	sections, err := cparse.ParsePredFile(predicates)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: predicates: %w", err)
@@ -230,12 +247,35 @@ func (p *Program) AbstractCtx(ctx context.Context, predicates string, opts Optio
 	pv.Trace = opts.Tracer
 	pv.QueryTimeout = lim.QueryTimeout
 	pv.Budget = bt
+	if snap := ckpt.Snapshot(); snap != nil {
+		restoreSpan := opts.Tracer.Begin("checkpoint", "restore")
+		pv.ImportCache(snap.Cache)
+		restoreSpan.End(trace.Int("iteration", snap.Iter),
+			trace.Int("cache_entries", len(snap.Cache)))
+	}
 	start := time.Now()
 	res, err := abstract.Abstract(p.norm, p.alias, pv, sections, opts)
 	if err != nil {
 		return nil, fmt.Errorf("predabs: abstraction: %w", err)
 	}
 	abstractTime := time.Since(start)
+	if ckpt != nil && !ckpt.ReadOnly() {
+		commitSpan := opts.Tracer.Begin("checkpoint", "commit")
+		rec := checkpoint.IterationRecord{Iter: 1, Cache: pv.ExportCache()}
+		for _, sec := range sections {
+			rec.Pool = append(rec.Pool, checkpoint.ScopePreds{
+				Scope: sec.Name, Preds: append([]string{}, sec.Texts...)})
+		}
+		var procOrder []string
+		for _, f := range p.norm.Prog.Funcs {
+			procOrder = append(procOrder, f.Name)
+		}
+		rec.Sigs = abstract.SignatureRecords(res.Sigs, procOrder)
+		rec.Counters = checkpoint.Counters{ProverCalls: pv.Calls(), CacheHits: pv.CacheHits()}
+		ckpt.AppendIteration(rec)
+		ckpt.AppendFinal("abstracted", "")
+		commitSpan.End(trace.Int("n", 1), trace.Int("cache_entries", len(rec.Cache)))
+	}
 	n := 0
 	for _, sec := range sections {
 		n += len(sec.Exprs)
