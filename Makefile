@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt leakcheck bench tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck bench tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify chaos crash corrupt leakcheck
+verify-extended: verify chaos crash corrupt serve-chaos leakcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -37,10 +37,22 @@ crash:
 corrupt:
 	$(GO) test -count=1 -run 'TestCorrupt' ./internal/faultinject/
 
+# Serve-chaos gate: the daemon-level kill matrix — predabsd workers
+# SIGKILLed at every checkpoint commit, supervised retries required to
+# deliver verdicts byte-identical to direct slam runs; retry exhaustion
+# must retreat to "unknown" (never a verdict), and a hard daemon kill
+# plus restart must resume journaled jobs from the ledger. Deterministic
+# crash schedules, bounded wall clock.
+serve-chaos:
+	$(GO) test -count=1 -timeout 10m -run 'TestServeChaos' ./internal/faultinject/
+
 # Leak gate: concurrent cancellation mid-cube-search at -j 8 must leave
-# no goroutine behind and keep the degraded report deterministic.
+# no goroutine behind and keep the degraded report deterministic, and
+# the daemon must return to its goroutine/fd baseline after drains,
+# deadline SIGKILLs, retry exhaustion, and shutdowns racing submitters.
 leakcheck:
 	$(GO) test -race -count=1 -run 'TestConcurrentCancellationNoGoroutineLeak|TestDegradedReportDeterministic' ./internal/slam/
+	$(GO) test -race -count=1 -run 'TestServerLifecycleLeaks|TestShutdownStress' ./internal/server/
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -46,6 +46,10 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "usage: bebop -entry <proc> [-invariant proc:label] <program.bp>")
 		return 2
 	}
+	if err := obsFlags.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "bebop:", err)
+		return 2
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return fatal(err)

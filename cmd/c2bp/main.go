@@ -45,6 +45,18 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "usage: c2bp [-j N] [-stats] -preds <predfile> <source.c>")
 		return 2
 	}
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "c2bp: flag -j: %d: must not be negative (0 = GOMAXPROCS)\n", *jobs)
+		return 2
+	}
+	if *maxCube < 0 {
+		fmt.Fprintf(os.Stderr, "c2bp: flag -maxcube: %d: must not be negative (0 = unlimited)\n", *maxCube)
+		return 2
+	}
+	if err := obsFlags.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "c2bp:", err)
+		return 2
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		return fatal(err)

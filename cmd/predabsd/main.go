@@ -1,0 +1,151 @@
+// Command predabsd is the SLAM verification daemon: it accepts
+// verification jobs (program + specification + limits) over HTTP/JSON,
+// admits them through a bounded queue with load shedding, and runs each
+// in an isolated re-exec'd worker subprocess supervised with a hard
+// deadline, SIGKILL on overrun, and checkpoint-resumed retries — so a
+// crashing or wedged job can never take the service down or corrupt a
+// sibling, and a daemon restart resumes every journaled in-flight job.
+//
+// Usage:
+//
+//	predabsd -data /var/lib/predabs [-addr :8745] [-workers 4]
+//	curl -d '{"source":"...","spec":"...","entry":"main"}' http://localhost:8745/jobs
+//	curl http://localhost:8745/jobs/job-000001
+//
+// The same binary re-execs itself as the worker (-worker -dir, internal).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"predabs/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "predabsd: internal error: %v\n", p)
+			code = 1
+		}
+	}()
+	worker := flag.Bool("worker", false, "run as a job worker subprocess (internal)")
+	dir := flag.String("dir", "", "job directory (with -worker)")
+	addr := flag.String("addr", "127.0.0.1:8745", "HTTP listen address")
+	data := flag.String("data", "", "data directory for the job ledger and per-job state (required)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity; submissions beyond it are shed with 503")
+	workers := flag.Int("workers", 2, "concurrent worker subprocesses")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "hard per-attempt wall clock; overrunning workers are SIGKILLed and retried")
+	retries := flag.Int("retries", 2, "retry budget per job (attempts = retries+1, counted across restarts)")
+	retryBase := flag.Duration("retry-base", 250*time.Millisecond, "base retry backoff (exponential, ±50% jitter)")
+	retryMax := flag.Duration("retry-max", 10*time.Second, "retry backoff ceiling")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "shutdown grace for running attempts before they are SIGKILLed")
+	artifacts := flag.Bool("artifacts", true, "write per-job trace.jsonl and report.json artifacts")
+	allowJobEnv := flag.Bool("allow-job-env", false, "honour job env injection (chaos testing only)")
+	verbose := flag.Bool("v", false, "log job lifecycle events to stderr")
+	flag.Parse()
+
+	if *worker {
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "predabsd: -worker requires -dir")
+			return 2
+		}
+		return server.RunWorker(*dir, os.Stderr)
+	}
+	if flag.NArg() != 0 || *data == "" {
+		fmt.Fprintln(os.Stderr, "usage: predabsd -data <dir> [-addr host:port]")
+		return 2
+	}
+	for name, v := range map[string]int{"queue": *queueCap, "workers": *workers} {
+		if v <= 0 {
+			fmt.Fprintf(os.Stderr, "predabsd: flag -%s: %d: must be positive\n", name, v)
+			return 2
+		}
+	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "predabsd: flag -retries: %d: must not be negative\n", *retries)
+		return 2
+	}
+	for name, d := range map[string]time.Duration{
+		"job-timeout": *jobTimeout, "retry-base": *retryBase,
+		"retry-max": *retryMax, "drain-timeout": *drainTimeout,
+	} {
+		if d <= 0 {
+			fmt.Fprintf(os.Stderr, "predabsd: flag -%s: %v: must be positive\n", name, d)
+			return 2
+		}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predabsd:", err)
+		return 1
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := server.New(server.Config{
+		DataDir:        *data,
+		WorkerBin:      self,
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		AttemptTimeout: *jobTimeout,
+		Retries:        *retries,
+		RetryBase:      *retryBase,
+		RetryMax:       *retryMax,
+		Artifacts:      *artifacts,
+		AllowJobEnv:    *allowJobEnv,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predabsd:", err)
+		return 1
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predabsd:", err)
+		srv.Shutdown(context.Background())
+		return 1
+	}
+	// The resolved address line is the readiness signal for scripts and
+	// the chaos harness (with -addr :0 the port is kernel-assigned).
+	fmt.Printf("predabsd: listening on http://%s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "predabsd: received %v, draining\n", got)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "predabsd:", err)
+		srv.Shutdown(context.Background())
+		return 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "predabsd: drain timed out; in-flight jobs journaled for resume (%v)\n", err)
+	}
+	return 0
+}

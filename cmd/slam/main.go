@@ -7,17 +7,19 @@
 //	slam -spec locking.slic -entry main driver.c
 //	slam -entry main program_with_asserts.c
 //	slam -trace-out run.jsonl -report -explain -entry main program.c
+//
+// The run itself (pipeline wiring, checkpointing, output rendering)
+// lives in internal/runner, shared with the predabsd verification
+// daemon so daemon verdicts are byte-identical to direct slam runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
-	"predabs"
-	"predabs/internal/checkpoint"
 	"predabs/internal/obs"
+	"predabs/internal/runner"
 )
 
 func main() {
@@ -26,8 +28,8 @@ func main() {
 
 func run() (code int) {
 	// Stage panics are already converted to StageErrors inside the
-	// pipeline; this net catches everything else (flag handling, output
-	// rendering) so the CLI never dies with a raw panic.
+	// pipeline and runner.Run nets the rest of the run; this catches
+	// flag handling and file reading so the CLI never dies raw.
 	defer func() {
 		if p := recover(); p != nil {
 			fmt.Fprintf(os.Stderr, "slam: internal error: %v\n", p)
@@ -48,128 +50,42 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "usage: slam [-spec file] -entry <proc> <source.c>")
 		return 2
 	}
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "slam: flag -j: %d: must not be negative (0 = GOMAXPROCS)\n", *jobs)
+		return 2
+	}
+	if *maxIters <= 0 {
+		fmt.Fprintf(os.Stderr, "slam: flag -maxiters: %d: must be positive\n", *maxIters)
+		return 2
+	}
+	if err := obsFlags.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "slam:", err)
+		return 2
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		return fatal(err)
+		fmt.Fprintln(os.Stderr, "slam:", err)
+		return 1
 	}
 	var specSrc []byte
 	if *specFile != "" {
 		if specSrc, err = os.ReadFile(*specFile); err != nil {
-			return fatal(err)
+			fmt.Fprintln(os.Stderr, "slam:", err)
+			return 1
 		}
 	}
-	tracer, finish, err := obsFlags.Start()
-	if err != nil {
-		return fatal(err)
-	}
-	cfg := predabs.DefaultVerifyConfig()
-	cfg.MaxIterations = *maxIters
-	cfg.Opts.Jobs = *jobs
-	cfg.Tracer = tracer
-	cfg.Limits = obsFlags.Limits()
-	if *verbose {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-	// The compatibility key covers everything that changes what the run
-	// computes. -j and the wall-clock limits are deliberately absent:
-	// results are worker-count-independent, and wall-clock degradations
-	// are never persisted.
-	ckpt, err := obsFlags.OpenCheckpoint(checkpoint.CompatKey{
-		Tool: "slam", Version: predabs.Version,
-		Program: string(src), Spec: string(specSrc), Entry: *entry,
-		MaxCubeLen:  cfg.Opts.MaxCubeLen,
-		CubeBudget:  int64(obsFlags.CubeBudget),
-		BDDMaxNodes: int64(obsFlags.BDDMaxNodes),
-	}, tracer)
-	if err != nil {
-		finish()
-		return fatal(err)
-	}
-	defer ckpt.Close()
-	cfg.Checkpoint = ckpt
-	ctx, cancel := obsFlags.Context()
-	defer cancel()
-
-	var res *predabs.VerifyResult
-	if *specFile != "" {
-		res, err = predabs.VerifySpecCtx(ctx, string(src), string(specSrc), *entry, cfg)
-	} else {
-		res, err = predabs.VerifyCtx(ctx, string(src), *entry, cfg)
-	}
-	if err != nil {
-		finish()
-		return fatalFile(flag.Arg(0), err)
-	}
-	if err := ckpt.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "slam: warning: checkpointing disabled:", err)
-	}
-	if err := finish(); err != nil {
-		fmt.Fprintln(os.Stderr, "slam:", err)
-	}
-
-	fmt.Printf("RESULT: %s (iterations: %d, predicates: %d, prover calls: %d)\n",
-		res.Outcome, res.Iterations, res.PredCount, res.ProverCalls)
-	if *stats {
-		fmt.Fprintf(os.Stderr, "prover calls: %d\nprover cache hits: %d\ntheory solver time: %v\n",
-			res.ProverCalls, res.CacheHits, res.SolverTime)
-		fmt.Fprintf(os.Stderr, "stage abstraction (c2bp): %v\nstage model checking (bebop): %v\nstage predicate discovery (newton): %v\n",
-			res.AbstractTime, res.CheckTime, res.NewtonTime)
-		fmt.Fprintf(os.Stderr, "bebop iterations: %d\n", res.CheckIterations)
-		for _, p := range sortedProcs(res.CheckIterationsByProc) {
-			fmt.Fprintf(os.Stderr, "  proc %s: %d\n", p, res.CheckIterationsByProc[p])
-		}
-	}
-	switch res.Outcome {
-	case predabs.ErrorFound:
-		if *explain {
-			fmt.Println("error path (annotated):")
-			for _, e := range res.Explain(flag.Arg(0)) {
-				fmt.Println("  " + e)
-			}
-		} else {
-			fmt.Println("error path:")
-			for _, e := range res.ErrorTrace {
-				fmt.Println("  " + e)
-			}
-		}
-		return 1
-	case predabs.Unknown:
-		if res.LimitName != "" {
-			fmt.Printf("stopped by limit %q in stage %q\n", res.LimitName, res.LimitStage)
-		}
-		for _, d := range res.Degradations {
-			fmt.Fprintf(os.Stderr, "slam: degraded: stage %s limit %s %s (x%d)\n", d.Stage, d.Limit, d.Detail, d.Count)
-		}
-		if *explain {
-			fmt.Println("partial results:")
-			for _, line := range res.ExplainUnknown() {
-				fmt.Println("  " + line)
-			}
-		}
-		return 2
-	}
-	return 0
-}
-
-func sortedProcs(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for p := range m {
-		out = append(out, p)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func fatal(err error) int {
-	fmt.Fprintln(os.Stderr, "slam:", err)
-	return 1
-}
-
-// fatalFile attributes an input error to its file; parser errors carry
-// the line, yielding file:line diagnostics.
-func fatalFile(name string, err error) int {
-	fmt.Fprintf(os.Stderr, "slam: %s: %v\n", name, err)
-	return 1
+	code, _ = runner.Run(runner.Input{
+		SourceName: flag.Arg(0),
+		Source:     string(src),
+		Spec:       string(specSrc),
+		HasSpec:    *specFile != "",
+		Entry:      *entry,
+		MaxIters:   *maxIters,
+		Jobs:       *jobs,
+		Stats:      *stats,
+		Explain:    *explain,
+		Verbose:    *verbose,
+		Obs:        obsFlags,
+	}, os.Stdout, os.Stderr)
+	return code
 }

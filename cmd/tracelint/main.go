@@ -7,6 +7,11 @@
 //
 //	tracelint run.jsonl [more.jsonl ...]
 //	slam -trace-out /dev/stdout prog.c | tracelint
+//	predabsd artifact | tracelint -
+//
+// A "-" argument reads standard input, so daemon job artifacts can be
+// piped through the validator without temp files even alongside file
+// arguments.
 //
 // Exit status 0 when every line validates, 1 on the first invalid line
 // (reported with its file and line number), 2 on usage or I/O errors.
@@ -33,6 +38,12 @@ func main() {
 	}
 	status := 0
 	for _, name := range flag.Args() {
+		if name == "-" {
+			if code := lint("<stdin>", os.Stdin, *quiet); code > status {
+				status = code
+			}
+			continue
+		}
 		f, err := os.Open(name)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracelint:", err)

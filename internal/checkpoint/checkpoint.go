@@ -497,13 +497,19 @@ const frameOverhead = 8
 // writeFrame appends one length-prefixed, checksummed record. The
 // caller holds m.mu and syncs afterwards.
 func (m *Manager) writeFrame(payload []byte) error {
+	return appendFrame(m.f, payload)
+}
+
+// appendFrame writes one length-prefixed, checksummed record at f's
+// current offset; shared by the journal and the generic Log.
+func appendFrame(f *os.File, payload []byte) error {
 	var hdr [frameOverhead]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
-	if _, err := m.f.Write(hdr[:]); err != nil {
+	if _, err := f.Write(hdr[:]); err != nil {
 		return fmt.Errorf("checkpoint: append: %w", err)
 	}
-	if _, err := m.f.Write(payload); err != nil {
+	if _, err := f.Write(payload); err != nil {
 		return fmt.Errorf("checkpoint: append: %w", err)
 	}
 	return nil

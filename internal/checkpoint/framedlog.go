@@ -1,0 +1,137 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Log is a minimal append-only durable record log with the journal's
+// frame discipline — magic prefix, length+CRC32 framing, fsync per
+// append, torn-tail truncation on open — but none of the journal's
+// replay semantics. predabsd's job ledger is built on it; anything that
+// needs crash-safe ordered records can reuse it.
+//
+// A Log's corruption contract matches the journal's: a record is either
+// replayed intact or it (and everything after it) is discarded, so a
+// crash mid-append can lose at most the record being written, never
+// corrupt an earlier one.
+type Log struct {
+	path     string
+	f        *os.File
+	warnings []string
+}
+
+// OpenLog opens (or creates) the framed log at path, whose first bytes
+// must be magic (pad or terminate it so no valid log with a different
+// schema shares a prefix). Every intact record payload is passed to
+// replay in append order. A torn or corrupted tail is truncated with a
+// warning; a file whose magic does not match is a *CorruptError — the
+// caller decides whether to delete and recreate.
+func OpenLog(path, magic string, replay func(payload []byte)) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("log: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("log: %w", err)
+	}
+	l := &Log{path: path, f: f}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("log: %w", err)
+	}
+	if size == 0 {
+		// Fresh file: stamp the magic durably before any record.
+		if _, err := f.Write([]byte(magic)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("log: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("log: %w", err)
+		}
+		return l, nil
+	}
+	buf := make([]byte, len(magic))
+	if _, err := f.ReadAt(buf, 0); err != nil || string(buf) != magic {
+		f.Close()
+		return nil, &CorruptError{Path: path, Detail: "bad magic"}
+	}
+	offset := int64(len(magic))
+	for {
+		payload, n, err := readFrame(f, offset)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			l.warnings = append(l.warnings,
+				fmt.Sprintf("log tail invalid at offset %d (%v): truncated to last good record", offset, err))
+			if terr := f.Truncate(offset); terr != nil {
+				f.Close()
+				return nil, fmt.Errorf("log: repairing torn tail: %w", terr)
+			}
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				return nil, fmt.Errorf("log: repairing torn tail: %w", serr)
+			}
+			break
+		}
+		if replay != nil {
+			replay(payload)
+		}
+		offset += n
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("log: %w", err)
+	}
+	return l, nil
+}
+
+// Warnings lists the torn-tail repairs performed on open.
+func (l *Log) Warnings() []string {
+	if l == nil {
+		return nil
+	}
+	return append([]string(nil), l.warnings...)
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Append durably writes one record: framed, then fsynced before
+// returning. Callers serialize their own appends (the ledger holds its
+// mutex across Append).
+func (l *Log) Append(payload []byte) error {
+	if l == nil || l.f == nil {
+		return fmt.Errorf("log: closed")
+	}
+	if err := appendFrame(l.f, payload); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("log: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

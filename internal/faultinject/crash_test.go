@@ -70,6 +70,9 @@ func TestMain(m *testing.M) {
 	if slamBuild.dir != "" {
 		os.RemoveAll(slamBuild.dir)
 	}
+	if predabsdBuild.dir != "" { // serve_chaos_test.go's daemon binary
+		os.RemoveAll(predabsdBuild.dir)
+	}
 	os.Exit(code)
 }
 

@@ -1,0 +1,388 @@
+// Serve-chaos harness: the daemon-level counterpart of the kill/resume
+// matrix in crash_test.go. Jobs run through a real predabsd supervisor
+// with workers scheduled to die (SIGKILL via the deterministic
+// checkpoint crash hook) at every commit point; the daemon's retries
+// must resume each job from its journal and deliver a verdict
+// byte-identical to a direct, uninterrupted slam run. The companion
+// tests pin the soundness retreat (a crash-looping job exhausts its
+// budget into outcome "unknown" — never a verdict, and in particular
+// never "verified" for the buggy floppy driver) and ledger-driven
+// resume across a hard daemon kill and restart.
+//
+// Run via `make serve-chaos`.
+package faultinject_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"predabs/internal/corpus"
+	"predabs/internal/server"
+)
+
+var predabsdBuild struct {
+	once sync.Once
+	dir  string
+	path string
+	err  error
+}
+
+// predabsdBin builds cmd/predabsd once per test process. Its temp dir is
+// cleaned up by TestMain in crash_test.go.
+func predabsdBin(t *testing.T) string {
+	t.Helper()
+	predabsdBuild.once.Do(func() {
+		dir, err := os.MkdirTemp("", "predabs-serve-chaos-")
+		if err != nil {
+			predabsdBuild.err = err
+			return
+		}
+		predabsdBuild.dir = dir
+		wd, _ := os.Getwd()
+		build := exec.Command("go", "build", "-o", dir, "predabs/cmd/predabsd")
+		build.Dir = filepath.Dir(filepath.Dir(wd)) // internal/faultinject -> repo root
+		if out, err := build.CombinedOutput(); err != nil {
+			predabsdBuild.err = fmt.Errorf("building predabsd: %v\n%s", err, out)
+			return
+		}
+		predabsdBuild.path = filepath.Join(dir, "predabsd")
+	})
+	if predabsdBuild.err != nil {
+		t.Fatal(predabsdBuild.err)
+	}
+	return predabsdBuild.path
+}
+
+// chaosServer starts an in-process daemon core around real re-exec'd
+// predabsd workers, tuned for fast deterministic retries.
+func chaosServer(t *testing.T, mutate func(*server.Config)) *server.Server {
+	t.Helper()
+	cfg := server.Config{
+		DataDir:        t.TempDir(),
+		WorkerBin:      predabsdBin(t),
+		Workers:        4,
+		QueueCap:       64,
+		AttemptTimeout: 60 * time.Second,
+		Retries:        3,
+		RetryBase:      2 * time.Millisecond,
+		RetryMax:       20 * time.Millisecond,
+		AllowJobEnv:    true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// awaitTerminal polls until the job leaves the queue/run/retry states.
+func awaitTerminal(t *testing.T, s *server.Server, id string, timeout time.Duration) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := s.Status(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if st.State == server.StateDone || st.State == server.StateFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q after %v", id, st.State, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeChaosKillEveryCommitByteIdentical is the supervised kill
+// matrix: every Table 1 driver × a worker SIGKILL at every checkpoint
+// commit point (plus one past the last, where the hook never fires).
+// For each cell a direct probe run establishes whether that kill index
+// fires at all; the daemon job — whose workers die the same way on
+// every attempt, resuming one commit further each time — must end
+// "done" with stdout and exit code byte-identical to the uninterrupted
+// direct slam reference, with retries observed exactly when the kill
+// fired.
+func TestServeChaosKillEveryCommitByteIdentical(t *testing.T) {
+	bin := slamBin(t)
+	s := chaosServer(t, nil)
+
+	type cell struct {
+		id          string
+		name        string
+		commit      int
+		probeKilled bool
+		ref         slamRun
+	}
+	var cells []cell
+	for _, p := range corpus.Drivers() {
+		dir := t.TempDir()
+		src := writeFile(t, dir, p.Name+".c", p.Source)
+		spec := writeFile(t, dir, p.Name+".slic", p.Spec)
+		ref := runSlam(t, bin, nil, "-spec", spec, "-entry", p.Entry, src)
+		if ref.killed {
+			t.Fatalf("%s: reference run was killed", p.Name)
+		}
+		for commit := 1; commit <= maxKillPoints; commit++ {
+			state := filepath.Join(t.TempDir(), "state")
+			probe := runSlam(t, bin, crashEnv(commit, false),
+				"-state", state, "-spec", spec, "-entry", p.Entry, src)
+			id, err := s.Submit(server.JobSpec{
+				Source: p.Source, Spec: p.Spec, Entry: p.Entry,
+				Env: crashEnv(commit, false),
+			})
+			if err != nil {
+				t.Fatalf("%s commit %d: submit: %v", p.Name, commit, err)
+			}
+			cells = append(cells, cell{id, p.Name, commit, probe.killed, ref})
+		}
+	}
+
+	killedCells := 0
+	for _, c := range cells {
+		st := awaitTerminal(t, s, c.id, 60*time.Second)
+		label := fmt.Sprintf("%s commit %d (job %s)", c.name, c.commit, c.id)
+		if st.State != server.StateDone {
+			t.Errorf("%s: state %q error %q — the supervisor must retry a crashed worker to completion",
+				label, st.State, st.Error)
+			continue
+		}
+		if st.Stdout != c.ref.stdout || st.ExitCode != c.ref.code {
+			t.Errorf("%s: daemon verdict not byte-identical to direct run (exit %d, want %d):\n got: %q\nwant: %q",
+				label, st.ExitCode, c.ref.code, st.Stdout, c.ref.stdout)
+		}
+		if c.probeKilled {
+			killedCells++
+			if st.Attempts < 2 {
+				t.Errorf("%s: kill fired in the probe but the daemon finished in %d attempt(s)",
+					label, st.Attempts)
+			}
+		} else if st.Attempts != 1 {
+			t.Errorf("%s: kill never fires at this commit, yet the daemon took %d attempts",
+				label, st.Attempts)
+		}
+	}
+	if killedCells == 0 {
+		t.Fatal("no matrix cell actually killed a worker; the chaos schedule is inert")
+	}
+	c := s.CounterSnapshot()
+	if c.Failed != 0 || c.Completed != int64(len(cells)) || c.Retries == 0 {
+		t.Fatalf("matrix counters: %+v (killed cells: %d)", c, killedCells)
+	}
+	t.Logf("matrix: %d cells, %d with kills, counters %+v", len(cells), killedCells, c)
+}
+
+// TestServeChaosExhaustionNeverVerifiesBuggyDriver is the soundness
+// oracle under supervision: the buggy floppy driver's workers die with a
+// torn journal frame at their first commit — no attempt ever makes
+// durable progress — so the retry budget runs out. The daemon must
+// retreat to outcome "unknown" with the unknown exit code; it must never
+// synthesize a verdict, and in particular never report the buggy driver
+// verified.
+func TestServeChaosExhaustionNeverVerifiesBuggyDriver(t *testing.T) {
+	floppy := corpus.Drivers()[0]
+	if !floppy.ExpectError {
+		t.Fatalf("corpus reordered: %s is not the buggy driver", floppy.Name)
+	}
+	s := chaosServer(t, func(c *server.Config) { c.Retries = 2 })
+	id, err := s.Submit(server.JobSpec{
+		Source: floppy.Source, Spec: floppy.Spec, Entry: floppy.Entry,
+		Env: crashEnv(1, true), // torn frame: the journal never grows
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := awaitTerminal(t, s, id, 60*time.Second)
+	if st.State != server.StateFailed {
+		t.Fatalf("crash-looping job ended %q (outcome %q) — expected retry exhaustion", st.State, st.Outcome)
+	}
+	if st.Attempts != 3 {
+		t.Errorf("attempts %d, want 3 (retries=2)", st.Attempts)
+	}
+	if st.Outcome != "unknown" || st.ExitCode != 2 {
+		t.Fatalf("exhausted job reported outcome %q exit %d; the only sound retreat is unknown/2",
+			st.Outcome, st.ExitCode)
+	}
+	if strings.Contains(st.Stdout, "verified") {
+		t.Fatalf("a job whose workers all died claims verification:\n%s", st.Stdout)
+	}
+}
+
+// daemonProc is one real predabsd process under test.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+	errb *bytes.Buffer
+}
+
+// startDaemon launches the real predabsd binary on a kernel-assigned
+// port and waits for its readiness line.
+func startDaemon(t *testing.T, dataDir string, extraArgs ...string) *daemonProc {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-data", dataDir,
+		"-allow-job-env", "-workers", "1", "-v",
+	}, extraArgs...)
+	cmd := exec.Command(predabsdBin(t), args...)
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	ready := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "predabsd: listening on "); ok {
+				ready <- rest
+				break
+			}
+		}
+		close(ready)
+	}()
+	select {
+	case base, ok := <-ready:
+		if !ok {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("predabsd exited before becoming ready:\n%s", errb.String())
+		}
+		return &daemonProc{cmd: cmd, base: base, errb: &errb}
+	case <-time.After(20 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("predabsd never became ready:\n%s", errb.String())
+		return nil
+	}
+}
+
+func (d *daemonProc) status(t *testing.T, id string) (server.JobStatus, bool) {
+	t.Helper()
+	resp, err := http.Get(d.base + "/jobs/" + id)
+	if err != nil {
+		return server.JobStatus{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.JobStatus{}, false
+	}
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding status: %v", err)
+	}
+	return st, true
+}
+
+// TestServeChaosDaemonKillRestartResumes drives the full binary through
+// a hard crash: a job's first worker attempt dies after one committed
+// iteration, and while the supervisor sits in its long retry backoff the
+// daemon itself is SIGKILLed — no drain, no ledger close. A second
+// daemon over the same data dir must replay the ledger, re-enqueue the
+// job, resume it from the journal, and deliver the byte-identical
+// verdict, with the attempt budget continuing where the first daemon
+// left off.
+func TestServeChaosDaemonKillRestartResumes(t *testing.T) {
+	drv := corpus.Drivers()[1] // ioctl: verified, two commit points
+	bin := slamBin(t)
+	dir := t.TempDir()
+	src := writeFile(t, dir, drv.Name+".c", drv.Source)
+	spec := writeFile(t, dir, drv.Name+".slic", drv.Spec)
+	ref := runSlam(t, bin, nil, "-spec", spec, "-entry", drv.Entry, src)
+	if ref.killed || ref.code != 0 {
+		t.Fatalf("reference run exit %d (killed=%t)", ref.code, ref.killed)
+	}
+
+	dataDir := t.TempDir()
+	d1 := startDaemon(t, dataDir, "-retries", "5", "-retry-base", "1m", "-retry-max", "1h")
+	body, _ := json.Marshal(server.JobSpec{
+		Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry,
+		Env: crashEnv(1, false),
+	})
+	resp, err := http.Post(d1.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.ID == "" {
+		t.Fatalf("submit: HTTP %d, id %q", resp.StatusCode, submitted.ID)
+	}
+
+	// Wait for attempt 1 to crash into the parked backoff, then SIGKILL
+	// the daemon mid-flight.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, ok := d1.status(t, submitted.ID)
+		if ok && st.State == server.StateRetrying {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached retrying; stderr:\n%s", d1.errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d1.cmd.Process.Signal(syscall.SIGKILL)
+	d1.cmd.Wait()
+
+	d2 := startDaemon(t, dataDir, "-retries", "5", "-retry-base", "2ms", "-retry-max", "20ms")
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM)
+		if err := d2.cmd.Wait(); err != nil {
+			t.Errorf("restarted daemon did not exit cleanly: %v\n%s", err, d2.errb.String())
+		}
+	}()
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		st, ok := d2.status(t, submitted.ID)
+		if ok && st.State == server.StateDone {
+			if !st.Resumed {
+				t.Error("restarted daemon does not mark the job resumed")
+			}
+			if st.Attempts < 2 {
+				t.Errorf("attempts %d after a restart, want the durable count to continue past 1", st.Attempts)
+			}
+			if st.Stdout != ref.stdout || st.ExitCode != ref.code {
+				t.Errorf("resumed verdict not byte-identical (exit %d, want %d):\n got: %q\nwant: %q",
+					st.ExitCode, ref.code, st.Stdout, ref.stdout)
+			}
+			break
+		}
+		if ok && st.State == server.StateFailed {
+			t.Fatalf("resumed job failed: %s\nstderr:\n%s", st.Error, d2.errb.String())
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished; stderr:\n%s", d2.errb.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/pprof"
 	"time"
@@ -83,6 +84,13 @@ func Register() *Flags {
 // stderr and the tracer; a corrupt or incompatible journal under plain
 // -state cold-starts with a fresh journal, under -resume it is fatal.
 func (f *Flags) OpenCheckpoint(key checkpoint.CompatKey, tracer *trace.Tracer) (*checkpoint.Manager, error) {
+	return f.OpenCheckpointW(os.Stderr, key, tracer)
+}
+
+// OpenCheckpointW is OpenCheckpoint with the diagnostic stream made
+// explicit, for callers that do not own the process stderr (the runner
+// package, predabsd workers).
+func (f *Flags) OpenCheckpointW(w io.Writer, key checkpoint.CompatKey, tracer *trace.Tracer) (*checkpoint.Manager, error) {
 	if f.State == "" {
 		if f.Resume || f.NoPersist {
 			return nil, fmt.Errorf("-resume and -no-persist require -state")
@@ -99,7 +107,7 @@ func (f *Flags) OpenCheckpoint(key checkpoint.CompatKey, tracer *trace.Tracer) (
 		if f.Resume {
 			return nil, fmt.Errorf("%w (-resume forbids a cold start)", err)
 		}
-		fmt.Fprintf(os.Stderr, "warning: %v; cold-starting with a fresh journal\n", err)
+		fmt.Fprintf(w, "warning: %v; cold-starting with a fresh journal\n", err)
 		tracer.Event("checkpoint", "coldstart", trace.Str("reason", err.Error()))
 		if f.NoPersist {
 			// Nothing to recreate read-only: run stateless.
@@ -107,15 +115,40 @@ func (f *Flags) OpenCheckpoint(key checkpoint.CompatKey, tracer *trace.Tracer) (
 		}
 		return checkpoint.Create(f.State, key)
 	}
-	for _, w := range m.Warnings() {
-		fmt.Fprintf(os.Stderr, "warning: checkpoint: %s\n", w)
-		tracer.Event("checkpoint", "repair", trace.Str("detail", w))
+	for _, warning := range m.Warnings() {
+		fmt.Fprintf(w, "warning: checkpoint: %s\n", warning)
+		tracer.Event("checkpoint", "repair", trace.Str("detail", warning))
 	}
 	if f.Resume && m.Snapshot() == nil {
 		m.Close()
 		return nil, fmt.Errorf("checkpoint: %s: no committed iteration to resume from (-resume forbids a cold start)", f.State)
 	}
 	return m, nil
+}
+
+// Validate rejects nonsensical limit flag values before any work runs.
+// The wall-clock flags default to 0 ("no limit"), so they are only
+// checked when the user set them explicitly on the default flag set —
+// an explicit -timeout 0 (or a negative one) is a contradiction, not a
+// request for an unlimited run. Counting limits must not be negative.
+// The returned errors are flag:value-style diagnostics; callers print
+// them and exit 2 (usage error), mirroring the parse-failure contract.
+func (f *Flags) Validate() error {
+	set := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if set["timeout"] && f.Timeout <= 0 {
+		return fmt.Errorf("flag -timeout: %v: must be positive (omit the flag for no deadline)", f.Timeout)
+	}
+	if set["query-timeout"] && f.QueryTimeout <= 0 {
+		return fmt.Errorf("flag -query-timeout: %v: must be positive (omit the flag for no deadline)", f.QueryTimeout)
+	}
+	if f.CubeBudget < 0 {
+		return fmt.Errorf("flag -cube-budget: %d: must not be negative (0 = unlimited)", f.CubeBudget)
+	}
+	if f.BDDMaxNodes < 0 {
+		return fmt.Errorf("flag -bdd-max-nodes: %d: must not be negative (0 = unlimited)", f.BDDMaxNodes)
+	}
+	return nil
 }
 
 // Limits bundles the resource-limit flag values.

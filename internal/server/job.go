@@ -1,0 +1,239 @@
+// Package server implements predabsd: a supervised verification
+// service that accepts SLAM jobs over HTTP/JSON, admits them through a
+// bounded queue with load shedding, and executes each in an isolated
+// re-exec'd worker subprocess so a panicking, OOM-killed or wedged job
+// can never take down the service or corrupt a sibling.
+//
+// # Supervision tree
+//
+//	Server ── workerLoop ×N ── supervise(job) ── worker subprocess
+//
+// A supervisor owns each running job: per-attempt hard deadline (SIGKILL
+// on overrun), exponential backoff with jitter between attempts, and a
+// bounded retry budget that persists across daemon restarts. Every
+// worker runs with a per-job checkpoint state directory (the PR-4
+// -state journals), so a retried attempt resumes from the last
+// committed CEGAR iteration instead of starting over — and the resumed
+// verdict is byte-identical to an uninterrupted run, the property the
+// serve-chaos suite in internal/faultinject pins.
+//
+// # Soundness under retries
+//
+// The daemon never synthesizes a verdict. A job is "done" exactly when
+// a worker attempt produced a complete result file (written atomically:
+// temp file + rename); anything else — SIGKILL, panic, torn journal,
+// daemon restart — either retries from the journal or, when the retry
+// budget is exhausted, fails the job with outcome "unknown". A retried
+// or degraded job may therefore report Unknown, never
+// Verified-when-buggy.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"predabs/internal/obs"
+	"predabs/internal/runner"
+)
+
+// JobSpec is the submitted verification job: the program and (optional)
+// specification text plus the per-job limits. All limits mirror the
+// slam CLI flags; zero means the flag's default. The daemon stores the
+// normalized spec as job.json inside the job directory, which is the
+// worker subprocess's only input.
+type JobSpec struct {
+	// Source is the MiniC program text (required).
+	Source string `json:"source"`
+	// Spec is the SLIC specification text; empty selects the
+	// assert-checking workflow.
+	Spec string `json:"spec,omitempty"`
+	// Entry is the entry procedure (default "main").
+	Entry string `json:"entry,omitempty"`
+	// MaxIters bounds refinement iterations (default 10).
+	MaxIters int `json:"max_iters,omitempty"`
+	// Jobs sizes the cube-search worker pool inside the worker process
+	// (0 = GOMAXPROCS). Verdicts are worker-count-independent.
+	Jobs int `json:"jobs,omitempty"`
+	// Explain renders found error paths as annotated source traces.
+	Explain bool `json:"explain,omitempty"`
+
+	// Soft limits: the worker degrades soundly when these bind.
+	TimeoutMS      int64 `json:"timeout_ms,omitempty"`
+	QueryTimeoutMS int64 `json:"query_timeout_ms,omitempty"`
+	CubeBudget     int   `json:"cube_budget,omitempty"`
+	BDDMaxNodes    int   `json:"bdd_max_nodes,omitempty"`
+
+	// AttemptTimeoutMS is the hard per-attempt wall clock enforced by
+	// the supervisor with SIGKILL (0 = the daemon's -job-timeout).
+	AttemptTimeoutMS int64 `json:"attempt_timeout_ms,omitempty"`
+
+	// Env appends environment variables ("K=V") to the worker process.
+	// Only honoured when the daemon runs with -allow-job-env; the chaos
+	// suite uses it to schedule deterministic worker crashes.
+	Env []string `json:"env,omitempty"`
+
+	// Artifacts is set by the daemon at admission (from its -artifacts
+	// flag): the worker then writes trace.jsonl and report.json next to
+	// the result.
+	Artifacts bool `json:"artifacts,omitempty"`
+}
+
+// normalize applies defaults and rejects nonsensical fields.
+func (s *JobSpec) normalize() error {
+	if s.Source == "" {
+		return fmt.Errorf("source: must not be empty")
+	}
+	if s.Entry == "" {
+		s.Entry = "main"
+	}
+	if s.MaxIters == 0 {
+		s.MaxIters = 10
+	}
+	if s.MaxIters < 0 {
+		return fmt.Errorf("max_iters: %d: must be positive", s.MaxIters)
+	}
+	if s.Jobs < 0 {
+		return fmt.Errorf("jobs: %d: must not be negative", s.Jobs)
+	}
+	for name, v := range map[string]int64{
+		"timeout_ms":         s.TimeoutMS,
+		"query_timeout_ms":   s.QueryTimeoutMS,
+		"cube_budget":        int64(s.CubeBudget),
+		"bdd_max_nodes":      int64(s.BDDMaxNodes),
+		"attempt_timeout_ms": s.AttemptTimeoutMS,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%s: %d: must not be negative", name, v)
+		}
+	}
+	return nil
+}
+
+// WorkerResult is the worker's output contract, written atomically as
+// result.json in the job directory. Its presence is the one and only
+// signal that an attempt completed: a SIGKILLed or crashed worker
+// leaves no result file, so the supervisor retries from the journal.
+type WorkerResult struct {
+	// ExitCode follows the slam CLI contract: 0 verified, 1 error found
+	// (or a fatal input error), 2 unknown.
+	ExitCode int `json:"exit_code"`
+	// Outcome is "verified", "error-found" or "unknown"; "" when the
+	// run failed before producing a verdict (e.g. a parse error).
+	Outcome string `json:"outcome"`
+	// Stdout is the run's canonical output, byte-identical to a direct
+	// slam invocation over the same inputs.
+	Stdout string `json:"stdout"`
+}
+
+// Job-directory file names.
+const (
+	jobSpecFile   = "job.json"
+	resultFile    = "result.json"
+	stateDirName  = "state"
+	traceFile     = "trace.jsonl"
+	reportFile    = "report.json"
+	workerLogFile = "worker.log"
+)
+
+// HangEnv names the test-only environment variable that wedges a
+// worker before its run starts (injected per job via JobSpec.Env under
+// -allow-job-env). The leak and chaos suites use it to exercise the
+// supervisor's deadline-SIGKILL path deterministically — a wedged
+// worker is indistinguishable from a diverging CEGAR job.
+const HangEnv = "PREDABSD_WORKER_HANG"
+
+// RunWorker is the worker-subprocess entry point (predabsd -worker
+// -dir <jobdir>): it reads job.json, runs the verification with the
+// job's checkpoint state directory (resuming any journaled progress),
+// writes result.json atomically and exits with the run's exit code.
+// Diagnostics go to stderr, which the supervisor routes to worker.log.
+func RunWorker(dir string, stderr io.Writer) int {
+	if os.Getenv(HangEnv) != "" {
+		select {} // wedge until the supervisor's SIGKILL
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, jobSpecFile))
+	if err != nil {
+		fmt.Fprintln(stderr, "predabsd worker:", err)
+		return 1
+	}
+	var spec JobSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		fmt.Fprintf(stderr, "predabsd worker: %s: %v\n", jobSpecFile, err)
+		return 1
+	}
+	flags := &obs.Flags{
+		Timeout:      time.Duration(spec.TimeoutMS) * time.Millisecond,
+		QueryTimeout: time.Duration(spec.QueryTimeoutMS) * time.Millisecond,
+		CubeBudget:   spec.CubeBudget,
+		BDDMaxNodes:  spec.BDDMaxNodes,
+		State:        filepath.Join(dir, stateDirName),
+	}
+	if spec.Artifacts {
+		flags.TraceOut = filepath.Join(dir, traceFile)
+		flags.ReportJSON = filepath.Join(dir, reportFile)
+	}
+	var stdout bytes.Buffer
+	code, outcome := runner.Run(runner.Input{
+		SourceName: "job.c",
+		Source:     spec.Source,
+		Spec:       spec.Spec,
+		HasSpec:    spec.Spec != "",
+		Entry:      spec.Entry,
+		MaxIters:   spec.MaxIters,
+		Jobs:       spec.Jobs,
+		Explain:    spec.Explain,
+		Obs:        flags,
+	}, &stdout, stderr)
+	res := WorkerResult{ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
+	if err := writeFileAtomic(filepath.Join(dir, resultFile), res); err != nil {
+		// No result file means the supervisor will retry; report why.
+		fmt.Fprintln(stderr, "predabsd worker: writing result:", err)
+		return 1
+	}
+	return code
+}
+
+// writeFileAtomic marshals v and renames a synced temp file over path,
+// so a crash mid-write can never leave a half-readable result.
+func writeFileAtomic(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-result-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readResult loads a complete worker result from the job directory;
+// ok is false when no (or no readable) result exists.
+func readResult(dir string) (WorkerResult, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, resultFile))
+	if err != nil {
+		return WorkerResult{}, false
+	}
+	var res WorkerResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return WorkerResult{}, false
+	}
+	return res, true
+}

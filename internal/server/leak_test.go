@@ -1,0 +1,250 @@
+// Leak coverage for the daemon lifecycle: every path that ends a server
+// — graceful drain, deadline SIGKILL of a wedged worker, retry
+// exhaustion, and a shutdown racing concurrent submitters — must return
+// the process to its goroutine and file-descriptor baseline. Designed to
+// run under -race (the Makefile's leakcheck target).
+package server_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"predabs/internal/checkpoint"
+	"predabs/internal/corpus"
+	"predabs/internal/server"
+)
+
+// openFDs counts this process's open file descriptors.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("cannot enumerate fds: %v", err)
+	}
+	return len(ents)
+}
+
+// warmup forces lazily-initialized process state into existence — the
+// runtime netpoller (its epoll and wakeup fds are created on first use
+// and never closed) and the exec machinery — so the baselines measured
+// after it are stable.
+func warmup(t *testing.T) {
+	t.Helper()
+	s := newServer(t, nil)
+	id, err := s.Submit(server.JobSpec{Source: verifiedSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, s, id, 30*time.Second)
+	ts := httptest.NewServer(s.Handler())
+	if resp, err := http.Get(ts.URL + "/healthz"); err == nil {
+		resp.Body.Close()
+	}
+	ts.Close()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+}
+
+// settle waits for goroutine and fd counts to return to their baselines;
+// both drift transiently while exec'd workers and pollers wind down.
+func settle(t *testing.T, baseGoroutines, baseFDs int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		g, f := runtime.NumGoroutine(), openFDs(t)
+		if g <= baseGoroutines && f <= baseFDs {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<17)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("leak: %d goroutines (baseline %d), %d fds (baseline %d)\n%s",
+				g, baseGoroutines, f, baseFDs, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServerLifecycleLeaks drives the three ways a job can end — a
+// clean verdict, SIGKILL on the attempt deadline, and retry exhaustion
+// from crashing workers — and checks the daemon leaks neither goroutines
+// nor file descriptors after shutdown.
+func TestServerLifecycleLeaks(t *testing.T) {
+	warmup(t)
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := openFDs(t)
+
+	// Clean verdicts through a graceful drain.
+	func() {
+		s := newServer(t, nil)
+		for i := 0; i < 2; i++ {
+			id, err := s.Submit(server.JobSpec{Source: verifiedSrc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			await(t, s, id, 30*time.Second)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Fatalf("graceful drain: %v", err)
+		}
+	}()
+	settle(t, baseGoroutines, baseFDs)
+
+	// A wedged worker SIGKILLed on the per-attempt deadline, twice.
+	func() {
+		s := newServer(t, func(c *server.Config) {
+			c.AllowJobEnv = true
+			c.Retries = 1
+		})
+		id, err := s.Submit(server.JobSpec{
+			Source:           verifiedSrc,
+			Env:              []string{server.HangEnv + "=1"},
+			AttemptTimeoutMS: 150,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := await(t, s, id, 30*time.Second)
+		if st.State != server.StateFailed || st.Outcome != "unknown" {
+			t.Fatalf("wedged job: %+v", st)
+		}
+		if c := s.CounterSnapshot(); c.Kills != 2 {
+			t.Fatalf("deadline kills = %d, want 2", c.Kills)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	settle(t, baseGoroutines, baseFDs)
+
+	// Retry exhaustion from workers that crash at every commit.
+	func() {
+		drv := corpus.Drivers()[1]
+		s := newServer(t, func(c *server.Config) {
+			c.AllowJobEnv = true
+			c.Retries = 0
+		})
+		id, err := s.Submit(server.JobSpec{
+			Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry,
+			Env: []string{checkpoint.CrashEnv + "=1:torn"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := await(t, s, id, 30*time.Second); st.State != server.StateFailed {
+			t.Fatalf("crash-looping job: %+v", st)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	settle(t, baseGoroutines, baseFDs)
+}
+
+// TestShutdownStress races concurrent submitters and HTTP probes against
+// a drain. The invariants: Submit never panics or wedges (it returns
+// ErrDraining/ErrQueueFull once shedding starts), every admitted job is
+// in a coherent state afterwards, and the process returns to its
+// goroutine/fd baseline. Run under -race this doubles as the shutdown
+// data-race check.
+func TestShutdownStress(t *testing.T) {
+	warmup(t)
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := openFDs(t)
+
+	s := newServer(t, func(c *server.Config) {
+		c.Workers = 4
+		c.QueueCap = 16
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var admitted sync.Map
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := s.Submit(server.JobSpec{Source: verifiedSrc})
+				if err == nil {
+					admitted.Store(id, true)
+				} else if err != server.ErrDraining && err != server.ErrQueueFull {
+					t.Errorf("submitter %d: unexpected error: %v", n, err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(i)
+	}
+	// Concurrent liveness probes must keep answering through the drain.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ep := range []string{"/healthz", "/readyz", "/statz", "/jobs"} {
+				resp, err := http.Get(ts.URL + ep)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("stressed shutdown: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	ts.Close()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+
+	valid := map[string]bool{
+		server.StateQueued: true, server.StateRunning: true, server.StateRetrying: true,
+		server.StateDone: true, server.StateFailed: true,
+	}
+	count := 0
+	admitted.Range(func(k, _ any) bool {
+		count++
+		st, ok := s.Status(k.(string))
+		if !ok {
+			t.Errorf("admitted job %v lost", k)
+		} else if !valid[st.State] {
+			t.Errorf("job %v in impossible state %q", k, st.State)
+		}
+		return true
+	})
+	if count == 0 {
+		t.Fatal("stress admitted zero jobs; the race window never opened")
+	}
+	c := s.CounterSnapshot()
+	if c.Submitted != int64(count) {
+		t.Errorf("submitted counter %d != admitted %d", c.Submitted, count)
+	}
+	t.Logf("stress: %d admitted, counters %+v", count, c)
+
+	settle(t, baseGoroutines, baseFDs)
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"predabs/internal/checkpoint"
+)
+
+// ledgerMagic stamps the job ledger (format 1); the framing underneath
+// is checkpoint.Log's CRC discipline, so a crash mid-append loses at
+// most the record being written.
+const ledgerMagic = "PREDABSLGR1\x00"
+
+// LedgerName is the ledger's file name inside the daemon data dir.
+const LedgerName = "ledger.predabs"
+
+// ledgerRecord is one append-only ledger event. "admit" carries the
+// full normalized job spec (the durable copy that survives a daemon
+// crash before the worker ever ran); "attempt" increments the job's
+// persistent attempt count so the retry budget is honoured across
+// restarts; "done" is terminal.
+type ledgerRecord struct {
+	Type    string   `json:"type"` // "admit" | "attempt" | "done"
+	ID      string   `json:"id"`
+	Spec    *JobSpec `json:"spec,omitempty"`    // admit
+	Attempt int      `json:"attempt,omitempty"` // attempt
+	State   string   `json:"state,omitempty"`   // done: StateDone | StateFailed
+	Exit    int      `json:"exit,omitempty"`    // done
+	Outcome string   `json:"outcome,omitempty"` // done
+	Detail  string   `json:"detail,omitempty"`  // done (failure reason)
+}
+
+// replayedJob is one job's folded ledger state after replay.
+type replayedJob struct {
+	spec     JobSpec
+	attempts int
+	done     bool
+	state    string
+	exit     int
+	outcome  string
+	detail   string
+}
+
+// errLedgerClosed marks appends that lost the race with shutdown's
+// ledger close; admission maps it to ErrDraining.
+var errLedgerClosed = errors.New("ledger closed")
+
+// ledger is the durable job log. All appends are fsynced and serialized
+// under mu; replay happens once, at open.
+type ledger struct {
+	mu  sync.Mutex
+	log *checkpoint.Log
+}
+
+// openLedger opens (or creates) the ledger at path and folds its
+// records into per-job state, returned with admission order preserved.
+// A ledger whose magic cannot be validated is reported via
+// *checkpoint.CorruptError so the caller can quarantine it.
+func openLedger(path string) (l *ledger, jobs map[string]*replayedJob, order []string, warnings []string, err error) {
+	jobs = map[string]*replayedJob{}
+	log, err := checkpoint.OpenLog(path, ledgerMagic, func(payload []byte) {
+		var rec ledgerRecord
+		if json.Unmarshal(payload, &rec) != nil || rec.ID == "" {
+			// An unknown or damaged-but-CRC-valid record cannot happen
+			// short of a format bug; skipping is the conservative move.
+			return
+		}
+		switch rec.Type {
+		case "admit":
+			if rec.Spec == nil {
+				return
+			}
+			if _, ok := jobs[rec.ID]; !ok {
+				order = append(order, rec.ID)
+			}
+			jobs[rec.ID] = &replayedJob{spec: *rec.Spec}
+		case "attempt":
+			if j, ok := jobs[rec.ID]; ok && rec.Attempt > j.attempts {
+				j.attempts = rec.Attempt
+			}
+		case "done":
+			if j, ok := jobs[rec.ID]; ok {
+				j.done = true
+				j.state, j.exit, j.outcome, j.detail = rec.State, rec.Exit, rec.Outcome, rec.Detail
+			}
+		}
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return &ledger{log: log}, jobs, order, log.Warnings(), nil
+}
+
+func (l *ledger) append(rec ledgerRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return errLedgerClosed
+	}
+	return l.log.Append(payload)
+}
+
+func (l *ledger) admit(id string, spec JobSpec) error {
+	return l.append(ledgerRecord{Type: "admit", ID: id, Spec: &spec})
+}
+
+func (l *ledger) attempt(id string, n int) error {
+	return l.append(ledgerRecord{Type: "attempt", ID: id, Attempt: n})
+}
+
+func (l *ledger) done(id, state string, exit int, outcome, detail string) error {
+	return l.append(ledgerRecord{Type: "done", ID: id, State: state, Exit: exit, Outcome: outcome, Detail: detail})
+}
+
+func (l *ledger) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.log == nil {
+		return nil
+	}
+	err := l.log.Close()
+	l.log = nil
+	return err
+}
+
+// nextJobSeq returns the successor of the highest job sequence number
+// present in the replayed ledger, so restarted daemons never reuse IDs.
+func nextJobSeq(jobs map[string]*replayedJob) int {
+	max := 0
+	for id := range jobs {
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%06d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// pendingOrder filters order down to admitted-but-unfinished jobs.
+func pendingOrder(jobs map[string]*replayedJob, order []string) []string {
+	var pending []string
+	for _, id := range order {
+		if j := jobs[id]; j != nil && !j.done {
+			pending = append(pending, id)
+		}
+	}
+	sort.Strings(pending)
+	return pending
+}

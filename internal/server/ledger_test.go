@@ -1,0 +1,149 @@
+// White-box tests for the durable job ledger: replay folding, sequence
+// continuation, corrupt-ledger quarantine, and adoption of a result that
+// an earlier daemon crashed before recording.
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestLedgerReplayFolding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), LedgerName)
+	l, jobs, _, _, err := openLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("fresh ledger replayed %d jobs", len(jobs))
+	}
+	spec := JobSpec{Source: "void main() {}", Entry: "main", MaxIters: 10}
+	// job 1: finished. job 2: two attempts, still in flight. job 7: queued.
+	for _, step := range []func() error{
+		func() error { return l.admit("job-000001", spec) },
+		func() error { return l.attempt("job-000001", 1) },
+		func() error { return l.done("job-000001", StateDone, 0, "verified", "") },
+		func() error { return l.admit("job-000002", spec) },
+		func() error { return l.attempt("job-000002", 1) },
+		func() error { return l.attempt("job-000002", 2) },
+		func() error { return l.admit("job-000007", spec) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, jobs, order, warnings, err := openLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	if len(warnings) != 0 {
+		t.Fatalf("clean ledger produced warnings: %v", warnings)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs, want 3", len(jobs))
+	}
+	j1 := jobs["job-000001"]
+	if !j1.done || j1.state != StateDone || j1.outcome != "verified" {
+		t.Fatalf("job-000001 folded to %+v", j1)
+	}
+	j2 := jobs["job-000002"]
+	if j2.done || j2.attempts != 2 || j2.spec.Source != spec.Source {
+		t.Fatalf("job-000002 folded to %+v", j2)
+	}
+	if got := pendingOrder(jobs, order); len(got) != 2 || got[0] != "job-000002" || got[1] != "job-000007" {
+		t.Fatalf("pendingOrder = %v", got)
+	}
+	if got := nextJobSeq(jobs); got != 8 {
+		t.Fatalf("nextJobSeq = %d, want 8", got)
+	}
+}
+
+func TestCorruptLedgerQuarantinedNotDeleted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LedgerName)
+	if err := os.WriteFile(path, []byte("not a ledger at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{DataDir: dir, WorkerBin: "/nonexistent"})
+	if err != nil {
+		t.Fatalf("corrupt ledger must not prevent startup: %v", err)
+	}
+	defer s.Shutdown(context.Background())
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt ledger not quarantined: %v", err)
+	}
+	raw, err := os.ReadFile(path + ".corrupt")
+	if err != nil || string(raw) != "not a ledger at all" {
+		t.Fatalf("quarantined evidence altered: %q, %v", raw, err)
+	}
+}
+
+// TestAdoptionOfOrphanedResult simulates a daemon that died after its
+// worker wrote result.json but before the ledger recorded "done": the
+// restarted daemon must adopt the finished result instead of re-running
+// the job — WorkerBin points at a nonexistent binary, so any attempt to
+// re-execute would fail the test.
+func TestAdoptionOfOrphanedResult(t *testing.T) {
+	dir := t.TempDir()
+	spec := JobSpec{Source: "void main() {}", Entry: "main", MaxIters: 10}
+	jobDir := filepath.Join(dir, "jobs", "job-000001")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(filepath.Join(jobDir, jobSpecFile), spec); err != nil {
+		t.Fatal(err)
+	}
+	orphan := WorkerResult{ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (orphaned)\n"}
+	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), orphan); err != nil {
+		t.Fatal(err)
+	}
+	l, _, _, _, err := openLedger(filepath.Join(dir, LedgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.admit("job-000001", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{DataDir: dir, WorkerBin: "/nonexistent", Retries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := s.Status("job-000001")
+		if !ok {
+			t.Fatal("replayed job missing from status map")
+		}
+		if st.State == StateDone {
+			if st.Stdout != orphan.Stdout || st.Outcome != "verified" {
+				t.Fatalf("adopted result mangled: %+v", st)
+			}
+			break
+		}
+		if st.State == StateFailed {
+			t.Fatalf("orphaned result not adopted; job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c := s.CounterSnapshot(); c.Adopted != 1 || c.Resumed != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predabs/internal/checkpoint"
+	"predabs/internal/runner"
+)
+
+// Job lifecycle states, as reported by the status API.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateRetrying = "retrying" // in the backoff window between attempts
+	StateDone     = "done"     // a worker produced a complete result
+	StateFailed   = "failed"   // retry budget exhausted; outcome unknown
+)
+
+// Config configures a Server. Zero fields take the documented defaults.
+type Config struct {
+	// DataDir holds the ledger and one directory per job (required).
+	DataDir string
+	// WorkerBin is the predabsd binary to re-exec as workers (required;
+	// the daemon passes its own os.Executable()).
+	WorkerBin string
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// shed with 503 (default 64).
+	QueueCap int
+	// Workers is the number of concurrent worker slots (default 2).
+	Workers int
+	// AttemptTimeout is the default hard per-attempt deadline; an
+	// overrunning worker is SIGKILLed and retried (default 60s).
+	AttemptTimeout time.Duration
+	// Retries is the per-job retry budget: a job gets at most
+	// Retries+1 attempts, counted durably across daemon restarts
+	// (default 2).
+	Retries int
+	// RetryBase/RetryMax shape the exponential backoff between
+	// attempts: base·2^(attempt-1) with ±50% jitter, capped at max
+	// (defaults 250ms / 10s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Artifacts makes every worker write trace.jsonl and report.json
+	// job artifacts.
+	Artifacts bool
+	// AllowJobEnv honours JobSpec.Env (worker environment injection).
+	// Leave it off outside chaos testing.
+	AllowJobEnv bool
+	// Logf receives daemon log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.DataDir == "" {
+		return errors.New("server: DataDir is required")
+	}
+	if c.WorkerBin == "" {
+		return errors.New("server: WorkerBin is required")
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 60 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 250 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 10 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Counters are the daemon's monotonic health counters, exposed at
+// /statz and logged at shutdown.
+type Counters struct {
+	Submitted int64 `json:"submitted"` // jobs admitted
+	Shed      int64 `json:"shed"`      // submissions rejected on a full queue
+	Completed int64 `json:"completed"` // jobs finished with a worker result
+	Failed    int64 `json:"failed"`    // jobs failed on retry exhaustion
+	Retries   int64 `json:"retries"`   // attempts beyond each job's first
+	Kills     int64 `json:"kills"`     // workers SIGKILLed on the attempt deadline
+	Resumed   int64 `json:"resumed"`   // jobs re-enqueued from the ledger at startup
+	Adopted   int64 `json:"adopted"`   // orphaned complete results adopted at supervise
+}
+
+// job is the in-memory runtime state of one admitted job.
+type job struct {
+	id  string
+	dir string
+
+	mu       sync.Mutex
+	spec     JobSpec
+	state    string
+	attempts int
+	resumed  bool // re-enqueued from the ledger after a daemon restart
+	result   *WorkerResult
+	errmsg   string
+}
+
+// JobStatus is the status API's JSON shape.
+type JobStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts"`
+	Resumed  bool   `json:"resumed,omitempty"`
+	ExitCode int    `json:"exit_code,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	Stdout   string `json:"stdout,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Attempts: j.attempts, Resumed: j.resumed, Error: j.errmsg}
+	if j.result != nil {
+		st.ExitCode = j.result.ExitCode
+		st.Outcome = j.result.Outcome
+		st.Stdout = j.result.Stdout
+	} else if j.state == StateFailed {
+		// Retry exhaustion never invents a verdict: the reported
+		// outcome is the sound retreat.
+		st.Outcome = "unknown"
+		st.ExitCode = runner.ExitUnknown
+	}
+	return st
+}
+
+// Server is the verification daemon: admission, supervision, ledger.
+type Server struct {
+	cfg    Config
+	ledger *ledger
+
+	mu      sync.Mutex // guards jobs, nextSeq, and queue admission
+	jobs    map[string]*job
+	nextSeq int
+
+	queue    chan *job
+	quit     chan struct{} // closed on Shutdown: stop admitting and dequeuing
+	runCtx   context.Context
+	runStop  context.CancelFunc // hard-kills in-flight workers
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	started  atomic.Bool
+
+	submitted, shed, completed, failed atomic.Int64
+	retries, kills, resumed, adopted   atomic.Int64
+}
+
+// New opens (or creates) the data directory and ledger, replays every
+// journaled job, and re-enqueues the unfinished ones — their checkpoint
+// journals make the resumed runs continue from the last committed CEGAR
+// iteration. Call Start to begin executing.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	path := filepath.Join(cfg.DataDir, LedgerName)
+	led, replayed, order, warnings, err := openLedger(path)
+	if err != nil {
+		var ce *checkpoint.CorruptError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		// A ledger that cannot be trusted is quarantined, never deleted:
+		// availability wins, the evidence stays on disk.
+		quarantine := path + ".corrupt"
+		if rerr := os.Rename(path, quarantine); rerr != nil {
+			return nil, fmt.Errorf("server: quarantining corrupt ledger: %w", rerr)
+		}
+		cfg.Logf("predabsd: %v; ledger quarantined to %s, starting fresh", err, quarantine)
+		if led, replayed, order, warnings, err = openLedger(path); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range warnings {
+		cfg.Logf("predabsd: ledger: %s", w)
+	}
+	pending := pendingOrder(replayed, order)
+	queueCap := cfg.QueueCap
+	if len(pending) > queueCap {
+		queueCap = len(pending)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		ledger:  led,
+		jobs:    make(map[string]*job, len(replayed)),
+		nextSeq: nextJobSeq(replayed),
+		queue:   make(chan *job, queueCap),
+		quit:    make(chan struct{}),
+		runCtx:  ctx,
+		runStop: cancel,
+	}
+	for id, rj := range replayed {
+		j := &job{id: id, dir: s.jobDir(id), spec: rj.spec, attempts: rj.attempts}
+		if rj.done {
+			j.state = rj.state
+			j.errmsg = rj.detail
+			if rj.state == StateDone {
+				if res, ok := readResult(j.dir); ok {
+					j.result = &res
+				} else {
+					// The verdict is durable in the ledger even when the
+					// result file is gone.
+					j.result = &WorkerResult{ExitCode: rj.exit, Outcome: rj.outcome}
+				}
+			}
+		} else {
+			j.state = StateQueued
+			j.resumed = true
+		}
+		s.jobs[id] = j
+	}
+	for _, id := range pending {
+		s.queue <- s.jobs[id]
+		s.resumed.Add(1)
+	}
+	if len(pending) > 0 {
+		cfg.Logf("predabsd: resuming %d in-flight job(s) from the ledger", len(pending))
+	}
+	return s, nil
+}
+
+// Start launches the worker slots.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+}
+
+// Shutdown drains the daemon: admissions stop immediately (readyz goes
+// 503), idle worker slots exit, and running attempts get until ctx's
+// deadline to finish before their workers are SIGKILLed. Unfinished
+// jobs stay journaled in the ledger and resume on the next start —
+// their checkpoint journals preserve every committed iteration.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.quit)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.runStop() // SIGKILL in-flight workers; journals stay intact
+		<-done
+		err = ctx.Err()
+	}
+	s.runStop()
+	c := s.CounterSnapshot()
+	s.cfg.Logf("predabsd: shutdown: submitted=%d completed=%d failed=%d retries=%d kills=%d shed=%d resumed=%d",
+		c.Submitted, c.Completed, c.Failed, c.Retries, c.Kills, c.Shed, c.Resumed)
+	if cerr := s.ledger.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// CounterSnapshot returns the current counter values.
+func (s *Server) CounterSnapshot() Counters {
+	return Counters{
+		Submitted: s.submitted.Load(),
+		Shed:      s.shed.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+		Retries:   s.retries.Load(),
+		Kills:     s.kills.Load(),
+		Resumed:   s.resumed.Load(),
+		Adopted:   s.adopted.Load(),
+	}
+}
+
+func (s *Server) jobDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", id)
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /jobs            submit a JobSpec; 202 {"id": ...}, 503 on shed/drain
+//	GET  /jobs            job summaries
+//	GET  /jobs/{id}       full status incl. the verdict stdout
+//	GET  /jobs/{id}/trace,/report,/log   job artifacts
+//	GET  /healthz         process liveness (always 200)
+//	GET  /readyz          503 while draining, 200 otherwise
+//	GET  /statz           counters + queue depth
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.artifactHandler(traceFile))
+	mux.HandleFunc("GET /jobs/{id}/report", s.artifactHandler(reportFile))
+	mux.HandleFunc("GET /jobs/{id}/log", s.artifactHandler(workerLogFile))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		depth := len(s.queue)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"counters":    s.CounterSnapshot(),
+			"queue_depth": depth,
+			"queue_cap":   cap(s.queue),
+			"draining":    s.draining.Load(),
+		})
+	})
+	return mux
+}
+
+// maxJobBody bounds a submission body (a large driver source is well
+// under a megabyte; 16 MiB leaves headroom without inviting abuse).
+const maxJobBody = 16 << 20
+
+// Admission rejections (mapped to HTTP 503 by the handler).
+var (
+	ErrDraining  = errors.New("server: draining")
+	ErrQueueFull = errors.New("server: queue full")
+)
+
+// Submit admits one job: validated, journaled in the ledger, enqueued.
+// It returns the job ID, or ErrDraining / ErrQueueFull (load shedding)
+// / a validation error. Sheds are counted here.
+func (s *Server) Submit(spec JobSpec) (string, error) {
+	if s.draining.Load() {
+		return "", ErrDraining
+	}
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	if len(spec.Env) > 0 && !s.cfg.AllowJobEnv {
+		return "", errors.New("env: forbidden (daemon runs without -allow-job-env)")
+	}
+	spec.Artifacts = s.cfg.Artifacts
+
+	s.mu.Lock()
+	// Re-check under the lock: a Shutdown that began after the load
+	// above must not see this submission race its ledger close.
+	if s.draining.Load() {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	if len(s.queue) >= cap(s.queue) {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		return "", ErrQueueFull
+	}
+	id := fmt.Sprintf("job-%06d", s.nextSeq)
+	s.nextSeq++
+	j := &job{id: id, dir: s.jobDir(id), spec: spec, state: StateQueued}
+	if err := s.admit(j); err != nil {
+		s.mu.Unlock()
+		if errors.Is(err, errLedgerClosed) {
+			return "", ErrDraining
+		}
+		return "", err
+	}
+	s.jobs[id] = j
+	// Guaranteed not to block: only submitters (serialized by s.mu) add,
+	// and the capacity check above just passed.
+	s.queue <- j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return id, nil
+}
+
+// Status reports one job's current status.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	id, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "queue full"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+// admit persists the job: directory, job.json (the worker's input) and
+// the durable ledger record, in that order, so a replayed admit record
+// always has its job.json on disk.
+func (s *Server) admit(j *job) error {
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(filepath.Join(j.dir, jobSpecFile), j.spec); err != nil {
+		return err
+	}
+	return s.ledger.admit(j.id, j.spec)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		st := j.status()
+		st.Stdout = "" // summaries stay small; fetch the job for the verdict
+		out = append(out, st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) artifactHandler(name string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		j, ok := s.jobs[r.PathValue("id")]
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+			return
+		}
+		http.ServeFile(w, r, filepath.Join(j.dir, name))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// workerLoop is one worker slot: it dequeues jobs until Shutdown.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.supervise(j)
+			// A drained slot exits promptly even if more jobs are
+			// queued; they stay ledgered and resume on the next start.
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// supervise owns one job start to finish: adopt an orphaned result if a
+// previous daemon died between the worker finishing and the ledger
+// recording it, then run attempts under the hard deadline until a
+// result appears or the retry budget runs out. Every attempt resumes
+// from the job's checkpoint journal, so progress is monotone across
+// SIGKILLs and daemon restarts.
+func (s *Server) supervise(j *job) {
+	if res, ok := readResult(j.dir); ok {
+		s.adopted.Add(1)
+		s.cfg.Logf("predabsd: %s: adopting orphaned result (exit %d)", j.id, res.ExitCode)
+		s.finishDone(j, res)
+		return
+	}
+	maxAttempts := s.cfg.Retries + 1
+	for {
+		j.mu.Lock()
+		attempt := j.attempts + 1
+		j.mu.Unlock()
+		if attempt > maxAttempts {
+			s.finishFailed(j, fmt.Sprintf("retry budget exhausted after %d attempts", attempt-1))
+			return
+		}
+		if attempt > 1 {
+			s.retries.Add(1)
+		}
+		if err := s.ledger.attempt(j.id, attempt); err != nil {
+			s.cfg.Logf("predabsd: %s: ledger attempt record: %v", j.id, err)
+		}
+		j.mu.Lock()
+		j.attempts = attempt
+		j.state = StateRunning
+		j.mu.Unlock()
+
+		res, failure := s.runAttempt(j, attempt)
+		if res != nil {
+			s.finishDone(j, *res)
+			return
+		}
+		s.cfg.Logf("predabsd: %s: attempt %d/%d failed: %s", j.id, attempt, maxAttempts, failure)
+		if attempt >= maxAttempts {
+			s.finishFailed(j, fmt.Sprintf("retry budget exhausted after %d attempts (last: %s)", attempt, failure))
+			return
+		}
+		j.mu.Lock()
+		j.state = StateRetrying
+		j.mu.Unlock()
+		if !s.backoff(attempt) {
+			// Shutdown interrupted the backoff: leave the job pending in
+			// the ledger; the next daemon start re-enqueues and resumes it.
+			return
+		}
+	}
+}
+
+// runAttempt executes one worker subprocess for j. A complete result
+// file is the only success signal; nil plus a reason means retry.
+func (s *Server) runAttempt(j *job, attempt int) (*WorkerResult, string) {
+	// A stale result file cannot exist here (adoption runs first, and
+	// completed attempts end supervision), but a cheap remove keeps the
+	// "result file == this attempt finished" invariant unconditional.
+	os.Remove(filepath.Join(j.dir, resultFile))
+
+	timeout := s.cfg.AttemptTimeout
+	if j.spec.AttemptTimeoutMS > 0 {
+		timeout = time.Duration(j.spec.AttemptTimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, timeout)
+	defer cancel()
+
+	// CommandContext's default Cancel is Process.Kill — SIGKILL, the
+	// same signal an OOM kill delivers, so the checkpoint journal must
+	// absorb it mid-fsync. That is the isolation contract: the worker
+	// can die arbitrarily hard and the daemon only ever observes a
+	// missing result file.
+	cmd := exec.CommandContext(ctx, s.cfg.WorkerBin, "-worker", "-dir", j.dir)
+	cmd.Env = append(os.Environ(), j.spec.Env...)
+	logf, err := os.OpenFile(filepath.Join(j.dir, workerLogFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err == nil {
+		fmt.Fprintf(logf, "--- attempt %d ---\n", attempt)
+		cmd.Stdout, cmd.Stderr = logf, logf
+		defer logf.Close()
+	}
+	runErr := cmd.Run()
+
+	if res, ok := readResult(j.dir); ok {
+		return &res, ""
+	}
+	switch {
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.kills.Add(1)
+		return nil, fmt.Sprintf("SIGKILLed on the %v attempt deadline", timeout)
+	case s.runCtx.Err() != nil:
+		return nil, "worker killed by daemon shutdown"
+	case runErr != nil:
+		return nil, fmt.Sprintf("worker died without a result (%v)", runErr)
+	default:
+		return nil, "worker exited without writing a result"
+	}
+}
+
+// backoff sleeps the exponential-with-jitter delay before the next
+// attempt; false means shutdown interrupted the wait.
+func (s *Server) backoff(attempt int) bool {
+	d := s.cfg.RetryBase << (attempt - 1)
+	if d > s.cfg.RetryMax || d <= 0 {
+		d = s.cfg.RetryMax
+	}
+	// Full ±50% jitter decorrelates retry stampedes after a shared
+	// cause (e.g. memory pressure killing several workers at once).
+	d = d/2 + time.Duration(rand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+func (s *Server) finishDone(j *job, res WorkerResult) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.result = &res
+	j.errmsg = ""
+	attempts := j.attempts
+	j.mu.Unlock()
+	s.completed.Add(1)
+	if err := s.ledger.done(j.id, StateDone, res.ExitCode, res.Outcome, ""); err != nil {
+		s.cfg.Logf("predabsd: %s: ledger done record: %v", j.id, err)
+	}
+	s.cfg.Logf("predabsd: %s: done after %d attempt(s): exit %d outcome %q",
+		j.id, attempts, res.ExitCode, res.Outcome)
+}
+
+// finishFailed marks a job out of retry budget. The daemon never
+// invents a verdict: the job's outcome is "unknown", with the reason in
+// the status error — a retried job may report Unknown, never Verified.
+func (s *Server) finishFailed(j *job, detail string) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.errmsg = detail
+	j.mu.Unlock()
+	s.failed.Add(1)
+	if err := s.ledger.done(j.id, StateFailed, 0, "unknown", detail); err != nil {
+		s.cfg.Logf("predabsd: %s: ledger done record: %v", j.id, err)
+	}
+	s.cfg.Logf("predabsd: %s: failed: %s", j.id, detail)
+}
