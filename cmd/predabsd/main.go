@@ -145,7 +145,7 @@ func run() (code int) {
 	defer cancel()
 	httpSrv.Shutdown(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "predabsd: drain timed out; in-flight jobs journaled for resume (%v)\n", err)
+		fmt.Fprintf(os.Stderr, "predabsd: drain timed out; interrupted attempts were refunded and their jobs stay journaled for resume (%v)\n", err)
 	}
 	return 0
 }

@@ -63,8 +63,17 @@ const (
 // run are converted to an "internal error" diagnostic and ExitError —
 // Run never lets one escape to the caller.
 func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
+	// finish is assigned once tracing starts and is idempotent, so the
+	// recovery path can flush and close the trace/report artifacts even
+	// when the panic strikes after the normal finish already ran —
+	// without it a recovered panic leaves trace.jsonl unclosed and
+	// report.json unwritten for the attempt.
+	var finish func() error
 	defer func() {
 		if p := recover(); p != nil {
+			if finish != nil {
+				finish()
+			}
 			fmt.Fprintf(stderr, "slam: internal error: %v\n", p)
 			code, outcome = ExitError, ""
 		}
@@ -73,9 +82,17 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 	if flags == nil {
 		flags = &obs.Flags{}
 	}
-	tracer, finish, err := flags.Start()
+	tracer, finishSession, err := flags.Start()
 	if err != nil {
 		return fatal(stderr, err), ""
+	}
+	finished := false
+	finish = func() error {
+		if finished {
+			return nil
+		}
+		finished = true
+		return finishSession()
 	}
 	cfg := predabs.DefaultVerifyConfig()
 	cfg.MaxIterations = in.MaxIters
@@ -106,6 +123,7 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 	cfg.Checkpoint = ckpt
 	ctx, cancel := flags.Context()
 	defer cancel()
+	pipelineHook()
 
 	var res *predabs.VerifyResult
 	if in.HasSpec {
@@ -182,3 +200,7 @@ func fatal(w io.Writer, err error) int {
 	fmt.Fprintln(w, "slam:", err)
 	return ExitError
 }
+
+// pipelineHook is a test seam: the runner tests override it to inject a
+// panic inside the pipeline section of Run.
+var pipelineHook = func() {}

@@ -1,0 +1,80 @@
+// White-box test for Run's panic recovery: a panic inside the pipeline
+// must still flush and close the run's trace/report artifacts. Daemon
+// workers rely on this — with -artifacts, a recovered panic must not
+// leave trace.jsonl unclosed or report.json unwritten for the attempt.
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predabs/internal/obs"
+)
+
+func TestPanicRecoveryFlushesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	reportPath := filepath.Join(dir, "report.json")
+	defer func(old func()) { pipelineHook = old }(pipelineHook)
+	pipelineHook = func() { panic("injected pipeline panic") }
+
+	var stdout, stderr bytes.Buffer
+	code, outcome := Run(Input{
+		SourceName: "t.c",
+		Source:     "void main(int x) { if (x > 3) { assert(x > 1); } }",
+		Entry:      "main",
+		MaxIters:   10,
+		Obs:        &obs.Flags{TraceOut: tracePath, ReportJSON: reportPath},
+	}, &stdout, &stderr)
+
+	if code != ExitError || outcome != "" {
+		t.Fatalf("recovered run: code %d outcome %q, want %d and empty", code, outcome, ExitError)
+	}
+	if !strings.Contains(stderr.String(), "internal error") {
+		t.Fatalf("recovered panic not diagnosed on stderr:\n%s", stderr.String())
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("report.json not written after a recovered panic: %v", err)
+	}
+	if !json.Valid(bytes.TrimSpace(raw)) {
+		t.Fatalf("report.json is not valid JSON after a recovered panic:\n%s", raw)
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace.jsonl missing after a recovered panic: %v", err)
+	}
+}
+
+// TestPanicAfterFinishRecovered exercises the finish wrapper's
+// idempotence: the RESULT rendering runs after the normal finish, so a
+// panic there reaches the recovery path with the artifacts already
+// flushed — the second finish must be a harmless no-op and the run must
+// still degrade to an internal error, keeping report.json intact.
+func TestPanicAfterFinishRecovered(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var stderr bytes.Buffer
+	code, outcome := Run(Input{
+		SourceName: "t.c",
+		Source:     "void main() {}",
+		Entry:      "main",
+		MaxIters:   10,
+		Obs:        &obs.Flags{ReportJSON: reportPath},
+	}, panicWriter{}, &stderr)
+	if code != ExitError || outcome != "" {
+		t.Fatalf("late panic: code %d outcome %q, want %d and empty", code, outcome, ExitError)
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil || !json.Valid(bytes.TrimSpace(raw)) {
+		t.Fatalf("report.json damaged after a post-finish panic: %v\n%s", err, raw)
+	}
+}
+
+// panicWriter panics on the first write — for Run's stdout, that is the
+// RESULT rendering, which happens after the normal finish.
+type panicWriter struct{}
+
+func (panicWriter) Write([]byte) (int, error) { panic("injected render panic") }

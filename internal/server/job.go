@@ -30,6 +30,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -119,6 +121,12 @@ func (s *JobSpec) normalize() error {
 // signal that an attempt completed: a SIGKILLed or crashed worker
 // leaves no result file, so the supervisor retries from the journal.
 type WorkerResult struct {
+	// SpecHash fingerprints the job spec this result was computed for.
+	// Job IDs recycle when the ledger is quarantined or removed while
+	// old job directories survive, so a result is only ever credited to
+	// a job whose spec hashes identically — the daemon must never report
+	// a previous occupant's verdict for a different program.
+	SpecHash string `json:"spec_hash"`
 	// ExitCode follows the slam CLI contract: 0 verified, 1 error found
 	// (or a fatal input error), 2 unknown.
 	ExitCode int `json:"exit_code"`
@@ -189,7 +197,7 @@ func RunWorker(dir string, stderr io.Writer) int {
 		Explain:    spec.Explain,
 		Obs:        flags,
 	}, &stdout, stderr)
-	res := WorkerResult{ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
+	res := WorkerResult{SpecHash: specHash(spec), ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
 	if err := writeFileAtomic(filepath.Join(dir, resultFile), res); err != nil {
 		// No result file means the supervisor will retry; report why.
 		fmt.Fprintln(stderr, "predabsd worker: writing result:", err)
@@ -224,9 +232,11 @@ func writeFileAtomic(path string, v any) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// readResult loads a complete worker result from the job directory;
-// ok is false when no (or no readable) result exists.
-func readResult(dir string) (WorkerResult, bool) {
+// readResult loads a complete worker result for spec from the job
+// directory; ok is false when no readable result exists or the result's
+// spec hash does not match — a stale file left by a previous occupant
+// of a recycled job directory is treated as no result at all.
+func readResult(dir string, spec JobSpec) (WorkerResult, bool) {
 	raw, err := os.ReadFile(filepath.Join(dir, resultFile))
 	if err != nil {
 		return WorkerResult{}, false
@@ -235,5 +245,35 @@ func readResult(dir string) (WorkerResult, bool) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		return WorkerResult{}, false
 	}
+	if res.SpecHash != specHash(spec) {
+		return WorkerResult{}, false
+	}
 	return res, true
+}
+
+// specHash fingerprints a normalized job spec. The daemon and the
+// worker both derive it from the same marshaling of JobSpec, so the
+// hash a worker stamps into its result matches the admitting daemon's
+// — and a daemon restarted from the ledger recomputes the same value.
+func specHash(spec JobSpec) string {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		// JobSpec is plain data; Marshal cannot fail on it.
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// scrubJobDir removes every artifact a previous occupant may have left
+// in a recycled job directory (result, worker log, trace, report,
+// checkpoint state), so a freshly admitted job can neither adopt nor
+// resume from another program's output.
+func scrubJobDir(dir string) error {
+	for _, name := range []string{resultFile, workerLogFile, traceFile, reportFile} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return os.RemoveAll(filepath.Join(dir, stateDirName))
 }

@@ -3,8 +3,9 @@ package server
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"predabs/internal/checkpoint"
@@ -22,12 +23,14 @@ const LedgerName = "ledger.predabs"
 // full normalized job spec (the durable copy that survives a daemon
 // crash before the worker ever ran); "attempt" increments the job's
 // persistent attempt count so the retry budget is honoured across
-// restarts; "done" is terminal.
+// restarts; "preempt" refunds an attempt whose worker the daemon itself
+// SIGKILLed during shutdown (the attempt never got to finish, so it
+// must not burn retry budget); "done" is terminal.
 type ledgerRecord struct {
-	Type    string   `json:"type"` // "admit" | "attempt" | "done"
+	Type    string   `json:"type"` // "admit" | "attempt" | "preempt" | "done"
 	ID      string   `json:"id"`
 	Spec    *JobSpec `json:"spec,omitempty"`    // admit
-	Attempt int      `json:"attempt,omitempty"` // attempt
+	Attempt int      `json:"attempt,omitempty"` // attempt, preempt
 	State   string   `json:"state,omitempty"`   // done: StateDone | StateFailed
 	Exit    int      `json:"exit,omitempty"`    // done
 	Outcome string   `json:"outcome,omitempty"` // done
@@ -82,6 +85,10 @@ func openLedger(path string) (l *ledger, jobs map[string]*replayedJob, order []s
 			if j, ok := jobs[rec.ID]; ok && rec.Attempt > j.attempts {
 				j.attempts = rec.Attempt
 			}
+		case "preempt":
+			if j, ok := jobs[rec.ID]; ok && rec.Attempt == j.attempts {
+				j.attempts--
+			}
 		case "done":
 			if j, ok := jobs[rec.ID]; ok {
 				j.done = true
@@ -116,6 +123,10 @@ func (l *ledger) attempt(id string, n int) error {
 	return l.append(ledgerRecord{Type: "attempt", ID: id, Attempt: n})
 }
 
+func (l *ledger) preempt(id string, n int) error {
+	return l.append(ledgerRecord{Type: "preempt", ID: id, Attempt: n})
+}
+
 func (l *ledger) done(id, state string, exit int, outcome, detail string) error {
 	return l.append(ledgerRecord{Type: "done", ID: id, State: state, Exit: exit, Outcome: outcome, Detail: detail})
 }
@@ -136,8 +147,14 @@ func (l *ledger) close() error {
 func nextJobSeq(jobs map[string]*replayedJob) int {
 	max := 0
 	for id := range jobs {
-		var n int
-		if _, err := fmt.Sscanf(id, "job-%06d", &n); err == nil && n > max {
+		// Not Sscanf("job-%06d"): the %06d width stops parsing at six
+		// digits, which would wrap the sequence past job-999999 and
+		// recycle live IDs on restart.
+		rest, ok := strings.CutPrefix(id, "job-")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.Atoi(rest); err == nil && n > max {
 			max = n
 		}
 	}

@@ -101,7 +101,7 @@ func TestAdoptionOfOrphanedResult(t *testing.T) {
 	if err := writeFileAtomic(filepath.Join(jobDir, jobSpecFile), spec); err != nil {
 		t.Fatal(err)
 	}
-	orphan := WorkerResult{ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (orphaned)\n"}
+	orphan := WorkerResult{SpecHash: specHash(spec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (orphaned)\n"}
 	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), orphan); err != nil {
 		t.Fatal(err)
 	}
@@ -145,5 +145,161 @@ func TestAdoptionOfOrphanedResult(t *testing.T) {
 	}
 	if c := s.CounterSnapshot(); c.Adopted != 1 || c.Resumed != 1 {
 		t.Fatalf("counters: %+v", c)
+	}
+}
+
+// TestStaleResultFromRecycledJobIDNotAdopted covers the ID-recycling
+// hazard: after a ledger quarantine (or manual deletion) job IDs restart
+// at job-000001 while old job directories — which keep result.json
+// forever for done jobs — survive. A recycled ID whose directory holds a
+// different program's result must not adopt it; with no runnable worker
+// the job can only fail, never report the stale "verified".
+func TestStaleResultFromRecycledJobIDNotAdopted(t *testing.T) {
+	dir := t.TempDir()
+	staleSpec := JobSpec{Source: "void main(int x) { assert(x > 0); }", Entry: "main", MaxIters: 10}
+	spec := JobSpec{Source: "void main() {}", Entry: "main", MaxIters: 10}
+	jobDir := filepath.Join(dir, "jobs", "job-000001")
+	if err := os.MkdirAll(jobDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := WorkerResult{SpecHash: specHash(staleSpec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (stale)\n"}
+	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), stale); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh ledger (the quarantine aftermath) admits an unrelated spec
+	// under the recycled ID.
+	l, _, _, _, err := openLedger(filepath.Join(dir, LedgerName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.admit("job-000001", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{DataDir: dir, WorkerBin: "/nonexistent", Retries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Shutdown(context.Background())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, ok := s.Status("job-000001")
+		if !ok {
+			t.Fatal("replayed job missing from status map")
+		}
+		if st.State == StateDone {
+			t.Fatalf("stale result of a different program adopted: %+v", st)
+		}
+		if st.State == StateFailed {
+			break // the only sound end for an unrunnable worker
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if c := s.CounterSnapshot(); c.Adopted != 0 {
+		t.Fatalf("stale result counted as adopted: %+v", c)
+	}
+}
+
+// TestAdmitScrubsRecycledJobDir checks admission cleans a recycled job
+// directory of every artifact a previous occupant left behind, so the
+// new job cannot resume from (or be credited with) foreign state.
+func TestAdmitScrubsRecycledJobDir(t *testing.T) {
+	dir := t.TempDir()
+	jobDir := filepath.Join(dir, "jobs", "job-000001")
+	if err := os.MkdirAll(filepath.Join(jobDir, stateDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	leftovers := []string{resultFile, workerLogFile, traceFile, reportFile}
+	for _, name := range leftovers {
+		if err := os.WriteFile(filepath.Join(jobDir, name), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(jobDir, stateDirName, "journal.predabs"), []byte("stale"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{DataDir: dir, WorkerBin: "/nonexistent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background()) // never started: no worker races the checks
+
+	id, err := s.Submit(JobSpec{Source: "void main() {}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "job-000001" {
+		t.Fatalf("fresh ledger assigned %s, want the recycled job-000001", id)
+	}
+	for _, name := range leftovers {
+		if _, err := os.Stat(filepath.Join(jobDir, name)); !os.IsNotExist(err) {
+			t.Errorf("stale %s survived admission (err %v)", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(jobDir, stateDirName)); !os.IsNotExist(err) {
+		t.Errorf("stale checkpoint state dir survived admission (err %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(jobDir, jobSpecFile)); err != nil {
+		t.Errorf("admitted job has no %s: %v", jobSpecFile, err)
+	}
+}
+
+// TestNextJobSeqBeyondSixDigits pins the ID parse past the zero-padded
+// width: job-1000000 must advance the sequence, not wrap it back into
+// live IDs.
+func TestNextJobSeqBeyondSixDigits(t *testing.T) {
+	jobs := map[string]*replayedJob{
+		"job-000002":  {},
+		"job-1000000": {},
+		"not-a-job":   {},
+	}
+	if got := nextJobSeq(jobs); got != 1000001 {
+		t.Fatalf("nextJobSeq = %d, want 1000001", got)
+	}
+}
+
+// TestLedgerPreemptRefundsAttempt checks the shutdown-preemption record
+// folds the attempt count back down, so an attempt the daemon itself
+// SIGKILLed during a drain does not burn retry budget.
+func TestLedgerPreemptRefundsAttempt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), LedgerName)
+	l, _, _, _, err := openLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Source: "void main() {}", Entry: "main", MaxIters: 10}
+	for _, step := range []func() error{
+		func() error { return l.admit("job-000001", spec) },
+		func() error { return l.attempt("job-000001", 1) },
+		func() error { return l.attempt("job-000001", 2) },
+		func() error { return l.preempt("job-000001", 2) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, jobs, order, _, err := openLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.close()
+	j := jobs["job-000001"]
+	if j == nil || j.done || j.attempts != 1 {
+		t.Fatalf("preempted job folded to %+v, want pending with 1 attempt", j)
+	}
+	if got := pendingOrder(jobs, order); len(got) != 1 || got[0] != "job-000001" {
+		t.Fatalf("pendingOrder = %v", got)
 	}
 }

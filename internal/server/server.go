@@ -222,7 +222,7 @@ func New(cfg Config) (*Server, error) {
 			j.state = rj.state
 			j.errmsg = rj.detail
 			if rj.state == StateDone {
-				if res, ok := readResult(j.dir); ok {
+				if res, ok := readResult(j.dir, rj.spec); ok {
 					j.result = &res
 				} else {
 					// The verdict is durable in the ledger even when the
@@ -442,6 +442,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // always has its job.json on disk.
 func (s *Server) admit(j *job) error {
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return err
+	}
+	// Job IDs restart at 1 when the ledger is quarantined or deleted
+	// while old job directories survive, so the directory may already
+	// hold another job's artifacts: scrub them before this job's spec
+	// goes durable. A directory that cannot be cleaned is not assigned.
+	if err := scrubJobDir(j.dir); err != nil {
 		return err
 	}
 	if err := writeFileAtomic(filepath.Join(j.dir, jobSpecFile), j.spec); err != nil {

@@ -408,3 +408,55 @@ func TestRestartResumesJournaledJobs(t *testing.T) {
 	}
 	await(t, s2, id2, 30*time.Second)
 }
+
+// TestShutdownKillRefundsFinalAttempt forces shutdown's SIGKILL onto a
+// job's only budgeted attempt (a wedged worker, Retries=0): the daemon
+// must not durably fail the job for work it interrupted itself — the
+// attempt is refunded in the ledger, the job stays pending, and a
+// restarted daemon runs it again instead of declaring retry exhaustion
+// on sight.
+func TestShutdownKillRefundsFinalAttempt(t *testing.T) {
+	dataDir := t.TempDir()
+	hang := server.JobSpec{
+		Source:           verifiedSrc,
+		Env:              []string{server.HangEnv + "=1"},
+		AttemptTimeoutMS: int64((30 * time.Second) / time.Millisecond),
+	}
+	s1 := newServer(t, func(c *server.Config) {
+		c.DataDir = dataDir
+		c.AllowJobEnv = true
+		c.Retries = 0
+		c.Workers = 1
+	})
+	id, err := s1.Submit(hang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitState(t, s1, id, server.StateRunning, 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	s1.Shutdown(ctx) // expired grace: the running final attempt is SIGKILLed
+	if st, ok := s1.Status(id); !ok || st.State == server.StateFailed {
+		t.Fatalf("shutdown durably failed its own interrupted attempt: %+v", st)
+	}
+
+	s2 := newServer(t, func(c *server.Config) {
+		c.DataDir = dataDir
+		c.AllowJobEnv = true
+		c.Retries = 0
+		c.Workers = 1
+	})
+	if c := s2.CounterSnapshot(); c.Resumed != 1 {
+		t.Fatalf("restarted daemon resumed %d jobs, want 1", c.Resumed)
+	}
+	// Without the refund the replayed attempt count already equals the
+	// budget and the job fails instantly; with it, the attempt re-runs.
+	awaitState(t, s2, id, server.StateRunning, 10*time.Second)
+	st, _ := s2.Status(id)
+	if !st.Resumed || st.Attempts != 1 {
+		t.Fatalf("re-run job status %+v, want resumed with the refunded attempt re-counted", st)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel2()
+	s2.Shutdown(ctx2)
+}

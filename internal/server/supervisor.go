@@ -38,7 +38,7 @@ func (s *Server) workerLoop() {
 // from the job's checkpoint journal, so progress is monotone across
 // SIGKILLs and daemon restarts.
 func (s *Server) supervise(j *job) {
-	if res, ok := readResult(j.dir); ok {
+	if res, ok := readResult(j.dir, j.spec); ok {
 		s.adopted.Add(1)
 		s.cfg.Logf("predabsd: %s: adopting orphaned result (exit %d)", j.id, res.ExitCode)
 		s.finishDone(j, res)
@@ -69,6 +69,23 @@ func (s *Server) supervise(j *job) {
 			s.finishDone(j, *res)
 			return
 		}
+		if s.runCtx.Err() != nil {
+			// Shutdown SIGKILLed this attempt before it could finish.
+			// Refund it in the ledger and leave the job pending instead
+			// of durably failing what may have been its final budgeted
+			// attempt: the next daemon start re-runs it. At most one
+			// refund per job per daemon lifetime, so the budget stays
+			// bounded even across repeated drains.
+			if err := s.ledger.preempt(j.id, attempt); err != nil {
+				s.cfg.Logf("predabsd: %s: ledger preempt record: %v", j.id, err)
+			}
+			j.mu.Lock()
+			j.attempts = attempt - 1
+			j.state = StateQueued
+			j.mu.Unlock()
+			s.cfg.Logf("predabsd: %s: attempt %d preempted by shutdown; job stays journaled for resume", j.id, attempt)
+			return
+		}
 		s.cfg.Logf("predabsd: %s: attempt %d/%d failed: %s", j.id, attempt, maxAttempts, failure)
 		if attempt >= maxAttempts {
 			s.finishFailed(j, fmt.Sprintf("retry budget exhausted after %d attempts (last: %s)", attempt, failure))
@@ -88,9 +105,10 @@ func (s *Server) supervise(j *job) {
 // runAttempt executes one worker subprocess for j. A complete result
 // file is the only success signal; nil plus a reason means retry.
 func (s *Server) runAttempt(j *job, attempt int) (*WorkerResult, string) {
-	// A stale result file cannot exist here (adoption runs first, and
-	// completed attempts end supervision), but a cheap remove keeps the
-	// "result file == this attempt finished" invariant unconditional.
+	// Adoption runs before the first attempt and completed attempts end
+	// supervision, so anything still here is a hash-mismatched leftover
+	// from a recycled job directory; removing it keeps the "result file
+	// == this attempt finished" invariant unconditional.
 	os.Remove(filepath.Join(j.dir, resultFile))
 
 	timeout := s.cfg.AttemptTimeout
@@ -116,7 +134,7 @@ func (s *Server) runAttempt(j *job, attempt int) (*WorkerResult, string) {
 	}
 	runErr := cmd.Run()
 
-	if res, ok := readResult(j.dir); ok {
+	if res, ok := readResult(j.dir, j.spec); ok {
 		return &res, ""
 	}
 	switch {
