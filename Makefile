@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck bench tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck bench bench-json lint-docs tools
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify chaos crash corrupt serve-chaos leakcheck
-	$(GO) vet ./...
+verify-extended: verify lint-docs chaos crash corrupt serve-chaos leakcheck
 	$(GO) test -race ./...
 
 # Chaos gate: the deterministic fault-injection matrix (seeded prover
@@ -56,6 +55,21 @@ leakcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Bench trajectory: both abstraction engines over the full corpus
+# (Table 2 subjects and the Table 1 drivers' converged predicate
+# pools), written to the committed BENCH_abstraction.json. absbench
+# exits nonzero if the engines' boolean programs ever diverge, so the
+# committed numbers always describe identical outputs.
+bench-json:
+	$(GO) run ./cmd/absbench -o BENCH_abstraction.json
+
+# Doc gate: static analysis plus the exported-identifier doc-comment
+# check over the facade and the prover (the packages the paper's
+# readers land in first).
+lint-docs:
+	$(GO) vet ./...
+	$(GO) run ./cmd/lintdocs . ./internal/prover
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

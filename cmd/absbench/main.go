@@ -1,0 +1,282 @@
+// Command absbench benchmarks the two abstraction engines against each
+// other over the paper's corpus and emits the committed bench trajectory
+// (BENCH_abstraction.json, written by `make bench-json`).
+//
+// Table 2 subjects are abstracted directly from their predicate files.
+// Table 1 drivers are first verified with the default cube engine to
+// obtain the converged predicate pool of the final CEGAR iteration; the
+// bench then measures one abstraction of that pool under each engine —
+// the abstraction step is where the engines differ, while the Newton
+// refinement queries are shared between them and would dilute the
+// comparison in a full-loop measurement.
+//
+// Both engines must emit byte-identical boolean programs for every
+// subject; absbench exits nonzero if they diverge, so the numbers can
+// never describe two different computations.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"predabs"
+	"predabs/internal/abstract"
+	"predabs/internal/alias"
+	"predabs/internal/bp"
+	"predabs/internal/cnorm"
+	"predabs/internal/corpus"
+	"predabs/internal/cparse"
+	"predabs/internal/ctype"
+	"predabs/internal/prover"
+	"predabs/internal/spec"
+)
+
+// engineRow is one engine's measured cost on one subject.
+type engineRow struct {
+	// WallMS is the minimum abstraction wall time over the reps.
+	WallMS float64 `json:"wall_ms"`
+	// ProverCalls counts plain Valid/Unsat queries; SessionChecks counts
+	// incremental session checks. Their sum, TotalQueries, is the
+	// cross-engine comparison metric.
+	ProverCalls   int `json:"prover_calls"`
+	SessionChecks int `json:"session_checks"`
+	TotalQueries  int `json:"total_queries"`
+	// CacheHits counts queries (of either style) answered from the memo
+	// cache.
+	CacheHits int `json:"cache_hits"`
+	// Sessions, ModelsExtracted and BlockingClauses describe the model
+	// engine's enumeration loops (BlockingClauses is its blocking-loop
+	// iteration count); all zero under the cube engine.
+	Sessions        int `json:"sessions,omitempty"`
+	ModelsExtracted int `json:"models_extracted,omitempty"`
+	BlockingClauses int `json:"blocking_clauses,omitempty"`
+}
+
+// subjectRow is one corpus subject's measurement under both engines.
+type subjectRow struct {
+	Name string `json:"name"`
+	// Kind is "table2" (direct predicate file) or "driver" (converged
+	// pool of a cube-engine CEGAR run).
+	Kind string `json:"kind"`
+	// Predicates is the number of predicates abstracted over.
+	Predicates int                  `json:"predicates"`
+	Engines    map[string]engineRow `json:"engines"`
+	// QueryRatio is cubes' total queries over models' (higher means the
+	// model engine saves more).
+	QueryRatio float64 `json:"query_ratio"`
+}
+
+// benchFile is the committed BENCH_abstraction.json layout.
+type benchFile struct {
+	Tool    string `json:"tool"`
+	Version string `json:"version"`
+	// Note documents what the driver rows measure.
+	Note     string       `json:"note"`
+	Subjects []subjectRow `json:"subjects"`
+}
+
+var engines = []string{predabs.EngineCubes, predabs.EngineModels}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	reps := flag.Int("reps", 3, "timing repetitions per engine (minimum wall time is reported)")
+	flag.Parse()
+
+	bench := benchFile{
+		Tool:    "absbench",
+		Version: predabs.Version,
+		Note: "driver rows measure one abstraction of the converged predicate pool " +
+			"(from a cube-engine CEGAR run); refinement queries are shared between " +
+			"engines and excluded",
+	}
+	for _, p := range corpus.Table2() {
+		row, err := benchTable2(p, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.Subjects = append(bench.Subjects, row)
+	}
+	for _, p := range corpus.Drivers() {
+		row, err := benchDriver(p, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.Subjects = append(bench.Subjects, row)
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d subjects)\n", *out, len(bench.Subjects))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "absbench:", err)
+	os.Exit(1)
+}
+
+// benchTable2 measures one Table 2 subject through the facade.
+func benchTable2(p corpus.Program, reps int) (subjectRow, error) {
+	load := predabs.Load
+	if p.GhostAliasing {
+		load = predabs.LoadGhostAliasing
+	}
+	row := subjectRow{Name: p.Name, Kind: "table2", Engines: map[string]engineRow{}}
+	texts := map[string]string{}
+	for _, engine := range engines {
+		var er engineRow
+		var minWall float64
+		for rep := 0; rep < reps; rep++ {
+			prog, err := load(p.Source)
+			if err != nil {
+				return row, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			opts := predabs.DefaultOptions()
+			opts.Engine = engine
+			start := time.Now()
+			bprog, err := prog.Abstract(p.Preds, opts)
+			if err != nil {
+				return row, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			wall := time.Since(start)
+			s := bprog.Stats()
+			cur := engineRow{
+				WallMS:          float64(wall.Microseconds()) / 1000,
+				ProverCalls:     s.ProverCalls,
+				SessionChecks:   s.SessionChecks,
+				TotalQueries:    s.ProverCalls + s.SessionChecks,
+				CacheHits:       s.CacheHits,
+				Sessions:        s.ProverSessions,
+				ModelsExtracted: s.ModelsExtracted,
+				BlockingClauses: s.BlockingClauses,
+			}
+			row.Predicates = s.Predicates
+			texts[engine] = bprog.Text()
+			if rep == 0 || cur.WallMS < minWall {
+				minWall = cur.WallMS
+			}
+			er = cur
+		}
+		er.WallMS = minWall
+		row.Engines[engine] = er
+	}
+	return row, finish(&row, texts)
+}
+
+// benchDriver converges a driver's predicate pool with the cube engine,
+// then measures one abstraction of that pool under each engine via the
+// internal pipeline (the pool belongs to the spec-instrumented program,
+// which the facade's Load cannot rebuild).
+func benchDriver(p corpus.Program, reps int) (subjectRow, error) {
+	row := subjectRow{Name: p.Name, Kind: "driver", Engines: map[string]engineRow{}}
+	res, err := predabs.VerifySpec(p.Source, p.Spec, p.Entry, predabs.DefaultVerifyConfig())
+	if err != nil {
+		return row, fmt.Errorf("%s: verify: %w", p.Name, err)
+	}
+	scopes := make([]string, 0, len(res.Predicates))
+	for scope := range res.Predicates {
+		scopes = append(scopes, scope)
+	}
+	sort.Strings(scopes)
+	var sb strings.Builder
+	for _, scope := range scopes {
+		sb.WriteString(scope + ":\n  " + strings.Join(res.Predicates[scope], ",\n  ") + "\n")
+	}
+	predSrc := sb.String()
+
+	prog, err := cparse.Parse(p.Source)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	sp, err := spec.Parse(p.Spec)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	inst, err := spec.Instrument(prog, sp, p.Entry)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	info, err := ctype.Check(inst)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	nres, err := cnorm.Normalize(info)
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	aa := alias.Analyze(nres)
+	secs, err := cparse.ParsePredFile(predSrc)
+	if err != nil {
+		return row, fmt.Errorf("%s: predicates: %w", p.Name, err)
+	}
+	for _, sec := range secs {
+		row.Predicates += len(sec.Exprs)
+	}
+
+	texts := map[string]string{}
+	for _, engine := range engines {
+		var er engineRow
+		var minWall float64
+		for rep := 0; rep < reps; rep++ {
+			pv := prover.New()
+			opts := abstract.DefaultOptions()
+			opts.Engine = engine
+			start := time.Now()
+			ares, err := abstract.Abstract(nres, aa, pv, secs, opts)
+			if err != nil {
+				return row, fmt.Errorf("%s: abstraction: %w", p.Name, err)
+			}
+			wall := time.Since(start)
+			cur := engineRow{
+				WallMS:          float64(wall.Microseconds()) / 1000,
+				ProverCalls:     pv.Calls(),
+				SessionChecks:   pv.SessionChecks(),
+				TotalQueries:    pv.Calls() + pv.SessionChecks(),
+				CacheHits:       pv.CacheHits(),
+				Sessions:        pv.Sessions(),
+				ModelsExtracted: pv.ModelsExtracted(),
+				BlockingClauses: pv.BlockingClauses(),
+			}
+			texts[engine] = bp.Print(ares.BP)
+			if rep == 0 || cur.WallMS < minWall {
+				minWall = cur.WallMS
+			}
+			er = cur
+		}
+		er.WallMS = minWall
+		row.Engines[engine] = er
+	}
+	return row, finish(&row, texts)
+}
+
+// finish cross-checks byte identity and computes the query ratio.
+func finish(row *subjectRow, texts map[string]string) error {
+	if texts[predabs.EngineCubes] != texts[predabs.EngineModels] {
+		return fmt.Errorf("%s: engines emitted different boolean programs", row.Name)
+	}
+	cq := row.Engines[predabs.EngineCubes].TotalQueries
+	mq := row.Engines[predabs.EngineModels].TotalQueries
+	if mq > 0 {
+		row.QueryRatio = roundRatio(float64(cq) / float64(mq))
+	}
+	return nil
+}
+
+// roundRatio keeps the committed JSON to two decimals.
+func roundRatio(r float64) float64 {
+	return float64(int(r*100+0.5)) / 100
+}

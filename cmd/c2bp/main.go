@@ -37,6 +37,7 @@ func run() (code int) {
 	noCone := flag.Bool("nocone", false, "disable the cone-of-influence optimization")
 	noEnforce := flag.Bool("noenforce", false, "do not emit enforce invariants")
 	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	absEngine := flag.String("abs-engine", "cubes", "abstraction engine: cubes (per-cube prover queries) or models (incremental model enumeration)")
 	stats := flag.Bool("stats", false, "print abstraction statistics and per-stage timings to stderr")
 	obsFlags := obs.Register()
 	flag.Parse()
@@ -51,6 +52,11 @@ func run() (code int) {
 	}
 	if *maxCube < 0 {
 		fmt.Fprintf(os.Stderr, "c2bp: flag -maxcube: %d: must not be negative (0 = unlimited)\n", *maxCube)
+		return 2
+	}
+	if !predabs.ValidEngine(*absEngine) {
+		fmt.Fprintf(os.Stderr, "c2bp: flag -abs-engine: %q: must be %q or %q\n",
+			*absEngine, predabs.EngineCubes, predabs.EngineModels)
 		return 2
 	}
 	if err := obsFlags.Validate(); err != nil {
@@ -79,6 +85,10 @@ func run() (code int) {
 	opts.ConeOfInfluence = !*noCone
 	opts.EmitEnforce = !*noEnforce
 	opts.Jobs = *jobs
+	if *absEngine == "" {
+		*absEngine = predabs.EngineCubes
+	}
+	opts.Engine = *absEngine
 	opts.Tracer = tracer
 	if _, err := cparse.ParsePredFile(string(preds)); err != nil {
 		finish()
@@ -93,6 +103,7 @@ func run() (code int) {
 		MaxCubeLen:  opts.MaxCubeLen,
 		CubeBudget:  int64(obsFlags.CubeBudget),
 		BDDMaxNodes: int64(obsFlags.BDDMaxNodes),
+		AbsEngine:   opts.Engine,
 		Extra:       fmt.Sprintf("cone=%t/enforce=%t", opts.ConeOfInfluence, opts.EmitEnforce),
 	}, tracer)
 	if err != nil {
@@ -118,6 +129,10 @@ func run() (code int) {
 		s := bprog.Stats()
 		fmt.Fprintf(os.Stderr, "predicates: %d\ntheorem prover calls: %d\nprover cache hits: %d\nprover cache misses: %d\nprover gave up: %d\ncubes checked: %d\ncube-search rounds: %d\n",
 			s.Predicates, s.ProverCalls, s.CacheHits, s.CacheMisses, s.ProverGaveUp, s.CubesChecked, s.CubeRounds)
+		if s.ProverSessions > 0 {
+			fmt.Fprintf(os.Stderr, "prover sessions: %d\nsession checks: %d\nmodels extracted: %d\nblocking clauses: %d\n",
+				s.ProverSessions, s.SessionChecks, s.ModelsExtracted, s.BlockingClauses)
+		}
 		fmt.Fprintf(os.Stderr, "stage parse+check+normalize: %v\nstage alias analysis: %v\nstage signatures: %v\nstage abstraction: %v\n  of which cube search: %v\n  of which theory solving: %v\n",
 			s.ParseTime, s.AliasTime, s.SignatureTime, s.AbstractTime, s.CubeSearchTime, s.SolverTime)
 		for _, pt := range s.ProcTimes {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"predabs"
 	"predabs/internal/obs"
 	"predabs/internal/runner"
 )
@@ -40,6 +41,7 @@ func run() (code int) {
 	entry := flag.String("entry", "main", "entry procedure")
 	maxIters := flag.Int("maxiters", 10, "maximum abstraction refinement iterations")
 	jobs := flag.Int("j", 0, "cube-search worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	absEngine := flag.String("abs-engine", "cubes", "abstraction engine: cubes (per-cube prover queries) or models (incremental model enumeration)")
 	stats := flag.Bool("stats", false, "print per-stage timings and prover statistics to stderr")
 	explain := flag.Bool("explain", false, "render a found error path as an annotated source-level trace")
 	verbose := flag.Bool("v", false, "log each refinement iteration")
@@ -56,6 +58,11 @@ func run() (code int) {
 	}
 	if *maxIters <= 0 {
 		fmt.Fprintf(os.Stderr, "slam: flag -maxiters: %d: must be positive\n", *maxIters)
+		return 2
+	}
+	if !predabs.ValidEngine(*absEngine) {
+		fmt.Fprintf(os.Stderr, "slam: flag -abs-engine: %q: must be %q or %q\n",
+			*absEngine, predabs.EngineCubes, predabs.EngineModels)
 		return 2
 	}
 	if err := obsFlags.Validate(); err != nil {
@@ -82,6 +89,7 @@ func run() (code int) {
 		Entry:      *entry,
 		MaxIters:   *maxIters,
 		Jobs:       *jobs,
+		Engine:     *absEngine,
 		Stats:      *stats,
 		Explain:    *explain,
 		Verbose:    *verbose,

@@ -63,6 +63,29 @@ type Options struct {
 	// remaining procedure the same sound way the cube budget does. A
 	// pointer keeps Options comparable.
 	Budget *budget.Tracker
+	// Engine selects the prover-backed F_V search: EngineCubes (or "")
+	// enumerates candidate cubes with one Valid query each (the paper's
+	// Section 4.1 loop); EngineModels enumerates prover models of the WP
+	// query and classifies the same candidate cubes by membership, which
+	// needs far fewer prover interactions on predicate-rich procedures.
+	// Both engines emit byte-identical boolean programs on non-degraded
+	// runs. EngineModels requires a prover with incremental sessions
+	// (*prover.Prover); other Queriers silently use the cube engine.
+	Engine string
+}
+
+// Engine names for Options.Engine (the -abs-engine CLI flag).
+const (
+	// EngineCubes is the paper's per-cube Valid query search (default).
+	EngineCubes = "cubes"
+	// EngineModels is the incremental model-enumeration search.
+	EngineModels = "models"
+)
+
+// ValidEngine reports whether s names a known abstraction engine
+// ("" means the default, EngineCubes).
+func ValidEngine(s string) bool {
+	return s == "" || s == EngineCubes || s == EngineModels
 }
 
 // DefaultOptions returns the configuration used in the paper's

@@ -218,6 +218,13 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 		return bp.Const{Val: false}
 	}
 
+	// Engine dispatch: everything above (constant folding, syntactic
+	// heuristics, FOnAtoms distribution, degraded fallback) is shared;
+	// only the prover-backed search below differs between engines.
+	if ab.useModels() {
+		return ab.fvModels(fn, preds, phi)
+	}
+
 	// Everything below is prover-backed cube search; time it as one stage.
 	searchStart := time.Now()
 	searchSpan := ab.opts.Tracer.Begin("cube", "search")
@@ -252,11 +259,34 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 	// Optimization 1: enumerate cubes by increasing length, pruning
 	// supersets of accepted implicants (redundant) and of cubes that imply
 	// ¬phi (can never imply phi consistently).
+	notPhi := form.NNF(form.MkNot(phi))
+	disjuncts := ab.fvRounds(domain, maxLen, func(cands [][]literal, verdicts []cubeVerdict) {
+		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
+			cubeF := cubeFormula(domain, cands[i])
+			if ab.pv.Valid(cubeF, phi) {
+				verdicts[i] = verdictImplicant
+			} else if ab.pv.Valid(cubeF, notPhi) {
+				verdicts[i] = verdictContradiction
+			}
+		})
+	})
+	return bp.OrAll(disjuncts)
+}
+
+// fvRounds runs the sized-round candidate enumeration shared by both
+// abstraction engines: cubes by increasing length, superset pruning
+// against accepted implicants and contradictions, the per-procedure
+// cube budget, and the canonical-order merge. classify assigns a
+// verdict to each candidate of one round — prover-backed for the cube
+// engine, model-membership for the enumeration engine. Because the
+// candidate generation, pruning and merge live here, the two engines
+// produce byte-identical disjunct lists whenever classify agrees.
+func (ab *Abstractor) fvRounds(domain []Pred, maxLen int,
+	classify func(cands [][]literal, verdicts []cubeVerdict)) []bp.Expr {
+
 	var implicants [][]literal
 	var contradictions [][]literal
 	var disjuncts []bp.Expr
-	notPhi := form.NNF(form.MkNot(phi))
-
 	for size := 1; size <= maxLen; size++ {
 		// A mid-search limit keeps the implicants found so far: each one
 		// individually implies phi, so the partial disjunction is sound.
@@ -274,14 +304,7 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 		ab.Stats.CubeRounds++
 		roundSpan := ab.opts.Tracer.Begin("cube", "round")
 		verdicts := make([]cubeVerdict, len(cands))
-		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
-			cubeF := cubeFormula(domain, cands[i])
-			if ab.pv.Valid(cubeF, phi) {
-				verdicts[i] = verdictImplicant
-			} else if ab.pv.Valid(cubeF, notPhi) {
-				verdicts[i] = verdictContradiction
-			}
-		})
+		classify(cands, verdicts)
 		roundSpan.End(trace.Int("len", size), trace.Int("candidates", len(cands)))
 		for i, v := range verdicts {
 			switch v {
@@ -293,7 +316,7 @@ func (ab *Abstractor) fv(fn string, preds []Pred, phi form.Formula) bp.Expr {
 			}
 		}
 	}
-	return bp.OrAll(disjuncts)
+	return disjuncts
 }
 
 // gv computes G_V(phi) = ¬F_V(¬phi): the strongest expressible formula
@@ -425,6 +448,60 @@ func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
 	if maxLen <= 0 || maxLen > len(preds) {
 		maxLen = len(preds)
 	}
+	if len(preds) == 0 {
+		return nil
+	}
+	// Engine dispatch, mirroring fv: the model engine replaces the
+	// per-candidate Unsat queries with one consistent-minterm
+	// enumeration per scope, then replays the identical rounds below
+	// with membership verdicts. The guard keeps tiny scopes on the cube
+	// path, where enumerating every minterm costs more checks than the
+	// handful of candidate queries it would replace — both paths compute
+	// the same verdicts, so the emitted invariant does not depend on the
+	// choice.
+	if ab.useModels() && enforceEnumWins(len(preds), maxLen) {
+		return ab.enforceModels(preds, maxLen)
+	}
+	return ab.enforceRounds(preds, maxLen, func(cands [][]literal, verdicts []cubeVerdict) {
+		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
+			if ab.pv.Unsat(cubeFormula(preds, cands[i])) {
+				verdicts[i] = verdictContradiction
+			}
+		})
+	})
+}
+
+// enforceEnumWins reports whether minterm enumeration can beat the
+// per-candidate search on a scope of n predicates: its worst case is
+// every minterm consistent (2^n sat checks plus the closing unsat),
+// while the cube engine's worst case is one query per candidate with no
+// pruning. When the enumeration's worst case is not strictly smaller —
+// n == 1, or large n against the maxLen-bounded candidate count — the
+// cube path preserves the model engine's never-more-queries guarantee.
+func enforceEnumWins(n, maxLen int) bool {
+	if n >= 30 {
+		return false // 2^n dwarfs any candidate count long before here
+	}
+	enumWorst := int64(1)<<uint(n) + 1
+	candWorst := int64(0)
+	// Σ_{k=1..maxLen} C(n,k)·2^k, accumulated incrementally.
+	binom := int64(1)
+	for k := 1; k <= maxLen && k <= n; k++ {
+		binom = binom * int64(n-k+1) / int64(k)
+		candWorst += binom << uint(k)
+		if candWorst >= enumWorst {
+			return true
+		}
+	}
+	return enumWorst < candWorst
+}
+
+// enforceRounds is the sized-round skeleton of the enforce search,
+// shared by both engines so the emitted invariant is byte-identical:
+// candidate enumeration order, superset pruning against already-found
+// inconsistent cubes, cube-budget accounting and the collection order
+// depend only on the verdicts, never on which engine produced them.
+func (ab *Abstractor) enforceRounds(preds []Pred, maxLen int, classify func(cands [][]literal, verdicts []cubeVerdict)) bp.Expr {
 	var found [][]literal
 	var disjuncts []bp.Expr
 	for size := 1; size <= maxLen; size++ {
@@ -442,11 +519,7 @@ func (ab *Abstractor) enforceExpr(fn string, preds []Pred) bp.Expr {
 		ab.Stats.CubeRounds++
 		roundSpan := ab.opts.Tracer.Begin("cube", "round")
 		verdicts := make([]cubeVerdict, len(cands))
-		checkRound(ab.opts.Tracer, len(cands), ab.jobs(), func(i int) {
-			if ab.pv.Unsat(cubeFormula(preds, cands[i])) {
-				verdicts[i] = verdictContradiction
-			}
-		})
+		classify(cands, verdicts)
 		roundSpan.End(trace.Int("len", size), trace.Int("candidates", len(cands)))
 		for i, v := range verdicts {
 			if v == verdictContradiction {

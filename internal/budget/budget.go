@@ -51,6 +51,12 @@ const (
 	LimitIterations = "iterations"
 	// LimitCondSize is Newton's path-condition size cap (internal).
 	LimitCondSize = "cond-size"
+	// LimitProverBudget is the prover's internal per-query leaf-check cap
+	// (internal). Plain Valid/Unsat queries absorb it as "could not
+	// prove", but a model-enumeration session that hits it has an
+	// incomplete model set, so the abstraction engine must degrade the
+	// procedure instead of trusting absence-of-model verdicts.
+	LimitProverBudget = "prover-budget"
 )
 
 // Limits are the explicit resource budgets for one run. The zero value

@@ -113,6 +113,13 @@ type Counters struct {
 	CacheHits             int            `json:"cache_hits"`
 	CheckIterations       int            `json:"check_iterations"`
 	CheckIterationsByProc map[string]int `json:"check_iterations_by_proc,omitempty"`
+
+	// Model-enumeration engine counters, all zero (and omitted from the
+	// journal) under the default cube engine.
+	ProverSessions  int `json:"prover_sessions,omitempty"`
+	SessionChecks   int `json:"session_checks,omitempty"`
+	ModelsExtracted int `json:"models_extracted,omitempty"`
+	BlockingClauses int `json:"blocking_clauses,omitempty"`
 }
 
 // IterationRecord is one commit point: the full state needed to resume

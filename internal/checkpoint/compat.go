@@ -39,6 +39,14 @@ type CompatKey struct {
 	CubeBudget  int64
 	BDDMaxNodes int64
 
+	// AbsEngine pins the abstraction engine (-abs-engine). The engines
+	// emit byte-identical boolean programs on non-degraded runs, but they
+	// populate the persisted prover cache with different key sets and
+	// degrade differently under budgets, so a journal written by one must
+	// not warm-start the other. Callers normalize "" to "cubes" so the
+	// default spelled explicitly and implicitly hashes the same.
+	AbsEngine string
+
 	// Extra fingerprints tool-specific deterministic knobs that have no
 	// dedicated field (e.g. c2bp's -nocone/-noenforce).
 	Extra string
@@ -60,6 +68,7 @@ func (k CompatKey) Hash() string {
 	put(k.Spec)
 	put(k.Entry)
 	put(fmt.Sprintf("%d/%d/%d", k.MaxCubeLen, k.CubeBudget, k.BDDMaxNodes))
+	put(k.AbsEngine)
 	put(k.Extra)
 	return hex.EncodeToString(h.Sum(nil))
 }

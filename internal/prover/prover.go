@@ -85,6 +85,11 @@ type Prover struct {
 	cancels   atomic.Int64
 	theoryNS  atomic.Int64
 
+	sessions        atomic.Int64
+	sessionChecks   atomic.Int64
+	modelsExtracted atomic.Int64
+	blockingClauses atomic.Int64
+
 	seed   maphash.Seed
 	shards [cacheShards]cacheShard
 }
@@ -125,6 +130,24 @@ func (p *Prover) Cancels() int { return int(p.cancels.Load()) }
 func (p *Prover) SolverTime() time.Duration {
 	return time.Duration(p.theoryNS.Load())
 }
+
+// Sessions reports the number of incremental sessions opened with
+// NewSession.
+func (p *Prover) Sessions() int { return int(p.sessions.Load()) }
+
+// SessionChecks reports the number of Session.Check calls. Together
+// with Calls it is the run's total query count: the model-enumeration
+// engine's session checks replace the cube engine's Valid calls, so
+// engine comparisons use Calls() + SessionChecks().
+func (p *Prover) SessionChecks() int { return int(p.sessionChecks.Load()) }
+
+// ModelsExtracted reports the number of models returned by
+// Session.Check (one per satisfiable check).
+func (p *Prover) ModelsExtracted() int { return int(p.modelsExtracted.Load()) }
+
+// BlockingClauses reports the number of Session.Block assertions — the
+// enumeration loop's iteration count across all sessions.
+func (p *Prover) BlockingClauses() int { return int(p.blockingClauses.Load()) }
 
 // shard picks the cache stripe for a key.
 func (p *Prover) shard(key string) *cacheShard {

@@ -1,0 +1,365 @@
+package prover
+
+import (
+	"time"
+
+	"predabs/internal/budget"
+	"predabs/internal/form"
+)
+
+// Verdict is the outcome of one Session.Check.
+type Verdict int8
+
+// Check outcomes. Unknown means the search was abandoned on a resource
+// cap before either a model was found or unsatisfiability was proven;
+// callers that enumerate models MUST treat it as "enumeration
+// incomplete" and degrade, never as "no more models".
+const (
+	// Unknown: the check gave up (timeout, cancellation or leaf budget).
+	Unknown Verdict = iota
+	// Sat: a model of the asserted conjunction was found.
+	Sat
+	// Unsat: the asserted conjunction is definitely unsatisfiable.
+	Unsat
+)
+
+// String renders the verdict for logs and tests.
+func (v Verdict) String() string {
+	switch v {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Model is a satisfying assignment extracted from the DPLL core: a truth
+// value for every atom branched on during the search, keyed by the
+// prover's canonical atom key. Models are immutable snapshots; they stay
+// valid after the session moves on or closes.
+type Model struct {
+	assign map[string]bool // canonical atom key -> truth of canonical base
+}
+
+// Eval evaluates a formula under the model's atom assignment. ok is
+// false when the formula mentions an atom the model does not assign
+// (an atom that was neither in the checked formula nor Tracked).
+func (m *Model) Eval(f form.Formula) (val, ok bool) {
+	switch f := f.(type) {
+	case form.TrueF:
+		return true, true
+	case form.FalseF:
+		return false, true
+	case form.Cmp:
+		key, flip := atomKey(f)
+		v, has := m.assign[key]
+		if !has {
+			return false, false
+		}
+		return v != flip, true
+	case form.Not:
+		v, has := m.Eval(f.F)
+		return !v, has
+	case form.And:
+		for _, g := range f.Fs {
+			v, has := m.Eval(g)
+			if !has {
+				return false, false
+			}
+			if !v {
+				return false, true
+			}
+		}
+		return true, true
+	case form.Or:
+		for _, g := range f.Fs {
+			v, has := m.Eval(g)
+			if !has {
+				return false, false
+			}
+			if v {
+				return true, true
+			}
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// trackedAtom is one atom registered via Track, with its canonical key
+// and a representative comparison to rebuild theory literals from.
+type trackedAtom struct {
+	key  string
+	c    form.Cmp
+	flip bool // the representative is the negation of the canonical base
+}
+
+// binding is one canonical atom assignment along a search path.
+type binding struct {
+	key string
+	val bool // truth of the canonical base atom
+}
+
+// Session is an incremental assertion scope over a Prover: assert
+// formulas, push/pop scopes, and extract models from the DPLL core. The
+// model-enumeration abstraction engine uses one session per blocking
+// loop (assert the query once, then get-model / block / re-check).
+//
+// A Session is NOT safe for concurrent use; it is designed for the
+// single coordinating goroutine of the abstraction engine. The
+// underlying Prover may be shared: Check consults and populates the
+// same striped cache as Valid/Unsat (keyed exactly like Unsat of the
+// asserted conjunction), with the same rule that wall-clock-stopped
+// checks never populate the cache — a cached verdict must be a property
+// of the formula, not of the machine's load at the time.
+type Session struct {
+	p       *Prover
+	asserts []form.Formula
+	marks   []int
+	tracked []trackedAtom
+	keys    map[string]bool
+	hits    int
+	closed  bool
+}
+
+// NewSession opens an incremental session on the prover. Close it when
+// done; sessions are cheap (no solver process, just a stack).
+func (p *Prover) NewSession() *Session {
+	p.sessions.Add(1)
+	return &Session{p: p, keys: map[string]bool{}}
+}
+
+// Push opens a new assertion scope. Formulas asserted after Push are
+// retracted by the matching Pop. Tracked atoms are session-global and
+// survive Pop: tracking widens what models report, which stays correct
+// across scopes.
+func (s *Session) Push() {
+	s.mustOpen()
+	s.marks = append(s.marks, len(s.asserts))
+}
+
+// Pop retracts every assertion made since the matching Push.
+func (s *Session) Pop() {
+	s.mustOpen()
+	if len(s.marks) == 0 {
+		panic("prover: Session.Pop without matching Push")
+	}
+	n := len(s.marks) - 1
+	s.asserts = s.asserts[:s.marks[n]]
+	s.marks = s.marks[:n]
+}
+
+// Assert conjoins f onto the current assertion scope.
+func (s *Session) Assert(f form.Formula) {
+	s.mustOpen()
+	s.asserts = append(s.asserts, f)
+}
+
+// Block asserts a blocking clause: semantically identical to Assert,
+// but counted separately (Prover.BlockingClauses) so the enumeration
+// loop's progress is visible in -stats and reports.
+func (s *Session) Block(f form.Formula) {
+	s.mustOpen()
+	s.p.blockingClauses.Add(1)
+	s.asserts = append(s.asserts, f)
+}
+
+// Track registers every atom of f for model extraction: Check keeps
+// branching until all tracked atoms have truth values, so the returned
+// model evaluates any formula over tracked atoms. Atoms are recorded in
+// first-seen order, which (with the true-before-false branching order)
+// makes the model sequence deterministic.
+func (s *Session) Track(f form.Formula) {
+	s.mustOpen()
+	s.trackAtoms(form.NNF(f))
+}
+
+func (s *Session) trackAtoms(f form.Formula) {
+	switch f := f.(type) {
+	case form.Cmp:
+		key, flip := atomKey(f)
+		if !s.keys[key] {
+			s.keys[key] = true
+			s.tracked = append(s.tracked, trackedAtom{key: key, c: f, flip: flip})
+		}
+	case form.Not:
+		s.trackAtoms(f.F)
+	case form.And:
+		for _, g := range f.Fs {
+			s.trackAtoms(g)
+		}
+	case form.Or:
+		for _, g := range f.Fs {
+			s.trackAtoms(g)
+		}
+	}
+}
+
+// Check decides the current assertion stack. It returns:
+//
+//	Unsat, nil, ""      — the conjunction is definitely unsatisfiable;
+//	Sat, model, ""      — a model was found (covering every tracked atom);
+//	Unknown, nil, limit — the search was abandoned; limit is the
+//	                      canonical budget.Limit* name that fired.
+//
+// Check shares the Prover's cache under the Unsat keyspace: a cached
+// "definitely unsat" answers without searching; any other cached value
+// cannot carry a model, so the search runs. Definitive results are
+// cached; wall-clock stops (timeout, cancellation) never are.
+func (s *Session) Check() (Verdict, *Model, string) {
+	s.mustOpen()
+	p := s.p
+	p.sessionChecks.Add(1)
+	f := form.MkAnd(s.asserts...)
+	key := "U\x00" + f.String()
+	if !p.DisableCache {
+		if v, ok := p.cacheGet(key); ok && v {
+			p.cacheHits.Add(1)
+			s.hits++
+			return Unsat, nil, ""
+		}
+	}
+	// Fast path: the run is already cancelled (mirrors Prover.decide).
+	if p.Budget.Cancelled() {
+		p.gaveUp.Add(1)
+		p.cancels.Add(1)
+		return Unknown, nil, budget.LimitDeadline
+	}
+	start := time.Now()
+	st := satState{budget: maxLeafChecks}
+	if p.QueryTimeout > 0 {
+		st.deadline = start.Add(p.QueryTimeout)
+	}
+	if p.Budget != nil {
+		st.done = p.Budget.Context().Done()
+	}
+	m := s.satModel(form.NNF(f), nil, nil, &st)
+	p.theoryNS.Add(int64(time.Since(start)))
+	if m != nil {
+		// A found model is definitive even if the budget ran out at that
+		// exact leaf: the conjunction is satisfiable, hence not unsat.
+		p.modelsExtracted.Add(1)
+		if !p.DisableCache && st.stop == stopNone {
+			p.cachePut(key, false)
+		}
+		return Sat, m, ""
+	}
+	if gave := st.budget <= 0 || st.stop != stopNone; gave {
+		p.gaveUp.Add(1)
+		switch st.stop {
+		case stopTimeout:
+			p.timeouts.Add(1)
+			p.Budget.Degrade("prover", budget.LimitQueryTimeout, queryDesc(key))
+			return Unknown, nil, budget.LimitQueryTimeout
+		case stopCancel:
+			p.cancels.Add(1)
+			return Unknown, nil, budget.LimitDeadline
+		}
+		// Leaf-budget exhaustion: deterministic for the formula, so the
+		// "could not prove unsat" verdict is cacheable like in decide.
+		if !p.DisableCache {
+			p.cachePut(key, false)
+		}
+		return Unknown, nil, budget.LimitProverBudget
+	}
+	if !p.DisableCache {
+		p.cachePut(key, true)
+	}
+	return Unsat, nil, ""
+}
+
+// CacheHits reports how many of this session's checks were answered
+// from the prover's shared cache (they also count toward the prover's
+// global CacheHits). Trace spans carry it so reports can reconcile
+// cache misses across both query styles.
+func (s *Session) CacheHits() int { return s.hits }
+
+// Close ends the session. Further use panics. Models already extracted
+// remain valid.
+func (s *Session) Close() {
+	s.closed = true
+	s.asserts, s.marks, s.tracked, s.keys = nil, nil, nil, nil
+}
+
+func (s *Session) mustOpen() {
+	if s.closed {
+		panic("prover: use of closed Session")
+	}
+}
+
+// satModel is the model-extracting variant of Prover.sat: DPLL over the
+// formula's boolean skeleton, then over any still-unassigned tracked
+// atoms, with a theory-consistency check at each full leaf. It returns
+// the first model in the deterministic branch order (formula atoms in
+// discovery order, then tracked atoms in registration order; true
+// before false), or nil if none was found — the caller distinguishes
+// "exhausted" from "gave up" via st.
+func (s *Session) satModel(f form.Formula, lits []lit, binds []binding, st *satState) *Model {
+	st.tick()
+	if st.budget <= 0 || st.stop != stopNone {
+		return nil // give up; st records why
+	}
+	switch f.(type) {
+	case form.FalseF:
+		return nil
+	case form.TrueF:
+		ta, ok := s.nextTracked(binds)
+		if !ok {
+			st.budget--
+			if theoryConsistent(lits) {
+				return newModel(binds)
+			}
+			return nil
+		}
+		for _, val := range []bool{true, false} {
+			// val is the truth of the representative atom as registered
+			// (so a tracked predicate is tried true-first even when its
+			// canonical base is its negation); the binding records the
+			// canonical base's truth.
+			m := s.satModel(f, append(lits, litOf(ta.c, val)),
+				append(binds, binding{key: ta.key, val: val != ta.flip}), st)
+			if m != nil {
+				return m
+			}
+		}
+		return nil
+	}
+	atom := firstAtom(f)
+	key, flip := atomKey(atom)
+	for _, val := range []bool{true, false} {
+		f2 := assignAtom(f, key, val != flip)
+		m := s.satModel(f2, append(lits, litOf(atom, val)),
+			append(binds, binding{key: key, val: val != flip}), st)
+		if m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// nextTracked returns the first tracked atom not yet bound on the path.
+func (s *Session) nextTracked(binds []binding) (trackedAtom, bool) {
+	for _, ta := range s.tracked {
+		bound := false
+		for _, b := range binds {
+			if b.key == ta.key {
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			return ta, true
+		}
+	}
+	return trackedAtom{}, false
+}
+
+// newModel snapshots the path's bindings into an immutable model.
+func newModel(binds []binding) *Model {
+	m := &Model{assign: make(map[string]bool, len(binds))}
+	for _, b := range binds {
+		m.assign[b.key] = b.val
+	}
+	return m
+}

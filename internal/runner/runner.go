@@ -40,6 +40,12 @@ type Input struct {
 	MaxIters int
 	// Jobs sizes the cube-search worker pool (cmd/slam -j).
 	Jobs int
+	// Engine selects the abstraction engine (cmd/slam -abs-engine):
+	// predabs.EngineCubes, predabs.EngineModels, or "" for the default
+	// cube engine. Unlike Jobs it changes what the run computes along the
+	// way (prover cache contents, budget degradations), so it feeds the
+	// checkpoint compatibility key.
+	Engine string
 	// Stats, Explain and Verbose mirror the slam flags of the same name.
 	Stats   bool
 	Explain bool
@@ -94,9 +100,19 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 		finished = true
 		return finishSession()
 	}
+	if !predabs.ValidEngine(in.Engine) {
+		finish()
+		return fatal(stderr, fmt.Errorf("unknown -abs-engine %q (want %q or %q)",
+			in.Engine, predabs.EngineCubes, predabs.EngineModels)), ""
+	}
+	engine := in.Engine
+	if engine == "" {
+		engine = predabs.EngineCubes
+	}
 	cfg := predabs.DefaultVerifyConfig()
 	cfg.MaxIterations = in.MaxIters
 	cfg.Opts.Jobs = in.Jobs
+	cfg.Opts.Engine = engine
 	cfg.Tracer = tracer
 	cfg.Limits = flags.Limits()
 	if in.Verbose {
@@ -114,6 +130,7 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 		MaxCubeLen:  cfg.Opts.MaxCubeLen,
 		CubeBudget:  int64(flags.CubeBudget),
 		BDDMaxNodes: int64(flags.BDDMaxNodes),
+		AbsEngine:   engine,
 	}, tracer)
 	if err != nil {
 		finish()
@@ -148,6 +165,10 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 	if in.Stats {
 		fmt.Fprintf(stderr, "prover calls: %d\nprover cache hits: %d\ntheory solver time: %v\n",
 			res.ProverCalls, res.CacheHits, res.SolverTime)
+		if res.ProverSessions > 0 {
+			fmt.Fprintf(stderr, "prover sessions: %d\nsession checks: %d\nmodels extracted: %d\nblocking clauses: %d\n",
+				res.ProverSessions, res.SessionChecks, res.ModelsExtracted, res.BlockingClauses)
+		}
 		fmt.Fprintf(stderr, "stage abstraction (c2bp): %v\nstage model checking (bebop): %v\nstage predicate discovery (newton): %v\n",
 			res.AbstractTime, res.CheckTime, res.NewtonTime)
 		fmt.Fprintf(stderr, "bebop iterations: %d\n", res.CheckIterations)

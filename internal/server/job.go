@@ -39,6 +39,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"predabs"
 	"predabs/internal/obs"
 	"predabs/internal/runner"
 )
@@ -61,6 +62,11 @@ type JobSpec struct {
 	// Jobs sizes the cube-search worker pool inside the worker process
 	// (0 = GOMAXPROCS). Verdicts are worker-count-independent.
 	Jobs int `json:"jobs,omitempty"`
+	// AbsEngine selects the abstraction engine ("cubes" or "models";
+	// empty means "cubes"). It participates in the spec hash, so changing
+	// it changes job identity — a recycled job directory can never serve
+	// one engine's result for the other's request.
+	AbsEngine string `json:"abs_engine,omitempty"`
 	// Explain renders found error paths as annotated source traces.
 	Explain bool `json:"explain,omitempty"`
 
@@ -101,6 +107,10 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Jobs < 0 {
 		return fmt.Errorf("jobs: %d: must not be negative", s.Jobs)
+	}
+	if !predabs.ValidEngine(s.AbsEngine) {
+		return fmt.Errorf("abs_engine: %q: must be %q or %q",
+			s.AbsEngine, predabs.EngineCubes, predabs.EngineModels)
 	}
 	for name, v := range map[string]int64{
 		"timeout_ms":         s.TimeoutMS,
@@ -194,6 +204,7 @@ func RunWorker(dir string, stderr io.Writer) int {
 		Entry:      spec.Entry,
 		MaxIters:   spec.MaxIters,
 		Jobs:       spec.Jobs,
+		Engine:     spec.AbsEngine,
 		Explain:    spec.Explain,
 		Obs:        flags,
 	}, &stdout, stderr)

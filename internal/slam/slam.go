@@ -111,6 +111,15 @@ type Result struct {
 	// CacheHits accumulates prover queries answered from the memo cache
 	// (optimization 5 working across CEGAR iterations).
 	CacheHits int
+	// ProverSessions, SessionChecks, ModelsExtracted and BlockingClauses
+	// accumulate the model-enumeration engine's incremental-session
+	// activity across all rounds; all zero under the default cube engine.
+	// ProverCalls + SessionChecks is the run's total prover interaction
+	// count, the number to compare across engines.
+	ProverSessions  int
+	SessionChecks   int
+	ModelsExtracted int
+	BlockingClauses int
 	// SolverTime is the cumulative wall time inside the decision
 	// procedures.
 	SolverTime time.Duration
@@ -339,6 +348,10 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 		out.Iterations = snap.Iter
 		out.ProverCalls = base.ProverCalls
 		out.CacheHits = base.CacheHits
+		out.ProverSessions = base.ProverSessions
+		out.SessionChecks = base.SessionChecks
+		out.ModelsExtracted = base.ModelsExtracted
+		out.BlockingClauses = base.BlockingClauses
 		out.CheckIterations = base.CheckIterations
 		for p, n := range base.CheckIterationsByProc {
 			out.CheckIterationsByProc[p] = n
@@ -535,6 +548,18 @@ func recordProverStats(out *Result, pv prover.Querier, base checkpoint.Counters)
 	if s, ok := pv.(interface{ SolverTime() time.Duration }); ok {
 		out.SolverTime = s.SolverTime()
 	}
+	if s, ok := pv.(interface{ Sessions() int }); ok {
+		out.ProverSessions = base.ProverSessions + s.Sessions()
+	}
+	if s, ok := pv.(interface{ SessionChecks() int }); ok {
+		out.SessionChecks = base.SessionChecks + s.SessionChecks()
+	}
+	if s, ok := pv.(interface{ ModelsExtracted() int }); ok {
+		out.ModelsExtracted = base.ModelsExtracted + s.ModelsExtracted()
+	}
+	if s, ok := pv.(interface{ BlockingClauses() int }); ok {
+		out.BlockingClauses = base.BlockingClauses + s.BlockingClauses()
+	}
 }
 
 // commitCheckpoint journals one iteration boundary. The prover is
@@ -567,6 +592,10 @@ func commitCheckpoint(ckpt *checkpoint.Manager, tracer *tracepkg.Tracer, logf fu
 		CacheHits:             out.CacheHits,
 		CheckIterations:       out.CheckIterations,
 		CheckIterationsByProc: out.CheckIterationsByProc,
+		ProverSessions:        out.ProverSessions,
+		SessionChecks:         out.SessionChecks,
+		ModelsExtracted:       out.ModelsExtracted,
+		BlockingClauses:       out.BlockingClauses,
 	}
 	if err := ckpt.AppendIteration(rec); err != nil {
 		logf("slam: checkpoint commit failed: %v (continuing without persistence)", err)

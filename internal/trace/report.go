@@ -113,6 +113,14 @@ type Report struct {
 	ProverGaveUp int   `json:"prover_gave_up"`
 	SolverNS     int64 `json:"solver_ns"`
 
+	// Sessions, SessionChecks and ModelsExtracted aggregate the
+	// model-enumeration engine's "abs.enum" spans; all zero (and omitted)
+	// under the default cube engine. ProverCalls + SessionChecks is the
+	// run's total prover interaction count.
+	Sessions        int `json:"sessions,omitempty"`
+	SessionChecks   int `json:"session_checks,omitempty"`
+	ModelsExtracted int `json:"models_extracted,omitempty"`
+
 	CubeRounds   int `json:"cube_rounds"`
 	CubesChecked int `json:"cubes_checked"`
 
@@ -167,6 +175,10 @@ type aggregator struct {
 
 	cubeRounds   int
 	cubesChecked int
+
+	sessions        int
+	sessionChecks   int
+	modelsExtracted int
 
 	stageNS map[string]int64
 
@@ -263,6 +275,23 @@ func (a *aggregator) consume(cat, name string, dur time.Duration, fields []Field
 			if n, ok := fieldIntVal(fields, "candidates"); ok {
 				a.cubesChecked += int(n)
 			}
+		}
+	case "abs.enum":
+		if name != "session" {
+			return
+		}
+		a.sessions++
+		if n, ok := fieldIntVal(fields, "checks"); ok {
+			a.sessionChecks += int(n)
+		}
+		if n, ok := fieldIntVal(fields, "models"); ok {
+			a.modelsExtracted += int(n)
+		}
+		// Session checks answered from the prover's shared cache count
+		// toward its global cache hits, so fold them in here; the misses
+		// computation below accounts session checks accordingly.
+		if n, ok := fieldIntVal(fields, "cache_hits"); ok {
+			a.cacheHits += int(n)
 		}
 	case "prover":
 		if name != "query" {
@@ -421,9 +450,14 @@ func (t *Tracer) Report() *Report {
 		Predicates:   a.predicates,
 		ProverCalls:  a.proverCalls,
 		CacheHits:    a.cacheHits,
-		CacheMisses:  a.proverCalls - a.cacheHits,
+		CacheMisses:  a.proverCalls + a.sessionChecks - a.cacheHits,
 		ProverGaveUp: a.proverGaveUp,
 		SolverNS:     a.solverNS,
+
+		Sessions:        a.sessions,
+		SessionChecks:   a.sessionChecks,
+		ModelsExtracted: a.modelsExtracted,
+
 		CubeRounds:   a.cubeRounds,
 		CubesChecked: a.cubesChecked,
 		StageNS:      map[string]int64{},
@@ -479,6 +513,10 @@ func (r *Report) Text() string {
 	fmt.Fprintf(&b, "predicates: %d\n", r.Predicates)
 	fmt.Fprintf(&b, "theorem prover calls: %d (cache hits: %d, misses: %d, gave up: %d)\n",
 		r.ProverCalls, r.CacheHits, r.CacheMisses, r.ProverGaveUp)
+	if r.Sessions > 0 {
+		fmt.Fprintf(&b, "prover sessions: %d (checks: %d, models extracted: %d)\n",
+			r.Sessions, r.SessionChecks, r.ModelsExtracted)
+	}
 	fmt.Fprintf(&b, "cubes checked: %d (in %d search rounds)\n", r.CubesChecked, r.CubeRounds)
 	fmt.Fprintf(&b, "theory solver time: %v\n", time.Duration(r.SolverNS))
 

@@ -28,6 +28,10 @@ var Taxonomy = map[string][]string{
 	"frontend": {"parse", "alias"},
 	"abstract": {"run", "signatures", "proc", "predicates"},
 	"cube":     {"search", "enforce", "round", "worker"},
+	// Model-enumeration abstraction engine (-abs-engine=models): one
+	// "session" span per blocking-clause loop, with kind/checks/models/
+	// complete fields. The default cube engine emits none of these.
+	"abs.enum": {"session"},
 	"prover":   {"query"},
 	"bebop":    {"check", "fixpoint", "iter"},
 	"newton":   {"analyze"},

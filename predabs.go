@@ -40,10 +40,26 @@ import (
 // Version identifies the toolkit build. It feeds the checkpoint
 // compatibility hash, so bump it whenever a change alters what any tool
 // computes — a stale journal must never warm-start a newer binary.
-const Version = "0.4"
+// 0.5: incremental prover sessions and the model-enumeration engine.
+const Version = "0.5"
 
 // Options re-exports the C2bp precision/efficiency knobs (Section 5.2).
 type Options = abstract.Options
+
+// Abstraction engine names for Options.Engine / the -abs-engine flag.
+// EngineCubes (also the meaning of an empty Engine) is the paper's
+// per-cube prover query search; EngineModels computes the same F_V by
+// enumerating prover models of the weakest-precondition query and
+// classifying cubes by membership. Both emit byte-identical boolean
+// programs on non-degraded runs; see DESIGN.md for the tradeoff.
+const (
+	EngineCubes  = abstract.EngineCubes
+	EngineModels = abstract.EngineModels
+)
+
+// ValidEngine reports whether s names a known abstraction engine ("",
+// meaning the default cube engine, is valid).
+func ValidEngine(s string) bool { return abstract.ValidEngine(s) }
 
 // Limits re-exports the resource limits every pipeline stage honours:
 // whole-run wall clock, per-prover-query timeout, per-procedure cube
@@ -163,6 +179,19 @@ type AbstractStats struct {
 	CubeRounds int
 	// Predicates is the number of input predicates.
 	Predicates int
+
+	// ProverSessions counts incremental prover sessions opened by the
+	// model-enumeration engine (zero under the default cube engine).
+	ProverSessions int
+	// SessionChecks counts incremental session checks; ProverCalls +
+	// SessionChecks is the run's total query count, the number to use
+	// when comparing engines.
+	SessionChecks int
+	// ModelsExtracted counts models returned by session checks.
+	ModelsExtracted int
+	// BlockingClauses counts blocking-clause assertions — the model
+	// enumeration's loop iterations.
+	BlockingClauses int
 
 	// ParseTime covers parsing, type checking and normalization (from
 	// Load).
@@ -287,14 +316,18 @@ func (p *Program) AbstractCheckpointed(ctx context.Context, predicates string, o
 	return &BooleanProgram{
 		prog: res.BP,
 		stats: AbstractStats{
-			ProverCalls:    pv.Calls(),
-			CacheHits:      pv.CacheHits(),
-			CacheMisses:    pv.Calls() - pv.CacheHits(),
-			ProverGaveUp:   pv.GaveUp(),
-			ProverTimeouts: pv.Timeouts(),
-			CubesChecked:   res.Stats.CubesChecked,
-			CubeRounds:     res.Stats.CubeRounds,
-			Predicates:     n,
+			ProverCalls:     pv.Calls(),
+			CacheHits:       pv.CacheHits(),
+			CacheMisses:     pv.Calls() + pv.SessionChecks() - pv.CacheHits(),
+			ProverGaveUp:    pv.GaveUp(),
+			ProverTimeouts:  pv.Timeouts(),
+			CubesChecked:    res.Stats.CubesChecked,
+			CubeRounds:      res.Stats.CubeRounds,
+			Predicates:      n,
+			ProverSessions:  pv.Sessions(),
+			SessionChecks:   pv.SessionChecks(),
+			ModelsExtracted: pv.ModelsExtracted(),
+			BlockingClauses: pv.BlockingClauses(),
 			ParseTime:      p.parseTime,
 			AliasTime:      p.aliasTime,
 			SignatureTime:  res.Stats.SignatureTime,

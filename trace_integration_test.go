@@ -231,44 +231,71 @@ func TestReportAggregateDeterminism(t *testing.T) {
 
 // TestReportTotalsMatchStats cross-checks the two bookkeeping paths: the
 // counters aggregated from the event stream must equal the ones the
-// facade reports through AbstractStats / CheckStats.
+// facade reports through AbstractStats / CheckStats — for both
+// abstraction engines (the models sub-run also pins the session
+// counters, which the cube engine must leave at zero).
 func TestReportTotalsMatchStats(t *testing.T) {
-	tr := trace.New(trace.Config{})
-	prog, err := Load(partitionSrc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	opts := DefaultOptions()
-	opts.Jobs = 1
-	opts.Tracer = tr
-	bprog, err := prog.Abstract(partitionPreds, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := bprog.Stats()
-	rep := tr.Report()
-	for _, c := range []struct {
-		name      string
-		rep, stat int
-	}{
-		{"prover calls", rep.ProverCalls, s.ProverCalls},
-		{"cache hits", rep.CacheHits, s.CacheHits},
-		{"cache misses", rep.CacheMisses, s.CacheMisses},
-		{"gave up", rep.ProverGaveUp, s.ProverGaveUp},
-		{"cubes checked", rep.CubesChecked, s.CubesChecked},
-		{"cube rounds", rep.CubeRounds, s.CubeRounds},
-		{"predicates", rep.Predicates, s.Predicates},
-	} {
-		if c.rep != c.stat {
-			t.Errorf("%s: report %d != stats %d", c.name, c.rep, c.stat)
-		}
-	}
-	var repProcs []ProcCubeStat
-	for _, p := range rep.Procs {
-		repProcs = append(repProcs, ProcCubeStat{Name: p.Name, Rounds: p.Rounds, Cubes: p.Cubes})
-	}
-	if !reflect.DeepEqual(repProcs, s.ProcCubes) {
-		t.Errorf("per-proc cube stats: report %+v != stats %+v", repProcs, s.ProcCubes)
+	var bprog *BooleanProgram
+	for _, engine := range []string{EngineCubes, EngineModels} {
+		t.Run(engine, func(t *testing.T) {
+			tr := trace.New(trace.Config{})
+			prog, err := Load(partitionSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Jobs = 1
+			opts.Engine = engine
+			opts.Tracer = tr
+			bprog, err = prog.Abstract(partitionPreds, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := bprog.Stats()
+			rep := tr.Report()
+			for _, c := range []struct {
+				name      string
+				rep, stat int
+			}{
+				{"prover calls", rep.ProverCalls, s.ProverCalls},
+				{"cache hits", rep.CacheHits, s.CacheHits},
+				{"cache misses", rep.CacheMisses, s.CacheMisses},
+				{"gave up", rep.ProverGaveUp, s.ProverGaveUp},
+				{"cubes checked", rep.CubesChecked, s.CubesChecked},
+				{"cube rounds", rep.CubeRounds, s.CubeRounds},
+				{"predicates", rep.Predicates, s.Predicates},
+				{"sessions", rep.Sessions, s.ProverSessions},
+				{"session checks", rep.SessionChecks, s.SessionChecks},
+				{"models extracted", rep.ModelsExtracted, s.ModelsExtracted},
+			} {
+				if c.rep != c.stat {
+					t.Errorf("%s: report %d != stats %d", c.name, c.rep, c.stat)
+				}
+			}
+			switch engine {
+			case EngineCubes:
+				if s.ProverSessions != 0 || s.SessionChecks != 0 || s.ModelsExtracted != 0 || s.BlockingClauses != 0 {
+					t.Errorf("cube engine reported session activity: %+v", s)
+				}
+			case EngineModels:
+				if s.ProverSessions == 0 {
+					t.Error("models engine opened no sessions on partition")
+				}
+				// Every extracted model is answered with exactly one
+				// blocking clause.
+				if s.BlockingClauses != s.ModelsExtracted {
+					t.Errorf("blocking clauses %d != models extracted %d",
+						s.BlockingClauses, s.ModelsExtracted)
+				}
+			}
+			var repProcs []ProcCubeStat
+			for _, p := range rep.Procs {
+				repProcs = append(repProcs, ProcCubeStat{Name: p.Name, Rounds: p.Rounds, Cubes: p.Cubes})
+			}
+			if !reflect.DeepEqual(repProcs, s.ProcCubes) {
+				t.Errorf("per-proc cube stats: report %+v != stats %+v", repProcs, s.ProcCubes)
+			}
+		})
 	}
 
 	tr2 := trace.New(trace.Config{})
