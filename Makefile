@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck bench bench-json lint-docs tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck metrics-lint bench bench-json lint-docs tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify lint-docs chaos crash corrupt serve-chaos leakcheck
+verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos leakcheck
 	$(GO) test -race ./...
 
 # Chaos gate: the deterministic fault-injection matrix (seeded prover
@@ -44,6 +44,13 @@ corrupt:
 # crash schedules, bounded wall clock.
 serve-chaos:
 	$(GO) test -count=1 -timeout 10m -run 'TestServeChaos' ./internal/faultinject/
+
+# Metrics gate: the Prometheus exposition's golden byte-for-byte family
+# ordering, the disabled-registry zero-allocation pin (the nil-tracer
+# contract extended to metrics), and the registry under the race
+# detector with racing registration, updates, and scrapes.
+metrics-lint:
+	$(GO) test -race -count=1 -run 'TestPromExpositionGolden|TestDisabledMetricsZeroAlloc|TestRegistryConcurrentStress' ./internal/metrics/
 
 # Leak gate: concurrent cancellation mid-cube-search at -j 8 must leave
 # no goroutine behind and keep the degraded report deterministic, and

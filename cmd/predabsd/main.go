@@ -26,6 +26,8 @@ import (
 	"syscall"
 	"time"
 
+	"predabs"
+	"predabs/internal/metrics"
 	"predabs/internal/server"
 )
 
@@ -97,6 +99,9 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	// Version at startup: the one log line every incident review wants,
+	// and the same value /healthz and /statz report while running.
+	fmt.Fprintf(os.Stderr, "predabsd: version %s starting\n", predabs.Version)
 	srv, err := server.New(server.Config{
 		DataDir:        *data,
 		WorkerBin:      self,
@@ -108,6 +113,7 @@ func run() (code int) {
 		RetryMax:       *retryMax,
 		Artifacts:      *artifacts,
 		AllowJobEnv:    *allowJobEnv,
+		Metrics:        metrics.New(),
 		Logf:           logf,
 	})
 	if err != nil {

@@ -3,11 +3,19 @@
 // event schema (known category/name taxonomy, non-negative timestamps,
 // span/event duration rules, scalar field values).
 //
+// With -events it instead validates job-event streams — the NDJSON the
+// daemon serves at GET /jobs/{id}/events (exported from each job's
+// durable events.predabs log): sequence numbers must be dense and
+// strictly increasing, and every record's payload must match its type
+// (state transitions name known states, spawn/kill carry an attempt,
+// progress heartbeats carry the CEGAR iteration counters).
+//
 // Usage:
 //
 //	tracelint run.jsonl [more.jsonl ...]
 //	slam -trace-out /dev/stdout prog.c | tracelint
 //	predabsd artifact | tracelint -
+//	curl -s $DAEMON/jobs/job-000001/events | tracelint -events -
 //
 // A "-" argument reads standard input, so daemon job artifacts can be
 // piped through the validator without temp files even alongside file
@@ -23,15 +31,17 @@ import (
 	"io"
 	"os"
 
+	"predabs/internal/server"
 	"predabs/internal/trace"
 )
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress the per-file ok lines")
+	events := flag.Bool("events", false, "validate job-event NDJSON (GET /jobs/{id}/events) instead of trace JSONL")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
-		if code := lint("<stdin>", os.Stdin, *quiet); code != 0 {
+		if code := lint("<stdin>", os.Stdin, *quiet, *events); code != 0 {
 			os.Exit(code)
 		}
 		return
@@ -39,7 +49,7 @@ func main() {
 	status := 0
 	for _, name := range flag.Args() {
 		if name == "-" {
-			if code := lint("<stdin>", os.Stdin, *quiet); code > status {
+			if code := lint("<stdin>", os.Stdin, *quiet, *events); code > status {
 				status = code
 			}
 			continue
@@ -49,7 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracelint:", err)
 			os.Exit(2)
 		}
-		if code := lint(name, f, *quiet); code > status {
+		if code := lint(name, f, *quiet, *events); code > status {
 			status = code
 		}
 		f.Close()
@@ -57,8 +67,12 @@ func main() {
 	os.Exit(status)
 }
 
-func lint(name string, r io.Reader, quiet bool) int {
-	n, err := trace.Validate(r)
+func lint(name string, r io.Reader, quiet, events bool) int {
+	validate := trace.Validate
+	if events {
+		validate = server.ValidateEvents
+	}
+	n, err := validate(r)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", name, err)
 		return 1

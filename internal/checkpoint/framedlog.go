@@ -123,6 +123,39 @@ func (l *Log) Append(payload []byte) error {
 	return nil
 }
 
+// ReplayLog reads the framed log at path strictly read-only: every
+// intact record payload is passed to replay in append order, and a torn
+// or invalid tail simply ends the replay — it is NOT truncated. This is
+// the accessor for concurrent readers (predabsd's event-stream handlers
+// read a log its worker may be appending to right now): an in-progress
+// append looks like a torn tail, and repairing it from the reader would
+// corrupt the writer's next frame. A missing file surfaces as the
+// os.Open error; a bad magic is a *CorruptError.
+func ReplayLog(path, magic string, replay func(payload []byte)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(f, buf); err != nil || string(buf) != magic {
+		return &CorruptError{Path: path, Detail: "bad magic"}
+	}
+	offset := int64(len(magic))
+	for {
+		payload, n, err := readFrame(f, offset)
+		if err != nil {
+			// io.EOF is the clean end; anything else is a torn or
+			// in-progress tail, which a reader must leave alone.
+			return nil
+		}
+		if replay != nil {
+			replay(payload)
+		}
+		offset += n
+	}
+}
+
 // Close syncs and closes the log file.
 func (l *Log) Close() error {
 	if l == nil || l.f == nil {

@@ -18,7 +18,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -31,6 +33,41 @@ import (
 	"predabs/internal/corpus"
 	"predabs/internal/server"
 )
+
+// jobEvents fetches a job's NDJSON event stream from base, validates it
+// (dense strictly-increasing sequences, per-type payload rules — the
+// same checker cmd/tracelint -events runs), and decodes it.
+func jobEvents(t *testing.T, base, id string, after uint64) []server.JobEvent {
+	t.Helper()
+	url := fmt.Sprintf("%s/jobs/%s/events", base, id)
+	if after > 0 {
+		url += fmt.Sprintf("?after=%d", after)
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d (%v)", url, resp.StatusCode, err)
+	}
+	if _, err := server.ValidateEvents(bytes.NewReader(body)); err != nil {
+		t.Fatalf("job %s event stream invalid: %v", id, err)
+	}
+	var out []server.JobEvent
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev server.JobEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("job %s event line %q: %v", id, line, err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
 
 var predabsdBuild struct {
 	once sync.Once
@@ -159,6 +196,8 @@ func TestServeChaosKillEveryCommitByteIdentical(t *testing.T) {
 		}
 	}
 
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
 	killedCells := 0
 	for _, c := range cells {
 		st := awaitTerminal(t, s, c.id, 60*time.Second)
@@ -181,6 +220,26 @@ func TestServeChaosKillEveryCommitByteIdentical(t *testing.T) {
 		} else if st.Attempts != 1 {
 			t.Errorf("%s: kill never fires at this commit, yet the daemon took %d attempts",
 				label, st.Attempts)
+		}
+		// Worker kills at every commit point must leave each job's event
+		// log consistent: jobEvents validates sequence density, and the
+		// stream must record every spawned attempt and close with "done".
+		evs := jobEvents(t, ts.URL, c.id, 0)
+		if len(evs) == 0 || evs[0].Seq != 1 {
+			t.Errorf("%s: event stream does not start at seq 1", label)
+			continue
+		}
+		spawns := 0
+		for _, ev := range evs {
+			if ev.Type == server.EventSpawn {
+				spawns++
+			}
+		}
+		if spawns != st.Attempts {
+			t.Errorf("%s: %d spawn events for %d attempts", label, spawns, st.Attempts)
+		}
+		if last := evs[len(evs)-1]; last.Type != server.EventState || last.State != server.StateDone {
+			t.Errorf("%s: event stream ends with %s/%s, want state/done", label, last.Type, last.State)
 		}
 	}
 	if killedCells == 0 {
@@ -227,6 +286,14 @@ func TestServeChaosExhaustionNeverVerifiesBuggyDriver(t *testing.T) {
 	if strings.Contains(st.Stdout, "verified") {
 		t.Fatalf("a job whose workers all died claims verification:\n%s", st.Stdout)
 	}
+}
+
+// firstSeq reports the first record's sequence (0 for an empty stream).
+func firstSeq(evs []server.JobEvent) uint64 {
+	if len(evs) == 0 {
+		return 0
+	}
+	return evs[0].Seq
 }
 
 // daemonProc is one real predabsd process under test.
@@ -351,6 +418,13 @@ func TestServeChaosDaemonKillRestartResumes(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// Snapshot the event stream a client would have consumed before the
+	// kill; its last sequence is the resume cursor checked after restart.
+	before := jobEvents(t, d1.base, submitted.ID, 0)
+	if len(before) == 0 {
+		t.Fatal("no events recorded before the daemon kill")
+	}
+	cursor := before[len(before)-1].Seq
 	d1.cmd.Process.Signal(syscall.SIGKILL)
 	d1.cmd.Wait()
 
@@ -374,6 +448,24 @@ func TestServeChaosDaemonKillRestartResumes(t *testing.T) {
 			if st.Stdout != ref.stdout || st.ExitCode != ref.code {
 				t.Errorf("resumed verdict not byte-identical (exit %d, want %d):\n got: %q\nwant: %q",
 					st.ExitCode, ref.code, st.Stdout, ref.stdout)
+			}
+			// The event log rode out the SIGKILL: the pre-kill records
+			// replay unchanged, and a client resuming with its pre-kill
+			// cursor observes a dense continuation — no gap, no duplicate.
+			after := jobEvents(t, d2.base, submitted.ID, 0)
+			if len(after) <= len(before) {
+				t.Errorf("event log did not grow across the restart (%d -> %d records)", len(before), len(after))
+			}
+			for i, ev := range before {
+				if i >= len(after) || after[i] != ev {
+					t.Errorf("pre-kill event %d (seq %d) changed or vanished across the restart", i, ev.Seq)
+					break
+				}
+			}
+			resumed := jobEvents(t, d2.base, submitted.ID, cursor)
+			if len(resumed) == 0 || resumed[0].Seq != cursor+1 {
+				t.Errorf("resume cursor %d did not continue densely: got %d records starting at seq %d",
+					cursor, len(resumed), firstSeq(resumed))
 			}
 			break
 		}

@@ -50,6 +50,11 @@ type Input struct {
 	Stats   bool
 	Explain bool
 	Verbose bool
+	// Progress receives CEGAR iteration-boundary heartbeats (see
+	// predabs.VerifyConfig.Progress). The predabsd worker uses it to
+	// append durable progress records to its job's event log; nil
+	// disables the hook at zero cost.
+	Progress func(iter, preds int, queries int64, engine string)
 	// Obs carries the shared observability/limit/checkpoint flag values.
 	// Nil means all defaults (no tracing, no limits, no state dir).
 	Obs *obs.Flags
@@ -115,6 +120,7 @@ func Run(in Input, stdout, stderr io.Writer) (code int, outcome string) {
 	cfg.Opts.Engine = engine
 	cfg.Tracer = tracer
 	cfg.Limits = flags.Limits()
+	cfg.Progress = in.Progress
 	if in.Verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stderr, format+"\n", args...)

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"predabs/internal/checkpoint"
+)
+
+// eventsMagic stamps the per-job event log (format 1); the framing
+// underneath is checkpoint.Log's CRC discipline, so a crash mid-append
+// loses at most the record being written and a daemon restart replays
+// exactly the records that were durable — never duplicating one, because
+// replay only reads (sequence numbers are assigned from the replayed
+// maximum, not re-appended).
+const eventsMagic = "PREDABSEVT1\x00"
+
+// EventsName is the event log's file name inside each job directory.
+const EventsName = "events.predabs"
+
+// Job event types. The supervisor writes "state", "spawn", "kill" and
+// "adopt"; the worker writes "progress" heartbeats at each CEGAR
+// iteration boundary. The two writers never overlap in time: the
+// supervisor appends only between worker attempts (before spawn, after
+// exit), the worker only while its attempt runs — which is what makes
+// the shared single-writer log sound.
+const (
+	EventState    = "state"    // job state transition (State field)
+	EventSpawn    = "spawn"    // worker attempt spawned (Attempt field)
+	EventKill     = "kill"     // worker SIGKILLed on the attempt deadline
+	EventAdopt    = "adopt"    // orphaned complete result adopted
+	EventProgress = "progress" // CEGAR iteration heartbeat from the worker
+)
+
+// JobEvent is one record of a job's durable event log, exposed to
+// clients as NDJSON at GET /jobs/{id}/events. Seq is assigned at append
+// time and is dense and strictly increasing per job across daemon
+// restarts and worker attempts, so a client that saw records through
+// seq N resumes with ?after=N and observes no gap and no duplicate.
+type JobEvent struct {
+	Seq     uint64 `json:"seq"`
+	TS      int64  `json:"ts"` // unix nanoseconds
+	Type    string `json:"type"`
+	State   string `json:"state,omitempty"`   // state: the new job state
+	Attempt int    `json:"attempt,omitempty"` // 1-based worker attempt
+	Detail  string `json:"detail,omitempty"`
+
+	// Progress payload (type "progress"): the CEGAR iteration that just
+	// committed, the predicate-pool size entering the next iteration, the
+	// cumulative prover interaction count (queries + incremental-session
+	// checks) and the abstraction engine.
+	Iter    int    `json:"iter,omitempty"`
+	Preds   int    `json:"preds,omitempty"`
+	Queries int64  `json:"queries,omitempty"`
+	Engine  string `json:"engine,omitempty"`
+}
+
+// appendJobEvent durably appends ev to dir's event log, assigning the
+// next sequence number from the replayed maximum. Open-append-close per
+// record keeps the log single-writer-at-a-time under the supervisor /
+// worker temporal handoff (neither holds a stale write offset across
+// the other's appends) and makes restart replay idempotent by
+// construction. The fsync cost is one frame per supervision transition
+// or CEGAR iteration — noise next to the checkpoint commit each
+// iteration already pays.
+func appendJobEvent(dir string, ev JobEvent) (uint64, error) {
+	var last uint64
+	log, err := checkpoint.OpenLog(filepath.Join(dir, EventsName), eventsMagic,
+		func(payload []byte) {
+			var e JobEvent
+			if json.Unmarshal(payload, &e) == nil && e.Seq > last {
+				last = e.Seq
+			}
+		})
+	if err != nil {
+		return 0, err
+	}
+	defer log.Close()
+	ev.Seq = last + 1
+	if ev.TS == 0 {
+		ev.TS = time.Now().UnixNano()
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return 0, err
+	}
+	if err := log.Append(payload); err != nil {
+		return 0, err
+	}
+	return ev.Seq, nil
+}
+
+// readJobEvents returns dir's events with Seq > after, in append order,
+// reading strictly read-only (a torn or in-progress tail ends the read,
+// it is never repaired from here — see checkpoint.ReplayLog).
+func readJobEvents(dir string, after uint64) ([]JobEvent, error) {
+	var out []JobEvent
+	err := checkpoint.ReplayLog(filepath.Join(dir, EventsName), eventsMagic,
+		func(payload []byte) {
+			var e JobEvent
+			if json.Unmarshal(payload, &e) == nil && e.Seq > after {
+				out = append(out, e)
+			}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// knownEventStates are the State values a "state" event may carry.
+var knownEventStates = map[string]bool{
+	StateQueued: true, StateRunning: true, StateRetrying: true,
+	StateDone: true, StateFailed: true,
+}
+
+// ValidateEvents checks an NDJSON export of a job event log (the body
+// of GET /jobs/{id}/events) against the record schema: known types,
+// strictly increasing dense sequence numbers, non-negative timestamps,
+// and per-type payload rules. It returns the number of records read and
+// the first violation with its 1-based line number. cmd/tracelint
+// -events drives it.
+func ValidateEvents(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	var prevSeq uint64
+	first := true
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev JobEvent
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return n, fmt.Errorf("line %d: not a job-event record: %v", n, err)
+		}
+		if err := validateEvent(ev, prevSeq, first); err != nil {
+			return n, fmt.Errorf("line %d: %w", n, err)
+		}
+		prevSeq = ev.Seq
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func validateEvent(ev JobEvent, prevSeq uint64, first bool) error {
+	if ev.Seq == 0 {
+		return fmt.Errorf("missing or zero seq")
+	}
+	// A stream may start mid-log (?after=N), so the first seq is free;
+	// after that the sequence must stay dense — a jump is a lost record,
+	// a repeat a duplicated one.
+	if !first && ev.Seq != prevSeq+1 {
+		return fmt.Errorf("seq %d after %d: stream must be dense and strictly increasing", ev.Seq, prevSeq)
+	}
+	if ev.TS < 0 {
+		return fmt.Errorf("negative ts")
+	}
+	if ev.Attempt < 0 {
+		return fmt.Errorf("negative attempt")
+	}
+	switch ev.Type {
+	case EventState:
+		if !knownEventStates[ev.State] {
+			return fmt.Errorf("unknown state %q", ev.State)
+		}
+	case EventSpawn, EventKill:
+		if ev.Attempt < 1 {
+			return fmt.Errorf("%s event without a positive attempt", ev.Type)
+		}
+	case EventAdopt:
+		// No payload requirements.
+	case EventProgress:
+		if ev.Iter < 1 {
+			return fmt.Errorf("progress event without a positive iter")
+		}
+		if ev.Preds < 0 || ev.Queries < 0 {
+			return fmt.Errorf("progress event with negative counters")
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"predabs"
@@ -158,6 +159,17 @@ const (
 	workerLogFile = "worker.log"
 )
 
+// Trace-context environment: the supervisor stamps every worker
+// subprocess with the job and attempt it runs, so worker-side records —
+// progress events in the job event log, spans in the merged Chrome
+// trace — join the daemon's supervision timeline without guessing.
+const (
+	// JobIDEnv carries the job ID into the worker.
+	JobIDEnv = "PREDABSD_JOB_ID"
+	// AttemptEnv carries the 1-based attempt number into the worker.
+	AttemptEnv = "PREDABSD_ATTEMPT"
+)
+
 // HangEnv names the test-only environment variable that wedges a
 // worker before its run starts (injected per job via JobSpec.Env under
 // -allow-job-env). The leak and chaos suites use it to exercise the
@@ -195,6 +207,22 @@ func RunWorker(dir string, stderr io.Writer) int {
 		flags.TraceOut = filepath.Join(dir, traceFile)
 		flags.ReportJSON = filepath.Join(dir, reportFile)
 	}
+	// With a supervisor-stamped trace context the worker appends CEGAR
+	// progress heartbeats to the job's durable event log. The temporal
+	// handoff makes this safe: the supervisor never appends while the
+	// worker runs. Append failures are diagnostics, never run failures.
+	var progress func(iter, preds int, queries int64, engine string)
+	if attempt, _ := strconv.Atoi(os.Getenv(AttemptEnv)); attempt > 0 {
+		progress = func(iter, preds int, queries int64, engine string) {
+			_, err := appendJobEvent(dir, JobEvent{
+				Type: EventProgress, Attempt: attempt,
+				Iter: iter, Preds: preds, Queries: queries, Engine: engine,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "predabsd worker: event log:", err)
+			}
+		}
+	}
 	var stdout bytes.Buffer
 	code, outcome := runner.Run(runner.Input{
 		SourceName: "job.c",
@@ -206,6 +234,7 @@ func RunWorker(dir string, stderr io.Writer) int {
 		Jobs:       spec.Jobs,
 		Engine:     spec.AbsEngine,
 		Explain:    spec.Explain,
+		Progress:   progress,
 		Obs:        flags,
 	}, &stdout, stderr)
 	res := WorkerResult{SpecHash: specHash(spec), ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
@@ -276,14 +305,31 @@ func specHash(spec JobSpec) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// attemptTraceFile names the archived trace of a finished (failed)
+// attempt; the live attempt always writes traceFile, which the
+// supervisor renames here before the retry so the merged Chrome trace
+// can render every attempt as its own lane.
+func attemptTraceFile(attempt int) string {
+	return fmt.Sprintf("trace-attempt-%d.jsonl", attempt)
+}
+
 // scrubJobDir removes every artifact a previous occupant may have left
-// in a recycled job directory (result, worker log, trace, report,
-// checkpoint state), so a freshly admitted job can neither adopt nor
-// resume from another program's output.
+// in a recycled job directory (result, worker log, traces, report,
+// event log, checkpoint state), so a freshly admitted job can neither
+// adopt nor resume from — nor report events of — another program's
+// output.
 func scrubJobDir(dir string) error {
-	for _, name := range []string{resultFile, workerLogFile, traceFile, reportFile} {
+	for _, name := range []string{resultFile, workerLogFile, traceFile, reportFile, EventsName} {
 		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
 			return err
+		}
+	}
+	archived, err := filepath.Glob(filepath.Join(dir, "trace-attempt-*.jsonl"))
+	if err == nil {
+		for _, path := range archived {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return err
+			}
 		}
 	}
 	return os.RemoveAll(filepath.Join(dir, stateDirName))

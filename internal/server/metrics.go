@@ -1,0 +1,86 @@
+package server
+
+import (
+	"predabs/internal/metrics"
+)
+
+// serverMetrics bundles the daemon's registered instruments. With a nil
+// registry (metrics disabled) every field is nil and every update
+// no-ops at zero allocations — the same contract as the nil tracer —
+// so the supervision hot paths never branch on whether metrics are on.
+type serverMetrics struct {
+	submitted, shed, completed, failed *metrics.Counter
+	retries, kills, resumed, adopted   *metrics.Counter
+	backoffSleeps                      *metrics.Counter
+
+	verdictVerified, verdictErrorFound, verdictUnknown *metrics.Counter
+
+	retriesInBackoff, workersBusy *metrics.Gauge
+
+	attemptSeconds, backoffSeconds *metrics.Histogram
+
+	runIterations, runPredicates     *metrics.Counter
+	runProverCalls, runCacheHits     *metrics.Counter
+	runSessions, runSessionChecks    *metrics.Counter
+}
+
+// newServerMetrics registers the daemon's metric families on reg (nil
+// reg registers nothing and yields all-nil instruments).
+func newServerMetrics(reg *metrics.Registry) serverMetrics {
+	return serverMetrics{
+		submitted: reg.Counter("predabsd_jobs_submitted_total", "Jobs admitted through the queue."),
+		shed:      reg.Counter("predabsd_jobs_shed_total", "Submissions rejected on a full queue."),
+		completed: reg.Counter("predabsd_jobs_completed_total", "Jobs finished with a worker result."),
+		failed:    reg.Counter("predabsd_jobs_failed_total", "Jobs failed on retry exhaustion."),
+		retries:   reg.Counter("predabsd_attempt_retries_total", "Worker attempts beyond each job's first."),
+		kills:     reg.Counter("predabsd_worker_kills_total", "Workers SIGKILLed on the attempt deadline."),
+		resumed:   reg.Counter("predabsd_jobs_resumed_total", "Jobs re-enqueued from the ledger at startup."),
+		adopted:   reg.Counter("predabsd_results_adopted_total", "Orphaned complete results adopted at supervise."),
+		backoffSleeps: reg.Counter("predabsd_backoff_sleeps_total",
+			"Retry backoff sleeps entered between attempts."),
+
+		verdictVerified: reg.Counter("predabsd_verdict_verified_total",
+			"Completed jobs with outcome verified."),
+		verdictErrorFound: reg.Counter("predabsd_verdict_error_found_total",
+			"Completed jobs with outcome error-found."),
+		verdictUnknown: reg.Counter("predabsd_verdict_unknown_total",
+			"Jobs with outcome unknown (sound retreats and retry exhaustion)."),
+
+		retriesInBackoff: reg.Gauge("predabsd_retries_in_backoff",
+			"Supervisors currently sleeping out a retry backoff."),
+		workersBusy: reg.Gauge("predabsd_workers_busy",
+			"Worker slots currently supervising a job."),
+
+		attemptSeconds: reg.Histogram("predabsd_worker_attempt_seconds",
+			"Worker subprocess lifetimes per attempt.", metrics.DurationBuckets),
+		backoffSeconds: reg.Histogram("predabsd_backoff_sleep_seconds",
+			"Observed retry backoff sleep durations.", metrics.DurationBuckets),
+
+		runIterations: reg.Counter("predabsd_run_iterations_total",
+			"CEGAR iterations folded from completed jobs' run reports."),
+		runPredicates: reg.Counter("predabsd_run_predicates_total",
+			"Final-abstraction predicates folded from completed jobs' run reports."),
+		runProverCalls: reg.Counter("predabsd_run_prover_calls_total",
+			"Theorem prover calls folded from completed jobs' run reports."),
+		runCacheHits: reg.Counter("predabsd_run_prover_cache_hits_total",
+			"Prover cache hits folded from completed jobs' run reports."),
+		runSessions: reg.Counter("predabsd_run_prover_sessions_total",
+			"Incremental prover sessions folded from completed jobs' run reports."),
+		runSessionChecks: reg.Counter("predabsd_run_session_checks_total",
+			"Incremental session checks folded from completed jobs' run reports."),
+	}
+}
+
+// verdict maps an outcome label to its counter (nil for labels outside
+// the slam contract, which then no-op like every nil instrument).
+func (m *serverMetrics) verdict(outcome string) *metrics.Counter {
+	switch outcome {
+	case "verified":
+		return m.verdictVerified
+	case "error-found":
+		return m.verdictErrorFound
+	case "unknown":
+		return m.verdictUnknown
+	}
+	return nil
+}

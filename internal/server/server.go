@@ -9,11 +9,14 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"predabs"
 	"predabs/internal/checkpoint"
+	"predabs/internal/metrics"
 	"predabs/internal/runner"
 )
 
@@ -56,6 +59,11 @@ type Config struct {
 	// AllowJobEnv honours JobSpec.Env (worker environment injection).
 	// Leave it off outside chaos testing.
 	AllowJobEnv bool
+	// Metrics receives the daemon's instrument registrations and backs
+	// GET /metrics. Nil disables metrics: every instrument update then
+	// no-ops at zero allocations (the nil-tracer contract), and /metrics
+	// serves an empty exposition.
+	Metrics *metrics.Registry
 	// Logf receives daemon log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -128,6 +136,20 @@ type JobStatus struct {
 	Outcome  string `json:"outcome,omitempty"`
 	Stdout   string `json:"stdout,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Progress is the last CEGAR heartbeat the worker logged, when any;
+	// populated only by GET /jobs/{id} (it reads the job's event log).
+	Progress *ProgressInfo `json:"progress,omitempty"`
+}
+
+// ProgressInfo summarizes the most recent worker progress event: how far
+// the current (or final) attempt's CEGAR loop has gotten.
+type ProgressInfo struct {
+	Attempt int    `json:"attempt"`
+	Iter    int    `json:"iter"`
+	Preds   int    `json:"preds"`
+	Queries int64  `json:"queries"`
+	Engine  string `json:"engine"`
+	Seq     uint64 `json:"seq"` // event-log sequence of this heartbeat
 }
 
 func (j *job) status() JobStatus {
@@ -166,6 +188,14 @@ type Server struct {
 
 	submitted, shed, completed, failed atomic.Int64
 	retries, kills, resumed, adopted   atomic.Int64
+	// inBackoff counts supervisors currently sleeping out a retry
+	// backoff — a point-in-time gauge, not a monotone counter, kept on
+	// the Server (not only the registry) so /statz reports it even with
+	// metrics disabled.
+	inBackoff atomic.Int64
+
+	start time.Time
+	met   serverMetrics
 }
 
 // New opens (or creates) the data directory and ledger, replays every
@@ -215,7 +245,17 @@ func New(cfg Config) (*Server, error) {
 		quit:    make(chan struct{}),
 		runCtx:  ctx,
 		runStop: cancel,
+		start:   time.Now(),
+		met:     newServerMetrics(cfg.Metrics),
 	}
+	// Scrape-time gauges: queue depth reads the channel (len is safe
+	// without s.mu), uptime the start timestamp.
+	cfg.Metrics.GaugeFunc("predabsd_queue_depth",
+		"Jobs waiting in the admission queue.",
+		func() int64 { return int64(len(s.queue)) })
+	cfg.Metrics.GaugeFunc("predabsd_uptime_seconds",
+		"Seconds since the daemon process started.",
+		func() int64 { return int64(time.Since(s.start).Seconds()) })
 	for id, rj := range replayed {
 		j := &job{id: id, dir: s.jobDir(id), spec: rj.spec, attempts: rj.attempts}
 		if rj.done {
@@ -239,6 +279,7 @@ func New(cfg Config) (*Server, error) {
 	for _, id := range pending {
 		s.queue <- s.jobs[id]
 		s.resumed.Add(1)
+		s.met.resumed.Inc()
 	}
 	if len(pending) > 0 {
 		cfg.Logf("predabsd: resuming %d in-flight job(s) from the ledger", len(pending))
@@ -311,11 +352,14 @@ func (s *Server) jobDir(id string) string {
 //
 //	POST /jobs            submit a JobSpec; 202 {"id": ...}, 503 on shed/drain
 //	GET  /jobs            job summaries
-//	GET  /jobs/{id}       full status incl. the verdict stdout
+//	GET  /jobs/{id}       full status incl. the verdict stdout and progress
 //	GET  /jobs/{id}/trace,/report,/log   job artifacts
-//	GET  /healthz         process liveness (always 200)
+//	GET  /jobs/{id}/events[?after=N]     durable job-event log as NDJSON
+//	GET  /jobs/{id}/trace.chrome         merged daemon+worker Chrome trace
+//	GET  /metrics         Prometheus text exposition (empty when disabled)
+//	GET  /healthz         process liveness (always 200; version + uptime)
 //	GET  /readyz          503 while draining, 200 otherwise
-//	GET  /statz           counters + queue depth
+//	GET  /statz           counters + queue depth + version + uptime
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -324,8 +368,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.artifactHandler(traceFile))
 	mux.HandleFunc("GET /jobs/{id}/report", s.artifactHandler(reportFile))
 	mux.HandleFunc("GET /jobs/{id}/log", s.artifactHandler(workerLogFile))
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/trace.chrome", s.handleChromeTrace)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.cfg.Metrics.WriteText(w)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"version":        predabs.Version,
+			"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -339,10 +393,13 @@ func (s *Server) Handler() http.Handler {
 		depth := len(s.queue)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{
-			"counters":    s.CounterSnapshot(),
-			"queue_depth": depth,
-			"queue_cap":   cap(s.queue),
-			"draining":    s.draining.Load(),
+			"counters":           s.CounterSnapshot(),
+			"queue_depth":        depth,
+			"queue_cap":          cap(s.queue),
+			"draining":           s.draining.Load(),
+			"retries_in_backoff": s.inBackoff.Load(),
+			"version":            predabs.Version,
+			"uptime_seconds":     int64(time.Since(s.start).Seconds()),
 		})
 	})
 	return mux
@@ -383,6 +440,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	if len(s.queue) >= cap(s.queue) {
 		s.mu.Unlock()
 		s.shed.Add(1)
+		s.met.shed.Inc()
 		return "", ErrQueueFull
 	}
 	id := fmt.Sprintf("job-%06d", s.nextSeq)
@@ -395,12 +453,19 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 		}
 		return "", err
 	}
+	// The admission event opens the job's durable event log. It must
+	// precede the queue send: once a worker slot can dequeue the job,
+	// the supervisor owns the log's write handoff, and a trailing append
+	// from this goroutine would break the single-writer-at-a-time
+	// invariant the open-append-close discipline relies on.
+	s.event(j, JobEvent{Type: EventState, State: StateQueued})
 	s.jobs[id] = j
 	// Guaranteed not to block: only submitters (serialized by s.mu) add,
 	// and the capacity check above just passed.
 	s.queue <- j
 	s.mu.Unlock()
 	s.submitted.Add(1)
+	s.met.submitted.Inc()
 	return id, nil
 }
 
@@ -485,7 +550,69 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	st := j.status()
+	// Live progress rides the status: the last heartbeat the worker
+	// logged, read fresh from the event log on every fetch. Best-effort —
+	// a job without artifacts or heartbeats simply omits the field.
+	st.Progress = lastProgress(j.dir)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams a job's durable event log as NDJSON, one JobEvent
+// per line in sequence order. ?after=N skips records with Seq <= N, which
+// lets a consumer resume exactly where a previous fetch (or a previous
+// daemon incarnation) left off. The response is a snapshot, not a tail:
+// re-poll with the last seen sequence to follow a live job.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "after: want an unsigned integer"})
+			return
+		}
+		after = n
+	}
+	evs, err := readJobEvents(j.dir, after)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, ev := range evs {
+		enc.Encode(ev)
+	}
+}
+
+// lastProgress returns the most recent progress heartbeat in dir's event
+// log, or nil when there is none (no log, no heartbeats, or any error —
+// progress display never fails a status fetch).
+func lastProgress(dir string) *ProgressInfo {
+	evs, err := readJobEvents(dir, 0)
+	if err != nil {
+		return nil
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		if evs[i].Type == EventProgress {
+			return &ProgressInfo{
+				Attempt: evs[i].Attempt,
+				Iter:    evs[i].Iter,
+				Preds:   evs[i].Preds,
+				Queries: evs[i].Queries,
+				Engine:  evs[i].Engine,
+				Seq:     evs[i].Seq,
+			}
+		}
+	}
+	return nil
 }
 
 func (s *Server) artifactHandler(name string) http.HandlerFunc {

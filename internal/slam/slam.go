@@ -84,6 +84,16 @@ type Config struct {
 	// uninterrupted one. nil disables checkpointing; persistence errors
 	// are logged, never fatal to the verification itself.
 	Checkpoint *checkpoint.Manager
+	// Progress, when non-nil, receives a heartbeat at each refining
+	// CEGAR iteration boundary — the same commit point the checkpoint
+	// journals — with the 1-based iteration number that just refined, the
+	// predicate-pool size entering the next iteration, the cumulative
+	// prover interaction count (queries + incremental-session checks) and
+	// the active abstraction engine. Iterations that end the run
+	// (verdict, give-up, limit) emit no heartbeat; the outcome channel
+	// covers them. Pure observability: the loop never depends on it, and
+	// a slow or failing hook only delays the boundary it runs on.
+	Progress func(iter, preds int, queries int64, engine string)
 	// Prover overrides the theorem prover — the hook for fault injection
 	// and alternative decision procedures. nil builds a prover.New()
 	// configured from Limits. An override is used as-is (QueryTimeout
@@ -512,6 +522,17 @@ func verifyProgram(ctx context.Context, prog *cast.Program, entry string, cfg Co
 		// before the next round starts. Iterations that end the run
 		// instead are covered by the final record.
 		commitCheckpoint(ckpt, tracer, logf, iter, res, pool, abs, pv, out)
+		if cfg.Progress != nil {
+			poolSize := 0
+			for _, preds := range pool {
+				poolSize += len(preds)
+			}
+			engine := cfg.Opts.Engine
+			if engine == "" {
+				engine = abstract.EngineCubes
+			}
+			cfg.Progress(iter, poolSize, int64(out.ProverCalls+out.SessionChecks), engine)
+		}
 	}
 	// Iteration budget exhausted: surface the last round's invariants and
 	// the predicate pool (already in out.Predicates — the pool only grows,

@@ -43,6 +43,13 @@ var Taxonomy = map[string][]string{
 	// torn-tail truncation and "coldstart" a journal rejected as corrupt
 	// or incompatible.
 	"checkpoint": {"restore", "commit", "final", "repair", "coldstart"},
+	// Daemon supervision (internal/server): lanes the merged Chrome
+	// export synthesizes from a job's durable event log — "supervise" and
+	// "attempt" span the daemon lane, the rest are instants mirroring the
+	// job-event taxonomy (state transitions, worker spawn/kill, orphan
+	// adoption, CEGAR progress heartbeats). No worker emits these into
+	// trace JSONL; they exist so merged traces validate under one schema.
+	"daemon": {"supervise", "attempt", "spawn", "kill", "adopt", "state", "progress"},
 }
 
 // rawEvent mirrors one JSONL line for validation.
