@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos leakcheck metrics-lint bench bench-json lint-docs tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos fleet-chaos leakcheck metrics-lint bench bench-json lint-docs tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos leakcheck
+verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos fleet-chaos leakcheck
 	$(GO) test -race ./...
 
 # Chaos gate: the deterministic fault-injection matrix (seeded prover
@@ -44,6 +44,16 @@ corrupt:
 # crash schedules, bounded wall clock.
 serve-chaos:
 	$(GO) test -count=1 -timeout 10m -run 'TestServeChaos' ./internal/faultinject/
+
+# Fleet-chaos gate: the router-level kill matrix — backends SIGKILLed
+# while holding dispatched jobs (lease expiry must fail the work over to
+# a survivor) and the frontend SIGKILLed at every ledger commit point
+# (admit, dispatch, lease, adopt, verdict) via its deterministic crash
+# hook. Every cell requires verdicts byte-identical to direct slam runs,
+# dedup collapse across restarts, and exactly one verdict per job —
+# nothing lost, nothing double-credited.
+fleet-chaos:
+	$(GO) test -count=1 -timeout 10m -run 'TestFleetChaos' ./internal/faultinject/
 
 # Metrics gate: the Prometheus exposition's golden byte-for-byte family
 # ordering, the disabled-registry zero-allocation pin (the nil-tracer

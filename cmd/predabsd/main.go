@@ -12,6 +12,14 @@
 //	curl -d '{"source":"...","spec":"...","entry":"main"}' http://localhost:8745/jobs
 //	curl http://localhost:8745/jobs/job-000001
 //
+// With -frontend the same binary runs as the fleet router instead: it
+// owns no workers, speaks the identical HTTP API, and dispatches each
+// deduplicated job across the listed backend predabsd nodes with
+// circuit breakers, lease-based failover and a durable ledger of its
+// own (see internal/fleet):
+//
+//	predabsd -frontend http://n1:8745,http://n2:8745 -data /var/lib/predabs-fe
+//
 // The same binary re-execs itself as the worker (-worker -dir, internal).
 package main
 
@@ -23,10 +31,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"predabs"
+	"predabs/internal/fleet"
 	"predabs/internal/metrics"
 	"predabs/internal/server"
 )
@@ -56,6 +66,10 @@ func run() (code int) {
 	artifacts := flag.Bool("artifacts", true, "write per-job trace.jsonl and report.json artifacts")
 	allowJobEnv := flag.Bool("allow-job-env", false, "honour job env injection (chaos testing only)")
 	verbose := flag.Bool("v", false, "log job lifecycle events to stderr")
+	frontend := flag.String("frontend", "", "run as the fleet frontend, routing to these comma-separated backend base URLs")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "with -frontend: heartbeat lease before a backend is declared dead")
+	pollInterval := flag.Duration("poll-interval", 500*time.Millisecond, "with -frontend: backend event-stream poll spacing")
+	dispatchRetries := flag.Int("dispatch-retries", 4, "with -frontend: backend attempts per run before failing it unknown")
 	flag.Parse()
 
 	if *worker {
@@ -66,8 +80,40 @@ func run() (code int) {
 		return server.RunWorker(*dir, os.Stderr)
 	}
 	if flag.NArg() != 0 || *data == "" {
-		fmt.Fprintln(os.Stderr, "usage: predabsd -data <dir> [-addr host:port]")
+		fmt.Fprintln(os.Stderr, "usage: predabsd -data <dir> [-addr host:port] [-frontend url,url]")
 		return 2
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *frontend != "" {
+		if *dispatchRetries <= 0 || *leaseTTL <= 0 || *pollInterval <= 0 || *queueCap <= 0 {
+			fmt.Fprintln(os.Stderr, "predabsd: -dispatch-retries, -lease-ttl, -poll-interval and -queue must be positive")
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "predabsd: version %s starting (frontend)\n", predabs.Version)
+		fe, err := fleet.New(fleet.Config{
+			DataDir:         *data,
+			Backends:        strings.Split(*frontend, ","),
+			QueueCap:        *queueCap,
+			DispatchRetries: *dispatchRetries,
+			LeaseTTL:        *leaseTTL,
+			PollInterval:    *pollInterval,
+			AllowJobEnv:     *allowJobEnv,
+			Metrics:         metrics.New(),
+			Logf:            logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predabsd:", err)
+			return 1
+		}
+		return serveAPI(fe.Handler(), *addr, *drainTimeout, func(context.Context) error {
+			fe.Shutdown()
+			return nil
+		})
 	}
 	for name, v := range map[string]int{"queue": *queueCap, "workers": *workers} {
 		if v <= 0 {
@@ -93,12 +139,6 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "predabsd:", err)
 		return 1
 	}
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
 	// Version at startup: the one log line every incident review wants,
 	// and the same value /healthz and /statz report while running.
 	fmt.Fprintf(os.Stderr, "predabsd: version %s starting\n", predabs.Version)
@@ -121,11 +161,17 @@ func run() (code int) {
 		return 1
 	}
 	srv.Start()
+	return serveAPI(srv.Handler(), *addr, *drainTimeout, srv.Shutdown)
+}
 
-	ln, err := net.Listen("tcp", *addr)
+// serveAPI listens, prints the readiness line, serves h, and drains on
+// SIGINT/SIGTERM — shared by the single-node daemon and the fleet
+// frontend.
+func serveAPI(h http.Handler, addr string, drainTimeout time.Duration, shutdown func(context.Context) error) int {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "predabsd:", err)
-		srv.Shutdown(context.Background())
+		shutdown(context.Background())
 		return 1
 	}
 	// The resolved address line is the readiness signal for scripts and
@@ -133,7 +179,7 @@ func run() (code int) {
 	fmt.Printf("predabsd: listening on http://%s\n", ln.Addr())
 	os.Stdout.Sync()
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: h}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -144,13 +190,13 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "predabsd: received %v, draining\n", got)
 	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "predabsd:", err)
-		srv.Shutdown(context.Background())
+		shutdown(context.Background())
 		return 1
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "predabsd: drain timed out; interrupted attempts were refunded and their jobs stay journaled for resume (%v)\n", err)
 	}
 	return 0

@@ -10,12 +10,19 @@
 // (state transitions name known states, spawn/kill carry an attempt,
 // progress heartbeats carry the CEGAR iteration counters).
 //
+// With -fleet it validates fleet frontend event streams — the NDJSON a
+// predabsd -frontend serves at the same route, synthesized from its
+// durable ledger: an admit record first, dense sequence numbers,
+// dispatch/lease/adopt payload rules, and exactly one terminal verdict
+// (a failed verdict must retreat to outcome "unknown").
+//
 // Usage:
 //
 //	tracelint run.jsonl [more.jsonl ...]
 //	slam -trace-out /dev/stdout prog.c | tracelint
 //	predabsd artifact | tracelint -
 //	curl -s $DAEMON/jobs/job-000001/events | tracelint -events -
+//	curl -s $FRONTEND/jobs/job-000001/events | tracelint -fleet -
 //
 // A "-" argument reads standard input, so daemon job artifacts can be
 // piped through the validator without temp files even alongside file
@@ -31,6 +38,7 @@ import (
 	"io"
 	"os"
 
+	"predabs/internal/fleet"
 	"predabs/internal/server"
 	"predabs/internal/trace"
 )
@@ -38,10 +46,15 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "suppress the per-file ok lines")
 	events := flag.Bool("events", false, "validate job-event NDJSON (GET /jobs/{id}/events) instead of trace JSONL")
+	fleetEvents := flag.Bool("fleet", false, "validate fleet frontend event NDJSON instead of trace JSONL")
 	flag.Parse()
+	if *events && *fleetEvents {
+		fmt.Fprintln(os.Stderr, "tracelint: -events and -fleet are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if flag.NArg() == 0 {
-		if code := lint("<stdin>", os.Stdin, *quiet, *events); code != 0 {
+		if code := lint("<stdin>", os.Stdin, *quiet, *events, *fleetEvents); code != 0 {
 			os.Exit(code)
 		}
 		return
@@ -49,7 +62,7 @@ func main() {
 	status := 0
 	for _, name := range flag.Args() {
 		if name == "-" {
-			if code := lint("<stdin>", os.Stdin, *quiet, *events); code > status {
+			if code := lint("<stdin>", os.Stdin, *quiet, *events, *fleetEvents); code > status {
 				status = code
 			}
 			continue
@@ -59,7 +72,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tracelint:", err)
 			os.Exit(2)
 		}
-		if code := lint(name, f, *quiet, *events); code > status {
+		if code := lint(name, f, *quiet, *events, *fleetEvents); code > status {
 			status = code
 		}
 		f.Close()
@@ -67,10 +80,13 @@ func main() {
 	os.Exit(status)
 }
 
-func lint(name string, r io.Reader, quiet, events bool) int {
+func lint(name string, r io.Reader, quiet, events, fleetEvents bool) int {
 	validate := trace.Validate
-	if events {
+	switch {
+	case events:
 		validate = server.ValidateEvents
+	case fleetEvents:
+		validate = fleet.ValidateEvents
 	}
 	n, err := validate(r)
 	if err != nil {

@@ -1,0 +1,514 @@
+// Fleet-chaos harness: the router-level counterpart of the serve-chaos
+// matrix. Real predabsd backends and a real predabsd -frontend run as
+// separate processes; backends are SIGKILLed while holding dispatched
+// jobs, and the frontend is SIGKILLed at every ledger commit point
+// (admit, dispatch, lease, adopt, verdict) via its deterministic
+// PREDABS_FLEET_CRASH hook. The invariants pinned at every cell:
+// verdicts byte-identical to direct slam runs, identical submissions
+// collapsed onto one backend attempt, and no job ever lost or
+// double-credited across any kill.
+//
+// Run via `make fleet-chaos`.
+package faultinject_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"predabs/internal/corpus"
+	"predabs/internal/fleet"
+	"predabs/internal/server"
+)
+
+// startBackend launches a backend predabsd with fast deterministic
+// retries, as the serve-chaos suite tunes them.
+func startBackend(t *testing.T, extraArgs ...string) *daemonProc {
+	t.Helper()
+	d := startDaemon(t, t.TempDir(), append([]string{
+		"-retries", "2", "-retry-base", "2ms", "-retry-max", "20ms",
+	}, extraArgs...)...)
+	t.Cleanup(func() { stopProc(t, d) })
+	return d
+}
+
+// startFrontendProc launches predabsd -frontend over the given backend
+// base URLs, with crashEnv injected into its environment (nil for a
+// frontend that is not scheduled to die).
+func startFrontendProc(t *testing.T, dataDir string, crashEnv []string, backends ...string) *daemonProc {
+	t.Helper()
+	return startProc(t, crashEnv,
+		"-addr", "127.0.0.1:0", "-data", dataDir, "-v",
+		"-frontend", strings.Join(backends, ","),
+		"-lease-ttl", "1s", "-poll-interval", "25ms",
+	)
+}
+
+// runDoomedFrontend launches a frontend whose crash hook fires during
+// startup replay (e.g. an adopt commit), so it may die before printing
+// its readiness line; it just waits for the scheduled death and
+// asserts the crash hook — not some startup failure — was the cause.
+func runDoomedFrontend(t *testing.T, dataDir string, crashEnv []string, backends ...string) {
+	t.Helper()
+	cmd := exec.Command(predabsdBin(t),
+		"-addr", "127.0.0.1:0", "-data", dataDir, "-v",
+		"-frontend", strings.Join(backends, ","),
+		"-lease-ttl", "1s", "-poll-interval", "25ms",
+	)
+	cmd.Env = append(os.Environ(), crashEnv...)
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		<-done
+		t.Fatalf("doomed frontend (%v) never hit its crash commit\nstderr:\n%s", crashEnv, errb.String())
+	}
+	ws, ok := cmd.ProcessState.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("doomed frontend (%v) exited without firing its crash hook: %v\nstderr:\n%s",
+			crashEnv, cmd.ProcessState, errb.String())
+	}
+}
+
+// stopProc terminates a process that may already be dead.
+func stopProc(t *testing.T, d *daemonProc) {
+	t.Helper()
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// postJob submits a spec; it tolerates transport errors (a frontend
+// scheduled to die at the admit commit kills itself before answering)
+// and returns the assigned ID when one arrived.
+func postJob(t *testing.T, base string, spec server.JobSpec) (string, error) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted || out.ID == "" {
+		return "", fmt.Errorf("submit: HTTP %d, id %q", resp.StatusCode, out.ID)
+	}
+	return out.ID, nil
+}
+
+// listJobs fetches every job summary from a frontend or backend.
+func listJobs(t *testing.T, base string) []server.JobStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []server.JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Jobs
+}
+
+// awaitHTTP polls a job over HTTP until it reaches a wanted state.
+func awaitHTTP(t *testing.T, d *daemonProc, id, want string, timeout time.Duration) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last server.JobStatus
+	for time.Now().Before(deadline) {
+		st, ok := d.status(t, id)
+		if ok {
+			last = st
+			if st.State == want {
+				return st
+			}
+			if st.State == server.StateDone || st.State == server.StateFailed {
+				t.Fatalf("job %s reached terminal %q (outcome %q, error %q), want %q\nstderr:\n%s",
+					id, st.State, st.Outcome, st.Error, want, d.errb.String())
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q, want %q\nstderr:\n%s", id, last.State, want, d.errb.String())
+	return last
+}
+
+// fleetEvents fetches and schema-validates a frontend job's event
+// stream — the same checker cmd/tracelint -fleet runs — and returns
+// the decoded records.
+func fleetEvents(t *testing.T, base, id string) []fleet.FleetEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s/jobs/%s/events: HTTP %d (%v)", base, id, resp.StatusCode, err)
+	}
+	if _, err := fleet.ValidateEvents(bytes.NewReader(body)); err != nil {
+		t.Fatalf("job %s fleet event stream invalid: %v\n%s", id, err, body)
+	}
+	var out []fleet.FleetEvent
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev fleet.FleetEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+func eventTypeSeq(evs []fleet.FleetEvent) string {
+	var types []string
+	for _, ev := range evs {
+		types = append(types, ev.Type)
+	}
+	return strings.Join(types, " ")
+}
+
+// countVerdicts asserts the no-double-credit invariant: exactly one
+// verdict record per job stream.
+func countVerdicts(t *testing.T, evs []fleet.FleetEvent, label string) {
+	t.Helper()
+	n := 0
+	for _, ev := range evs {
+		if ev.Type == fleet.RecVerdict {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%s: %d verdict records, want exactly 1 (no lost or double-credited verdicts)", label, n)
+	}
+}
+
+// refRun computes the direct uninterrupted slam reference for a corpus
+// driver — the byte-identical oracle every fleet verdict is held to.
+func refRun(t *testing.T, drv corpus.Program) slamRun {
+	t.Helper()
+	dir := t.TempDir()
+	src := writeFile(t, dir, drv.Name+".c", drv.Source)
+	spec := writeFile(t, dir, drv.Name+".slic", drv.Spec)
+	ref := runSlam(t, slamBin(t), nil, "-spec", spec, "-entry", drv.Entry, src)
+	if ref.killed {
+		t.Fatalf("%s: reference run was killed", drv.Name)
+	}
+	return ref
+}
+
+// clogVictim wedges a backend's single worker slot deterministically:
+// a directly submitted job whose worker dies at its first checkpoint
+// commit, on a daemon whose retry backoff is effectively infinite. The
+// supervisor parks in the backoff holding the only worker slot — no
+// live worker process to leak — so every job the frontend routes to
+// this backend stays queued there until the backend is killed.
+func clogVictim(t *testing.T, victim *daemonProc) {
+	t.Helper()
+	drv := corpus.Drivers()[1]
+	id, err := postJob(t, victim.base, server.JobSpec{
+		Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry,
+		Env: crashEnv(1, false),
+	})
+	if err != nil {
+		t.Fatalf("clog submit: %v", err)
+	}
+	awaitHTTP(t, victim, id, server.StateRetrying, 30*time.Second)
+}
+
+// TestFleetChaosBackendKillFailoverByteIdentical is the backend half
+// of the kill matrix: jobs dispatched to a backend that is SIGKILLed
+// mid-flight must fail over — lease expiry, re-dispatch — and finish
+// with verdicts byte-identical to direct slam runs.
+func TestFleetChaosBackendKillFailoverByteIdentical(t *testing.T) {
+	drivers := corpus.Drivers()
+	specs := []corpus.Program{drivers[1], drivers[2], drivers[3]} // ioctl, openclos, srdriver
+	refs := make([]slamRun, len(specs))
+	for i, drv := range specs {
+		refs[i] = refRun(t, drv)
+	}
+
+	// The victim's one worker slot is clogged, so frontend jobs routed
+	// to it queue behind the clog until the SIGKILL.
+	victim := startDaemon(t, t.TempDir(), "-retries", "5", "-retry-base", "10m", "-retry-max", "1h")
+	victimDead := false
+	t.Cleanup(func() {
+		if !victimDead {
+			stopProc(t, victim)
+		}
+	})
+	clogVictim(t, victim)
+	survivor := startBackend(t)
+
+	fe := startFrontendProc(t, t.TempDir(), nil, victim.base, survivor.base)
+	t.Cleanup(func() { stopProc(t, fe) })
+
+	ids := make([]string, len(specs))
+	for i, drv := range specs {
+		id, err := postJob(t, fe.base, server.JobSpec{Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry})
+		if err != nil {
+			t.Fatalf("%s: %v", drv.Name, err)
+		}
+		ids[i] = id
+	}
+
+	// Wait until every job is dispatched and at least one is parked on
+	// the victim, then kill it without ceremony.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		dispatched, onVictim := 0, 0
+		for _, id := range ids {
+			if st, ok := fe.status(t, id); ok {
+				if st.Backend != "" {
+					dispatched++
+				}
+				if st.Backend == victim.base && st.State != server.StateDone {
+					onVictim++
+				}
+			}
+		}
+		if dispatched == len(ids) && onVictim > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never spread across the fleet (dispatched %d, on victim %d)\nstderr:\n%s",
+				dispatched, onVictim, fe.errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.cmd.Process.Signal(syscall.SIGKILL)
+	victim.cmd.Wait()
+	victimDead = true
+
+	failovers := 0
+	for i, id := range ids {
+		st := awaitHTTP(t, fe, id, server.StateDone, 60*time.Second)
+		if st.Stdout != refs[i].stdout || st.ExitCode != refs[i].code {
+			t.Errorf("%s (job %s): fleet verdict not byte-identical to direct run (exit %d, want %d):\n got: %q\nwant: %q",
+				specs[i].Name, id, st.ExitCode, refs[i].code, st.Stdout, refs[i].stdout)
+		}
+		if st.Backend != survivor.base && st.Backend != victim.base {
+			t.Errorf("%s: verdict credited to unknown backend %q", specs[i].Name, st.Backend)
+		}
+		evs := fleetEvents(t, fe.base, id)
+		countVerdicts(t, evs, specs[i].Name)
+		for _, ev := range evs {
+			if ev.Type == fleet.RecLease {
+				failovers++
+			}
+		}
+	}
+	if failovers == 0 {
+		t.Fatal("no job failed over; the backend kill was inert")
+	}
+	t.Logf("backend kill matrix: %d jobs, %d failovers", len(ids), failovers)
+}
+
+// TestFleetChaosFrontendKillAtEveryCommit is the frontend half of the
+// kill matrix: the router is SIGKILLed immediately after the admit,
+// dispatch, adopt and verdict ledger commits (the lease commit has its
+// own failover scenario below). After each kill a restarted frontend
+// over the same ledger must recover the job — never losing it, never
+// running it twice, never crediting two verdicts — and deliver the
+// byte-identical direct-run verdict.
+func TestFleetChaosFrontendKillAtEveryCommit(t *testing.T) {
+	drv := corpus.Drivers()[1] // ioctl: verified, fast
+	ref := refRun(t, drv)
+	spec := server.JobSpec{Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry}
+
+	t.Run("admit", func(t *testing.T) {
+		backend := startBackend(t)
+		feDir := t.TempDir()
+		fe1 := startFrontendProc(t, feDir, []string{fleet.CrashEnv + "=admit:1"}, backend.base)
+		if _, err := postJob(t, fe1.base, spec); err == nil {
+			t.Fatal("submit survived a frontend scheduled to die at the admit commit")
+		}
+		fe1.cmd.Wait()
+
+		// The admit record was durable before the response: the restarted
+		// frontend must know the job even though the client never got an ID.
+		fe2 := startFrontendProc(t, feDir, nil, backend.base)
+		t.Cleanup(func() { stopProc(t, fe2) })
+		jobs := listJobs(t, fe2.base)
+		if len(jobs) != 1 {
+			t.Fatalf("restarted frontend lists %d jobs, want the 1 durably admitted", len(jobs))
+		}
+		st := awaitHTTP(t, fe2, jobs[0].ID, server.StateDone, 60*time.Second)
+		if st.Stdout != ref.stdout || st.ExitCode != ref.code {
+			t.Fatalf("verdict not byte-identical after admit-commit kill:\n got: %q\nwant: %q", st.Stdout, ref.stdout)
+		}
+		countVerdicts(t, fleetEvents(t, fe2.base, jobs[0].ID), "admit-kill job")
+	})
+
+	t.Run("dispatch-then-adopt", func(t *testing.T) {
+		backend := startBackend(t)
+		feDir := t.TempDir()
+		fe1 := startFrontendProc(t, feDir, []string{fleet.CrashEnv + "=dispatch:1"}, backend.base)
+		postJob(t, fe1.base, spec) // the 202 races the dispatch-commit kill; either outcome is fine
+		fe1.cmd.Wait()
+
+		// The backend received the job before the dispatch record was
+		// committed; it finishes the work while the frontend is down.
+		if n := len(listJobs(t, backend.base)); n != 1 {
+			t.Fatalf("backend holds %d jobs after dispatch-commit kill, want 1", n)
+		}
+
+		// Second kill in the chain: the restarted frontend adopts the
+		// surviving backend job and dies right after the adopt commit —
+		// possibly before it even started listening.
+		runDoomedFrontend(t, feDir, []string{fleet.CrashEnv + "=adopt:1"}, backend.base)
+
+		fe3 := startFrontendProc(t, feDir, nil, backend.base)
+		t.Cleanup(func() { stopProc(t, fe3) })
+		jobs := listJobs(t, fe3.base)
+		if len(jobs) != 1 {
+			t.Fatalf("frontend lists %d jobs after two kills, want 1", len(jobs))
+		}
+		st := awaitHTTP(t, fe3, jobs[0].ID, server.StateDone, 60*time.Second)
+		if st.Stdout != ref.stdout || st.ExitCode != ref.code {
+			t.Fatalf("verdict not byte-identical after dispatch+adopt kills:\n got: %q\nwant: %q", st.Stdout, ref.stdout)
+		}
+		// One backend attempt total across three frontend incarnations:
+		// adoption, not re-dispatch.
+		if n := len(listJobs(t, backend.base)); n != 1 {
+			t.Fatalf("backend saw %d jobs across frontend restarts, want 1 (adoption must not re-run)", n)
+		}
+		evs := fleetEvents(t, fe3.base, jobs[0].ID)
+		countVerdicts(t, evs, "dispatch+adopt-kill job")
+		if !strings.Contains(eventTypeSeq(evs), "adopt") {
+			t.Fatalf("event stream records no adoption: %s", eventTypeSeq(evs))
+		}
+	})
+
+	t.Run("verdict", func(t *testing.T) {
+		backend := startBackend(t)
+		feDir := t.TempDir()
+		fe1 := startFrontendProc(t, feDir, []string{fleet.CrashEnv + "=verdict:1"}, backend.base)
+		postJob(t, fe1.base, spec)
+		fe1.cmd.Wait() // dies the instant the verdict record is durable
+
+		fe2 := startFrontendProc(t, feDir, nil, backend.base)
+		t.Cleanup(func() { stopProc(t, fe2) })
+		jobs := listJobs(t, fe2.base)
+		if len(jobs) != 1 {
+			t.Fatalf("frontend lists %d jobs, want 1", len(jobs))
+		}
+		st, ok := fe2.status(t, jobs[0].ID)
+		if !ok || st.State != server.StateDone {
+			t.Fatalf("job not done from replay alone: %+v (ok %v)", st, ok)
+		}
+		if st.Stdout != ref.stdout || st.ExitCode != ref.code {
+			t.Fatalf("replayed verdict not byte-identical:\n got: %q\nwant: %q", st.Stdout, ref.stdout)
+		}
+		countVerdicts(t, fleetEvents(t, fe2.base, jobs[0].ID), "verdict-kill job")
+
+		// Dedup collapse across the kill: an identical submit is served
+		// from the replayed verdict without a new backend attempt.
+		id2, err := postJob(t, fe2.base, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2 := awaitHTTP(t, fe2, id2, server.StateDone, 30*time.Second)
+		if st2.Stdout != ref.stdout {
+			t.Fatalf("post-restart dedup verdict differs:\n got: %q\nwant: %q", st2.Stdout, ref.stdout)
+		}
+		if n := len(listJobs(t, backend.base)); n != 1 {
+			t.Fatalf("backend saw %d jobs, want 1 (dedup must collapse across restarts)", n)
+		}
+	})
+}
+
+// TestFleetChaosFrontendKillAtLeaseExpiry covers the remaining commit
+// point: the frontend dies immediately after journaling a lease
+// expiry. The restarted frontend must treat the run as detached — no
+// stale adoption of the dead backend — and re-dispatch it to the
+// survivor for a byte-identical verdict.
+func TestFleetChaosFrontendKillAtLeaseExpiry(t *testing.T) {
+	drv := corpus.Drivers()[2] // openclos
+	ref := refRun(t, drv)
+
+	victim := startDaemon(t, t.TempDir(), "-retries", "5", "-retry-base", "10m", "-retry-max", "1h")
+	victimDead := false
+	t.Cleanup(func() {
+		if !victimDead {
+			stopProc(t, victim)
+		}
+	})
+	clogVictim(t, victim)
+	survivor := startBackend(t)
+
+	feDir := t.TempDir()
+	fe1 := startFrontendProc(t, feDir, []string{fleet.CrashEnv + "=lease:1"}, victim.base, survivor.base)
+	id, err := postJob(t, fe1.base, server.JobSpec{Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin starts at the victim; the job parks behind the clog.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, ok := fe1.status(t, id)
+		if ok && st.Backend == victim.base {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never dispatched to the victim\nstderr:\n%s", fe1.errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	victim.cmd.Process.Signal(syscall.SIGKILL)
+	victim.cmd.Wait()
+	victimDead = true
+	fe1.cmd.Wait() // dies as the lease-expired record commits
+
+	fe2 := startFrontendProc(t, feDir, nil, victim.base, survivor.base)
+	t.Cleanup(func() { stopProc(t, fe2) })
+	st := awaitHTTP(t, fe2, id, server.StateDone, 60*time.Second)
+	if st.Stdout != ref.stdout || st.ExitCode != ref.code {
+		t.Fatalf("post-lease-kill verdict not byte-identical (exit %d, want %d):\n got: %q\nwant: %q",
+			st.ExitCode, ref.code, st.Stdout, ref.stdout)
+	}
+	if st.Backend != survivor.base {
+		t.Fatalf("run re-dispatched to %q, want the survivor %q", st.Backend, survivor.base)
+	}
+	evs := fleetEvents(t, fe2.base, id)
+	countVerdicts(t, evs, "lease-kill job")
+	if got, want := eventTypeSeq(evs), "admit dispatch lease dispatch verdict"; got != want {
+		t.Fatalf("event stream = %q, want %q", got, want)
+	}
+}

@@ -311,7 +311,18 @@ func startDaemon(t *testing.T, dataDir string, extraArgs ...string) *daemonProc 
 		"-addr", "127.0.0.1:0", "-data", dataDir,
 		"-allow-job-env", "-workers", "1", "-v",
 	}, extraArgs...)
+	return startProc(t, nil, args...)
+}
+
+// startProc launches predabsd with extra environment (the fleet chaos
+// harness injects its crash-commit hook this way) and waits for the
+// readiness line.
+func startProc(t *testing.T, extraEnv []string, args ...string) *daemonProc {
+	t.Helper()
 	cmd := exec.Command(predabsdBin(t), args...)
+	if len(extraEnv) > 0 {
+		cmd.Env = append(os.Environ(), extraEnv...)
+	}
 	var errb bytes.Buffer
 	cmd.Stderr = &errb
 	stdout, err := cmd.StdoutPipe()

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Breaker states, exposed in /statz and the per-backend breaker-state
+// gauge (0 closed, 1 half-open, 2 open).
+const (
+	BreakerClosed   = "closed"
+	BreakerHalfOpen = "half-open"
+	BreakerOpen     = "open"
+)
+
+// breaker is one backend's circuit breaker. It trips open after
+// `threshold` consecutive failures; while open every Allow() is refused
+// until a jittered reopen delay elapses, after which exactly one caller
+// is admitted as the half-open probe. A probe success closes the
+// breaker, a probe failure re-opens it for another jittered delay. The
+// jitter (±50% around the configured reopen delay) decorrelates a
+// fleet of frontends hammering the same recovering backend.
+type breaker struct {
+	threshold int
+	reopen    time.Duration
+	now       func() time.Time // test seam; time.Now outside tests
+
+	mu       sync.Mutex
+	state    string
+	fails    int       // consecutive failures while closed
+	until    time.Time // open: when the half-open probe unlocks
+	probing  bool      // half-open: the single probe slot is taken
+	tripped  int64     // cumulative close->open transitions
+	reopened int64     // cumulative open->closed recoveries
+}
+
+func newBreaker(threshold int, reopen time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		reopen:    reopen,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// allow reports whether a request may be sent. In the half-open state
+// only the first caller gets true (the probe); everyone else is
+// refused until the probe resolves via success or fail.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a request that reached the backend and got a sane
+// response. It resets the failure streak and closes a half-open
+// breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.reopened++
+	}
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// fail records a request the backend never served (connection refused,
+// timeout, transport error). The breaker trips on the threshold'th
+// consecutive failure, and a failed half-open probe re-opens
+// immediately.
+func (b *breaker) fail() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker for a jittered reopen delay. Caller holds mu.
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.probing = false
+	b.fails = 0
+	b.tripped++
+	// ±50% jitter around the configured delay, same shape as the
+	// supervisor's retry backoff.
+	d := b.reopen/2 + time.Duration(rand.Int63n(int64(b.reopen)))
+	b.until = b.now().Add(d)
+}
+
+// snapshot returns the current state name and transition counters.
+func (b *breaker) snapshot() (state string, tripped, reopened int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.tripped, b.reopened
+}

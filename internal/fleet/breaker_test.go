@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, reopen time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(threshold, reopen)
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.fail()
+	}
+	if state, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("state after 2 failures = %q, want closed", state)
+	}
+	b.fail() // third consecutive failure trips
+	if state, tripped, _ := b.snapshot(); state != BreakerOpen || tripped != 1 {
+		t.Fatalf("state after 3 failures = %q (tripped %d), want open/1", state, tripped)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, time.Second)
+	b.fail()
+	b.fail()
+	b.success()
+	b.fail()
+	b.fail()
+	if state, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("interleaved successes must reset the streak; state = %q", state)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.fail()
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before the reopen delay")
+	}
+	// Jitter bounds the delay to [reopen/2, 3*reopen/2]; far past it the
+	// breaker must offer the half-open probe.
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe after the reopen delay")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.success()
+	if state, _, reopened := b.snapshot(); state != BreakerClosed || reopened != 1 {
+		t.Fatalf("after probe success state = %q (reopened %d), want closed/1", state, reopened)
+	}
+	if !b.allow() {
+		t.Fatal("recovered breaker refused a request")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Second)
+	b.fail()
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the half-open probe")
+	}
+	b.fail()
+	if state, tripped, _ := b.snapshot(); state != BreakerOpen || tripped != 2 {
+		t.Fatalf("after probe failure state = %q (tripped %d), want open/2", state, tripped)
+	}
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a request immediately")
+	}
+	clk.advance(2 * time.Second)
+	if !b.allow() {
+		t.Fatal("breaker refused the second half-open probe")
+	}
+}

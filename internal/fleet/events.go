@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"predabs/internal/server"
+)
+
+// FleetEvent is one record of a frontend job's event stream, served as
+// NDJSON at GET /jobs/{id}/events. The stream is synthesized from the
+// durable fleet ledger: the job's own admit record followed by every
+// record of its run (dispatches, lease expiries, adoptions, the
+// verdict), densely renumbered per job — a client that saw records
+// through seq N resumes with ?after=N and observes no gap and no
+// duplicate, the same contract the backend's worker event stream
+// keeps. Specs and verdict stdout are stripped at synthesis; fetch
+// GET /jobs/{id} for the verdict payload.
+type FleetEvent struct {
+	Seq  uint64 `json:"seq"`
+	TS   int64  `json:"ts"` // unix nanoseconds
+	Type string `json:"type"`
+	// Dedup marks an admit that joined an existing run.
+	Dedup bool `json:"dedup,omitempty"`
+	// Backend/BackendID locate the backend attempt (dispatch, lease,
+	// adopt records).
+	Backend   string `json:"backend,omitempty"`
+	BackendID string `json:"backend_id,omitempty"`
+	// Dispatch is the 1-based dispatch ordinal (dispatch records).
+	Dispatch int `json:"dispatch,omitempty"`
+	// Lease is "expired" on lease records.
+	Lease string `json:"lease,omitempty"`
+	// Verdict payload (verdict records); Stdout is never included.
+	State    string `json:"state,omitempty"`
+	ExitCode int    `json:"exit_code,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// synthesizeEvents builds the per-job stream: the job's own admit
+// record (ledger sequence admitSeq), then every record of the run the
+// job joined — the records under key after the run's creating admit
+// (ledger sequence runStart), through the run's verdict and no
+// further. The window excludes both earlier invalidated runs under the
+// same key and any replacement run created after this one failed, and
+// it lets a dedup join onto an already-completed run still observe the
+// verdict. Sequence numbers are densely renumbered per job.
+func synthesizeEvents(records []Record, admitSeq, runStart uint64, key string, after uint64) []any {
+	var out []any
+	var seq uint64
+	emit := func(rec Record) {
+		seq++
+		if seq <= after {
+			return
+		}
+		out = append(out, FleetEvent{
+			Seq: seq, TS: rec.TS, Type: rec.Type, Dedup: rec.Dedup,
+			Backend: rec.Backend, BackendID: rec.BackendID,
+			Dispatch: rec.Dispatch, Lease: rec.Lease,
+			State: rec.State, ExitCode: rec.ExitCode,
+			Outcome: rec.Outcome, Detail: rec.Detail,
+		})
+	}
+	for _, rec := range records {
+		if rec.Seq == admitSeq {
+			emit(rec)
+			break
+		}
+	}
+	for _, rec := range records {
+		if rec.Seq <= runStart || rec.Key != key || rec.Type == RecAdmit {
+			continue
+		}
+		emit(rec)
+		if rec.Type == RecVerdict {
+			break
+		}
+	}
+	return out
+}
+
+// ValidateEvents checks an NDJSON export of a frontend job's event
+// stream (the body of GET /jobs/{id}/events) against the fleet record
+// schema: known types, dense strictly increasing sequence numbers, an
+// admit first (unless the stream starts mid-log via ?after=N), no
+// record after the verdict, and per-type payload rules. It returns the
+// number of records read and the first violation with its 1-based line
+// number. cmd/tracelint -fleet drives it.
+func ValidateEvents(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	n := 0
+	var prevSeq uint64
+	first := true
+	ended := false
+	for sc.Scan() {
+		n++
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev FleetEvent
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return n, fmt.Errorf("line %d: not a fleet-event record: %v", n, err)
+		}
+		if err := validateFleetEvent(ev, prevSeq, first, ended); err != nil {
+			return n, fmt.Errorf("line %d: %w", n, err)
+		}
+		prevSeq = ev.Seq
+		first = false
+		ended = ev.Type == RecVerdict
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func validateFleetEvent(ev FleetEvent, prevSeq uint64, first, ended bool) error {
+	if ev.Seq == 0 {
+		return fmt.Errorf("missing or zero seq")
+	}
+	// A stream may start mid-log (?after=N), so the first seq is free;
+	// after that the sequence must stay dense.
+	if !first && ev.Seq != prevSeq+1 {
+		return fmt.Errorf("seq %d after %d: stream must be dense and strictly increasing", ev.Seq, prevSeq)
+	}
+	if ev.TS < 0 {
+		return fmt.Errorf("negative ts")
+	}
+	if ended {
+		return fmt.Errorf("%s record after the verdict: a run has exactly one terminal record", ev.Type)
+	}
+	if first && ev.Seq == 1 && ev.Type != RecAdmit {
+		return fmt.Errorf("stream must open with an admit record, got %q", ev.Type)
+	}
+	switch ev.Type {
+	case RecAdmit:
+		if ev.Seq != 1 {
+			return fmt.Errorf("admit record at seq %d: a job is admitted exactly once, first", ev.Seq)
+		}
+	case RecDispatch:
+		if ev.Backend == "" || ev.BackendID == "" {
+			return fmt.Errorf("dispatch record without a backend and backend_id")
+		}
+		if ev.Dispatch < 1 {
+			return fmt.Errorf("dispatch record without a positive dispatch ordinal")
+		}
+	case RecAdopt:
+		if ev.Backend == "" || ev.BackendID == "" {
+			return fmt.Errorf("adopt record without a backend and backend_id")
+		}
+	case RecLease:
+		if ev.Lease != "expired" {
+			return fmt.Errorf("lease record with lease %q: only \"expired\" is journaled", ev.Lease)
+		}
+	case RecVerdict:
+		if ev.State != server.StateDone && ev.State != server.StateFailed {
+			return fmt.Errorf("verdict record with state %q: want %q or %q",
+				ev.State, server.StateDone, server.StateFailed)
+		}
+		if ev.State == server.StateFailed && ev.Outcome != "unknown" {
+			return fmt.Errorf("failed verdict with outcome %q: exhaustion must retreat to unknown", ev.Outcome)
+		}
+	default:
+		return fmt.Errorf("unknown event type %q", ev.Type)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateEventsAcceptsWellFormedStream(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"seq":1,"ts":1,"type":"admit"}`,
+		`{"seq":2,"ts":2,"type":"dispatch","backend":"http://n1","backend_id":"bjob-000001","dispatch":1}`,
+		`{"seq":3,"ts":3,"type":"lease","backend":"http://n1","backend_id":"bjob-000001","lease":"expired"}`,
+		`{"seq":4,"ts":4,"type":"dispatch","backend":"http://n2","backend_id":"bjob-000007","dispatch":2}`,
+		`{"seq":5,"ts":5,"type":"verdict","state":"done","outcome":"verified"}`,
+	}, "\n")
+	if n, err := ValidateEvents(strings.NewReader(stream)); err != nil || n != 5 {
+		t.Fatalf("ValidateEvents = (%d, %v), want (5, nil)", n, err)
+	}
+}
+
+func TestValidateEventsMidStreamResume(t *testing.T) {
+	// A ?after=N page legitimately starts past the admit.
+	stream := `{"seq":4,"ts":4,"type":"dispatch","backend":"http://n2","backend_id":"b","dispatch":2}`
+	if n, err := ValidateEvents(strings.NewReader(stream)); err != nil || n != 1 {
+		t.Fatalf("ValidateEvents = (%d, %v), want (1, nil)", n, err)
+	}
+}
+
+func TestValidateEventsRejections(t *testing.T) {
+	cases := []struct {
+		name, stream, wantErr string
+	}{
+		{"not admit first",
+			`{"seq":1,"ts":1,"type":"dispatch","backend":"b","backend_id":"i","dispatch":1}`,
+			"must open with an admit"},
+		{"gap in seq",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":3,"ts":3,"type":"verdict","state":"done"}`,
+			"dense"},
+		{"record after verdict",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"verdict","state":"done"}` + "\n" +
+				`{"seq":3,"ts":3,"type":"dispatch","backend":"b","backend_id":"i","dispatch":1}`,
+			"after the verdict"},
+		{"second admit",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"admit"}`,
+			"admitted exactly once"},
+		{"dispatch without backend",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"dispatch","dispatch":1}`,
+			"without a backend"},
+		{"lease not expired",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"lease","lease":"renewed"}`,
+			"only \"expired\""},
+		{"failed verdict must be unknown",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"verdict","state":"failed","outcome":"verified"}`,
+			"retreat to unknown"},
+		{"unknown type",
+			`{"seq":1,"ts":1,"type":"admit"}` + "\n" +
+				`{"seq":2,"ts":2,"type":"reboot"}`,
+			"unknown event type"},
+		{"unknown field",
+			`{"seq":1,"ts":1,"type":"admit","shard":3}`,
+			"not a fleet-event record"},
+		{"zero seq",
+			`{"seq":0,"ts":1,"type":"admit"}`,
+			"zero seq"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateEvents(strings.NewReader(tc.stream))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}

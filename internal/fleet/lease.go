@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// lease is the liveness contract between a dispatched run and its
+// backend: every successful poll of the backend's durable event stream
+// renews it, and a watcher whose lease runs out declares the backend
+// dead for this run — journals the expiry and re-dispatches. The TTL
+// therefore bounds how long a SIGKILLed backend can hold a run hostage.
+type lease struct {
+	ttl time.Duration
+	now func() time.Time // test seam
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+func newLease(ttl time.Duration) *lease {
+	l := &lease{ttl: ttl, now: time.Now}
+	l.deadline = l.now().Add(ttl)
+	return l
+}
+
+// renew extends the lease by its TTL from now.
+func (l *lease) renew() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.deadline = l.now().Add(l.ttl)
+}
+
+// expired reports whether the lease has lapsed.
+func (l *lease) expired() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.now().After(l.deadline)
+}

@@ -1,0 +1,65 @@
+package fleet
+
+import "predabs/internal/metrics"
+
+// fleetMetrics is the frontend's instrument set. A nil registry makes
+// every instrument nil, which the metrics package treats as a
+// zero-allocation no-op — the fleet costs nothing when -metrics is off.
+type fleetMetrics struct {
+	submitted *metrics.Counter // jobs admitted (incl. dedup joins)
+	deduped   *metrics.Counter // admits collapsed onto an existing run
+	shed      *metrics.Counter // admissions refused with queue-full
+	completed *metrics.Counter // runs finished with a backend verdict
+	failed    *metrics.Counter // runs failed (dispatch budget exhausted)
+	adopted   *metrics.Counter // backend jobs re-adopted after a restart
+	expired   *metrics.Counter // leases declared expired (failovers)
+
+	dispatches  *metrics.CounterVec // fleet_backend_dispatch_total{backend}
+	errors      *metrics.CounterVec // fleet_backend_errors_total{backend}
+	backendShed *metrics.CounterVec // fleet_backend_shed_total{backend}
+
+	breakerState *metrics.GaugeVec // 0 closed, 1 half-open, 2 open
+	backendReady *metrics.GaugeVec // last /readyz probe result
+
+	inflight *metrics.Gauge // runs admitted but not yet terminal
+	leases   *metrics.Gauge // runs currently holding a backend lease
+	dedupLen *metrics.Gauge // live dedup-table entries
+}
+
+func newFleetMetrics(r *metrics.Registry) fleetMetrics {
+	if r == nil {
+		return fleetMetrics{}
+	}
+	return fleetMetrics{
+		submitted: r.Counter("fleet_jobs_submitted_total", "Jobs admitted by the frontend, dedup joins included."),
+		deduped:   r.Counter("fleet_jobs_deduped_total", "Admits collapsed onto an existing content-addressed run."),
+		shed:      r.Counter("fleet_jobs_shed_total", "Admissions refused because the dispatch queue was full."),
+		completed: r.Counter("fleet_runs_completed_total", "Runs finished with a backend verdict."),
+		failed:    r.Counter("fleet_runs_failed_total", "Runs failed after exhausting the dispatch budget."),
+		adopted:   r.Counter("fleet_jobs_adopted_total", "Backend jobs re-adopted after a frontend restart."),
+		expired:   r.Counter("fleet_leases_expired_total", "Backend leases declared expired (failovers)."),
+
+		dispatches:  r.CounterVec("fleet_backend_dispatch_total", "Dispatches per backend.", "backend"),
+		errors:      r.CounterVec("fleet_backend_errors_total", "Transport errors per backend.", "backend"),
+		backendShed: r.CounterVec("fleet_backend_shed_total", "Retry-After shed responses per backend.", "backend"),
+
+		breakerState: r.GaugeVec("fleet_backend_breaker_state", "Breaker state per backend: 0 closed, 1 half-open, 2 open.", "backend"),
+		backendReady: r.GaugeVec("fleet_backend_ready", "Last /readyz probe result per backend.", "backend"),
+
+		inflight: r.Gauge("fleet_runs_inflight", "Runs admitted but not yet terminal."),
+		leases:   r.Gauge("fleet_active_leases", "Runs currently holding a backend lease."),
+		dedupLen: r.Gauge("fleet_dedup_entries", "Live content-addressed dedup entries."),
+	}
+}
+
+// breakerGaugeValue maps a breaker state name to its gauge encoding.
+func breakerGaugeValue(state string) int64 {
+	switch state {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// node is one backend predabsd the frontend can dispatch to.
+type node struct {
+	url string // base URL, no trailing slash
+	br  *breaker
+
+	mu        sync.Mutex
+	suspended time.Time // Retry-After backpressure: no dispatches before this
+
+	ready atomic.Bool // last /readyz probe result; optimistic before the first
+}
+
+// suspend honors a backend's Retry-After: no dispatch is routed to the
+// node until d has elapsed. Distinct from the breaker — a shedding
+// backend is healthy and explicitly asked for the pause.
+func (n *node) suspend(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	until := time.Now().Add(d)
+	if until.After(n.suspended) {
+		n.suspended = until
+	}
+}
+
+func (n *node) isSuspended() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Now().Before(n.suspended)
+}
+
+// available reports whether the node may be offered work right now,
+// WITHOUT consuming the breaker's half-open probe slot — use it for
+// counting and filtering; call br.allow() only when about to send.
+func (n *node) available() bool {
+	if n.isSuspended() || !n.ready.Load() {
+		return false
+	}
+	state, _, _ := n.br.snapshot()
+	return state != BreakerOpen
+}
+
+// registry tracks the fleet's backends: a round-robin pick over the
+// available ones, plus a background /readyz prober per node feeding
+// the ready bit and the breaker (a probe that cannot connect is a
+// breaker failure too, so a dead node trips open without burning
+// dispatch attempts on it).
+type registry struct {
+	nodes  []*node
+	rr     atomic.Uint64
+	client *http.Client
+
+	probeInterval time.Duration
+	quit          chan struct{}
+	wg            sync.WaitGroup
+}
+
+func newRegistry(urls []string, client *http.Client, threshold int, reopen, probeInterval time.Duration) *registry {
+	reg := &registry{client: client, probeInterval: probeInterval, quit: make(chan struct{})}
+	for _, u := range urls {
+		n := &node{url: u, br: newBreaker(threshold, reopen)}
+		n.ready.Store(true)
+		reg.nodes = append(reg.nodes, n)
+	}
+	return reg
+}
+
+// start launches one prober goroutine per node.
+func (reg *registry) start() {
+	for _, n := range reg.nodes {
+		n := n
+		reg.wg.Add(1)
+		go func() {
+			defer reg.wg.Done()
+			t := time.NewTicker(reg.probeInterval)
+			defer t.Stop()
+			for {
+				reg.probe(n)
+				select {
+				case <-reg.quit:
+					return
+				case <-t.C:
+				}
+			}
+		}()
+	}
+}
+
+func (reg *registry) stop() {
+	close(reg.quit)
+	reg.wg.Wait()
+}
+
+// probe hits the node's /readyz once. 200 marks it ready; a 503 (the
+// backend is draining or degraded) marks it not ready without touching
+// the breaker; a transport error is a breaker failure — the node is
+// unreachable, not merely busy.
+func (reg *registry) probe(n *node) {
+	resp, err := reg.client.Get(n.url + "/readyz")
+	if err != nil {
+		n.ready.Store(false)
+		n.br.fail()
+		return
+	}
+	resp.Body.Close()
+	n.ready.Store(resp.StatusCode == http.StatusOK)
+	if resp.StatusCode == http.StatusOK {
+		n.br.success()
+	}
+}
+
+// pick returns the next available node round-robin, skipping any in
+// the exclude set (backends that already failed this run's current
+// dispatch round). The winning node's breaker has admitted the caller
+// via allow() — a half-open node hands its single probe slot to the
+// dispatch itself. Returns nil when no node is currently available.
+func (reg *registry) pick(exclude map[string]bool) *node {
+	total := len(reg.nodes)
+	for i := 0; i < total; i++ {
+		n := reg.nodes[int(reg.rr.Add(1)-1)%total]
+		if exclude[n.url] || n.isSuspended() || !n.ready.Load() {
+			continue
+		}
+		if n.br.allow() {
+			return n
+		}
+	}
+	return nil
+}
+
+// byURL returns the node for a base URL, or nil.
+func (reg *registry) byURL(url string) *node {
+	for _, n := range reg.nodes {
+		if n.url == url {
+			return n
+		}
+	}
+	return nil
+}
+
+// healthyCount counts nodes currently available for dispatch.
+func (reg *registry) healthyCount() int {
+	c := 0
+	for _, n := range reg.nodes {
+		if n.available() {
+			c++
+		}
+	}
+	return c
+}

@@ -1,7 +1,9 @@
 // Package metrics is a dependency-free, race-safe metrics registry for
 // the predabs daemons: monotonic counters, gauges (direct or callback),
-// and fixed-bucket histograms, exposed in the Prometheus text format
-// with byte-deterministic family ordering (families sort by name, so
+// fixed-bucket histograms, and single-label counter/gauge families
+// (CounterVec/GaugeVec — the fleet frontend's per-backend series),
+// exposed in the Prometheus text format with byte-deterministic family
+// ordering (families sort by name and labeled series by label value, so
 // two scrapes of the same state render identically).
 //
 // A nil *Registry is the valid "disabled" registry, mirroring the nil
@@ -140,6 +142,80 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// CounterVec is a counter family keyed by one label: every With(value)
+// returns the counter for that label value, creating it on first use.
+// The fleet frontend uses it for per-backend counters — one family, one
+// series per backend URL. A nil *CounterVec (from a nil Registry) hands
+// out nil *Counters, which no-op at zero cost.
+type CounterVec struct {
+	mu     sync.Mutex
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label value.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.series[value]
+	if !ok {
+		c = &Counter{}
+		v.series[value] = c
+	}
+	return c
+}
+
+// GaugeVec is a gauge family keyed by one label; see CounterVec.
+type GaugeVec struct {
+	mu     sync.Mutex
+	series map[string]*Gauge
+}
+
+// With returns the gauge for the given label value.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.series[value]
+	if !ok {
+		g = &Gauge{}
+		v.series[value] = g
+	}
+	return g
+}
+
+// snapshot returns the label values (sorted, so the exposition is
+// byte-deterministic) and their instruments.
+func (v *CounterVec) snapshot() ([]string, map[string]*Counter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.series))
+	out := make(map[string]*Counter, len(v.series))
+	for val, c := range v.series {
+		vals = append(vals, val)
+		out[val] = c
+	}
+	sort.Strings(vals)
+	return vals, out
+}
+
+func (v *GaugeVec) snapshot() ([]string, map[string]*Gauge) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	vals := make([]string, 0, len(v.series))
+	out := make(map[string]*Gauge, len(v.series))
+	for val, g := range v.series {
+		vals = append(vals, val)
+		out[val] = g
+	}
+	sort.Strings(vals)
+	return vals, out
+}
+
 // DurationBuckets are the default latency buckets in seconds: fixed and
 // deterministic (1ms to 60s, roughly 1-2.5-5 per decade), shared by
 // every duration histogram so dashboards line up across metrics.
@@ -154,13 +230,18 @@ const (
 	kindHist    = "histogram"
 )
 
-// family is one registered metric family.
+// family is one registered metric family. Labeled families (cv/gv set)
+// carry the label key and render one line per label value; exactly one
+// of the instrument fields is non-nil.
 type family struct {
 	name, help, kind string
+	label            string // labeled families only
 	c                *Counter
 	g                *Gauge
 	gf               func() int64 // callback gauge; g is nil
 	h                *Histogram
+	cv               *CounterVec
+	gv               *GaugeVec
 }
 
 // Registry holds metric families. The zero value is not useful; use New.
@@ -199,9 +280,52 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.register(name, help, kindCounter, func() *family {
+	f := r.register(name, help, kindCounter, func() *family {
 		return &family{c: &Counter{}}
-	}).c
+	})
+	if f.c == nil {
+		panic(fmt.Sprintf("metrics: %s registered as a labeled counter", name))
+	}
+	return f.c
+}
+
+// CounterVec returns the labeled counter family named name with the
+// given label key, registering it on first use. A name registered as a
+// plain counter cannot be reused labeled (and vice versa).
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	checkName(label)
+	f := r.register(name, help, kindCounter, func() *family {
+		return &family{label: label, cv: &CounterVec{series: map[string]*Counter{}}}
+	})
+	if f.cv == nil {
+		panic(fmt.Sprintf("metrics: %s registered as an unlabeled counter", name))
+	}
+	if f.label != label {
+		panic(fmt.Sprintf("metrics: %s registered with label %q, requested with %q", name, f.label, label))
+	}
+	return f.cv
+}
+
+// GaugeVec returns the labeled gauge family named name with the given
+// label key, registering it on first use; see CounterVec.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	checkName(label)
+	f := r.register(name, help, kindGauge, func() *family {
+		return &family{label: label, gv: &GaugeVec{series: map[string]*Gauge{}}}
+	})
+	if f.gv == nil {
+		panic(fmt.Sprintf("metrics: %s registered as an unlabeled gauge", name))
+	}
+	if f.label != label {
+		panic(fmt.Sprintf("metrics: %s registered with label %q, requested with %q", name, f.label, label))
+	}
+	return f.gv
 }
 
 // Gauge returns the gauge named name, registering it on first use.
@@ -300,6 +424,16 @@ func (r *Registry) WriteText(w io.Writer) error {
 			b = append(b, '\n')
 		case f.h != nil:
 			b = appendHistogram(b, f.name, f.h)
+		case f.cv != nil:
+			vals, series := f.cv.snapshot()
+			for _, val := range vals {
+				b = appendLabeled(b, f.name, f.label, val, series[val].Value())
+			}
+		case f.gv != nil:
+			vals, series := f.gv.snapshot()
+			for _, val := range vals {
+				b = appendLabeled(b, f.name, f.label, val, series[val].Value())
+			}
 		}
 		if _, err := w.Write(b); err != nil {
 			return err
@@ -343,6 +477,26 @@ func appendHistogram(b []byte, name string, h *Histogram) []byte {
 
 func appendFloat(b []byte, v float64) []byte {
 	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendLabeled renders one labeled series line: name{label="value"} v.
+func appendLabeled(b []byte, name, label, value string, v int64) []byte {
+	b = append(b, name...)
+	b = append(b, '{')
+	b = append(b, label...)
+	b = append(b, `="`...)
+	b = append(b, escapeLabelValue(value)...)
+	b = append(b, `"} `...)
+	b = strconv.AppendInt(b, v, 10)
+	return append(b, '\n')
+}
+
+// escapeLabelValue escapes backslashes, double quotes and newlines per
+// the exposition format's label-value rules.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // escapeHelp escapes backslashes and newlines per the exposition format.

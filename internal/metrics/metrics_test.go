@@ -202,3 +202,66 @@ func BenchmarkWriteText(b *testing.B) {
 		reg.WriteText(io.Discard)
 	}
 }
+
+func TestLabeledExpositionGolden(t *testing.T) {
+	reg := New()
+	up := reg.GaugeVec("fleet_backend_up", "Backend readiness.", "backend")
+	up.With("http://b:1").Set(1)
+	up.With("http://a:1").Set(0)
+	disp := reg.CounterVec("fleet_dispatches_total", "Dispatches per backend.", "backend")
+	disp.With(`odd"quote\and
+newline`).Add(3)
+	// Same name + label returns the same series; a scrape renders label
+	// values sorted and escaped.
+	if got := reg.CounterVec("fleet_dispatches_total", "x", "backend"); got != disp {
+		t.Fatal("re-registration did not return the existing vec")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP fleet_backend_up Backend readiness.
+# TYPE fleet_backend_up gauge
+fleet_backend_up{backend="http://a:1"} 0
+fleet_backend_up{backend="http://b:1"} 1
+# HELP fleet_dispatches_total Dispatches per backend.
+# TYPE fleet_dispatches_total counter
+fleet_dispatches_total{backend="odd\"quote\\and\nnewline"} 3
+`
+	if buf.String() != want {
+		t.Fatalf("labeled exposition mismatch:\n got: %q\nwant: %q", buf.String(), want)
+	}
+}
+
+func TestLabeledNilSafety(t *testing.T) {
+	var reg *Registry
+	cv := reg.CounterVec("x_total", "x", "l")
+	gv := reg.GaugeVec("x_up", "x", "l")
+	if cv != nil || gv != nil {
+		t.Fatal("nil registry must hand out nil vecs")
+	}
+	cv.With("a").Inc() // must not panic
+	gv.With("a").Set(7)
+	if cv.With("a").Value() != 0 || gv.With("a").Value() != 0 {
+		t.Fatal("nil vec instruments must read zero")
+	}
+}
+
+func TestLabeledKindMismatchPanics(t *testing.T) {
+	reg := New()
+	reg.Counter("plain_total", "x")
+	for name, fn := range map[string]func(){
+		"vec over plain": func() { reg.CounterVec("plain_total", "x", "l") },
+		"plain over vec": func() { reg.CounterVec("vec_total", "x", "l"); reg.Counter("vec_total", "x") },
+		"label mismatch": func() { reg.GaugeVec("g_up", "x", "l"); reg.GaugeVec("g_up", "x", "other") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected a panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"predabs/internal/metrics"
+)
+
+// JobAPI is the admission and status surface a predabsd flavor exposes
+// over HTTP. The single-node daemon (*Server) and the fleet frontend
+// (internal/fleet) both implement it, so a client cannot tell — and
+// need not care — whether it is talking to one node or a routed fleet:
+// same routes, same JSON shapes, same error taxonomy. This is the
+// interface the ROADMAP's multi-node scheduler plugs into.
+type JobAPI interface {
+	// Submit admits one job and returns its ID, or ErrDraining /
+	// ErrQueueFull (both mapped to 503 by the handler) / a validation
+	// error (400).
+	Submit(spec JobSpec) (string, error)
+	// Lookup returns one job's full status — including the verdict
+	// stdout and, where available, live progress; ok is false for an
+	// unknown ID.
+	Lookup(id string) (JobStatus, bool)
+	// List returns every job's status in ID order. The handler strips
+	// stdout so summaries stay small.
+	List() []JobStatus
+	// Events returns the job's durable events with sequence > after;
+	// the handler renders each element as one NDJSON line. Unknown IDs
+	// return ErrNoJob; a log that exists but cannot be trusted returns
+	// an error wrapping ErrCorruptEvents (so a fleet frontend can tell
+	// "no events yet" — an empty slice — from "corrupt log,
+	// re-dispatch").
+	Events(id string, after uint64) ([]any, error)
+}
+
+// Status-surface sentinel errors, mapped by APIHandler.
+var (
+	// ErrNoJob marks lookups of unknown job IDs (HTTP 404).
+	ErrNoJob = errors.New("server: no such job")
+	// ErrCorruptEvents marks an event log that exists but cannot be
+	// read back (bad magic after quarantine-and-recycle, for example).
+	// APIHandler serves it as HTTP 500 with code EventsCorruptCode —
+	// distinct from 404, so a dispatcher treats it as "re-dispatch",
+	// not "no events yet".
+	ErrCorruptEvents = errors.New("server: corrupt event log")
+)
+
+// EventsCorruptCode is the machine-readable "code" field APIHandler
+// attaches to ErrCorruptEvents responses.
+const EventsCorruptCode = "corrupt-event-log"
+
+// APIExtras parameterizes the routes whose payloads differ per flavor.
+// Nil callbacks serve minimal defaults.
+type APIExtras struct {
+	// Metrics backs GET /metrics (nil serves an empty exposition).
+	Metrics *metrics.Registry
+	// Ready gates GET /readyz: nil error means ready, anything else is
+	// served as 503 with the error text.
+	Ready func() error
+	// Healthz returns the GET /healthz payload (process liveness).
+	Healthz func() map[string]any
+	// Statz returns the GET /statz payload (counters and gauges).
+	Statz func() map[string]any
+	// Extend registers flavor-specific routes (job artifacts, merged
+	// traces) on the mux before it is returned.
+	Extend func(mux *http.ServeMux)
+}
+
+// APIHandler returns the HTTP API shared by every predabsd flavor:
+//
+//	POST /jobs            submit a JobSpec; 202 {"id": ...}, 503 on shed/drain
+//	GET  /jobs            job summaries
+//	GET  /jobs/{id}       full status incl. the verdict stdout
+//	GET  /jobs/{id}/events[?after=N]   durable job events as NDJSON
+//	GET  /metrics         Prometheus text exposition (empty when disabled)
+//	GET  /healthz         process liveness
+//	GET  /readyz          503 with a reason while not ready, 200 otherwise
+//	GET  /statz           counters + gauges
+func APIHandler(api JobAPI, x APIExtras) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		id, err := api.Submit(spec)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "queue full"})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		out := api.List()
+		for i := range out {
+			out[i].Stdout = "" // summaries stay small; fetch the job for the verdict
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := api.Lookup(r.PathValue("id"))
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		var after uint64
+		if v := r.URL.Query().Get("after"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "after: want an unsigned integer"})
+				return
+			}
+			after = n
+		}
+		evs, err := api.Events(r.PathValue("id"), after)
+		switch {
+		case errors.Is(err, ErrNoJob):
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+			return
+		case errors.Is(err, ErrCorruptEvents):
+			writeJSON(w, http.StatusInternalServerError,
+				map[string]string{"error": err.Error(), "code": EventsCorruptCode})
+			return
+		case err != nil:
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range evs {
+			enc.Encode(ev)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		x.Metrics.WriteText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		payload := map[string]any{"status": "ok"}
+		if x.Healthz != nil {
+			payload = x.Healthz()
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if x.Ready != nil {
+			if err := x.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		payload := map[string]any{}
+		if x.Statz != nil {
+			payload = x.Statz()
+		}
+		writeJSON(w, http.StatusOK, payload)
+	})
+	if x.Extend != nil {
+		x.Extend(mux)
+	}
+	return mux
+}

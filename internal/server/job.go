@@ -92,8 +92,11 @@ type JobSpec struct {
 	Artifacts bool `json:"artifacts,omitempty"`
 }
 
-// normalize applies defaults and rejects nonsensical fields.
-func (s *JobSpec) normalize() error {
+// Normalize applies defaults and rejects nonsensical fields. Admission
+// — the single node's and the fleet frontend's — normalizes before
+// hashing, so equal submissions share one spec hash however sparsely
+// they were spelled.
+func (s *JobSpec) Normalize() error {
 	if s.Source == "" {
 		return fmt.Errorf("source: must not be empty")
 	}
@@ -237,7 +240,7 @@ func RunWorker(dir string, stderr io.Writer) int {
 		Progress:   progress,
 		Obs:        flags,
 	}, &stdout, stderr)
-	res := WorkerResult{SpecHash: specHash(spec), ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
+	res := WorkerResult{SpecHash: SpecHash(spec), ExitCode: code, Outcome: outcome, Stdout: stdout.String()}
 	if err := writeFileAtomic(filepath.Join(dir, resultFile), res); err != nil {
 		// No result file means the supervisor will retry; report why.
 		fmt.Fprintln(stderr, "predabsd worker: writing result:", err)
@@ -285,17 +288,23 @@ func readResult(dir string, spec JobSpec) (WorkerResult, bool) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		return WorkerResult{}, false
 	}
-	if res.SpecHash != specHash(spec) {
+	if res.SpecHash != SpecHash(spec) {
 		return WorkerResult{}, false
 	}
 	return res, true
 }
 
-// specHash fingerprints a normalized job spec. The daemon and the
+// SpecHash fingerprints a normalized job spec: the SHA-256 content
+// address of the verification work it describes. The daemon and the
 // worker both derive it from the same marshaling of JobSpec, so the
 // hash a worker stamps into its result matches the admitting daemon's
 // — and a daemon restarted from the ledger recomputes the same value.
-func specHash(spec JobSpec) string {
+// The fleet frontend keys its content-addressed dedup on it. Artifacts
+// is excluded: it is a server-side output toggle the admitting node
+// sets, not part of the job's identity, and including it would make a
+// frontend's hash disagree with an artifacts-enabled backend's.
+func SpecHash(spec JobSpec) string {
+	spec.Artifacts = false
 	data, err := json.Marshal(spec)
 	if err != nil {
 		// JobSpec is plain data; Marshal cannot fail on it.

@@ -101,7 +101,7 @@ func TestAdoptionOfOrphanedResult(t *testing.T) {
 	if err := writeFileAtomic(filepath.Join(jobDir, jobSpecFile), spec); err != nil {
 		t.Fatal(err)
 	}
-	orphan := WorkerResult{SpecHash: specHash(spec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (orphaned)\n"}
+	orphan := WorkerResult{SpecHash: SpecHash(spec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (orphaned)\n"}
 	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), orphan); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestStaleResultFromRecycledJobIDNotAdopted(t *testing.T) {
 	if err := os.MkdirAll(jobDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	stale := WorkerResult{SpecHash: specHash(staleSpec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (stale)\n"}
+	stale := WorkerResult{SpecHash: SpecHash(staleSpec), ExitCode: 0, Outcome: "verified", Stdout: "RESULT: verified (stale)\n"}
 	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), stale); err != nil {
 		t.Fatal(err)
 	}

@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,7 +126,8 @@ type job struct {
 	errmsg   string
 }
 
-// JobStatus is the status API's JSON shape.
+// JobStatus is the status API's JSON shape, shared by the single-node
+// daemon and the fleet frontend.
 type JobStatus struct {
 	ID       string `json:"id"`
 	State    string `json:"state"`
@@ -136,6 +137,13 @@ type JobStatus struct {
 	Outcome  string `json:"outcome,omitempty"`
 	Stdout   string `json:"stdout,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// SpecHash is the content address of the job's normalized spec (see
+	// SpecHash). The fleet frontend uses it to verify that a backend job
+	// it re-adopts after a restart still runs the work it dispatched.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Backend is the backend node a fleet frontend dispatched the job
+	// to; single-node daemons leave it empty.
+	Backend string `json:"backend,omitempty"`
 	// Progress is the last CEGAR heartbeat the worker logged, when any;
 	// populated only by GET /jobs/{id} (it reads the job's event log).
 	Progress *ProgressInfo `json:"progress,omitempty"`
@@ -155,7 +163,8 @@ type ProgressInfo struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, Attempts: j.attempts, Resumed: j.resumed, Error: j.errmsg}
+	st := JobStatus{ID: j.id, State: j.state, Attempts: j.attempts, Resumed: j.resumed,
+		Error: j.errmsg, SpecHash: SpecHash(j.spec)}
 	if j.result != nil {
 		st.ExitCode = j.result.ExitCode
 		st.Outcome = j.result.Outcome
@@ -348,61 +357,48 @@ func (s *Server) jobDir(id string) string {
 	return filepath.Join(s.cfg.DataDir, "jobs", id)
 }
 
-// Handler returns the daemon's HTTP API:
+// Handler returns the daemon's HTTP API: the shared JobAPI surface (see
+// APIHandler) extended with the single-node artifact routes:
 //
-//	POST /jobs            submit a JobSpec; 202 {"id": ...}, 503 on shed/drain
-//	GET  /jobs            job summaries
-//	GET  /jobs/{id}       full status incl. the verdict stdout and progress
 //	GET  /jobs/{id}/trace,/report,/log   job artifacts
-//	GET  /jobs/{id}/events[?after=N]     durable job-event log as NDJSON
 //	GET  /jobs/{id}/trace.chrome         merged daemon+worker Chrome trace
-//	GET  /metrics         Prometheus text exposition (empty when disabled)
-//	GET  /healthz         process liveness (always 200; version + uptime)
-//	GET  /readyz          503 while draining, 200 otherwise
-//	GET  /statz           counters + queue depth + version + uptime
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /jobs/{id}/trace", s.artifactHandler(traceFile))
-	mux.HandleFunc("GET /jobs/{id}/report", s.artifactHandler(reportFile))
-	mux.HandleFunc("GET /jobs/{id}/log", s.artifactHandler(workerLogFile))
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /jobs/{id}/trace.chrome", s.handleChromeTrace)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.cfg.Metrics.WriteText(w)
+	return APIHandler(s, APIExtras{
+		Metrics: s.cfg.Metrics,
+		Ready: func() error {
+			if s.draining.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+		Healthz: func() map[string]any {
+			return map[string]any{
+				"status":         "ok",
+				"version":        predabs.Version,
+				"uptime_seconds": int64(time.Since(s.start).Seconds()),
+			}
+		},
+		Statz: func() map[string]any {
+			s.mu.Lock()
+			depth := len(s.queue)
+			s.mu.Unlock()
+			return map[string]any{
+				"counters":           s.CounterSnapshot(),
+				"queue_depth":        depth,
+				"queue_cap":          cap(s.queue),
+				"draining":           s.draining.Load(),
+				"retries_in_backoff": s.inBackoff.Load(),
+				"version":            predabs.Version,
+				"uptime_seconds":     int64(time.Since(s.start).Seconds()),
+			}
+		},
+		Extend: func(mux *http.ServeMux) {
+			mux.HandleFunc("GET /jobs/{id}/trace", s.artifactHandler(traceFile))
+			mux.HandleFunc("GET /jobs/{id}/report", s.artifactHandler(reportFile))
+			mux.HandleFunc("GET /jobs/{id}/log", s.artifactHandler(workerLogFile))
+			mux.HandleFunc("GET /jobs/{id}/trace.chrome", s.handleChromeTrace)
+		},
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":         "ok",
-			"version":        predabs.Version,
-			"uptime_seconds": int64(time.Since(s.start).Seconds()),
-		})
-	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
-	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		depth := len(s.queue)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"counters":           s.CounterSnapshot(),
-			"queue_depth":        depth,
-			"queue_cap":          cap(s.queue),
-			"draining":           s.draining.Load(),
-			"retries_in_backoff": s.inBackoff.Load(),
-			"version":            predabs.Version,
-			"uptime_seconds":     int64(time.Since(s.start).Seconds()),
-		})
-	})
-	return mux
 }
 
 // maxJobBody bounds a submission body (a large driver source is well
@@ -422,7 +418,7 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 	if s.draining.Load() {
 		return "", ErrDraining
 	}
-	if err := spec.normalize(); err != nil {
+	if err := spec.Normalize(); err != nil {
 		return "", err
 	}
 	if len(spec.Env) > 0 && !s.cfg.AllowJobEnv {
@@ -480,28 +476,6 @@ func (s *Server) Status(id string) (JobStatus, bool) {
 	return j.status(), true
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-		return
-	}
-	id, err := s.Submit(spec)
-	switch {
-	case err == nil:
-		writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "queue full"})
-	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
-	default:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-	}
-}
-
 // admit persists the job: directory, job.json (the worker's input) and
 // the durable ledger record, in that order, so a replayed admit record
 // always has its job.json on disk.
@@ -522,7 +496,9 @@ func (s *Server) admit(j *job) error {
 	return s.ledger.admit(j.id, j.spec)
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+// List returns every job's status in ID order (the JobAPI surface
+// behind GET /jobs).
+func (s *Server) List() []JobStatus {
 	s.mu.Lock()
 	ids := make([]string, 0, len(s.jobs))
 	for id := range s.jobs {
@@ -535,61 +511,60 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		j := s.jobs[id]
 		s.mu.Unlock()
-		st := j.status()
-		st.Stdout = "" // summaries stay small; fetch the job for the verdict
-		out = append(out, st)
+		out = append(out, j.status())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	return out
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+// Lookup returns one job's full status (the JobAPI surface behind
+// GET /jobs/{id}). Live progress rides the status: the last heartbeat
+// the worker logged, read fresh from the event log on every fetch.
+// Best-effort — a job without artifacts or heartbeats simply omits the
+// field.
+func (s *Server) Lookup(id string) (JobStatus, bool) {
 	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
+	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
-		return
+		return JobStatus{}, false
 	}
 	st := j.status()
-	// Live progress rides the status: the last heartbeat the worker
-	// logged, read fresh from the event log on every fetch. Best-effort —
-	// a job without artifacts or heartbeats simply omits the field.
 	st.Progress = lastProgress(j.dir)
-	writeJSON(w, http.StatusOK, st)
+	return st, true
 }
 
-// handleEvents streams a job's durable event log as NDJSON, one JobEvent
-// per line in sequence order. ?after=N skips records with Seq <= N, which
+// Events returns a job's durable events with Seq > after, in sequence
+// order (the JobAPI surface behind GET /jobs/{id}/events). ?after=N
 // lets a consumer resume exactly where a previous fetch (or a previous
-// daemon incarnation) left off. The response is a snapshot, not a tail:
-// re-poll with the last seen sequence to follow a live job.
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+// daemon incarnation) left off; the result is a snapshot, not a tail.
+// The error taxonomy is deliberate: an unknown ID is ErrNoJob, a job
+// whose event log does not exist yet is an empty stream (not an
+// error), and a log that exists but cannot be trusted wraps
+// ErrCorruptEvents — a fleet frontend maps the three to "gone",
+// "keep waiting" and "re-dispatch" respectively.
+func (s *Server) Events(id string, after uint64) ([]any, error) {
 	s.mu.Lock()
-	j, ok := s.jobs[r.PathValue("id")]
+	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
-		return
-	}
-	var after uint64
-	if v := r.URL.Query().Get("after"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "after: want an unsigned integer"})
-			return
-		}
-		after = n
+		return nil, ErrNoJob
 	}
 	evs, err := readJobEvents(j.dir, after)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		return
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil // admitted, but no events durable yet
+		}
+		var ce *checkpoint.CorruptError
+		if errors.As(err, &ce) {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptEvents, err)
+		}
+		return nil, err
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for _, ev := range evs {
-		enc.Encode(ev)
+	out := make([]any, len(evs))
+	for i := range evs {
+		out[i] = evs[i]
 	}
+	return out, nil
 }
 
 // lastProgress returns the most recent progress heartbeat in dir's event

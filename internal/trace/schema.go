@@ -50,6 +50,13 @@ var Taxonomy = map[string][]string{
 	// adoption, CEGAR progress heartbeats). No worker emits these into
 	// trace JSONL; they exist so merged traces validate under one schema.
 	"daemon": {"supervise", "attempt", "spawn", "kill", "adopt", "state", "progress"},
+	// Fleet routing (internal/fleet): instants mirroring the frontend's
+	// durable ledger record taxonomy — a job's admission (and dedup
+	// collapse), each backend dispatch, lease expiries (failovers),
+	// post-restart adoptions and the terminal verdict. Synthesized-only,
+	// like "daemon": no worker emits these, they exist so fleet event
+	// streams rendered into merged traces validate under one schema.
+	"fleet": {"admit", "dispatch", "lease", "adopt", "verdict"},
 }
 
 // rawEvent mirrors one JSONL line for validation.
