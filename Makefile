@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos fleet-chaos leakcheck metrics-lint bench bench-json lint-docs tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos fleet-chaos cache-chaos leakcheck metrics-lint bench bench-json bench-cache lint-docs tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos fleet-chaos leakcheck
+verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos fleet-chaos cache-chaos leakcheck
 	$(GO) test -race ./...
 
 # Chaos gate: the deterministic fault-injection matrix (seeded prover
@@ -55,12 +55,23 @@ serve-chaos:
 fleet-chaos:
 	$(GO) test -count=1 -timeout 10m -run 'TestFleetChaos' ./internal/faultinject/
 
+# Cache-chaos gate: the shared prover cache must be a pure accelerator.
+# Every cell — warm cache, cache SIGKILLed mid-run, nothing listening,
+# restart over a torn/corrupted store, responses slower than the lookup
+# budget, garbage responses, and a poisoned cache under verify mode —
+# requires verdict stdout byte-identical to a cache-off run; the poison
+# cell additionally requires detection and quarantine.
+cache-chaos:
+	$(GO) test -count=1 -timeout 10m -run 'TestCacheChaos' ./internal/faultinject/
+
 # Metrics gate: the Prometheus exposition's golden byte-for-byte family
 # ordering, the disabled-registry zero-allocation pin (the nil-tracer
 # contract extended to metrics), and the registry under the race
 # detector with racing registration, updates, and scrapes.
 metrics-lint:
 	$(GO) test -race -count=1 -run 'TestPromExpositionGolden|TestDisabledMetricsZeroAlloc|TestRegistryConcurrentStress' ./internal/metrics/
+	$(GO) test -race -count=1 -run 'TestCacheMetricsExpositionDeterministic' ./internal/cacheserv/
+	$(GO) test -race -count=1 -run 'TestNilRemoteTierZeroAlloc|TestRemoteWireFormatGolden' ./internal/prover/
 
 # Leak gate: concurrent cancellation mid-cube-search at -j 8 must leave
 # no goroutine behind and keep the degraded report deterministic, and
@@ -80,6 +91,14 @@ bench:
 # committed numbers always describe identical outputs.
 bench-json:
 	$(GO) run ./cmd/absbench -o BENCH_abstraction.json
+
+# Cache trajectory: every Table 1 driver verified with no remote tier,
+# against a cold predcached store, and against a fleet-warmed one —
+# wall clock, prover queries and remote hit/fallback traffic, written
+# to the committed BENCH_cache.json. cachebench exits nonzero if any
+# mode's verdict or prover-call count diverges.
+bench-cache:
+	$(GO) run ./cmd/cachebench -o BENCH_cache.json
 
 # Doc gate: static analysis plus the exported-identifier doc-comment
 # check over the facade and the prover (the packages the paper's

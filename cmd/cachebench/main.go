@@ -1,0 +1,266 @@
+// Command cachebench measures what the fleet-shared prover cache
+// (predcached, internal/cacheserv) buys on the paper's Table 1 drivers
+// and emits the committed trajectory (BENCH_cache.json, written by
+// `make bench-cache`).
+//
+// Each driver runs in three modes: no remote tier at all, a cold cache
+// (fresh store, every lookup misses, every decided verdict published),
+// and a fleet-warmed cache (a prior run of the same driver populated
+// it). The cache is a real cacheserv.Server behind a real HTTP
+// listener, so the measured lookups pay the loopback round trip the
+// fleet pays. All three modes must produce identical verdicts and
+// identical prover-call counts — the cache is an accelerator, never a
+// different computation — and cachebench exits nonzero if they ever
+// diverge.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"predabs"
+	"predabs/internal/cacheserv"
+	"predabs/internal/checkpoint"
+	"predabs/internal/corpus"
+	"predabs/internal/prover"
+)
+
+// modeRow is one mode's measured cost on one driver.
+type modeRow struct {
+	// WallMS is the minimum whole-run wall time over the reps.
+	WallMS float64 `json:"wall_ms"`
+	// ProverCalls is the run's prover query count — identical across
+	// modes by the byte-identity contract.
+	ProverCalls int `json:"prover_calls"`
+	// RemoteHits / RemoteFallbacks / RemotePublished describe the remote
+	// tier's traffic (absent in nocache mode).
+	RemoteHits      int64 `json:"remote_hits,omitempty"`
+	RemoteFallbacks int64 `json:"remote_fallbacks,omitempty"`
+	RemotePublished int64 `json:"remote_published,omitempty"`
+}
+
+// driverRow is one Table 1 driver's measurement across the modes.
+type driverRow struct {
+	Name    string             `json:"name"`
+	Outcome string             `json:"outcome"`
+	Modes   map[string]modeRow `json:"modes"`
+	// WarmSpeedup is nocache wall time over warm wall time.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// benchFile is the committed BENCH_cache.json layout.
+type benchFile struct {
+	Tool    string      `json:"tool"`
+	Version string      `json:"version"`
+	Note    string      `json:"note"`
+	Drivers []driverRow `json:"drivers"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	reps := flag.Int("reps", 3, "timing repetitions per mode (minimum wall time is reported)")
+	flag.Parse()
+
+	bench := benchFile{
+		Tool:    "cachebench",
+		Version: predabs.Version,
+		Note: "cold populates a fresh predcached store over loopback HTTP; warm re-runs " +
+			"the driver against the store a prior identical run filled; verdicts and " +
+			"prover-call counts are required identical across all modes. The paper " +
+			"drivers' queries decide in microseconds, so a warm_speedup below 1 means " +
+			"the loopback round trip costs more than recomputing — the tier pays off " +
+			"when queries are expensive or results are shared fleet-wide, and the " +
+			"numbers here pin its overhead ceiling, not its best case",
+	}
+	for _, p := range corpus.Drivers() {
+		row, err := benchDriver(p, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.Drivers = append(bench.Drivers, row)
+	}
+
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d drivers)\n", *out, len(bench.Drivers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachebench:", err)
+	os.Exit(1)
+}
+
+// cacheServer is one live predcached instance over a loopback listener.
+type cacheServer struct {
+	srv  *cacheserv.Server
+	http *http.Server
+	url  string
+}
+
+func startCache(dir string) (*cacheServer, error) {
+	srv, err := cacheserv.New(cacheserv.Config{Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return &cacheServer{srv: srv, http: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (c *cacheServer) stop() {
+	c.http.Close()
+	c.srv.Close()
+}
+
+// partition computes the compatibility hash a real slam run over this
+// driver would use, so cold and warm runs address the same shard.
+func partition(p corpus.Program) string {
+	cfg := predabs.DefaultVerifyConfig()
+	return checkpoint.CompatKey{
+		Tool: "slam", Version: predabs.Version,
+		Program: p.Source, Spec: p.Spec, Entry: p.Entry,
+		MaxCubeLen: cfg.Opts.MaxCubeLen,
+		AbsEngine:  predabs.EngineCubes,
+	}.Hash()
+}
+
+// oneRun executes a full CEGAR verification of p, optionally through a
+// remote tier pointed at cacheURL, and returns the result, the wall
+// time and the tier's final stats (zero without a cache). A generous
+// lookup budget keeps loopback timing noise out of the hit counts the
+// committed JSON asserts on.
+func oneRun(p corpus.Program, cacheURL string) (*predabs.VerifyResult, time.Duration, prover.RemoteStats, error) {
+	cfg := predabs.DefaultVerifyConfig()
+	var tier *prover.RemoteTier
+	if cacheURL != "" {
+		tier = prover.NewRemoteTier(prover.RemoteConfig{
+			URL:          cacheURL,
+			Partition:    partition(p),
+			LookupBudget: 250 * time.Millisecond,
+		})
+		cfg.RemoteCache = tier
+	}
+	start := time.Now()
+	res, err := predabs.VerifySpec(p.Source, p.Spec, p.Entry, cfg)
+	wall := time.Since(start)
+	var stats prover.RemoteStats
+	if tier != nil {
+		tier.Close() // flushes pending publishes before stats are read
+		stats = tier.Stats()
+	}
+	return res, wall, stats, err
+}
+
+func benchDriver(p corpus.Program, reps int) (driverRow, error) {
+	row := driverRow{Name: p.Name, Modes: map[string]modeRow{}}
+
+	measure := func(mode string, run func(rep int) (*predabs.VerifyResult, time.Duration, prover.RemoteStats, error)) error {
+		var mr modeRow
+		var minWall float64
+		for rep := 0; rep < reps; rep++ {
+			res, wall, stats, err := run(rep)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", p.Name, mode, err)
+			}
+			cur := modeRow{
+				WallMS:          float64(wall.Microseconds()) / 1000,
+				ProverCalls:     res.ProverCalls,
+				RemoteHits:      stats.Hits,
+				RemoteFallbacks: stats.Fallbacks,
+				RemotePublished: stats.Published,
+			}
+			if row.Outcome == "" {
+				row.Outcome = res.Outcome.String()
+			}
+			if res.Outcome.String() != row.Outcome || (mode != "nocache" && res.ProverCalls != row.Modes["nocache"].ProverCalls) {
+				return fmt.Errorf("%s/%s: diverged from nocache run (outcome %s, %d prover calls)",
+					p.Name, mode, res.Outcome, res.ProverCalls)
+			}
+			if rep == 0 || cur.WallMS < minWall {
+				minWall = cur.WallMS
+			}
+			mr = cur
+		}
+		mr.WallMS = minWall
+		row.Modes[mode] = mr
+		return nil
+	}
+
+	if err := measure("nocache", func(int) (*predabs.VerifyResult, time.Duration, prover.RemoteStats, error) {
+		return oneRun(p, "")
+	}); err != nil {
+		return row, err
+	}
+
+	// Cold: every rep gets a pristine store, so every rep pays the full
+	// miss+publish traffic.
+	if err := measure("cold", func(int) (*predabs.VerifyResult, time.Duration, prover.RemoteStats, error) {
+		dir, err := os.MkdirTemp("", "cachebench-cold-")
+		if err != nil {
+			return nil, 0, prover.RemoteStats{}, err
+		}
+		defer os.RemoveAll(dir)
+		cs, err := startCache(dir)
+		if err != nil {
+			return nil, 0, prover.RemoteStats{}, err
+		}
+		defer cs.stop()
+		return oneRun(p, cs.url)
+	}); err != nil {
+		return row, err
+	}
+
+	// Warm: one store, filled by a priming run, then measured reps that
+	// should answer (nearly) every decided query remotely.
+	dir, err := os.MkdirTemp("", "cachebench-warm-")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	cs, err := startCache(dir)
+	if err != nil {
+		return row, err
+	}
+	defer cs.stop()
+	if _, _, _, err := oneRun(p, cs.url); err != nil {
+		return row, fmt.Errorf("%s: warm priming: %w", p.Name, err)
+	}
+	if err := measure("warm", func(int) (*predabs.VerifyResult, time.Duration, prover.RemoteStats, error) {
+		return oneRun(p, cs.url)
+	}); err != nil {
+		return row, err
+	}
+
+	if w := row.Modes["warm"].WallMS; w > 0 {
+		row.WarmSpeedup = roundRatio(row.Modes["nocache"].WallMS / w)
+	}
+	if row.Modes["warm"].RemoteHits == 0 {
+		return row, fmt.Errorf("%s: warm run got no remote hits — the cache is inert", p.Name)
+	}
+	return row, nil
+}
+
+// roundRatio keeps the committed JSON to two decimals.
+func roundRatio(r float64) float64 {
+	return float64(int(r*100+0.5)) / 100
+}

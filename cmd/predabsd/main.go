@@ -20,6 +20,15 @@
 //
 //	predabsd -frontend http://n1:8745,http://n2:8745 -data /var/lib/predabs-fe
 //
+// With -cache the same binary runs as predcached, the fleet-shared
+// prover cache: a durable store of decided prover verdicts partitioned
+// by checkpoint compatibility hash, served over batched GET/PUT (see
+// internal/cacheserv). Workers reach it via -cache-url (stamped into
+// their environment as PREDABSD_CACHE_URL):
+//
+//	predabsd -cache -data /var/lib/predcached [-addr :8750]
+//	predabsd -data /var/lib/predabs -cache-url http://cachehost:8750
+//
 // The same binary re-execs itself as the worker (-worker -dir, internal).
 package main
 
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"predabs"
+	"predabs/internal/cacheserv"
 	"predabs/internal/fleet"
 	"predabs/internal/metrics"
 	"predabs/internal/server"
@@ -70,6 +80,10 @@ func run() (code int) {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "with -frontend: heartbeat lease before a backend is declared dead")
 	pollInterval := flag.Duration("poll-interval", 500*time.Millisecond, "with -frontend: backend event-stream poll spacing")
 	dispatchRetries := flag.Int("dispatch-retries", 4, "with -frontend: backend attempts per run before failing it unknown")
+	eventWait := flag.Duration("event-wait", 0, "with -frontend: long-poll hold per backend event fetch (0 = min(lease-ttl/3, 5s), negative disables)")
+	cache := flag.Bool("cache", false, "run as predcached, the fleet-shared prover cache service")
+	cacheURL := flag.String("cache-url", "", "shared prover cache (predcached) base URL workers inherit; empty disables the remote tier")
+	cacheVerify := flag.Bool("cache-verify", false, "make workers revalidate sampled remote cache hits locally, quarantining the cache on any mismatch")
 	flag.Parse()
 
 	if *worker {
@@ -80,7 +94,7 @@ func run() (code int) {
 		return server.RunWorker(*dir, os.Stderr)
 	}
 	if flag.NArg() != 0 || *data == "" {
-		fmt.Fprintln(os.Stderr, "usage: predabsd -data <dir> [-addr host:port] [-frontend url,url]")
+		fmt.Fprintln(os.Stderr, "usage: predabsd -data <dir> [-addr host:port] [-frontend url,url | -cache]")
 		return 2
 	}
 	logf := func(string, ...any) {}
@@ -88,6 +102,21 @@ func run() (code int) {
 		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *cache {
+		fmt.Fprintf(os.Stderr, "predabsd: version %s starting (cache)\n", predabs.Version)
+		cs, err := cacheserv.New(cacheserv.Config{
+			Dir:     *data,
+			Metrics: metrics.New(),
+			Logf:    logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predabsd:", err)
+			return 1
+		}
+		return serveAPI(cs.Handler(), *addr, *drainTimeout, func(context.Context) error {
+			return cs.Close()
+		})
 	}
 	if *frontend != "" {
 		if *dispatchRetries <= 0 || *leaseTTL <= 0 || *pollInterval <= 0 || *queueCap <= 0 {
@@ -102,6 +131,8 @@ func run() (code int) {
 			DispatchRetries: *dispatchRetries,
 			LeaseTTL:        *leaseTTL,
 			PollInterval:    *pollInterval,
+			EventWait:       *eventWait,
+			CacheURL:        *cacheURL,
 			AllowJobEnv:     *allowJobEnv,
 			Metrics:         metrics.New(),
 			Logf:            logf,
@@ -153,6 +184,8 @@ func run() (code int) {
 		RetryMax:       *retryMax,
 		Artifacts:      *artifacts,
 		AllowJobEnv:    *allowJobEnv,
+		CacheURL:       *cacheURL,
+		CacheVerify:    *cacheVerify,
 		Metrics:        metrics.New(),
 		Logf:           logf,
 	})

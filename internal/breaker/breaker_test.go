@@ -1,4 +1,4 @@
-package fleet
+package breaker
 
 import (
 	"testing"
@@ -11,9 +11,9 @@ type fakeClock struct{ t time.Time }
 func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
-func testBreaker(threshold int, reopen time.Duration) (*breaker, *fakeClock) {
+func testBreaker(threshold int, reopen time.Duration) (*Breaker, *fakeClock) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
-	b := newBreaker(threshold, reopen)
+	b := New(threshold, reopen)
 	b.now = clk.now
 	return b, clk
 }
@@ -21,75 +21,75 @@ func testBreaker(threshold int, reopen time.Duration) (*breaker, *fakeClock) {
 func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
 	b, _ := testBreaker(3, time.Second)
 	for i := 0; i < 2; i++ {
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("closed breaker refused request %d", i)
 		}
-		b.fail()
+		b.Fail()
 	}
-	if state, _, _ := b.snapshot(); state != BreakerClosed {
+	if state, _, _ := b.Snapshot(); state != Closed {
 		t.Fatalf("state after 2 failures = %q, want closed", state)
 	}
-	b.fail() // third consecutive failure trips
-	if state, tripped, _ := b.snapshot(); state != BreakerOpen || tripped != 1 {
+	b.Fail() // third consecutive failure trips
+	if state, tripped, _ := b.Snapshot(); state != Open || tripped != 1 {
 		t.Fatalf("state after 3 failures = %q (tripped %d), want open/1", state, tripped)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request")
 	}
 }
 
 func TestBreakerSuccessResetsStreak(t *testing.T) {
 	b, _ := testBreaker(3, time.Second)
-	b.fail()
-	b.fail()
-	b.success()
-	b.fail()
-	b.fail()
-	if state, _, _ := b.snapshot(); state != BreakerClosed {
+	b.Fail()
+	b.Fail()
+	b.Success()
+	b.Fail()
+	b.Fail()
+	if state, _, _ := b.Snapshot(); state != Closed {
 		t.Fatalf("interleaved successes must reset the streak; state = %q", state)
 	}
 }
 
 func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 	b, clk := testBreaker(1, time.Second)
-	b.fail()
-	if b.allow() {
+	b.Fail()
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request before the reopen delay")
 	}
 	// Jitter bounds the delay to [reopen/2, 3*reopen/2]; far past it the
 	// breaker must offer the half-open probe.
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("breaker refused the half-open probe after the reopen delay")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("half-open breaker admitted a second concurrent probe")
 	}
-	b.success()
-	if state, _, reopened := b.snapshot(); state != BreakerClosed || reopened != 1 {
+	b.Success()
+	if state, _, reopened := b.Snapshot(); state != Closed || reopened != 1 {
 		t.Fatalf("after probe success state = %q (reopened %d), want closed/1", state, reopened)
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("recovered breaker refused a request")
 	}
 }
 
 func TestBreakerFailedProbeReopens(t *testing.T) {
 	b, clk := testBreaker(1, time.Second)
-	b.fail()
+	b.Fail()
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("breaker refused the half-open probe")
 	}
-	b.fail()
-	if state, tripped, _ := b.snapshot(); state != BreakerOpen || tripped != 2 {
+	b.Fail()
+	if state, tripped, _ := b.Snapshot(); state != Open || tripped != 2 {
 		t.Fatalf("after probe failure state = %q (tripped %d), want open/2", state, tripped)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("re-opened breaker admitted a request immediately")
 	}
 	clk.advance(2 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("breaker refused the second half-open probe")
 	}
 }

@@ -1,0 +1,224 @@
+package cacheserv
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"predabs/internal/metrics"
+	"predabs/internal/prover"
+)
+
+// maxBatchBody bounds one lookup/publish request body. Formula keys are
+// whole canonical formula strings, so batches are large but bounded by
+// the prover's flush batching; 64 MiB is far above any sane batch.
+const maxBatchBody = 64 << 20
+
+// Wire shapes for the batched endpoints. The prover's remote tier
+// declares mirrors of these (importing this package from internal/prover
+// would cycle); TestRemoteWireFormatGolden on the prover side pins the
+// encoded bytes so the two cannot drift.
+type lookupRequest struct {
+	Partition string   `json:"partition"`
+	Keys      []string `json:"keys"`
+}
+
+type lookupResponse struct {
+	Entries []prover.CacheEntry `json:"entries"`
+}
+
+type publishRequest struct {
+	Partition string              `json:"partition"`
+	Entries   []prover.CacheEntry `json:"entries"`
+}
+
+type publishResponse struct {
+	Accepted  int `json:"accepted"`
+	Conflicts int `json:"conflicts"`
+}
+
+// Config parameterizes a cache Server.
+type Config struct {
+	// Dir holds the durable store file (required).
+	Dir string
+	// Metrics is the optional instrument registry (nil disables).
+	Metrics *metrics.Registry
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// cacheMetrics is the service's instrument set; nil instruments are
+// zero-alloc no-ops per the metrics package contract.
+type cacheMetrics struct {
+	lookupReqs  *metrics.Counter
+	lookupKeys  *metrics.Counter
+	lookupHits  *metrics.Counter
+	publishReqs *metrics.Counter
+	published   *metrics.Counter
+	conflicts   *metrics.Counter
+	badReqs     *metrics.Counter
+}
+
+func newCacheMetrics(r *metrics.Registry, st *Store) cacheMetrics {
+	if r == nil {
+		return cacheMetrics{}
+	}
+	r.GaugeFunc("predcached_entries", "Live cache entries across all partitions.", func() int64 {
+		_, entries := st.Stats()
+		return int64(entries)
+	})
+	r.GaugeFunc("predcached_partitions", "Live compatibility-hash partitions.", func() int64 {
+		parts, _ := st.Stats()
+		return int64(parts)
+	})
+	return cacheMetrics{
+		lookupReqs:  r.Counter("predcached_lookup_requests_total", "Batched lookup requests served."),
+		lookupKeys:  r.Counter("predcached_lookup_keys_total", "Keys asked for across lookup batches."),
+		lookupHits:  r.Counter("predcached_lookup_hits_total", "Keys answered from the store."),
+		publishReqs: r.Counter("predcached_publish_requests_total", "Batched publish requests served."),
+		published:   r.Counter("predcached_publish_entries_total", "Entries accepted into the store."),
+		conflicts:   r.Counter("predcached_publish_conflicts_total", "Publishes dropped because the key already holds a different verdict."),
+		badReqs:     r.Counter("predcached_bad_requests_total", "Requests refused as malformed."),
+	}
+}
+
+// Server is the predcached HTTP service over one Store.
+type Server struct {
+	cfg   Config
+	store *Store
+	met   cacheMetrics
+	start time.Time
+}
+
+// New opens the store under cfg.Dir (replaying and repairing the framed
+// log) and returns the service.
+func New(cfg Config) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	st, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range st.Warnings() {
+		cfg.Logf("predcached store: %s", w)
+	}
+	s := &Server{cfg: cfg, store: st, met: newCacheMetrics(cfg.Metrics, st), start: time.Now()}
+	parts, entries := st.Stats()
+	cfg.Logf("predcached: store open, %d entries across %d partitions", entries, parts)
+	return s, nil
+}
+
+// Store exposes the underlying store (chaos harnesses seed and inspect
+// it directly).
+func (s *Server) Store() *Store { return s.store }
+
+// Handler returns the predcached HTTP surface:
+//
+//	POST /v1/lookup     {"partition","keys":[...]} -> {"entries":[{"k","v"}...]}
+//	POST /v1/publish    {"partition","entries":[...]} -> {"accepted","conflicts"}
+//	GET  /v1/snapshot?partition=H   full sorted dump of one partition
+//	GET  /v1/partitions             known partition hashes
+//	GET  /metrics /healthz /readyz /statz   the usual operational routes
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+		var req lookupRequest
+		if !s.decode(w, r, &req) {
+			return
+		}
+		if req.Partition == "" {
+			s.badRequest(w, "partition must be set")
+			return
+		}
+		s.met.lookupReqs.Inc()
+		s.met.lookupKeys.Add(int64(len(req.Keys)))
+		entries := s.store.Lookup(req.Partition, req.Keys)
+		s.met.lookupHits.Add(int64(len(entries)))
+		writeJSON(w, http.StatusOK, lookupResponse{Entries: entries})
+	})
+	mux.HandleFunc("POST /v1/publish", func(w http.ResponseWriter, r *http.Request) {
+		var req publishRequest
+		if !s.decode(w, r, &req) {
+			return
+		}
+		if req.Partition == "" {
+			s.badRequest(w, "partition must be set")
+			return
+		}
+		s.met.publishReqs.Inc()
+		accepted, conflicts, err := s.store.Publish(req.Partition, req.Entries)
+		if err != nil {
+			s.cfg.Logf("predcached: publish failed: %v", err)
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		s.met.published.Add(int64(accepted))
+		s.met.conflicts.Add(int64(conflicts))
+		writeJSON(w, http.StatusOK, publishResponse{Accepted: accepted, Conflicts: conflicts})
+	})
+	mux.HandleFunc("GET /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Query().Get("partition")
+		if p == "" {
+			s.badRequest(w, "partition must be set")
+			return
+		}
+		writeJSON(w, http.StatusOK, lookupResponse{Entries: s.store.Snapshot(p)})
+	})
+	mux.HandleFunc("GET /v1/partitions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"partitions": s.store.Partitions()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.cfg.Metrics.WriteText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "cache",
+			"uptime_s": int64(time.Since(s.start).Seconds())})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		parts, entries := s.store.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"role":       "cache",
+			"partitions": parts,
+			"entries":    entries,
+			"uptime_s":   int64(time.Since(s.start).Seconds()),
+		})
+	})
+	return mux
+}
+
+// Close syncs and closes the durable store.
+func (s *Server) Close() error { return s.store.Close() }
+
+// decode reads one bounded JSON request body; a failure answers 400 and
+// reports false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.met.badReqs.Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "batch too large"})
+			return false
+		}
+		s.badRequest(w, err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, msg string) {
+	s.met.badReqs.Inc()
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(payload)
+}

@@ -1,0 +1,200 @@
+// Package cacheserv implements predcached, the fleet-shared prover
+// cache service: a durable, partitioned store of prover.CacheEntry
+// verdicts served over batched HTTP lookup/publish. One node's proofs
+// warm every node.
+//
+// Entries are partitioned by the checkpoint compatibility hash
+// (checkpoint.CompatKey.Hash), so verdicts computed by a different tool
+// version, under different limits, or by a different abstraction engine
+// can never cross-pollute. Within a partition the store is first-write-
+// wins: a publish for an existing key with a different value is counted
+// as a conflict and discarded — a poisoned publisher cannot overwrite
+// good entries.
+//
+// Persistence rides the checkpoint package's framed log (magic prefix,
+// length+CRC32 frames, fsync per append, torn-tail truncation on open),
+// so a SIGKILLed cache service restarts losslessly minus at most the
+// batch being written.
+package cacheserv
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"predabs/internal/checkpoint"
+	"predabs/internal/prover"
+)
+
+const (
+	// Magic stamps the store file; the terminator keeps any other framed
+	// log from sharing a prefix.
+	Magic = "PREDABSCACHE1\x00"
+	// FileName is the durable store file inside the data directory.
+	FileName = "cache.predabs"
+)
+
+// record is one durable publish batch: only the entries that were new
+// at publish time, so replay is append-cost-proportional and
+// first-write-wins is preserved byte-for-byte across restarts.
+type record struct {
+	Partition string              `json:"p"`
+	Entries   []prover.CacheEntry `json:"e"`
+}
+
+// Store is the in-memory cache backed by the framed log. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	parts   map[string]map[string]bool
+	entries int
+	log     *checkpoint.Log
+}
+
+// OpenStore opens (or creates) the store under dir, replaying every
+// intact record and truncating a torn tail. A file with foreign magic
+// surfaces as *checkpoint.CorruptError.
+func OpenStore(dir string) (*Store, error) {
+	st := &Store{parts: map[string]map[string]bool{}}
+	log, err := checkpoint.OpenLog(filepath.Join(dir, FileName), Magic, func(payload []byte) {
+		var rec record
+		if json.Unmarshal(payload, &rec) != nil {
+			// CRC-intact but unparseable can only mean a newer schema;
+			// skipping keeps the readable prefix serving.
+			return
+		}
+		st.applyLocked(rec.Partition, rec.Entries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.log = log
+	return st, nil
+}
+
+// applyLocked merges entries into a partition, first-write-wins.
+// Callers hold mu (or are the single-threaded replay).
+func (st *Store) applyLocked(partition string, entries []prover.CacheEntry) {
+	if partition == "" {
+		return
+	}
+	part := st.parts[partition]
+	if part == nil {
+		part = map[string]bool{}
+		st.parts[partition] = part
+	}
+	for _, e := range entries {
+		if _, ok := part[e.Key]; ok {
+			continue
+		}
+		part[e.Key] = e.Val
+		st.entries++
+	}
+}
+
+// Lookup returns the entries known for keys within partition, sorted by
+// key. Unknown keys are simply absent.
+func (st *Store) Lookup(partition string, keys []string) []prover.CacheEntry {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]prover.CacheEntry, 0, len(keys))
+	part := st.parts[partition]
+	if part == nil {
+		return out
+	}
+	for _, k := range keys {
+		if v, ok := part[k]; ok {
+			out = append(out, prover.CacheEntry{Key: k, Val: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Publish merges a batch into partition: new keys are journaled (one
+// framed record per batch, fsynced) then applied; keys that already
+// exist with a different value are conflicts and are dropped. The
+// journal-then-apply order means a crash can lose at most the batch
+// being written, never serve an entry it did not persist.
+func (st *Store) Publish(partition string, entries []prover.CacheEntry) (accepted, conflicts int, err error) {
+	if partition == "" {
+		return 0, 0, fmt.Errorf("cacheserv: empty partition")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	part := st.parts[partition]
+	fresh := make([]prover.CacheEntry, 0, len(entries))
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if v, ok := part[e.Key]; ok {
+			if v != e.Val {
+				conflicts++
+			}
+			continue
+		}
+		if v, ok := seen[e.Key]; ok {
+			if v != e.Val {
+				conflicts++
+			}
+			continue
+		}
+		seen[e.Key] = e.Val
+		fresh = append(fresh, e)
+	}
+	if len(fresh) == 0 {
+		return 0, conflicts, nil
+	}
+	payload, merr := json.Marshal(record{Partition: partition, Entries: fresh})
+	if merr != nil {
+		return 0, conflicts, merr
+	}
+	if err := st.log.Append(payload); err != nil {
+		return 0, conflicts, err
+	}
+	st.applyLocked(partition, fresh)
+	return len(fresh), conflicts, nil
+}
+
+// Snapshot returns every entry in partition, sorted by key.
+func (st *Store) Snapshot(partition string) []prover.CacheEntry {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	part := st.parts[partition]
+	out := make([]prover.CacheEntry, 0, len(part))
+	for k, v := range part {
+		out = append(out, prover.CacheEntry{Key: k, Val: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Partitions returns the known partition hashes, sorted.
+func (st *Store) Partitions() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, 0, len(st.parts))
+	for p := range st.parts {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the live partition and entry counts.
+func (st *Store) Stats() (partitions, entries int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.parts), st.entries
+}
+
+// Warnings lists torn-tail repairs performed when the store was opened.
+func (st *Store) Warnings() []string { return st.log.Warnings() }
+
+// Close syncs and closes the backing log.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.log.Close()
+}

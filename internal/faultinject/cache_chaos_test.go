@@ -1,0 +1,368 @@
+// Cache-chaos harness: the shared prover cache (predcached) must be a
+// pure accelerator — every failure mode degrades to exactly the
+// local-only behavior. Each cell runs the real slam binary against a
+// real predabsd -cache process (or a hostile stand-in) and asserts the
+// verdict stdout is byte-identical to a cache-off reference run: cache
+// warm, cache killed mid-run, cache never there, cache restarted over
+// a torn/corrupted store, cache answering slower than the lookup
+// budget, cache answering garbage, and a poisoned cache under verify
+// mode (detected, quarantined, never trusted).
+//
+// Run via `make cache-chaos`.
+package faultinject_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"predabs/internal/cacheserv"
+	"predabs/internal/corpus"
+	"predabs/internal/prover"
+	"predabs/internal/trace"
+)
+
+// startCache launches a real predabsd -cache process over dataDir and
+// returns it; callers stop it via stopProc (or kill it mid-run).
+func startCache(t *testing.T, dataDir string) *daemonProc {
+	t.Helper()
+	return startProc(t, nil, "-addr", "127.0.0.1:0", "-data", dataDir, "-cache", "-v")
+}
+
+// remoteStats is the "remote cache: ..." stderr line a -stats run
+// prints, parsed back into numbers.
+type remoteStats struct {
+	lookups, hits, misses, fallbacks       int64
+	published, dropped, verified, mismatch int64
+	quarantined                            bool
+}
+
+// parseRemoteStats extracts the remote-cache stats line from a -stats
+// run's stderr; ok is false when the run had no remote tier.
+func parseRemoteStats(t *testing.T, stderr string) (remoteStats, bool) {
+	t.Helper()
+	var s remoteStats
+	for _, line := range bytes.Split([]byte(stderr), []byte("\n")) {
+		n, _ := fmt.Sscanf(string(line),
+			"remote cache: lookups %d, hits %d, misses %d, fallbacks %d, published %d, dropped %d, verified %d, mismatches %d, quarantined %t",
+			&s.lookups, &s.hits, &s.misses, &s.fallbacks,
+			&s.published, &s.dropped, &s.verified, &s.mismatch, &s.quarantined)
+		if n >= 9 {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+// cachedRun executes slam over drv with the remote tier pointed at
+// cacheURL (plus extra flags), always with -stats so the remote stats
+// line is available.
+func cachedRun(t *testing.T, drv corpus.Program, cacheURL string, extra ...string) slamRun {
+	t.Helper()
+	dir := t.TempDir()
+	src := writeFile(t, dir, drv.Name+".c", drv.Source)
+	spec := writeFile(t, dir, drv.Name+".slic", drv.Spec)
+	args := append([]string{"-spec", spec, "-entry", drv.Entry, "-stats", "-cache-url", cacheURL}, extra...)
+	args = append(args, src)
+	return runSlam(t, slamBin(t), nil, args...)
+}
+
+// assertIdentical pins the byte-identity contract for one cell: the
+// cached run's stdout and exit code match the cache-off reference
+// exactly.
+func assertIdentical(t *testing.T, cell string, ref, got slamRun) {
+	t.Helper()
+	if got.killed {
+		t.Fatalf("%s: slam run was killed", cell)
+	}
+	if got.stdout != ref.stdout || got.code != ref.code {
+		t.Errorf("%s: cached run diverged from cache-off reference\n--- reference (exit %d)\n%s\n--- cached (exit %d)\n%s\nstderr:\n%s",
+			cell, ref.code, ref.stdout, got.code, got.stdout, got.stderr)
+	}
+}
+
+// TestCacheChaosHealthyWarmByteIdentical is the happy-path cell: a
+// cold run populates the cache, a second fresh run over the same
+// program hits it, and both verdicts are byte-identical to a cache-off
+// run. The warm run must actually consume remote hits — otherwise this
+// cell would pass with the tier silently inert.
+func TestCacheChaosHealthyWarmByteIdentical(t *testing.T) {
+	cache := startCache(t, t.TempDir())
+	t.Cleanup(func() { stopProc(t, cache) })
+	for _, drv := range []corpus.Program{corpus.Drivers()[0], corpus.Drivers()[1]} {
+		drv := drv
+		t.Run(drv.Name, func(t *testing.T) {
+			ref := refRun(t, drv)
+
+			cold := cachedRun(t, drv, cache.base)
+			assertIdentical(t, "cold", ref, cold)
+			cs, ok := parseRemoteStats(t, cold.stderr)
+			if !ok {
+				t.Fatalf("cold run printed no remote cache stats:\n%s", cold.stderr)
+			}
+			if cs.published == 0 {
+				t.Errorf("cold run published no verdicts (stats %+v)", cs)
+			}
+
+			traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
+			warm := cachedRun(t, drv, cache.base, "-trace-out", traceOut)
+			assertIdentical(t, "warm", ref, warm)
+			ws, ok := parseRemoteStats(t, warm.stderr)
+			if !ok {
+				t.Fatalf("warm run printed no remote cache stats:\n%s", warm.stderr)
+			}
+			if ws.hits == 0 {
+				t.Errorf("warm run got no remote hits — the tier is inert (stats %+v)", ws)
+			}
+			if ws.quarantined {
+				t.Errorf("healthy cache ended quarantined (stats %+v)", ws)
+			}
+
+			// The tier's cache.lookup / cache.flush spans ride the run's
+			// trace and must validate under the closed taxonomy — the
+			// same check cmd/tracelint applies.
+			raw, err := os.ReadFile(traceOut)
+			if err != nil {
+				t.Fatalf("trace artifact: %v", err)
+			}
+			if _, err := trace.Validate(bytes.NewReader(raw)); err != nil {
+				t.Errorf("warm run trace fails taxonomy validation: %v", err)
+			}
+			if !bytes.Contains(raw, []byte(`"cat":"cache","name":"lookup"`)) &&
+				!bytes.Contains(raw, []byte(`"cat": "cache"`)) {
+				t.Errorf("warm run trace has no cache spans")
+			}
+		})
+	}
+}
+
+// TestCacheChaosDeadCacheByteIdentical: the configured cache URL has
+// nothing listening at all. Every lookup fails fast, the breaker opens
+// after its threshold, and the run is byte-identical.
+func TestCacheChaosDeadCacheByteIdentical(t *testing.T) {
+	drv := corpus.Drivers()[1]
+	ref := refRun(t, drv)
+	got := cachedRun(t, drv, "http://127.0.0.1:1") // reserved port: connection refused
+	assertIdentical(t, "dead-url", ref, got)
+	s, ok := parseRemoteStats(t, got.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", got.stderr)
+	}
+	if s.fallbacks == 0 {
+		t.Errorf("dead cache produced no fallbacks (stats %+v)", s)
+	}
+	if s.hits != 0 {
+		t.Errorf("dead cache produced hits (stats %+v)", s)
+	}
+}
+
+// TestCacheChaosKillMidRunByteIdentical: the cache process is
+// SIGKILLed while a slam run is using it. In-flight lookups fail the
+// breaker, publishes are dropped, and the verdict is byte-identical.
+func TestCacheChaosKillMidRunByteIdentical(t *testing.T) {
+	drv := corpus.Drivers()[0]
+	ref := refRun(t, drv)
+
+	dataDir := t.TempDir()
+	cache := startCache(t, dataDir)
+	// Warm it so the doomed run has real hits to lose mid-stream.
+	warmup := cachedRun(t, drv, cache.base)
+	assertIdentical(t, "kill-warmup", ref, warmup)
+
+	done := make(chan struct{})
+	go func() {
+		// Land the SIGKILL inside the run's prover phase, not before
+		// slam even starts.
+		time.Sleep(30 * time.Millisecond)
+		cache.cmd.Process.Signal(syscall.SIGKILL)
+		close(done)
+	}()
+	got := cachedRun(t, drv, cache.base)
+	<-done
+	cache.cmd.Wait()
+	assertIdentical(t, "kill-mid-run", ref, got)
+
+	// The store's framed log absorbs the SIGKILL: a restart over the
+	// same data dir replays the surviving prefix and serves hits again.
+	cache2 := startCache(t, dataDir)
+	t.Cleanup(func() { stopProc(t, cache2) })
+	again := cachedRun(t, drv, cache2.base)
+	assertIdentical(t, "restart-same-dir", ref, again)
+	s, ok := parseRemoteStats(t, again.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", again.stderr)
+	}
+	if s.hits == 0 {
+		t.Errorf("restarted cache served no hits (stats %+v)", s)
+	}
+}
+
+// TestCacheChaosCorruptStoreByteIdentical: garbage is appended to the
+// cache's durable store (a torn final frame), the cache restarts over
+// it, repairs the tail, and keeps serving the intact prefix — with
+// verdicts byte-identical throughout.
+func TestCacheChaosCorruptStoreByteIdentical(t *testing.T) {
+	drv := corpus.Drivers()[1]
+	ref := refRun(t, drv)
+
+	dataDir := t.TempDir()
+	cache := startCache(t, dataDir)
+	warmup := cachedRun(t, drv, cache.base)
+	assertIdentical(t, "corrupt-warmup", ref, warmup)
+	stopProc(t, cache)
+
+	path := filepath.Join(dataDir, cacheserv.FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatalf("open store file: %v", err)
+	}
+	f.Write([]byte("\x13\x37mid-append-death-garbage\x00\xff"))
+	f.Close()
+
+	cache2 := startCache(t, dataDir)
+	t.Cleanup(func() { stopProc(t, cache2) })
+	got := cachedRun(t, drv, cache2.base)
+	assertIdentical(t, "corrupt-restart", ref, got)
+	s, ok := parseRemoteStats(t, got.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", got.stderr)
+	}
+	if s.hits == 0 {
+		t.Errorf("repaired cache served no hits (stats %+v)", s)
+	}
+}
+
+// TestCacheChaosSlowCacheByteIdentical: the cache answers far slower
+// than the per-lookup budget. Every lookup times out into a fallback
+// (the run never blocks on the cache) and the verdict is
+// byte-identical.
+func TestCacheChaosSlowCacheByteIdentical(t *testing.T) {
+	drv := corpus.Drivers()[1]
+	ref := refRun(t, drv)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(200 * time.Millisecond) // ≫ the 5ms lookup budget
+		fmt.Fprintln(w, `{"entries":[]}`)
+	}))
+	defer slow.Close()
+	start := time.Now()
+	got := cachedRun(t, drv, slow.URL)
+	elapsed := time.Since(start)
+	assertIdentical(t, "slow-cache", ref, got)
+	s, ok := parseRemoteStats(t, got.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", got.stderr)
+	}
+	if s.fallbacks == 0 {
+		t.Errorf("slow cache produced no budget fallbacks (stats %+v)", s)
+	}
+	// The breaker bounds total exposure: a few lookup budgets, not one
+	// 200ms stall per prover query. Allow generous slack for the run
+	// itself; the pathological no-breaker case would be tens of seconds.
+	if elapsed > 30*time.Second {
+		t.Errorf("slow cache stalled the run for %v", elapsed)
+	}
+}
+
+// TestCacheChaosGarbageResponsesByteIdentical: the cache answers
+// HTTP 200 with non-JSON garbage. Every lookup is a miss, publishes
+// fail harmlessly, and the verdict is byte-identical.
+func TestCacheChaosGarbageResponsesByteIdentical(t *testing.T) {
+	drv := corpus.Drivers()[1]
+	ref := refRun(t, drv)
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("\x00\xffthis is not json{{{"))
+	}))
+	defer garbage.Close()
+	got := cachedRun(t, drv, garbage.URL)
+	assertIdentical(t, "garbage", ref, got)
+	s, ok := parseRemoteStats(t, got.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", got.stderr)
+	}
+	if s.hits != 0 {
+		t.Errorf("garbage responses decoded into hits (stats %+v)", s)
+	}
+}
+
+// TestCacheChaosPoisonedVerifyQuarantines is the trust cell: a cache
+// whose entries have all been flipped to the opposite verdict, run
+// under -cache-verify. Sampled remote hits are recomputed locally, the
+// first disagreement quarantines the tier, and the verdict stays
+// byte-identical — the poison is detected, never believed.
+func TestCacheChaosPoisonedVerifyQuarantines(t *testing.T) {
+	drv := corpus.Drivers()[0]
+	ref := refRun(t, drv)
+
+	// Harvest honest verdicts from a warmed cache...
+	honest := startCache(t, t.TempDir())
+	warmup := cachedRun(t, drv, honest.base)
+	assertIdentical(t, "poison-warmup", ref, warmup)
+	parts := struct {
+		Partitions []string `json:"partitions"`
+	}{}
+	getJSON(t, honest.base+"/v1/partitions", &parts)
+	if len(parts.Partitions) == 0 {
+		t.Fatal("warmed cache has no partitions to poison")
+	}
+	type snapshot struct {
+		Entries []prover.CacheEntry `json:"entries"`
+	}
+	poisoned := startCache(t, t.TempDir())
+	t.Cleanup(func() { stopProc(t, poisoned) })
+	total := 0
+	for _, p := range parts.Partitions {
+		var snap snapshot
+		getJSON(t, honest.base+"/v1/snapshot?partition="+p, &snap)
+		for i := range snap.Entries {
+			snap.Entries[i].Val = !snap.Entries[i].Val // ...flip every one...
+		}
+		total += len(snap.Entries)
+		body, _ := json.Marshal(map[string]any{"partition": p, "entries": snap.Entries})
+		resp, err := http.Post(poisoned.base+"/v1/publish", "application/json", bytes.NewReader(body))
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("publishing poison: %v (HTTP %v)", err, resp)
+		}
+		resp.Body.Close()
+	}
+	stopProc(t, honest)
+	if total == 0 {
+		t.Fatal("nothing to poison")
+	}
+
+	// ...and run against the poisoned cache with verify sampling every
+	// key (-cache-verify; sample density is the tier default, so force
+	// determinism by checking the outcome, not which key tripped first).
+	got := cachedRun(t, drv, poisoned.base, "-cache-verify")
+	assertIdentical(t, "poisoned-verify", ref, got)
+	s, ok := parseRemoteStats(t, got.stderr)
+	if !ok {
+		t.Fatalf("no remote cache stats:\n%s", got.stderr)
+	}
+	if s.mismatch == 0 || !s.quarantined {
+		t.Errorf("poisoned cache was not caught: mismatches=%d quarantined=%t (stats %+v)",
+			s.mismatch, s.quarantined, s)
+	}
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

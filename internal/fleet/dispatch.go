@@ -114,7 +114,7 @@ func (f *Frontend) tryAdopt(r *run, backend, bid string) bool {
 	switch {
 	case err != nil:
 		if n := f.reg.byURL(backend); n != nil {
-			n.br.fail()
+			n.br.Fail()
 		}
 		f.met.errors.With(backend).Inc()
 		reason = fmt.Sprintf("adopt probe: %v", err)
@@ -219,13 +219,13 @@ func (f *Frontend) submitTo(n *node, r *run) (string, bool) {
 	}
 	resp, err := f.cfg.Client.Post(n.url+"/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
-		n.br.fail()
+		n.br.Fail()
 		f.met.errors.With(n.url).Inc()
 		f.updateNodeGauges(n)
 		return "", false
 	}
 	defer resp.Body.Close()
-	n.br.success() // the backend answered; shedding is not a breaker failure
+	n.br.Success() // the backend answered; shedding is not a breaker failure
 	f.updateNodeGauges(n)
 	switch resp.StatusCode {
 	case http.StatusAccepted:
@@ -274,11 +274,12 @@ func (f *Frontend) watch(r *run, backend, bid string) bool {
 			f.expireLease(r, backend, bid, "heartbeat lease expired")
 			return false
 		}
-		evs, status, err := f.pollEvents(backend, bid, cursor)
+		pollStart := time.Now()
+		evs, status, err := f.pollEvents(backend, bid, cursor, f.cfg.EventWait)
 		switch {
 		case err != nil:
 			if n != nil {
-				n.br.fail()
+				n.br.Fail()
 				f.updateNodeGauges(n)
 			}
 			f.met.errors.With(backend).Inc()
@@ -302,7 +303,7 @@ func (f *Frontend) watch(r *run, backend, bid string) bool {
 			return false
 		}
 		if n != nil {
-			n.br.success()
+			n.br.Success()
 			f.updateNodeGauges(n)
 		}
 		l.renew()
@@ -324,14 +325,26 @@ func (f *Frontend) watch(r *run, backend, bid string) bool {
 			f.expireLease(r, backend, bid, "verdict fetch failed after terminal event")
 			return false
 		}
-		f.sleep(f.cfg.PollInterval)
+		// The long poll blocks server-side until news arrives, so the
+		// watcher normally re-polls immediately. Pace only when the
+		// backend answered early — events were already pending, or an
+		// old backend ignored ?wait= (without this guard that would be
+		// a busy loop).
+		if f.cfg.EventWait <= 0 || time.Since(pollStart) < f.cfg.EventWait/2 {
+			f.sleep(f.cfg.PollInterval)
+		}
 	}
 }
 
-// pollEvents fetches one page of the backend job's event stream.
-// Transport errors come back as err; HTTP-level outcomes as status.
-func (f *Frontend) pollEvents(backend, bid string, after uint64) ([]server.JobEvent, int, error) {
+// pollEvents fetches one page of the backend job's event stream,
+// long-polling up to wait for news (satellite: push-style event
+// subscriptions). Transport errors come back as err; HTTP-level
+// outcomes as status.
+func (f *Frontend) pollEvents(backend, bid string, after uint64, wait time.Duration) ([]server.JobEvent, int, error) {
 	url := fmt.Sprintf("%s/jobs/%s/events?after=%d", backend, bid, after)
+	if wait > 0 {
+		url += "&wait=" + wait.String()
+	}
 	resp, err := f.cfg.Client.Get(url)
 	if err != nil {
 		return nil, 0, err
@@ -405,7 +418,7 @@ func (f *Frontend) harvest(r *run, backend, bid string) bool {
 // updateNodeGauges refreshes the per-backend breaker and readiness
 // gauges after a breaker transition opportunity.
 func (f *Frontend) updateNodeGauges(n *node) {
-	state, _, _ := n.br.snapshot()
+	state, _, _ := n.br.Snapshot()
 	f.met.breakerState.With(n.url).Set(breakerGaugeValue(state))
 	if n.ready.Load() {
 		f.met.backendReady.With(n.url).Set(1)

@@ -61,8 +61,15 @@ type Config struct {
 	// heartbeat poll before its backend is declared dead (default 15s).
 	LeaseTTL time.Duration
 	// PollInterval spaces heartbeat polls of a backend's event stream
-	// (default 500ms).
+	// (default 500ms). With EventWait > 0 it only paces polls that the
+	// backend answered early (events already pending, or a backend that
+	// ignores ?wait=).
 	PollInterval time.Duration
+	// EventWait is the long-poll window passed as ?wait= on event
+	// heartbeat polls: the backend holds the request open until news
+	// arrives or the window expires (default min(LeaseTTL/3, 5s); set
+	// negative to disable long-polling entirely).
+	EventWait time.Duration
 	// ReconnectBase / ReconnectMax bound the jittered exponential
 	// backoff between failed heartbeat polls (defaults 100ms / 5s).
 	ReconnectBase time.Duration
@@ -77,6 +84,10 @@ type Config struct {
 	// AllowJobEnv permits specs carrying Env overrides, mirroring the
 	// backend daemon's -allow-job-env flag (the chaos harness needs it).
 	AllowJobEnv bool
+	// CacheURL is the fleet's shared prover-cache service (predcached)
+	// base URL, advertised to clients via /healthz and /statz so
+	// operators can point backend workers at the same tier. Optional.
+	CacheURL string
 	// Metrics is the optional instrument registry (nil disables).
 	Metrics *metrics.Registry
 	// Logf receives operational log lines (default: discard).
@@ -110,6 +121,15 @@ func (c *Config) setDefaults() error {
 	}
 	if c.PollInterval == 0 {
 		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.EventWait == 0 {
+		// Stay well under both the lease TTL (so empty polls still renew
+		// the lease several times per TTL) and the client's request
+		// timeout (default 10s).
+		c.EventWait = c.LeaseTTL / 3
+		if c.EventWait > 5*time.Second {
+			c.EventWait = 5 * time.Second
+		}
 	}
 	if c.ReconnectBase == 0 {
 		c.ReconnectBase = 100 * time.Millisecond
@@ -428,8 +448,12 @@ func (f *Frontend) Handler() http.Handler {
 			return nil
 		},
 		Healthz: func() map[string]any {
-			return map[string]any{"status": "ok", "role": "frontend",
+			h := map[string]any{"status": "ok", "role": "frontend",
 				"uptime_s": int64(time.Since(f.start).Seconds())}
+			if f.cfg.CacheURL != "" {
+				h["cache_url"] = f.cfg.CacheURL
+			}
+			return h
 		},
 		Statz: f.statz,
 	})
@@ -441,13 +465,13 @@ func (f *Frontend) statz() map[string]any {
 	f.mu.Unlock()
 	backends := make([]map[string]any, 0, len(f.reg.nodes))
 	for _, n := range f.reg.nodes {
-		state, tripped, reopened := n.br.snapshot()
+		state, tripped, reopened := n.br.Snapshot()
 		backends = append(backends, map[string]any{
 			"url": n.url, "ready": n.ready.Load(), "suspended": n.isSuspended(),
 			"breaker": state, "breaker_trips": tripped, "breaker_reopens": reopened,
 		})
 	}
-	return map[string]any{
+	st := map[string]any{
 		"role":          "frontend",
 		"jobs":          jobs,
 		"dedup_entries": f.runs.size(),
@@ -455,6 +479,10 @@ func (f *Frontend) statz() map[string]any {
 		"backends":      backends,
 		"uptime_s":      int64(time.Since(f.start).Seconds()),
 	}
+	if f.cfg.CacheURL != "" {
+		st["cache_url"] = f.cfg.CacheURL
+	}
+	return st
 }
 
 // finishRun records a run's terminal verdict: journal first, then the

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"predabs/internal/breaker"
 	"predabs/internal/server"
 )
 
@@ -448,7 +449,7 @@ func TestRetryAfterSuspension(t *testing.T) {
 	if shedEntry == nil || shedEntry["suspended"] != true {
 		t.Fatalf("shedding backend not suspended: %v", shedEntry)
 	}
-	if shedEntry["breaker"] != BreakerClosed {
+	if shedEntry["breaker"] != breaker.Closed {
 		t.Fatalf("shedding is not a breaker failure; breaker = %v", shedEntry["breaker"])
 	}
 }

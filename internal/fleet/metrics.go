@@ -1,6 +1,9 @@
 package fleet
 
-import "predabs/internal/metrics"
+import (
+	"predabs/internal/breaker"
+	"predabs/internal/metrics"
+)
 
 // fleetMetrics is the frontend's instrument set. A nil registry makes
 // every instrument nil, which the metrics package treats as a
@@ -55,9 +58,9 @@ func newFleetMetrics(r *metrics.Registry) fleetMetrics {
 // breakerGaugeValue maps a breaker state name to its gauge encoding.
 func breakerGaugeValue(state string) int64 {
 	switch state {
-	case BreakerHalfOpen:
+	case breaker.HalfOpen:
 		return 1
-	case BreakerOpen:
+	case breaker.Open:
 		return 2
 	default:
 		return 0

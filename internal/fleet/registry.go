@@ -5,12 +5,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"predabs/internal/breaker"
 )
 
 // node is one backend predabsd the frontend can dispatch to.
 type node struct {
 	url string // base URL, no trailing slash
-	br  *breaker
+	br  *breaker.Breaker
 
 	mu        sync.Mutex
 	suspended time.Time // Retry-After backpressure: no dispatches before this
@@ -38,13 +40,13 @@ func (n *node) isSuspended() bool {
 
 // available reports whether the node may be offered work right now,
 // WITHOUT consuming the breaker's half-open probe slot — use it for
-// counting and filtering; call br.allow() only when about to send.
+// counting and filtering; call br.Allow() only when about to send.
 func (n *node) available() bool {
 	if n.isSuspended() || !n.ready.Load() {
 		return false
 	}
-	state, _, _ := n.br.snapshot()
-	return state != BreakerOpen
+	state, _, _ := n.br.Snapshot()
+	return state != breaker.Open
 }
 
 // registry tracks the fleet's backends: a round-robin pick over the
@@ -65,7 +67,7 @@ type registry struct {
 func newRegistry(urls []string, client *http.Client, threshold int, reopen, probeInterval time.Duration) *registry {
 	reg := &registry{client: client, probeInterval: probeInterval, quit: make(chan struct{})}
 	for _, u := range urls {
-		n := &node{url: u, br: newBreaker(threshold, reopen)}
+		n := &node{url: u, br: breaker.New(threshold, reopen)}
 		n.ready.Store(true)
 		reg.nodes = append(reg.nodes, n)
 	}
@@ -106,13 +108,13 @@ func (reg *registry) probe(n *node) {
 	resp, err := reg.client.Get(n.url + "/readyz")
 	if err != nil {
 		n.ready.Store(false)
-		n.br.fail()
+		n.br.Fail()
 		return
 	}
 	resp.Body.Close()
 	n.ready.Store(resp.StatusCode == http.StatusOK)
 	if resp.StatusCode == http.StatusOK {
-		n.br.success()
+		n.br.Success()
 	}
 }
 
@@ -128,7 +130,7 @@ func (reg *registry) pick(exclude map[string]bool) *node {
 		if exclude[n.url] || n.isSuspended() || !n.ready.Load() {
 			continue
 		}
-		if n.br.allow() {
+		if n.br.Allow() {
 			return n
 		}
 	}

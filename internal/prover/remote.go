@@ -1,0 +1,532 @@
+package prover
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predabs/internal/breaker"
+	"predabs/internal/metrics"
+	"predabs/internal/trace"
+)
+
+// Wire shapes for the predcached batched endpoints. internal/cacheserv
+// declares the server-side mirrors (importing it from here would cycle);
+// TestRemoteWireFormatGolden pins the encoded bytes so the two cannot
+// drift.
+type remoteLookupRequest struct {
+	Partition string   `json:"partition"`
+	Keys      []string `json:"keys"`
+}
+
+type remoteLookupResponse struct {
+	Entries []CacheEntry `json:"entries"`
+}
+
+type remotePublishRequest struct {
+	Partition string       `json:"partition"`
+	Entries   []CacheEntry `json:"entries"`
+}
+
+// Remote tier internal bounds.
+const (
+	// maxRemotePending caps the publish buffer; beyond it new verdicts
+	// are dropped (the remote cache is best-effort, the run is not).
+	maxRemotePending = 16384
+	// maxRemoteExpect caps the verify mode's pending-expectation table.
+	maxRemoteExpect = 8192
+	// remoteFlushBudget bounds one background publish POST — generous
+	// compared to the lookup budget because nothing blocks on it.
+	remoteFlushBudget = 2 * time.Second
+)
+
+// RemoteConfig parameterizes a RemoteTier. Zero values select the
+// documented defaults.
+type RemoteConfig struct {
+	// URL is the predcached base URL (required), e.g. http://host:9090.
+	URL string
+	// Partition is the checkpoint compatibility hash scoping every
+	// lookup and publish (required): runs with different tool versions,
+	// limits or engines can never exchange verdicts.
+	Partition string
+	// Client is the HTTP client (default: a fresh client; per-request
+	// deadlines come from LookupBudget / the flush budget).
+	Client *http.Client
+	// LookupBudget hard-bounds one remote lookup (default 5ms). A lookup
+	// that exceeds it is a miss — the prover computes locally and never
+	// blocks beyond this budget.
+	LookupBudget time.Duration
+	// FlushInterval paces background publish flushes (default 250ms);
+	// MaxBatch additionally triggers a flush when that many verdicts are
+	// buffered (default 256).
+	FlushInterval time.Duration
+	MaxBatch      int
+	// BreakerThreshold / BreakerReopen parameterize the tier's circuit
+	// breaker (defaults 3 / 2s, jittered ±50%): consecutive transport
+	// failures suspend the tier so a dead or slow cache costs at most
+	// threshold lookup budgets before every query degrades to pure
+	// local behavior.
+	BreakerThreshold int
+	BreakerReopen    time.Duration
+	// Verify enables the revalidation mode: remote hits never
+	// short-circuit the local decision procedure; instead a
+	// deterministic sample of keys (every VerifySample'th by FNV hash,
+	// default 4; 1 samples everything) fetches the remote answer and
+	// compares it against the locally computed verdict. Any mismatch
+	// quarantines the tier for the rest of the run.
+	Verify       bool
+	VerifySample int
+	// Metrics optionally registers the prover_remote_* instrument
+	// families (nil disables at zero cost).
+	Metrics *metrics.Registry
+	// Trace optionally receives cache.lookup / cache.flush spans and the
+	// cache.quarantine instant.
+	Trace *trace.Tracer
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// RemoteStats is a point-in-time snapshot of a tier's counters.
+type RemoteStats struct {
+	Lookups, Hits, Misses, Fallbacks int64
+	Published, Dropped               int64
+	Verified, Mismatches             int64
+	Quarantined                      bool
+	Breaker                          string
+}
+
+// RemoteTier is the shared-cache tier layered behind the prover's local
+// sharded cache (Prover.Remote). It is sound and non-blocking by
+// construction:
+//
+//   - Lookups are budgeted (LookupBudget) and gated by a circuit
+//     breaker; any failure, timeout or open breaker is simply a miss.
+//   - Only fully decided verdicts are published (the prover calls
+//     Publish under the same condition it memoizes locally), and
+//     publishes ride batched asynchronous flushes off the query path.
+//   - Verify mode never lets a remote answer reach a verdict at all,
+//     and one contradiction with the local decision procedure
+//     quarantines the tier permanently.
+//
+// A nil *RemoteTier is inert: the prover checks Remote != nil before
+// touching it, so the disabled tier costs zero allocations and zero
+// goroutines, mirroring the nil-tracer/nil-metrics contract.
+type RemoteTier struct {
+	cfg RemoteConfig
+	br  *breaker.Breaker
+
+	lookups    atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	fallbacks  atomic.Int64
+	published  atomic.Int64
+	dropped    atomic.Int64
+	verified   atomic.Int64
+	mismatches atomic.Int64
+
+	quarantined atomic.Bool
+
+	mu      sync.Mutex
+	pending []CacheEntry
+	expect  map[string]bool // verify mode: remote answers awaiting local confirmation
+
+	met remoteMetrics
+
+	wake      chan struct{}
+	quit      chan struct{}
+	flusherWG sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// remoteMetrics mirrors the tier's atomic counters into optional
+// registry instruments (nil = zero-alloc no-op).
+type remoteMetrics struct {
+	lookups    *metrics.Counter
+	hits       *metrics.Counter
+	misses     *metrics.Counter
+	fallbacks  *metrics.Counter
+	published  *metrics.Counter
+	dropped    *metrics.Counter
+	verified   *metrics.Counter
+	mismatches *metrics.Counter
+}
+
+func newRemoteMetrics(r *metrics.Registry, t *RemoteTier) remoteMetrics {
+	if r == nil {
+		return remoteMetrics{}
+	}
+	r.GaugeFunc("prover_remote_breaker_state", "Remote cache tier breaker: 0 closed, 1 half-open, 2 open.", func() int64 {
+		state, _, _ := t.br.Snapshot()
+		switch state {
+		case breaker.HalfOpen:
+			return 1
+		case breaker.Open:
+			return 2
+		default:
+			return 0
+		}
+	})
+	r.GaugeFunc("prover_remote_quarantined", "1 after verify mode benched the remote tier on a mismatch.", func() int64 {
+		if t.quarantined.Load() {
+			return 1
+		}
+		return 0
+	})
+	return remoteMetrics{
+		lookups:    r.Counter("prover_remote_lookups_total", "Remote cache lookups attempted."),
+		hits:       r.Counter("prover_remote_hits_total", "Remote cache lookups answered with a verdict."),
+		misses:     r.Counter("prover_remote_misses_total", "Remote cache lookups answered without one."),
+		fallbacks:  r.Counter("prover_remote_fallbacks_total", "Lookups degraded to local-only (breaker open, timeout, transport error)."),
+		published:  r.Counter("prover_remote_published_total", "Verdicts delivered by background publish flushes."),
+		dropped:    r.Counter("prover_remote_dropped_total", "Verdicts dropped (flush failure, breaker open, buffer overflow)."),
+		verified:   r.Counter("prover_remote_verified_total", "Remote answers revalidated against the local decision procedure."),
+		mismatches: r.Counter("prover_remote_mismatches_total", "Revalidations that contradicted the remote answer (each quarantines the tier)."),
+	}
+}
+
+// NewRemoteTier starts a remote cache tier: one background flusher
+// goroutine, stopped by Close.
+func NewRemoteTier(cfg RemoteConfig) *RemoteTier {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.LookupBudget <= 0 {
+		cfg.LookupBudget = 5 * time.Millisecond
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 250 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerReopen <= 0 {
+		cfg.BreakerReopen = 2 * time.Second
+	}
+	if cfg.VerifySample <= 0 {
+		cfg.VerifySample = 4
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	t := &RemoteTier{
+		cfg:  cfg,
+		br:   breaker.New(cfg.BreakerThreshold, cfg.BreakerReopen),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	if cfg.Verify {
+		t.expect = map[string]bool{}
+	}
+	t.met = newRemoteMetrics(cfg.Metrics, t)
+	t.flusherWG.Add(1)
+	go t.flusher()
+	return t
+}
+
+// sampledForVerify deterministically selects which keys the verify mode
+// revalidates: every n'th by FNV-1a — stable across processes and runs,
+// unlike the local cache's seeded maphash.
+func sampledForVerify(key string, n int) bool {
+	if n <= 1 {
+		return true
+	}
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return h.Sum32()%uint32(n) == 0
+}
+
+// Lookup consults the remote cache for one canonical query key. ok is
+// true only when a trusted verdict came back within the lookup budget;
+// every other outcome (quarantined tier, open breaker, timeout,
+// transport error, plain miss, verify mode) is a miss and the caller
+// computes locally. Never blocks beyond cfg.LookupBudget.
+func (t *RemoteTier) Lookup(key string) (val, ok bool) {
+	if t == nil || t.quarantined.Load() {
+		return false, false
+	}
+	if t.cfg.Verify && !sampledForVerify(key, t.cfg.VerifySample) {
+		return false, false
+	}
+	t.lookups.Add(1)
+	t.met.lookups.Inc()
+	if !t.br.Allow() {
+		t.fallbacks.Add(1)
+		t.met.fallbacks.Inc()
+		return false, false
+	}
+	start := time.Now()
+	entry, found, err := t.fetch(key)
+	if t.cfg.Trace != nil {
+		t.cfg.Trace.SpanAt("cache", "lookup", start, time.Since(start),
+			trace.Bool("hit", err == nil && found),
+			trace.Bool("fallback", err != nil))
+	}
+	if err != nil {
+		t.br.Fail()
+		t.fallbacks.Add(1)
+		t.met.fallbacks.Inc()
+		return false, false
+	}
+	t.br.Success()
+	if !found {
+		t.misses.Add(1)
+		t.met.misses.Inc()
+		return false, false
+	}
+	t.hits.Add(1)
+	t.met.hits.Inc()
+	if t.cfg.Verify {
+		// The remote answer becomes an expectation, never a verdict: the
+		// local procedure recomputes and Publish compares.
+		t.mu.Lock()
+		if len(t.expect) < maxRemoteExpect {
+			t.expect[key] = entry.Val
+		}
+		t.mu.Unlock()
+		return false, false
+	}
+	return entry.Val, true
+}
+
+// fetch does one budgeted POST /v1/lookup for a single key.
+func (t *RemoteTier) fetch(key string) (CacheEntry, bool, error) {
+	body, err := encodeRemoteLookup(t.cfg.Partition, []string{key})
+	if err != nil {
+		return CacheEntry{}, false, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.LookupBudget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.cfg.URL+"/v1/lookup", bytes.NewReader(body))
+	if err != nil {
+		return CacheEntry{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return CacheEntry{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CacheEntry{}, false, fmt.Errorf("remote cache: lookup returned %d", resp.StatusCode)
+	}
+	var out remoteLookupResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&out); err != nil {
+		return CacheEntry{}, false, err
+	}
+	for _, e := range out.Entries {
+		if e.Key == key {
+			return e, true, nil
+		}
+	}
+	return CacheEntry{}, false, nil
+}
+
+// Publish hands one locally decided verdict to the background flusher.
+// The prover calls it under exactly the condition it memoizes locally
+// (st.stop == stopNone), so timed-out or cancelled answers never reach
+// the shared cache — the ExportCache contract, fleet-wide. In verify
+// mode the verdict is first compared against any pending remote
+// expectation; a contradiction quarantines the tier. Never blocks on
+// the network.
+func (t *RemoteTier) Publish(key string, val bool) {
+	if t == nil || t.quarantined.Load() {
+		return
+	}
+	mismatch := false
+	overflow := false
+	wake := false
+	t.mu.Lock()
+	if t.expect != nil {
+		if want, okE := t.expect[key]; okE {
+			delete(t.expect, key)
+			t.verified.Add(1)
+			t.met.verified.Inc()
+			mismatch = want != val
+		}
+	}
+	if !mismatch {
+		if len(t.pending) >= maxRemotePending {
+			overflow = true
+		} else {
+			t.pending = append(t.pending, CacheEntry{Key: key, Val: val})
+			wake = len(t.pending) >= t.cfg.MaxBatch
+		}
+	}
+	t.mu.Unlock()
+	switch {
+	case mismatch:
+		t.mismatches.Add(1)
+		t.met.mismatches.Inc()
+		t.quarantine(key)
+	case overflow:
+		t.dropped.Add(1)
+		t.met.dropped.Inc()
+	case wake:
+		select {
+		case t.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// quarantine permanently benches the tier for this run: every later
+// Lookup misses instantly and every later Publish is discarded. Called
+// on the first verify-mode mismatch — a poisoned cache may cost time,
+// never soundness.
+func (t *RemoteTier) quarantine(key string) {
+	if t.quarantined.Swap(true) {
+		return
+	}
+	t.cfg.Logf("remote cache: QUARANTINED — remote verdict for %.40q contradicts the local decision procedure", key)
+	if t.cfg.Trace != nil {
+		t.cfg.Trace.Event("cache", "quarantine", trace.Int("key_size", len(key)))
+	}
+}
+
+// Quarantined reports whether verify mode benched the tier.
+func (t *RemoteTier) Quarantined() bool { return t != nil && t.quarantined.Load() }
+
+// Stats snapshots the tier's counters.
+func (t *RemoteTier) Stats() RemoteStats {
+	if t == nil {
+		return RemoteStats{}
+	}
+	state, _, _ := t.br.Snapshot()
+	return RemoteStats{
+		Lookups: t.lookups.Load(), Hits: t.hits.Load(),
+		Misses: t.misses.Load(), Fallbacks: t.fallbacks.Load(),
+		Published: t.published.Load(), Dropped: t.dropped.Load(),
+		Verified: t.verified.Load(), Mismatches: t.mismatches.Load(),
+		Quarantined: t.quarantined.Load(), Breaker: state,
+	}
+}
+
+// Close flushes the pending batch best-effort and stops the flusher
+// goroutine. Idempotent.
+func (t *RemoteTier) Close() {
+	if t == nil {
+		return
+	}
+	t.closeOnce.Do(func() {
+		close(t.quit)
+		t.flusherWG.Wait()
+	})
+}
+
+// flusher is the tier's single background goroutine: it drains the
+// publish buffer every FlushInterval, on MaxBatch wakeups, and once
+// more at Close.
+func (t *RemoteTier) flusher() {
+	defer t.flusherWG.Done()
+	ticker := time.NewTicker(t.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.quit:
+			t.flush()
+			return
+		case <-t.wake:
+		case <-ticker.C:
+		}
+		t.flush()
+	}
+}
+
+// flush publishes the buffered batch in canonical key order. Failures
+// drop the batch (and feed the breaker): the shared cache is
+// best-effort, and retrying from here would buffer unboundedly against
+// a dead service.
+func (t *RemoteTier) flush() {
+	t.mu.Lock()
+	batch := t.pending
+	t.pending = nil
+	t.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if t.quarantined.Load() || !t.br.Allow() {
+		t.dropped.Add(int64(len(batch)))
+		t.met.dropped.Add(int64(len(batch)))
+		return
+	}
+	start := time.Now()
+	err := t.post(batch)
+	if t.cfg.Trace != nil {
+		t.cfg.Trace.SpanAt("cache", "flush", start, time.Since(start),
+			trace.Int("entries", len(batch)), trace.Bool("ok", err == nil))
+	}
+	if err != nil {
+		t.br.Fail()
+		t.dropped.Add(int64(len(batch)))
+		t.met.dropped.Add(int64(len(batch)))
+		return
+	}
+	t.br.Success()
+	t.published.Add(int64(len(batch)))
+	t.met.published.Add(int64(len(batch)))
+}
+
+// post sends one batched POST /v1/publish.
+func (t *RemoteTier) post(batch []CacheEntry) error {
+	body, err := encodeRemotePublish(t.cfg.Partition, batch)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), remoteFlushBudget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.cfg.URL+"/v1/publish", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote cache: publish returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// encodeRemoteLookup renders the batched lookup request in canonical
+// form: sorted, deduplicated keys. Pinned by TestRemoteWireFormatGolden.
+func encodeRemoteLookup(partition string, keys []string) ([]byte, error) {
+	ks := append([]string(nil), keys...)
+	sort.Strings(ks)
+	dedup := ks[:0]
+	for i, k := range ks {
+		if i == 0 || ks[i-1] != k {
+			dedup = append(dedup, k)
+		}
+	}
+	return json.Marshal(remoteLookupRequest{Partition: partition, Keys: dedup})
+}
+
+// encodeRemotePublish renders the batched publish request in canonical
+// form: entries sorted by key, first occurrence winning. Pinned by
+// TestRemoteWireFormatGolden.
+func encodeRemotePublish(partition string, entries []CacheEntry) ([]byte, error) {
+	es := append([]CacheEntry(nil), entries...)
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+	dedup := es[:0]
+	for i, e := range es {
+		if i == 0 || es[i-1].Key != e.Key {
+			dedup = append(dedup, e)
+		}
+	}
+	return json.Marshal(remotePublishRequest{Partition: partition, Entries: dedup})
+}

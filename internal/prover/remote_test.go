@@ -1,0 +1,476 @@
+package prover
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"predabs/internal/breaker"
+	"predabs/internal/form"
+)
+
+// TestRemoteWireFormatGolden pins the remote tier's batched wire format
+// byte-for-byte: canonical (sorted, deduplicated) key order and the
+// compat-hash partition field. internal/cacheserv declares the decoding
+// mirror of these shapes; this golden is the drift tripwire.
+func TestRemoteWireFormatGolden(t *testing.T) {
+	lookup, err := encodeRemoteLookup("a1b2c3d4", []string{"V\x00y\x00g", "U\x00f", "V\x00y\x00g"})
+	if err != nil {
+		t.Fatalf("encodeRemoteLookup: %v", err)
+	}
+	wantLookup := `{"partition":"a1b2c3d4","keys":["U\u0000f","V\u0000y\u0000g"]}`
+	if string(lookup) != wantLookup {
+		t.Fatalf("lookup wire format drifted:\n got %s\nwant %s", lookup, wantLookup)
+	}
+
+	publish, err := encodeRemotePublish("a1b2c3d4", []CacheEntry{
+		{Key: "U\x00zz", Val: false},
+		{Key: "U\x00aa", Val: true},
+		{Key: "U\x00zz", Val: true}, // duplicate: first occurrence wins
+	})
+	if err != nil {
+		t.Fatalf("encodeRemotePublish: %v", err)
+	}
+	wantPublish := `{"partition":"a1b2c3d4","entries":[{"k":"U\u0000aa","v":true},{"k":"U\u0000zz","v":false}]}`
+	if string(publish) != wantPublish {
+		t.Fatalf("publish wire format drifted:\n got %s\nwant %s", publish, wantPublish)
+	}
+
+	// Partition scoping is part of the format: same payload, different
+	// compat hash, different bytes.
+	other, _ := encodeRemoteLookup("ffff0000", []string{"U\x00f"})
+	if string(other) == string(lookup) {
+		t.Fatal("partition hash does not partition the wire format")
+	}
+}
+
+// fakeCache is an in-process predcached stand-in with scriptable
+// behavior, speaking the /v1/lookup + /v1/publish wire format.
+type fakeCache struct {
+	t *testing.T
+
+	mu        sync.Mutex
+	entries   map[string]bool
+	publishes [][]CacheEntry
+	lookups   atomic.Int64
+
+	// behave scripts every request; nil serves the store honestly.
+	behave func(w http.ResponseWriter, r *http.Request) bool // true = handled
+
+	srv *httptest.Server
+}
+
+func newFakeCache(t *testing.T) *fakeCache {
+	fc := &fakeCache{t: t, entries: map[string]bool{}}
+	fc.srv = httptest.NewServer(http.HandlerFunc(fc.handle))
+	t.Cleanup(fc.srv.Close)
+	return fc
+}
+
+func (fc *fakeCache) handle(w http.ResponseWriter, r *http.Request) {
+	fc.mu.Lock()
+	behave := fc.behave
+	fc.mu.Unlock()
+	if behave != nil && behave(w, r) {
+		return
+	}
+	switch r.URL.Path {
+	case "/v1/lookup":
+		fc.lookups.Add(1)
+		var req remoteLookupRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		var out remoteLookupResponse
+		fc.mu.Lock()
+		for _, k := range req.Keys {
+			if v, ok := fc.entries[k]; ok {
+				out.Entries = append(out.Entries, CacheEntry{Key: k, Val: v})
+			}
+		}
+		fc.mu.Unlock()
+		json.NewEncoder(w).Encode(out)
+	case "/v1/publish":
+		var req remotePublishRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		fc.mu.Lock()
+		fc.publishes = append(fc.publishes, req.Entries)
+		for _, e := range req.Entries {
+			if _, ok := fc.entries[e.Key]; !ok {
+				fc.entries[e.Key] = e.Val
+			}
+		}
+		fc.mu.Unlock()
+		json.NewEncoder(w).Encode(map[string]int{"accepted": len(req.Entries)})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func testTier(t *testing.T, fc *fakeCache, mut func(*RemoteConfig)) *RemoteTier {
+	t.Helper()
+	cfg := RemoteConfig{
+		URL:           fc.srv.URL,
+		Partition:     "test-partition",
+		LookupBudget:  250 * time.Millisecond, // generous: tests assert behavior, not latency
+		FlushInterval: 10 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	tier := NewRemoteTier(cfg)
+	t.Cleanup(tier.Close)
+	return tier
+}
+
+func TestRemoteTierHitAndMiss(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.entries["U\x00known"] = true
+	tier := testTier(t, fc, nil)
+
+	if v, ok := tier.Lookup("U\x00known"); !ok || !v {
+		t.Fatalf("Lookup(known) = (%t, %t), want (true, true)", v, ok)
+	}
+	if _, ok := tier.Lookup("U\x00unknown"); ok {
+		t.Fatal("Lookup(unknown) claimed a hit")
+	}
+	st := tier.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 fallbacks", st)
+	}
+}
+
+// TestRemoteTierLookupBudget pins the non-blocking contract: a cache
+// serving slower than the lookup budget yields a miss within roughly
+// the budget, never a stall.
+func TestRemoteTierLookupBudget(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.behave = func(w http.ResponseWriter, r *http.Request) bool {
+		time.Sleep(2 * time.Second)
+		return false
+	}
+	tier := testTier(t, fc, func(c *RemoteConfig) {
+		c.LookupBudget = 10 * time.Millisecond
+		c.BreakerThreshold = 100 // keep the breaker out of this test
+	})
+	start := time.Now()
+	if _, ok := tier.Lookup("U\x00slow"); ok {
+		t.Fatal("budget-exceeded lookup claimed a hit")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("lookup blocked %v, budget was 10ms", elapsed)
+	}
+	if st := tier.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 fallback", st)
+	}
+}
+
+// TestRemoteTierBreakerSuspends pins the degradation ladder: threshold
+// consecutive failures trip the breaker, after which lookups miss
+// instantly without touching the network until the jittered reopen.
+func TestRemoteTierBreakerSuspends(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.behave = func(w http.ResponseWriter, r *http.Request) bool {
+		w.WriteHeader(http.StatusInternalServerError)
+		return true
+	}
+	tier := testTier(t, fc, func(c *RemoteConfig) {
+		c.BreakerThreshold = 3
+		c.BreakerReopen = time.Hour
+	})
+	for i := 0; i < 10; i++ {
+		tier.Lookup(fmt.Sprintf("U\x00q%d", i))
+	}
+	st := tier.Stats()
+	if st.Breaker != breaker.Open {
+		t.Fatalf("breaker = %s after 10 failures (threshold 3), want open", st.Breaker)
+	}
+	if st.Fallbacks != 10 {
+		t.Fatalf("fallbacks = %d, want 10 (every lookup degraded)", st.Fallbacks)
+	}
+	if got := fc.lookups.Load(); got != 0 {
+		// behave handled them, so the honest handler saw none; the real
+		// assertion is request count at the server.
+		t.Fatalf("honest handler saw %d lookups", got)
+	}
+}
+
+// TestRemoteTierGarbageIsAMiss pins that a cache serving non-JSON
+// garbage degrades to local-only: every lookup is a miss, never an
+// error surfaced to the prover.
+func TestRemoteTierGarbageIsAMiss(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.behave = func(w http.ResponseWriter, r *http.Request) bool {
+		w.Write([]byte("\x00\xffnot json at all"))
+		return true
+	}
+	tier := testTier(t, fc, func(c *RemoteConfig) { c.BreakerThreshold = 2 })
+	for i := 0; i < 5; i++ {
+		if _, ok := tier.Lookup("U\x00g"); ok {
+			t.Fatal("garbage response produced a hit")
+		}
+	}
+	if st := tier.Stats(); st.Breaker != breaker.Open {
+		t.Fatalf("breaker = %s, want open after garbage responses", st.Breaker)
+	}
+}
+
+// TestRemoteTierBatchedPublish pins the async publish path: verdicts
+// buffer and flush in canonical key order without blocking Publish.
+func TestRemoteTierBatchedPublish(t *testing.T) {
+	fc := newFakeCache(t)
+	tier := testTier(t, fc, nil)
+	tier.Publish("U\x00zz", true)
+	tier.Publish("U\x00aa", false)
+	tier.Publish("U\x00mm", true)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		fc.mu.Lock()
+		n := len(fc.entries)
+		fc.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("publishes never flushed; server has %d entries", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	for _, batch := range fc.publishes {
+		if !sort.SliceIsSorted(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key }) {
+			t.Fatalf("publish batch not in canonical key order: %+v", batch)
+		}
+	}
+	if st := tier.Stats(); st.Published != 3 {
+		t.Fatalf("stats = %+v, want 3 published", st)
+	}
+}
+
+// TestRemoteTierVerifyQuarantine pins the poisoned-cache defense: in
+// verify mode a remote answer never reaches the caller, and the first
+// contradiction with the locally computed verdict benches the tier.
+func TestRemoteTierVerifyQuarantine(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.entries["U\x00poisoned"] = true // remote claims "unsat proven"
+	tier := testTier(t, fc, func(c *RemoteConfig) {
+		c.Verify = true
+		c.VerifySample = 1
+	})
+
+	if _, ok := tier.Lookup("U\x00poisoned"); ok {
+		t.Fatal("verify mode let a remote answer short-circuit")
+	}
+	// Local decision procedure disagrees.
+	tier.Publish("U\x00poisoned", false)
+	st := tier.Stats()
+	if !st.Quarantined || st.Mismatches != 1 || st.Verified != 1 {
+		t.Fatalf("stats = %+v, want quarantined with 1 mismatch / 1 verified", st)
+	}
+	// The benched tier is inert: no lookups, no publishes.
+	before := fc.lookups.Load()
+	if _, ok := tier.Lookup("U\x00poisoned"); ok {
+		t.Fatal("quarantined tier served a hit")
+	}
+	if fc.lookups.Load() != before {
+		t.Fatal("quarantined tier touched the network")
+	}
+}
+
+// TestRemoteTierVerifyAgreementStaysLive is the happy half: matching
+// verdicts keep the tier in service.
+func TestRemoteTierVerifyAgreementStaysLive(t *testing.T) {
+	fc := newFakeCache(t)
+	fc.entries["U\x00good"] = false
+	tier := testTier(t, fc, func(c *RemoteConfig) {
+		c.Verify = true
+		c.VerifySample = 1
+	})
+	tier.Lookup("U\x00good")
+	tier.Publish("U\x00good", false)
+	st := tier.Stats()
+	if st.Quarantined || st.Verified != 1 || st.Mismatches != 0 {
+		t.Fatalf("stats = %+v, want live with 1 verified / 0 mismatches", st)
+	}
+}
+
+// TestRemoteTierSampleIsDeterministic pins that verify-mode sampling
+// depends only on the key bytes — the "deterministic sample" the issue
+// requires, stable across processes.
+func TestRemoteTierSampleIsDeterministic(t *testing.T) {
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("U\x00query-%d", i)
+		a := sampledForVerify(key, 4)
+		if a != sampledForVerify(key, 4) {
+			t.Fatalf("sampling not deterministic for %q", key)
+		}
+		if a {
+			hits++
+		}
+	}
+	if hits == 0 || hits == 1000 {
+		t.Fatalf("sample of 1000 keys selected %d — not a sample", hits)
+	}
+	if !sampledForVerify("anything", 1) {
+		t.Fatal("VerifySample=1 must sample every key")
+	}
+}
+
+// TestNilRemoteTierZeroAlloc pins the disabled-tier contract from the
+// acceptance criteria: a nil tier costs zero allocations (the prover
+// additionally guards with Remote != nil, and no goroutine exists
+// because only NewRemoteTier starts one).
+func TestNilRemoteTierZeroAlloc(t *testing.T) {
+	var tier *RemoteTier
+	allocs := testing.AllocsPerRun(1000, func() {
+		tier.Lookup("U\x00k")
+		tier.Publish("U\x00k", true)
+		tier.Quarantined()
+		tier.Close()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil RemoteTier allocated %v times per op, want 0", allocs)
+	}
+}
+
+// TestRemoteTierCloseStopsFlusher pins goroutine hygiene: Close joins
+// the flusher and is idempotent.
+func TestRemoteTierCloseStopsFlusher(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fc := newFakeCache(t)
+	tier := NewRemoteTier(RemoteConfig{URL: fc.srv.URL, Partition: "p"})
+	tier.Publish("U\x00k", true)
+	tier.Close()
+	tier.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The final flush must have delivered the pending entry.
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if len(fc.entries) != 1 {
+		t.Fatalf("Close did not drain the publish buffer; server has %d entries", len(fc.entries))
+	}
+}
+
+// TestProverRemoteHitShortCircuits wires a tier into a real Prover:
+// a trusted remote verdict must answer the query without a local
+// search, produce the same verdict a local run computes, and count as
+// a prover call either way (byte-identical RESULT lines).
+func TestProverRemoteHitShortCircuits(t *testing.T) {
+	// x < 0 && 0 < x is unsat; compute the truth locally first.
+	f := form.MkAnd(
+		form.MkCmp(form.Lt, form.Var{Name: "x"}, form.Num{V: 0}),
+		form.MkCmp(form.Lt, form.Num{V: 0}, form.Var{Name: "x"}),
+	)
+	local := New()
+	want := local.Unsat(f)
+	key := "U\x00" + f.String()
+
+	fc := newFakeCache(t)
+	fc.entries[key] = want
+	p := New()
+	p.Remote = testTier(t, fc, nil)
+	if got := p.Unsat(f); got != want {
+		t.Fatalf("remote-backed Unsat = %t, want %t", got, want)
+	}
+	if p.Calls() != 1 {
+		t.Fatalf("Calls() = %d, want 1 (remote hits still count entry points)", p.Calls())
+	}
+	if st := p.Remote.Stats(); st.Hits != 1 {
+		t.Fatalf("tier stats = %+v, want 1 hit", st)
+	}
+	// The remote hit warmed the local cache: the repeat is a local hit,
+	// not another network round trip.
+	before := fc.lookups.Load()
+	p.Unsat(f)
+	if p.CacheHits() != 1 {
+		t.Fatalf("CacheHits() = %d, want 1 (remote hit warms local cache)", p.CacheHits())
+	}
+	if fc.lookups.Load() != before {
+		t.Fatal("repeat query went back to the network")
+	}
+}
+
+// TestProverPublishesOnlyDecidedVerdicts pins the ExportCache contract
+// fleet-wide: verdicts the prover refuses to memoize locally (here: a
+// cancelled run) are never published remotely either.
+func TestProverPublishesOnlyDecidedVerdicts(t *testing.T) {
+	fc := newFakeCache(t)
+	p := New()
+	p.Remote = testTier(t, fc, func(c *RemoteConfig) { c.FlushInterval = 5 * time.Millisecond })
+
+	f := form.MkCmp(form.Lt, form.Var{Name: "x"}, form.Num{V: 0})
+	p.Unsat(f) // decided: satisfiable, so Unsat answers false — publishable
+	time.Sleep(100 * time.Millisecond)
+	fc.mu.Lock()
+	published := len(fc.entries)
+	fc.mu.Unlock()
+	if published != 1 {
+		t.Fatalf("decided verdict not published: server has %d entries, want 1", published)
+	}
+	if st := p.Remote.Stats(); st.Published != 1 {
+		t.Fatalf("tier stats = %+v, want 1 published", st)
+	}
+}
+
+// TestImportExportCacheConcurrent hammers ImportCache / ExportCache /
+// live queries from many goroutines (run under -race by
+// verify-extended): exports must always be sorted, internally
+// consistent snapshots, and the final state must contain every import.
+func TestImportExportCacheConcurrent(t *testing.T) {
+	p := New()
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				p.ImportCache([]CacheEntry{{Key: fmt.Sprintf("U\x00imp-%d-%d", g, i), Val: i%2 == 0}})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				out := p.ExportCache()
+				if !sort.SliceIsSorted(out, func(a, b int) bool { return out[a].Key < out[b].Key }) {
+					t.Error("concurrent export not in canonical order")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	out := p.ExportCache()
+	if len(out) != goroutines*perG {
+		t.Fatalf("final export has %d entries, want %d", len(out), goroutines*perG)
+	}
+	if p.CacheSize() != goroutines*perG {
+		t.Fatalf("CacheSize = %d, want %d", p.CacheSize(), goroutines*perG)
+	}
+	// Round-trip: importing an export into a fresh prover reproduces it.
+	p2 := New()
+	p2.ImportCache(out)
+	out2 := p2.ExportCache()
+	if len(out2) != len(out) {
+		t.Fatalf("round-tripped export has %d entries, want %d", len(out2), len(out))
+	}
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatalf("round-trip diverged at %d: %+v vs %+v", i, out[i], out2[i])
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 
 	"predabs/internal/metrics"
 )
@@ -52,6 +53,16 @@ var (
 // attaches to ErrCorruptEvents responses.
 const EventsCorruptCode = "corrupt-event-log"
 
+// Long-poll bounds for GET /jobs/{id}/events?wait=. MaxEventWait caps
+// the ?wait= window a client may request; eventWaitStep is the internal
+// re-check cadence while a long poll is parked (the JobAPI surface is
+// pull-based, so the handler polls it cheaply instead of threading a
+// notification channel through every flavor).
+const (
+	MaxEventWait  = 30 * time.Second
+	eventWaitStep = 50 * time.Millisecond
+)
+
 // APIExtras parameterizes the routes whose payloads differ per flavor.
 // Nil callbacks serve minimal defaults.
 type APIExtras struct {
@@ -74,7 +85,8 @@ type APIExtras struct {
 //	POST /jobs            submit a JobSpec; 202 {"id": ...}, 503 on shed/drain
 //	GET  /jobs            job summaries
 //	GET  /jobs/{id}       full status incl. the verdict stdout
-//	GET  /jobs/{id}/events[?after=N]   durable job events as NDJSON
+//	GET  /jobs/{id}/events[?after=N][&wait=30s]   durable job events as NDJSON;
+//	     wait long-polls until events past the cursor exist or the window expires
 //	GET  /metrics         Prometheus text exposition (empty when disabled)
 //	GET  /healthz         process liveness
 //	GET  /readyz          503 with a reason while not ready, 200 otherwise
@@ -127,7 +139,40 @@ func APIHandler(api JobAPI, x APIExtras) http.Handler {
 			}
 			after = n
 		}
+		var wait time.Duration
+		if v := r.URL.Query().Get("wait"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				writeJSON(w, http.StatusBadRequest, map[string]string{"error": "wait: want a non-negative duration"})
+				return
+			}
+			if d > MaxEventWait {
+				d = MaxEventWait
+			}
+			wait = d
+		}
 		evs, err := api.Events(r.PathValue("id"), after)
+		if wait > 0 && err == nil && len(evs) == 0 {
+			// Push-style subscription: park the request until news
+			// arrives past the cursor, the window expires, or the client
+			// goes away. Errors (job vanished, log corrupted mid-wait)
+			// break out and take the normal taxonomy below.
+			deadline := time.Now().Add(wait)
+			tick := time.NewTicker(eventWaitStep)
+			defer tick.Stop()
+		poll:
+			for time.Now().Before(deadline) {
+				select {
+				case <-r.Context().Done():
+					break poll
+				case <-tick.C:
+				}
+				evs, err = api.Events(r.PathValue("id"), after)
+				if err != nil || len(evs) > 0 {
+					break
+				}
+			}
+		}
 		switch {
 		case errors.Is(err, ErrNoJob):
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})

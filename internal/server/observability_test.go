@@ -452,3 +452,75 @@ func TestChromeTraceMergesAttemptLanes(t *testing.T) {
 		t.Fatalf("per-attempt pipeline lanes missing; named lanes: %v", lanes)
 	}
 }
+
+// TestEventsLongPoll pins the ?wait= long-poll contract on the shared
+// job API: a request with events already past the cursor returns
+// immediately, a request with nothing new holds the connection for up
+// to the wait and then returns an empty 200 stream, a request whose
+// events arrive mid-hold returns them well before the full wait, and
+// malformed or negative waits are 400s.
+func TestEventsLongPoll(t *testing.T) {
+	drv := corpus.Drivers()[1]
+	s := newServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	id, err := s.Submit(server.JobSpec{Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, s, id, 30*time.Second)
+	evs := fetchEvents(t, ts.URL, id, 0)
+	if len(evs) == 0 {
+		t.Fatal("completed job has no events")
+	}
+	last := evs[len(evs)-1].Seq
+
+	// Events already available: the wait must not hold the request.
+	start := time.Now()
+	body, code := getBody(t, fmt.Sprintf("%s/jobs/%s/events?wait=10s", ts.URL, id))
+	if code != http.StatusOK || len(bytes.TrimSpace(body)) == 0 {
+		t.Fatalf("long-poll with ready events: HTTP %d, body %q", code, body)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("long-poll with ready events held for %v", d)
+	}
+
+	// Nothing past the cursor: the handler parks for the full wait, then
+	// answers an empty stream (HTTP 200, not an error) so the client can
+	// re-poll with the same cursor.
+	start = time.Now()
+	body, code = getBody(t, fmt.Sprintf("%s/jobs/%s/events?after=%d&wait=300ms", ts.URL, id, last))
+	held := time.Since(start)
+	if code != http.StatusOK || len(bytes.TrimSpace(body)) != 0 {
+		t.Fatalf("exhausted long-poll: HTTP %d, body %q", code, body)
+	}
+	if held < 250*time.Millisecond {
+		t.Fatalf("exhausted long-poll returned after %v, want ~300ms hold", held)
+	}
+
+	// Events arriving mid-hold cut the wait short: polling a just
+	// submitted job past its admission event parks until the worker's
+	// running/spawn events land, well inside the 10s wait.
+	id2, err := s.Submit(server.JobSpec{Source: drv.Source, Spec: drv.Spec, Entry: drv.Entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start = time.Now()
+	body, code = getBody(t, fmt.Sprintf("%s/jobs/%s/events?after=1&wait=10s", ts.URL, id2))
+	held = time.Since(start)
+	if code != http.StatusOK || len(bytes.TrimSpace(body)) == 0 {
+		t.Fatalf("mid-hold long-poll: HTTP %d, body %q", code, body)
+	}
+	if held > 5*time.Second {
+		t.Fatalf("mid-hold long-poll ran the full wait (%v) instead of returning on arrival", held)
+	}
+	await(t, s, id2, 30*time.Second)
+
+	// Malformed and negative waits are client errors.
+	for _, q := range []string{"wait=x", "wait=-1s"} {
+		if _, code := getBody(t, fmt.Sprintf("%s/jobs/%s/events?%s", ts.URL, id, q)); code != http.StatusBadRequest {
+			t.Errorf("?%s: HTTP %d, want 400", q, code)
+		}
+	}
+}

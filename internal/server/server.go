@@ -59,6 +59,13 @@ type Config struct {
 	// AllowJobEnv honours JobSpec.Env (worker environment injection).
 	// Leave it off outside chaos testing.
 	AllowJobEnv bool
+	// CacheURL, when non-empty, is the shared prover cache (predcached)
+	// base URL every worker inherits via PREDABSD_CACHE_URL. CacheVerify
+	// additionally puts the workers' remote tiers in verify mode
+	// (PREDABSD_CACHE_VERIFY=1). Both degrade soundly: a dead, slow or
+	// lying cache never changes a verdict, only its speed.
+	CacheURL    string
+	CacheVerify bool
 	// Metrics receives the daemon's instrument registrations and backs
 	// GET /metrics. Nil disables metrics: every instrument update then
 	// no-ops at zero allocations (the nil-tracer contract), and /metrics
@@ -372,17 +379,21 @@ func (s *Server) Handler() http.Handler {
 			return nil
 		},
 		Healthz: func() map[string]any {
-			return map[string]any{
+			h := map[string]any{
 				"status":         "ok",
 				"version":        predabs.Version,
 				"uptime_seconds": int64(time.Since(s.start).Seconds()),
 			}
+			if s.cfg.CacheURL != "" {
+				h["cache_url"] = s.cfg.CacheURL
+			}
+			return h
 		},
 		Statz: func() map[string]any {
 			s.mu.Lock()
 			depth := len(s.queue)
 			s.mu.Unlock()
-			return map[string]any{
+			st := map[string]any{
 				"counters":           s.CounterSnapshot(),
 				"queue_depth":        depth,
 				"queue_cap":          cap(s.queue),
@@ -391,6 +402,10 @@ func (s *Server) Handler() http.Handler {
 				"version":            predabs.Version,
 				"uptime_seconds":     int64(time.Since(s.start).Seconds()),
 			}
+			if s.cfg.CacheURL != "" {
+				st["cache_url"] = s.cfg.CacheURL
+			}
+			return st
 		},
 		Extend: func(mux *http.ServeMux) {
 			mux.HandleFunc("GET /jobs/{id}/trace", s.artifactHandler(traceFile))
