@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos fleet-chaos cache-chaos leakcheck metrics-lint bench bench-json bench-cache lint-docs tools
+.PHONY: build test verify verify-extended chaos crash corrupt serve-chaos fleet-chaos cache-chaos disk-chaos leakcheck metrics-lint bench bench-json bench-cache lint-docs tools
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ verify: build test
 # Extended gate: static analysis plus the race detector over the whole
 # tree (exercises the parallel cube search and the concurrent tracer),
 # then the fault-injection matrix and the cancellation leak check.
-verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos fleet-chaos cache-chaos leakcheck
+verify-extended: verify lint-docs metrics-lint chaos crash corrupt serve-chaos fleet-chaos cache-chaos disk-chaos leakcheck
 	$(GO) test -race ./...
 
 # Chaos gate: the deterministic fault-injection matrix (seeded prover
@@ -63,6 +63,18 @@ fleet-chaos:
 # cell additionally requires detection and quarantine.
 cache-chaos:
 	$(GO) test -count=1 -timeout 10m -run 'TestCacheChaos' ./internal/faultinject/
+
+# Disk-chaos gate: deterministic filesystem fault schedules (ENOSPC,
+# short writes, fsync and read EIO, rename failure) injected under every
+# durable store — journal, job ledger, per-job event logs, fleet ledger,
+# cache store — plus their compaction/rotation paths. Every cell
+# requires: no wrong verdict, no crash on an injected fault, sticky
+# persistence-degraded shedding while the disk is bad, restart recovery
+# of every acked record via torn-tail repair, compacted generations
+# serving byte-identically to unbounded twins, and no job or cache entry
+# lost or double-credited.
+disk-chaos:
+	$(GO) test -race -count=1 -timeout 10m -run 'TestDiskChaos' ./internal/faultinject/ ./internal/checkpoint/ ./internal/server/ ./internal/fleet/ ./internal/cacheserv/
 
 # Metrics gate: the Prometheus exposition's golden byte-for-byte family
 # ordering, the disabled-registry zero-allocation pin (the nil-tracer

@@ -84,6 +84,9 @@ func run() (code int) {
 	cache := flag.Bool("cache", false, "run as predcached, the fleet-shared prover cache service")
 	cacheURL := flag.String("cache-url", "", "shared prover cache (predcached) base URL workers inherit; empty disables the remote tier")
 	cacheVerify := flag.Bool("cache-verify", false, "make workers revalidate sampled remote cache hits locally, quarantining the cache on any mismatch")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "with -cache: compact the store into a new generation above this size, evicting cold partitions (0 = unbounded)")
+	ledgerSnapshotBytes := flag.Int64("ledger-snapshot-bytes", 0, "fold terminal jobs into a snapshot record at restart replay once the ledger exceeds this size (0 = never fold)")
+	eventsMaxBytes := flag.Int64("events-max-bytes", 0, "rotate each job's event log behind a truncation record above this size (0 = unbounded)")
 	flag.Parse()
 
 	if *worker {
@@ -106,9 +109,10 @@ func run() (code int) {
 	if *cache {
 		fmt.Fprintf(os.Stderr, "predabsd: version %s starting (cache)\n", predabs.Version)
 		cs, err := cacheserv.New(cacheserv.Config{
-			Dir:     *data,
-			Metrics: metrics.New(),
-			Logf:    logf,
+			Dir:      *data,
+			MaxBytes: *cacheMaxBytes,
+			Metrics:  metrics.New(),
+			Logf:     logf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "predabsd:", err)
@@ -125,17 +129,18 @@ func run() (code int) {
 		}
 		fmt.Fprintf(os.Stderr, "predabsd: version %s starting (frontend)\n", predabs.Version)
 		fe, err := fleet.New(fleet.Config{
-			DataDir:         *data,
-			Backends:        strings.Split(*frontend, ","),
-			QueueCap:        *queueCap,
-			DispatchRetries: *dispatchRetries,
-			LeaseTTL:        *leaseTTL,
-			PollInterval:    *pollInterval,
-			EventWait:       *eventWait,
-			CacheURL:        *cacheURL,
-			AllowJobEnv:     *allowJobEnv,
-			Metrics:         metrics.New(),
-			Logf:            logf,
+			DataDir:             *data,
+			Backends:            strings.Split(*frontend, ","),
+			QueueCap:            *queueCap,
+			DispatchRetries:     *dispatchRetries,
+			LeaseTTL:            *leaseTTL,
+			PollInterval:        *pollInterval,
+			EventWait:           *eventWait,
+			CacheURL:            *cacheURL,
+			AllowJobEnv:         *allowJobEnv,
+			LedgerSnapshotBytes: *ledgerSnapshotBytes,
+			Metrics:             metrics.New(),
+			Logf:                logf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "predabsd:", err)
@@ -174,20 +179,22 @@ func run() (code int) {
 	// and the same value /healthz and /statz report while running.
 	fmt.Fprintf(os.Stderr, "predabsd: version %s starting\n", predabs.Version)
 	srv, err := server.New(server.Config{
-		DataDir:        *data,
-		WorkerBin:      self,
-		QueueCap:       *queueCap,
-		Workers:        *workers,
-		AttemptTimeout: *jobTimeout,
-		Retries:        *retries,
-		RetryBase:      *retryBase,
-		RetryMax:       *retryMax,
-		Artifacts:      *artifacts,
-		AllowJobEnv:    *allowJobEnv,
-		CacheURL:       *cacheURL,
-		CacheVerify:    *cacheVerify,
-		Metrics:        metrics.New(),
-		Logf:           logf,
+		DataDir:             *data,
+		WorkerBin:           self,
+		QueueCap:            *queueCap,
+		Workers:             *workers,
+		AttemptTimeout:      *jobTimeout,
+		Retries:             *retries,
+		RetryBase:           *retryBase,
+		RetryMax:            *retryMax,
+		Artifacts:           *artifacts,
+		AllowJobEnv:         *allowJobEnv,
+		CacheURL:            *cacheURL,
+		CacheVerify:         *cacheVerify,
+		LedgerSnapshotBytes: *ledgerSnapshotBytes,
+		EventsMaxBytes:      *eventsMaxBytes,
+		Metrics:             metrics.New(),
+		Logf:                logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "predabsd:", err)

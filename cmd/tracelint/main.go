@@ -8,13 +8,21 @@
 // durable events.predabs log): sequence numbers must be dense and
 // strictly increasing, and every record's payload must match its type
 // (state transitions name known states, spawn/kill carry an attempt,
-// progress heartbeats carry the CEGAR iteration counters).
+// progress heartbeats carry the CEGAR iteration counters). A log
+// rotated under -events-max-bytes may open with one "truncate" record
+// declaring the discarded range (its dropped count equals its seq, and
+// the retained stream stays dense after it); the marker is only legal
+// as the first record of a stream.
 //
 // With -fleet it validates fleet frontend event streams — the NDJSON a
 // predabsd -frontend serves at the same route, synthesized from its
 // durable ledger: an admit record first, dense sequence numbers,
 // dispatch/lease/adopt payload rules, and exactly one terminal verdict
-// (a failed verdict must retreat to outcome "unknown").
+// (a failed verdict must retreat to outcome "unknown"). A ledger
+// compacted under -ledger-snapshot-bytes declares its elisions: a
+// verdict may carry a "dropped" count, and the stream's sequence then
+// advances by exactly that gap — dropped counts anywhere else, or
+// silent gaps, are violations.
 //
 // Usage:
 //

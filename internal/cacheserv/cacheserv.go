@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"predabs/internal/checkpoint"
 	"predabs/internal/metrics"
 	"predabs/internal/prover"
 )
@@ -42,6 +43,14 @@ type publishResponse struct {
 type Config struct {
 	// Dir holds the durable store file (required).
 	Dir string
+	// MaxBytes, when > 0, bounds the store log: a publish that pushes it
+	// past this cap compacts the store into a new generation, keeping
+	// the hottest partitions and evicting cold ones (see the package
+	// comment). 0 disables compaction.
+	MaxBytes int64
+	// FS is the filesystem the store lives on (default: the real OS
+	// filesystem). Tests inject fault-injecting implementations.
+	FS checkpoint.FS
 	// Metrics is the optional instrument registry (nil disables).
 	Metrics *metrics.Registry
 	// Logf receives operational log lines (default: discard).
@@ -58,6 +67,12 @@ type cacheMetrics struct {
 	published   *metrics.Counter
 	conflicts   *metrics.Counter
 	badReqs     *metrics.Counter
+
+	shedDegraded *metrics.Counter
+	compactions  *metrics.Counter
+	reclaimed    *metrics.Counter
+	compactFails *metrics.Counter
+	evicted      *metrics.Counter
 }
 
 func newCacheMetrics(r *metrics.Registry, st *Store) cacheMetrics {
@@ -72,6 +87,16 @@ func newCacheMetrics(r *metrics.Registry, st *Store) cacheMetrics {
 		parts, _ := st.Stats()
 		return int64(parts)
 	})
+	r.GaugeFunc("predcached_store_log_bytes", "Store log size on disk in bytes.", st.Size)
+	r.GaugeFunc("predcached_store_generation", "Compaction generations survived by the store.", st.Generation)
+	r.GaugeFunc("predcached_persistence_degraded",
+		"1 while the store is persistence-degraded (appends failing); lookups keep serving, publishes are shed.",
+		func() int64 {
+			if st.DegradedErr() != nil {
+				return 1
+			}
+			return 0
+		})
 	return cacheMetrics{
 		lookupReqs:  r.Counter("predcached_lookup_requests_total", "Batched lookup requests served."),
 		lookupKeys:  r.Counter("predcached_lookup_keys_total", "Keys asked for across lookup batches."),
@@ -80,6 +105,17 @@ func newCacheMetrics(r *metrics.Registry, st *Store) cacheMetrics {
 		published:   r.Counter("predcached_publish_entries_total", "Entries accepted into the store."),
 		conflicts:   r.Counter("predcached_publish_conflicts_total", "Publishes dropped because the key already holds a different verdict."),
 		badReqs:     r.Counter("predcached_bad_requests_total", "Requests refused as malformed."),
+
+		shedDegraded: r.Counter("predcached_publish_shed_degraded_total",
+			"Publishes refused while the store is persistence-degraded."),
+		compactions: r.Counter("predcached_compactions_total",
+			"Store compactions into a new generation."),
+		reclaimed: r.Counter("predcached_compaction_reclaimed_bytes_total",
+			"Store log bytes reclaimed by compactions."),
+		compactFails: r.Counter("predcached_compaction_failures_total",
+			"Store compactions abandoned (old generation kept serving)."),
+		evicted: r.Counter("predcached_evicted_entries_total",
+			"Cache entries evicted with their cold partitions by compaction."),
 	}
 }
 
@@ -97,7 +133,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	st, err := OpenStore(cfg.Dir)
+	st, err := OpenStoreFS(cfg.FS, cfg.Dir, cfg.MaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +141,17 @@ func New(cfg Config) (*Server, error) {
 		cfg.Logf("predcached store: %s", w)
 	}
 	s := &Server{cfg: cfg, store: st, met: newCacheMetrics(cfg.Metrics, st), start: time.Now()}
+	st.onCompact = func(reclaimed int64, evicted int, ok bool) {
+		if ok {
+			s.met.compactions.Inc()
+			s.met.reclaimed.Add(reclaimed)
+			s.met.evicted.Add(int64(evicted))
+			cfg.Logf("predcached: compacted store, reclaimed %d bytes, evicted %d entries", reclaimed, evicted)
+		} else {
+			s.met.compactFails.Inc()
+			cfg.Logf("predcached: compaction failed, old generation kept serving")
+		}
+	}
 	parts, entries := st.Stats()
 	cfg.Logf("predcached: store open, %d entries across %d partitions", entries, parts)
 	return s, nil
@@ -151,6 +198,15 @@ func (s *Server) Handler() http.Handler {
 		accepted, conflicts, err := s.store.Publish(req.Partition, req.Entries)
 		if err != nil {
 			s.cfg.Logf("predcached: publish failed: %v", err)
+			if s.store.DegradedErr() != nil {
+				// The disk is refusing appends: shed the publish with
+				// Retry-After rather than silently holding a verdict the
+				// store could not persist. Lookups keep serving.
+				s.met.shedDegraded.Inc()
+				w.Header().Set("Retry-After", "30")
+				writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+				return
+			}
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
 			return
 		}
@@ -175,19 +231,27 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "role": "cache",
-			"uptime_s": int64(time.Since(s.start).Seconds())})
+			"uptime_s":             int64(time.Since(s.start).Seconds()),
+			"persistence_degraded": s.store.DegradedErr() != nil})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ready\n"))
 	})
 	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
 		parts, entries := s.store.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"role":       "cache",
-			"partitions": parts,
-			"entries":    entries,
-			"uptime_s":   int64(time.Since(s.start).Seconds()),
-		})
+		st := map[string]any{
+			"role":                 "cache",
+			"partitions":           parts,
+			"entries":              entries,
+			"uptime_s":             int64(time.Since(s.start).Seconds()),
+			"store_log_bytes":      s.store.Size(),
+			"store_generation":     s.store.Generation(),
+			"persistence_degraded": s.store.DegradedErr() != nil,
+		}
+		if derr := s.store.DegradedErr(); derr != nil {
+			st["persistence_error"] = derr.Error()
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	return mux
 }

@@ -256,6 +256,10 @@ func TestCacheMetricsExpositionDeterministic(t *testing.T) {
 		"predcached_lookup_hits_total", "predcached_publish_requests_total",
 		"predcached_publish_entries_total", "predcached_publish_conflicts_total",
 		"predcached_bad_requests_total",
+		"predcached_store_log_bytes", "predcached_store_generation",
+		"predcached_persistence_degraded", "predcached_publish_shed_degraded_total",
+		"predcached_compactions_total", "predcached_compaction_reclaimed_bytes_total",
+		"predcached_compaction_failures_total", "predcached_evicted_entries_total",
 	} {
 		if !bytes.Contains([]byte(a), []byte(fam)) {
 			t.Fatalf("exposition missing family %s:\n%s", fam, a)

@@ -1,0 +1,368 @@
+// Disk-chaos tests for the predcached store: LRU compaction into new
+// generations serves surviving partitions byte-identically to an
+// unbounded twin, injected publish faults flip the service to
+// persistence-degraded 503s while lookups keep serving, a rename fault
+// at the compaction commit point leaves the old generation whole, and
+// a concurrent replaying reader never observes a torn generation swap.
+package cacheserv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"predabs/internal/checkpoint"
+	"predabs/internal/faultinject"
+	"predabs/internal/prover"
+)
+
+func chaosEntries(part string, n int) []prover.CacheEntry {
+	out := make([]prover.CacheEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, prover.CacheEntry{
+			Key: fmt.Sprintf("(%s) formula-%03d with enough bytes to cost something", part, i),
+			Val: i%2 == 0,
+		})
+	}
+	return out
+}
+
+// TestDiskChaosCacheCompactionEquivalence publishes past the byte cap
+// and compares the bounded store against an unbounded twin fed the
+// identical traffic: every surviving partition answers byte-identical
+// lookups and snapshots, the cap holds, and a restart replays the
+// compacted generation losslessly.
+func TestDiskChaosCacheCompactionEquivalence(t *testing.T) {
+	const maxBytes = 4 << 10
+	dir := t.TempDir()
+	bounded, err := OpenStoreFS(nil, dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := mustOpen(t, t.TempDir())
+	defer twin.Close()
+
+	for i := 0; i < 24; i++ {
+		part := fmt.Sprintf("part-%02d", i)
+		entries := chaosEntries(part, 8)
+		if _, _, err := bounded.Publish(part, entries); err != nil {
+			t.Fatalf("bounded publish %s: %v", part, err)
+		}
+		if _, _, err := twin.Publish(part, entries); err != nil {
+			t.Fatalf("twin publish %s: %v", part, err)
+		}
+	}
+	if bounded.Generation() == 0 {
+		t.Fatalf("store never compacted: %d bytes against a %d cap", bounded.Size(), maxBytes)
+	}
+	if bounded.Size() > maxBytes {
+		t.Fatalf("cap not enforced after compaction: %d > %d", bounded.Size(), maxBytes)
+	}
+	if err := bounded.DegradedErr(); err != nil {
+		t.Fatalf("compaction degraded a healthy store: %v", err)
+	}
+	survivors := bounded.Partitions()
+	if len(survivors) == 0 || len(survivors) >= 24 {
+		t.Fatalf("compaction kept %d/24 partitions; eviction never happened or dropped everything", len(survivors))
+	}
+	// The hottest partition — the one the last publish just touched —
+	// must always survive.
+	hot := "part-23"
+	found := false
+	for _, p := range survivors {
+		if p == hot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("compaction evicted the hottest partition %s; survivors %v", hot, survivors)
+	}
+
+	check := func(st *Store, label string) {
+		t.Helper()
+		for _, part := range survivors {
+			keys := make([]string, 0, 8)
+			for _, e := range chaosEntries(part, 8) {
+				keys = append(keys, e.Key)
+			}
+			if got, want := fmt.Sprint(st.Lookup(part, keys)), fmt.Sprint(twin.Lookup(part, keys)); got != want {
+				t.Fatalf("%s: %s lookup diverged from the unbounded twin:\n  got  %s\n  want %s", label, part, got, want)
+			}
+			if got, want := fmt.Sprint(st.Snapshot(part)), fmt.Sprint(twin.Snapshot(part)); got != want {
+				t.Fatalf("%s: %s snapshot diverged from the unbounded twin", label, part)
+			}
+		}
+	}
+	check(bounded, "live")
+	if err := bounded.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reopened, err := OpenStoreFS(nil, dir, maxBytes)
+	if err != nil {
+		t.Fatalf("reopen compacted generation: %v", err)
+	}
+	defer reopened.Close()
+	if len(reopened.Warnings()) != 0 {
+		t.Fatalf("compacted generation reopened with warnings: %v", reopened.Warnings())
+	}
+	check(reopened, "reopened")
+}
+
+// TestDiskChaosCachePublishFaultDegradedService fills the disk under
+// the store mid-publish and drives the HTTP surface: publishes shed
+// with 503 + Retry-After, lookups keep answering from memory, healthz
+// says degraded, and a restart on a healthy disk serves every acked
+// entry.
+func TestDiskChaosCachePublishFaultDegradedService(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{
+		FailWriteAfter: 6, Sticky: true, PathFilter: FileName,
+	})
+	s, err := New(Config{Dir: dir, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	acked := 0
+	var code int
+	for i := 0; i < 6; i++ {
+		code = postJSON(t, ts.URL+"/v1/publish", publishRequest{
+			Partition: fmt.Sprintf("p%d", i),
+			Entries:   []prover.CacheEntry{{Key: fmt.Sprintf("k%d", i), Val: true}},
+		}, nil)
+		if code != http.StatusOK {
+			break
+		}
+		acked++
+	}
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("disk-full publish = %d, want 503 (acked %d)", code, acked)
+	}
+	if acked == 0 {
+		t.Fatal("no publish acked before the fault")
+	}
+	// Retry-After tells honest clients when to come back.
+	b, _ := json.Marshal(publishRequest{Partition: "late", Entries: []prover.CacheEntry{{Key: "k", Val: true}}})
+	resp, err := http.Post(ts.URL+"/v1/publish", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded publish = %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	// Lookups still serve everything acked, from memory.
+	for i := 0; i < acked; i++ {
+		var look lookupResponse
+		if code := postJSON(t, ts.URL+"/v1/lookup", lookupRequest{
+			Partition: fmt.Sprintf("p%d", i), Keys: []string{fmt.Sprintf("k%d", i)},
+		}, &look); code != http.StatusOK || len(look.Entries) != 1 {
+			t.Fatalf("lookup p%d while degraded = %d %+v", i, code, look)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if deg, _ := health["persistence_degraded"].(bool); !deg {
+		t.Fatalf("healthz hides the degradation: %v", health)
+	}
+	s.Close()
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("healthy restart: %v", err)
+	}
+	defer s2.Close()
+	for i := 0; i < acked; i++ {
+		got := s2.Store().Lookup(fmt.Sprintf("p%d", i), []string{fmt.Sprintf("k%d", i)})
+		if len(got) != 1 || got[0].Val != true {
+			t.Fatalf("acked entry p%d/k%d lost across restart: %v", i, i, got)
+		}
+	}
+}
+
+// TestDiskChaosCacheCompactionRenameFaultKeepsServing aborts the first
+// compaction at its rename commit point: the store must keep serving
+// every entry from the old generation without degrading, and the next
+// compaction (healthy rename) must land.
+func TestDiskChaosCacheCompactionRenameFaultKeepsServing(t *testing.T) {
+	const maxBytes = 2 << 10
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{FailRenameAfter: 1, PathFilter: FileName})
+	st, err := OpenStoreFS(ffs, t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	published := map[string][]prover.CacheEntry{}
+	for i := 0; st.compactFailures == 0; i++ {
+		if i > 64 {
+			t.Fatalf("compaction never attempted: %d bytes against a %d cap", st.Size(), maxBytes)
+		}
+		part := fmt.Sprintf("part-%02d", i)
+		entries := chaosEntries(part, 4)
+		if _, _, err := st.Publish(part, entries); err != nil {
+			t.Fatalf("publish during aborted compaction: %v", err)
+		}
+		published[part] = entries
+	}
+	if st.Generation() != 0 {
+		t.Fatalf("aborted compaction bumped the generation to %d", st.Generation())
+	}
+	if err := st.DegradedErr(); err != nil {
+		t.Fatalf("aborted compaction degraded the store: %v", err)
+	}
+	// Nothing was evicted: the old generation serves everything.
+	for part, entries := range published {
+		keys := make([]string, 0, len(entries))
+		for _, e := range entries {
+			keys = append(keys, e.Key)
+		}
+		if got := st.Lookup(part, keys); len(got) != len(entries) {
+			t.Fatalf("aborted compaction lost entries in %s: %d/%d", part, len(got), len(entries))
+		}
+	}
+	// The rename fault was one-shot: keep publishing until the retried
+	// compaction commits.
+	for i := 65; st.Generation() == 0; i++ {
+		if i > 160 {
+			t.Fatalf("compaction never recovered after the rename fault")
+		}
+		part := fmt.Sprintf("part-%02d", i)
+		if _, _, err := st.Publish(part, chaosEntries(part, 4)); err != nil {
+			t.Fatalf("publish after rename fault: %v", err)
+		}
+	}
+	if st.Size() > maxBytes {
+		t.Fatalf("cap not enforced after recovered compaction: %d > %d", st.Size(), maxBytes)
+	}
+}
+
+// TestDiskChaosCacheShortWriteTornPublish tears a publish append with a
+// short write: the publish errors, the store degrades stickily, and a
+// clean reopen repairs the tail back to exactly the acked entries.
+func TestDiskChaosCacheShortWriteTornPublish(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStoreFS(nil, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Publish("p", []prover.CacheEntry{{Key: "acked", Val: true}}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	ffs := faultinject.NewFS(nil, faultinject.FSConfig{ShortWriteAfter: 2, Sticky: true, PathFilter: FileName})
+	st2, err := OpenStoreFS(ffs, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st2.Publish("p", []prover.CacheEntry{{Key: "torn", Val: false}}); err == nil {
+		t.Fatal("torn publish reported success")
+	}
+	if st2.DegradedErr() == nil {
+		t.Fatal("torn publish did not degrade the store")
+	}
+	if _, _, err := st2.Publish("p", []prover.CacheEntry{{Key: "after", Val: true}}); err == nil {
+		t.Fatal("publish succeeded on a degraded store")
+	}
+	st2.Close()
+
+	st3, err := OpenStoreFS(nil, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if len(st3.Warnings()) == 0 {
+		t.Fatal("torn tail repaired without a warning")
+	}
+	got := st3.Lookup("p", []string{"acked", "torn", "after"})
+	if len(got) != 1 || got[0].Key != "acked" || got[0].Val != true {
+		t.Fatalf("repair must keep exactly the acked entry; got %v", got)
+	}
+	if _, _, err := st3.Publish("p", []prover.CacheEntry{{Key: "fresh", Val: true}}); err != nil {
+		t.Fatalf("publish after repair: %v", err)
+	}
+}
+
+// TestDiskChaosCacheCompactionRacingReader replays the store file
+// continuously while publishes drive it through several compaction
+// generations: because the rename swap is atomic and open handles pin
+// the old inode, a reader must never see a bad magic, a torn mix of
+// generations, or an entry value contradicting first-write-wins.
+func TestDiskChaosCacheCompactionRacingReader(t *testing.T) {
+	const maxBytes = 2 << 10
+	dir := t.TempDir()
+	st, err := OpenStoreFS(nil, dir, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	path := st.path
+
+	// Oracle of every value ever published (first write wins, and
+	// values are never mutated, so any replayed entry must match).
+	var oracleMu sync.Mutex
+	oracle := map[string]bool{}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := checkpoint.ReplayLog(path, Magic, func(payload []byte) {
+				var rec record
+				if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+					t.Errorf("reader: undecodable frame: %v", jerr)
+					return
+				}
+				oracleMu.Lock()
+				for _, e := range rec.Entries {
+					if want, ok := oracle[rec.Partition+"\x00"+e.Key]; ok && want != e.Val {
+						t.Errorf("reader: %s/%s = %v contradicts first-write-wins (%v)",
+							rec.Partition, e.Key, e.Val, want)
+					}
+				}
+				oracleMu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("reader: replay failed mid-compaction: %v", err)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 120 && st.Generation() < 3; i++ {
+		part := fmt.Sprintf("part-%03d", i)
+		entries := chaosEntries(part, 4)
+		oracleMu.Lock()
+		for _, e := range entries {
+			oracle[part+"\x00"+e.Key] = e.Val
+		}
+		oracleMu.Unlock()
+		if _, _, err := st.Publish(part, entries); err != nil {
+			t.Fatalf("publish %s: %v", part, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if st.Generation() < 3 {
+		t.Fatalf("only %d generations; the race never exercised a swap", st.Generation())
+	}
+}

@@ -15,6 +15,20 @@
 // length+CRC32 frames, fsync per append, torn-tail truncation on open),
 // so a SIGKILLed cache service restarts losslessly minus at most the
 // batch being written.
+//
+// # Bounded disk
+//
+// With MaxBytes > 0 the log is kept bounded: when an accepted publish
+// pushes it past the cap, the store rewrites itself into a new
+// generation — one record per surviving partition, hottest partitions
+// (by a logical last-touched clock over lookups and publishes) kept
+// until roughly MaxBytes/2 is used, colder partitions evicted whole.
+// The rewrite goes to a temp file, is fsynced, and lands under an
+// atomic rename: a reader holding the old generation open keeps a
+// consistent file, and a crash at any point leaves either the old or
+// the new generation, never a mix. Eviction only ever forgets cached
+// verdicts (a later publish re-fills them); it can never change one —
+// first-write-wins is preserved inside every surviving partition.
 package cacheserv
 
 import (
@@ -38,27 +52,65 @@ const (
 
 // record is one durable publish batch: only the entries that were new
 // at publish time, so replay is append-cost-proportional and
-// first-write-wins is preserved byte-for-byte across restarts.
+// first-write-wins is preserved byte-for-byte across restarts. A
+// compacted generation reuses the same shape with one record per
+// partition.
 type record struct {
 	Partition string              `json:"p"`
 	Entries   []prover.CacheEntry `json:"e"`
+}
+
+// partition is one compatibility-hash shard: its verdicts, the key
+// insertion order (kept so compaction rewrites deterministically), and
+// the logical-clock stamp of its last use, which ranks partitions for
+// eviction.
+type partition struct {
+	vals    map[string]bool
+	order   []string
+	touched int64
 }
 
 // Store is the in-memory cache backed by the framed log. All methods
 // are safe for concurrent use.
 type Store struct {
 	mu      sync.RWMutex
-	parts   map[string]map[string]bool
+	parts   map[string]*partition
 	entries int
 	log     *checkpoint.Log
+	fsys    checkpoint.FS
+	path    string
+
+	maxBytes int64
+	clock    int64 // logical time: bumped per lookup/publish
+	failed   error // sticky: set when the log handle itself is lost
+
+	generation      int64 // compaction epochs survived by this store
+	compactions     int64
+	reclaimedBytes  int64
+	compactFailures int64
+	evictedEntries  int64
+
+	// onCompact, when set (before serving starts), observes every
+	// compaction attempt — the service layer bridges it to counters.
+	onCompact func(reclaimedBytes int64, evictedEntries int, ok bool)
 }
 
-// OpenStore opens (or creates) the store under dir, replaying every
-// intact record and truncating a torn tail. A file with foreign magic
-// surfaces as *checkpoint.CorruptError.
+// OpenStore opens (or creates) the store under dir on the real
+// filesystem with no size cap.
 func OpenStore(dir string) (*Store, error) {
-	st := &Store{parts: map[string]map[string]bool{}}
-	log, err := checkpoint.OpenLog(filepath.Join(dir, FileName), Magic, func(payload []byte) {
+	return OpenStoreFS(nil, dir, 0)
+}
+
+// OpenStoreFS opens (or creates) the store under dir on fsys (nil: the
+// real filesystem), replaying every intact record and truncating a torn
+// tail. A file with foreign magic surfaces as *checkpoint.CorruptError;
+// a device read error fails the open rather than truncating good
+// records. maxBytes > 0 bounds the log via compaction (see the package
+// comment); 0 disables it.
+func OpenStoreFS(fsys checkpoint.FS, dir string, maxBytes int64) (*Store, error) {
+	st := &Store{parts: map[string]*partition{}, fsys: fsys,
+		path: filepath.Join(dir, FileName), maxBytes: maxBytes}
+	log, err := checkpoint.OpenLogFS(fsys, st.path, Magic, func(payload []byte) {
 		var rec record
 		if json.Unmarshal(payload, &rec) != nil {
 			// CRC-intact but unparseable can only mean a newer schema;
@@ -74,38 +126,47 @@ func OpenStore(dir string) (*Store, error) {
 	return st, nil
 }
 
-// applyLocked merges entries into a partition, first-write-wins.
-// Callers hold mu (or are the single-threaded replay).
-func (st *Store) applyLocked(partition string, entries []prover.CacheEntry) {
-	if partition == "" {
+// applyLocked merges entries into a partition, first-write-wins, and
+// stamps the partition's recency. Callers hold mu (or are the
+// single-threaded replay — where the stamp makes replay order the
+// initial recency order, which is why compaction writes surviving
+// partitions coldest-first).
+func (st *Store) applyLocked(part string, entries []prover.CacheEntry) {
+	if part == "" {
 		return
 	}
-	part := st.parts[partition]
-	if part == nil {
-		part = map[string]bool{}
-		st.parts[partition] = part
+	p := st.parts[part]
+	if p == nil {
+		p = &partition{vals: map[string]bool{}}
+		st.parts[part] = p
 	}
+	st.clock++
+	p.touched = st.clock
 	for _, e := range entries {
-		if _, ok := part[e.Key]; ok {
+		if _, ok := p.vals[e.Key]; ok {
 			continue
 		}
-		part[e.Key] = e.Val
+		p.vals[e.Key] = e.Val
+		p.order = append(p.order, e.Key)
 		st.entries++
 	}
 }
 
 // Lookup returns the entries known for keys within partition, sorted by
-// key. Unknown keys are simply absent.
-func (st *Store) Lookup(partition string, keys []string) []prover.CacheEntry {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+// key, and marks the partition recently used. Unknown keys are simply
+// absent.
+func (st *Store) Lookup(part string, keys []string) []prover.CacheEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	out := make([]prover.CacheEntry, 0, len(keys))
-	part := st.parts[partition]
-	if part == nil {
+	p := st.parts[part]
+	if p == nil {
 		return out
 	}
+	st.clock++
+	p.touched = st.clock
 	for _, k := range keys {
-		if v, ok := part[k]; ok {
+		if v, ok := p.vals[k]; ok {
 			out = append(out, prover.CacheEntry{Key: k, Val: v})
 		}
 	}
@@ -117,18 +178,26 @@ func (st *Store) Lookup(partition string, keys []string) []prover.CacheEntry {
 // framed record per batch, fsynced) then applied; keys that already
 // exist with a different value are conflicts and are dropped. The
 // journal-then-apply order means a crash can lose at most the batch
-// being written, never serve an entry it did not persist.
-func (st *Store) Publish(partition string, entries []prover.CacheEntry) (accepted, conflicts int, err error) {
-	if partition == "" {
+// being written, never serve an entry it did not persist. A publish
+// that pushes the log past the size cap triggers compaction before
+// returning.
+func (st *Store) Publish(part string, entries []prover.CacheEntry) (accepted, conflicts int, err error) {
+	if part == "" {
 		return 0, 0, fmt.Errorf("cacheserv: empty partition")
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	part := st.parts[partition]
+	if st.failed != nil {
+		return 0, 0, st.failed
+	}
+	var vals map[string]bool
+	if p := st.parts[part]; p != nil {
+		vals = p.vals
+	}
 	fresh := make([]prover.CacheEntry, 0, len(entries))
 	seen := map[string]bool{}
 	for _, e := range entries {
-		if v, ok := part[e.Key]; ok {
+		if v, ok := vals[e.Key]; ok {
 			if v != e.Val {
 				conflicts++
 			}
@@ -146,24 +215,131 @@ func (st *Store) Publish(partition string, entries []prover.CacheEntry) (accepte
 	if len(fresh) == 0 {
 		return 0, conflicts, nil
 	}
-	payload, merr := json.Marshal(record{Partition: partition, Entries: fresh})
+	payload, merr := json.Marshal(record{Partition: part, Entries: fresh})
 	if merr != nil {
 		return 0, conflicts, merr
 	}
 	if err := st.log.Append(payload); err != nil {
 		return 0, conflicts, err
 	}
-	st.applyLocked(partition, fresh)
+	st.applyLocked(part, fresh)
+	if st.maxBytes > 0 && st.log.Size() > st.maxBytes {
+		st.compactLocked()
+	}
 	return len(fresh), conflicts, nil
 }
 
+// compactLocked rewrites the store into a new generation under the size
+// cap: partitions ranked hottest-first, kept (whole) while the rewrite
+// stays under maxBytes/2, written coldest-first so a restart's replay
+// reconstructs the same recency ranking. The rewrite is atomic (temp
+// file + fsync + rename); on any failure the old generation keeps
+// serving unchanged — compaction is an optimization, never a
+// correctness step. Evictions apply to memory only after the new
+// generation is durably in place.
+func (st *Store) compactLocked() {
+	names := make([]string, 0, len(st.parts))
+	for name := range st.parts {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := st.parts[names[i]], st.parts[names[j]]
+		if pi.touched != pj.touched {
+			return pi.touched > pj.touched // hottest first
+		}
+		return names[i] < names[j]
+	})
+	target := st.maxBytes / 2
+	used := int64(len(Magic))
+	var frames [][]byte
+	kept := map[string]bool{}
+	for _, name := range names {
+		p := st.parts[name]
+		entries := make([]prover.CacheEntry, 0, len(p.order))
+		for _, k := range p.order {
+			entries = append(entries, prover.CacheEntry{Key: k, Val: p.vals[k]})
+		}
+		payload, err := json.Marshal(record{Partition: name, Entries: entries})
+		if err != nil {
+			continue
+		}
+		cost := int64(len(payload)) + checkpoint.FrameOverhead
+		// Always keep the hottest partition, even over budget: the
+		// store must never evict the batch it just accepted.
+		if len(kept) > 0 && used+cost > target {
+			break
+		}
+		frames = append(frames, payload)
+		used += cost
+		kept[name] = true
+	}
+	// Reverse to coldest-first so replay's first-touched == coldest.
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+
+	before := st.log.Size()
+	// The write handle must be dropped before the rename lands: after
+	// it, the old descriptor points at the orphaned inode. A close
+	// failure (e.g. a final-sync error) does not block the rewrite — the
+	// on-disk prefix is still CRC-valid, and the rewrite replaces it.
+	st.log.Close()
+	if err := checkpoint.RewriteLog(st.fsys, st.path, Magic, frames); err != nil {
+		// Old generation intact on disk; reopen and keep serving.
+		log, oerr := checkpoint.OpenLogFS(st.fsys, st.path, Magic, func([]byte) {})
+		if oerr != nil {
+			st.failed = fmt.Errorf("cacheserv: reopen after failed compaction (%v): %w", err, oerr)
+			st.compactFailures++
+			st.report(0, 0, false)
+			return
+		}
+		st.log = log
+		st.compactFailures++
+		st.report(0, 0, false)
+		return
+	}
+	log, oerr := checkpoint.OpenLogFS(st.fsys, st.path, Magic, func([]byte) {})
+	if oerr != nil {
+		st.failed = fmt.Errorf("cacheserv: reopen new generation: %w", oerr)
+		st.compactFailures++
+		st.report(0, 0, false)
+		return
+	}
+	st.log = log
+	evicted := 0
+	for name, p := range st.parts {
+		if !kept[name] {
+			evicted += len(p.vals)
+			st.entries -= len(p.vals)
+			delete(st.parts, name)
+		}
+	}
+	st.generation++
+	st.compactions++
+	reclaimed := before - st.log.Size()
+	st.reclaimedBytes += reclaimed
+	st.evictedEntries += int64(evicted)
+	st.report(reclaimed, evicted, true)
+}
+
+// report invokes the compaction observer without holding it to the
+// store's locking discipline (counters only; callers hold mu).
+func (st *Store) report(reclaimed int64, evicted int, ok bool) {
+	if st.onCompact != nil {
+		st.onCompact(reclaimed, evicted, ok)
+	}
+}
+
 // Snapshot returns every entry in partition, sorted by key.
-func (st *Store) Snapshot(partition string) []prover.CacheEntry {
+func (st *Store) Snapshot(part string) []prover.CacheEntry {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	part := st.parts[partition]
-	out := make([]prover.CacheEntry, 0, len(part))
-	for k, v := range part {
+	p := st.parts[part]
+	if p == nil {
+		return []prover.CacheEntry{}
+	}
+	out := make([]prover.CacheEntry, 0, len(p.vals))
+	for k, v := range p.vals {
 		out = append(out, prover.CacheEntry{Key: k, Val: v})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -187,6 +363,33 @@ func (st *Store) Stats() (partitions, entries int) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return len(st.parts), st.entries
+}
+
+// Size reports the store log's on-disk byte size.
+func (st *Store) Size() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.log.Size()
+}
+
+// Generation reports how many compaction epochs the store has survived.
+func (st *Store) Generation() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.generation
+}
+
+// DegradedErr reports the sticky persistence failure poisoning the
+// store, nil while healthy. A degraded store keeps serving lookups from
+// memory; publishes fail (the service layer sheds them with
+// Retry-After) because they could not be made durable.
+func (st *Store) DegradedErr() error {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.failed != nil {
+		return st.failed
+	}
+	return st.log.Err()
 }
 
 // Warnings lists torn-tail repairs performed when the store was opened.

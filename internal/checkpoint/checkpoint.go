@@ -51,6 +51,7 @@ package checkpoint
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -183,15 +184,17 @@ const formatVersion = 1
 // a single goroutine.
 type Manager struct {
 	path     string
+	fsys     FS
 	readOnly bool
 
 	mu        sync.Mutex
-	f         *os.File
+	f         File
 	persisted map[string]bool // cache keys already journaled
 	snap      *Snapshot
 	warnings  []string
 	commits   int
 	lastErr   error
+	degraded  error // first frame-write/fsync failure; sticky
 }
 
 // Open validates and replays the journal under dir for the given
@@ -205,24 +208,31 @@ type Manager struct {
 // readOnly opens for warm-start only: nothing is written, not even the
 // truncation repair of a torn tail (the tail is simply ignored).
 func Open(dir string, key CompatKey, readOnly bool) (*Manager, error) {
+	return OpenFS(nil, dir, key, readOnly)
+}
+
+// OpenFS is Open over an explicit filesystem seam; a nil fsys is the
+// real filesystem.
+func OpenFS(fsys FS, dir string, key CompatKey, readOnly bool) (*Manager, error) {
+	fsys = orOS(fsys)
 	path := filepath.Join(dir, JournalName)
-	if _, err := os.Stat(path); os.IsNotExist(err) {
+	if _, err := fsys.Stat(path); errors.Is(err, os.ErrNotExist) {
 		if readOnly {
 			// Nothing to resume and nothing may be written: an inert
 			// manager whose commits are no-ops.
-			return &Manager{path: path, readOnly: true, persisted: map[string]bool{}}, nil
+			return &Manager{path: path, fsys: fsys, readOnly: true, persisted: map[string]bool{}}, nil
 		}
-		return Create(dir, key)
+		return CreateFS(fsys, dir, key)
 	}
 	flag := os.O_RDWR
 	if readOnly {
 		flag = os.O_RDONLY
 	}
-	f, err := os.OpenFile(path, flag, 0o644)
+	f, err := fsys.OpenFile(path, flag, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	m := &Manager{path: path, f: f, readOnly: readOnly, persisted: map[string]bool{}}
+	m := &Manager{path: path, fsys: fsys, f: f, readOnly: readOnly, persisted: map[string]bool{}}
 	if err := m.replay(key); err != nil {
 		f.Close()
 		return nil, err
@@ -233,15 +243,22 @@ func Open(dir string, key CompatKey, readOnly bool) (*Manager, error) {
 // Create starts a fresh journal under dir (truncating any previous
 // one), writing the magic and the header record for the key.
 func Create(dir string, key CompatKey) (*Manager, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return CreateFS(nil, dir, key)
+}
+
+// CreateFS is Create over an explicit filesystem seam; a nil fsys is
+// the real filesystem.
+func CreateFS(fsys FS, dir string, key CompatKey) (*Manager, error) {
+	fsys = orOS(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	path := filepath.Join(dir, JournalName)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	m := &Manager{path: path, f: f, persisted: map[string]bool{}}
+	m := &Manager{path: path, fsys: fsys, f: f, persisted: map[string]bool{}}
 	hdr, err := json.Marshal(headerPayload{Type: "header", Version: formatVersion, Tool: key.Tool, Hash: key.Hash()})
 	if err != nil {
 		f.Close()
@@ -266,11 +283,22 @@ func Create(dir string, key CompatKey) (*Manager, error) {
 // into the snapshot, truncating a bad tail.
 func (m *Manager) replay(key CompatKey) error {
 	buf := make([]byte, len(magic))
-	if _, err := io.ReadFull(m.f, buf); err != nil || string(buf) != magic {
+	if _, err := m.f.ReadAt(buf, 0); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return &CorruptError{Path: m.path, Detail: "bad magic"}
+		}
+		// A device read error is not corruption: recreating over the
+		// journal would discard commit points that are probably intact.
+		return fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if string(buf) != magic {
 		return &CorruptError{Path: m.path, Detail: "bad magic"}
 	}
 	hdrPayload, _, err := readFrame(m.f, int64(len(magic)))
 	if err != nil {
+		if ioErr := readIOError(err); ioErr != nil {
+			return fmt.Errorf("checkpoint: reading header record: %w", ioErr)
+		}
 		return &CorruptError{Path: m.path, Detail: "unreadable header record"}
 	}
 	var hdr headerPayload
@@ -293,6 +321,12 @@ func (m *Manager) replay(key CompatKey) error {
 			break
 		}
 		if err != nil {
+			if ioErr := readIOError(err); ioErr != nil {
+				// A real read error (EIO, not a torn frame): truncating
+				// here could discard good durable records, so fail the
+				// open instead of "repairing".
+				return fmt.Errorf("checkpoint: reading record at offset %d: %w", offset, ioErr)
+			}
 			// Torn or corrupted tail: truncate back to the last good
 			// record (append must start from a trusted prefix) and stop
 			// trusting anything beyond it.
@@ -418,6 +452,9 @@ func (m *Manager) AppendIteration(rec IterationRecord) error {
 	if m.f == nil {
 		return nil
 	}
+	if m.degraded != nil {
+		return m.degraded
+	}
 	delta := make([]prover.CacheEntry, 0, 16)
 	for _, e := range rec.Cache {
 		if _, ok := m.persisted[e.Key]; !ok {
@@ -435,17 +472,29 @@ func (m *Manager) AppendIteration(rec IterationRecord) error {
 	m.commits++
 	crashHook(m.commits, m.f, payload)
 	if err := m.writeFrame(payload); err != nil {
-		m.lastErr = err
+		m.fail(err)
 		return err
 	}
 	if err := m.f.Sync(); err != nil {
-		m.lastErr = err
+		m.fail(err)
 		return err
 	}
 	for _, e := range delta {
 		m.persisted[e.Key] = e.Val
 	}
 	return nil
+}
+
+// fail records a frame-write or fsync failure. The journal tail is now
+// untrusted (a partial or unsynced frame may precede any new one), so
+// the degraded state is sticky: every later append fails fast with the
+// original error. Persistence stays best-effort — the verification run
+// continues and surfaces Err at exit; only durability is lost.
+func (m *Manager) fail(err error) {
+	m.lastErr = err
+	if m.degraded == nil {
+		m.degraded = err
+	}
 }
 
 // AppendFinal durably journals the run outcome (and the limit that
@@ -461,17 +510,20 @@ func (m *Manager) AppendFinal(outcome, limit string) error {
 	if m.f == nil {
 		return nil
 	}
+	if m.degraded != nil {
+		return m.degraded
+	}
 	payload, err := json.Marshal(finalPayload{Type: "final", Outcome: outcome, Limit: limit})
 	if err != nil {
 		m.lastErr = err
 		return err
 	}
 	if err := m.writeFrame(payload); err != nil {
-		m.lastErr = err
+		m.fail(err)
 		return err
 	}
 	if err := m.f.Sync(); err != nil {
-		m.lastErr = err
+		m.fail(err)
 		return err
 	}
 	return nil
@@ -488,7 +540,7 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	var err error
-	if !m.readOnly {
+	if !m.readOnly && m.degraded == nil {
 		err = m.f.Sync()
 	}
 	if cerr := m.f.Close(); err == nil {
@@ -501,6 +553,10 @@ func (m *Manager) Close() error {
 // frameOverhead is the per-record framing cost: u32 length + u32 CRC.
 const frameOverhead = 8
 
+// FrameOverhead is frameOverhead for store owners sizing their own
+// rotation/compaction targets (bytes per record = payload + overhead).
+const FrameOverhead = frameOverhead
+
 // writeFrame appends one length-prefixed, checksummed record. The
 // caller holds m.mu and syncs afterwards.
 func (m *Manager) writeFrame(payload []byte) error {
@@ -509,7 +565,7 @@ func (m *Manager) writeFrame(payload []byte) error {
 
 // appendFrame writes one length-prefixed, checksummed record at f's
 // current offset; shared by the journal and the generic Log.
-func appendFrame(f *os.File, payload []byte) error {
+func appendFrame(f File, payload []byte) error {
 	var hdr [frameOverhead]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -522,15 +578,40 @@ func appendFrame(f *os.File, payload []byte) error {
 	return nil
 }
 
+// readError marks a real device read failure (EIO), as opposed to the
+// structural torn-frame errors that replay repairs by truncation.
+// Truncating a log because the disk failed to *read* it would destroy
+// good durable records, so the two must never be conflated.
+type readError struct{ err error }
+
+func (e *readError) Error() string { return e.err.Error() }
+func (e *readError) Unwrap() error { return e.err }
+
+// readIOError returns the underlying device error when err is a real
+// read failure from readFrame, or nil for structural (torn/corrupt)
+// errors and io.EOF.
+func readIOError(err error) error {
+	var re *readError
+	if errors.As(err, &re) {
+		return re.err
+	}
+	return nil
+}
+
 // readFrame reads the record at offset, validating length and CRC. It
-// returns the payload and the total frame size. Any violation — short
-// header, oversized length, short payload, checksum mismatch — comes
-// back as a non-EOF error; a clean end-of-file is io.EOF.
-func readFrame(f *os.File, offset int64) (payload []byte, size int64, err error) {
+// returns the payload and the total frame size. A structural violation
+// — short header, oversized length, short payload, checksum mismatch —
+// comes back as a plain non-EOF error (a torn tail the caller may
+// repair); a device read failure comes back as a *readError (which the
+// caller must NOT repair by truncation); a clean end-of-file is io.EOF.
+func readFrame(f File, offset int64) (payload []byte, size int64, err error) {
 	var hdr [frameOverhead]byte
 	n, err := f.ReadAt(hdr[:], offset)
 	if n == 0 && err == io.EOF {
 		return nil, 0, io.EOF
+	}
+	if err != nil && err != io.EOF {
+		return nil, 0, &readError{err}
 	}
 	if n < frameOverhead {
 		return nil, 0, fmt.Errorf("torn record header")
@@ -542,6 +623,9 @@ func readFrame(f *os.File, offset int64) (payload []byte, size int64, err error)
 	}
 	payload = make([]byte, length)
 	if _, err := f.ReadAt(payload, offset+frameOverhead); err != nil {
+		if err != io.EOF && err != io.ErrUnexpectedEOF {
+			return nil, 0, &readError{err}
+		}
 		return nil, 0, fmt.Errorf("torn record payload")
 	}
 	if crc32.ChecksumIEEE(payload) != want {

@@ -26,7 +26,7 @@ const CrashEnv = "PREDABS_CRASH_COMMIT"
 // crashHook implements CrashEnv. Called with the commit ordinal and the
 // marshaled payload BEFORE the real frame is written; on a torn-mode
 // match it performs the partial write itself and then kills the process.
-func crashHook(commit int, f *os.File, payload []byte) {
+func crashHook(commit int, f File, payload []byte) {
 	v := os.Getenv(CrashEnv)
 	if v == "" {
 		return

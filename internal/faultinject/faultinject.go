@@ -59,7 +59,7 @@ type Config struct {
 	LatencyRate float64
 	// Latency is the injected delay for latency faults (default 50µs:
 	// enough to reorder goroutines, cheap enough for big matrices).
-	Latency time.Duration
+	Latency   time.Duration
 	PanicRate float64
 	// Ctx, when set, bounds latency injection: a cancelled run must not
 	// sit out the remaining sleep (a cancellation test at a high latency

@@ -38,6 +38,13 @@ type FleetEvent struct {
 	ExitCode int    `json:"exit_code,omitempty"`
 	Outcome  string `json:"outcome,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	// Dropped, on a verdict record, declares that ledger compaction
+	// elided this many intermediate records (dispatches, lease expiries,
+	// adoptions) before it: the verdict's Seq equals the seq it had in
+	// the uncompacted stream, so a client that already consumed through
+	// any elided seq resumes with ?after=N and observes the verdict with
+	// no duplicate — the gap is explicit, never silent.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // synthesizeEvents builds the per-job stream: the job's own admit
@@ -47,21 +54,31 @@ type FleetEvent struct {
 // further. The window excludes both earlier invalidated runs under the
 // same key and any replacement run created after this one failed, and
 // it lets a dedup join onto an already-completed run still observe the
-// verdict. Sequence numbers are densely renumbered per job.
+// verdict. Sequence numbers are densely renumbered per job; a snapshot
+// record (ledger compaction folded the run) advances the sequence by
+// its declared Dropped count before emitting, so the verdict keeps the
+// exact seq it had pre-compaction and ?after=N resumption stays
+// correct across a compaction.
 func synthesizeEvents(records []Record, admitSeq, runStart uint64, key string, after uint64) []any {
 	var out []any
 	var seq uint64
 	emit := func(rec Record) {
+		seq += rec.Dropped
 		seq++
 		if seq <= after {
 			return
 		}
+		typ := rec.Type
+		if typ == RecSnapshot {
+			typ = RecVerdict // clients see a verdict, with the gap declared
+		}
 		out = append(out, FleetEvent{
-			Seq: seq, TS: rec.TS, Type: rec.Type, Dedup: rec.Dedup,
+			Seq: seq, TS: rec.TS, Type: typ, Dedup: rec.Dedup,
 			Backend: rec.Backend, BackendID: rec.BackendID,
 			Dispatch: rec.Dispatch, Lease: rec.Lease,
 			State: rec.State, ExitCode: rec.ExitCode,
 			Outcome: rec.Outcome, Detail: rec.Detail,
+			Dropped: rec.Dropped,
 		})
 	}
 	for _, rec := range records {
@@ -75,7 +92,7 @@ func synthesizeEvents(records []Record, admitSeq, runStart uint64, key string, a
 			continue
 		}
 		emit(rec)
-		if rec.Type == RecVerdict {
+		if rec.Type == RecVerdict || rec.Type == RecSnapshot {
 			break
 		}
 	}
@@ -125,9 +142,17 @@ func validateFleetEvent(ev FleetEvent, prevSeq uint64, first, ended bool) error 
 	if ev.Seq == 0 {
 		return fmt.Errorf("missing or zero seq")
 	}
+	if ev.Dropped > 0 && ev.Type != RecVerdict {
+		return fmt.Errorf("%s record declaring dropped=%d: only a verdict may follow a compaction gap", ev.Type, ev.Dropped)
+	}
 	// A stream may start mid-log (?after=N), so the first seq is free;
-	// after that the sequence must stay dense.
-	if !first && ev.Seq != prevSeq+1 {
+	// after that the sequence must stay dense — except across a declared
+	// compaction gap, where the verdict's seq jumps by exactly the
+	// Dropped count it carries. Undeclared gaps stay violations.
+	if !first && ev.Seq != prevSeq+1+ev.Dropped {
+		if ev.Dropped > 0 {
+			return fmt.Errorf("seq %d after %d with dropped=%d: want seq %d", ev.Seq, prevSeq, ev.Dropped, prevSeq+1+ev.Dropped)
+		}
 		return fmt.Errorf("seq %d after %d: stream must be dense and strictly increasing", ev.Seq, prevSeq)
 	}
 	if ev.TS < 0 {

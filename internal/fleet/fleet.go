@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"predabs/internal/checkpoint"
 	"predabs/internal/metrics"
 	"predabs/internal/server"
 )
@@ -88,6 +89,13 @@ type Config struct {
 	// base URL, advertised to clients via /healthz and /statz so
 	// operators can point backend workers at the same tier. Optional.
 	CacheURL string
+	// FS is the filesystem the fleet ledger lives on (default: the real
+	// OS filesystem). Tests inject fault-injecting implementations.
+	FS checkpoint.FS
+	// LedgerSnapshotBytes, when > 0, folds terminal runs into snapshot
+	// records at restart replay once the ledger exceeds this size,
+	// bounding its growth. 0 disables compaction.
+	LedgerSnapshotBytes int64
 	// Metrics is the optional instrument registry (nil disables).
 	Metrics *metrics.Registry
 	// Logf receives operational log lines (default: discard).
@@ -194,13 +202,26 @@ func New(cfg Config) (*Frontend, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
-	led, st, err := openFleetLedger(cfg.DataDir)
+	led, st, err := openFleetLedger(cfg.FS, cfg.DataDir, cfg.LedgerSnapshotBytes)
 	if err != nil {
 		return nil, err
 	}
 	for _, w := range led.log.Warnings() {
 		cfg.Logf("fleet ledger: %s", w)
 	}
+	if led.compactions > 0 {
+		cfg.Logf("fleet ledger: compacted, reclaimed %d bytes", led.reclaimedBytes)
+	}
+	cfg.Metrics.GaugeFunc("fleet_ledger_log_bytes",
+		"Fleet ledger size on disk in bytes.", led.size)
+	cfg.Metrics.GaugeFunc("fleet_persistence_degraded",
+		"1 while the fleet ledger is persistence-degraded (appends failing); the frontend sheds new admissions but keeps serving.",
+		func() int64 {
+			if led.degradedErr() != nil {
+				return 1
+			}
+			return 0
+		})
 	f := &Frontend{
 		cfg:   cfg,
 		led:   led,
@@ -212,6 +233,8 @@ func New(cfg Config) (*Frontend, error) {
 		start: time.Now(),
 		met:   newFleetMetrics(cfg.Metrics),
 	}
+	f.met.ledgerCompactions.Add(led.compactions)
+	f.met.ledgerReclaimed.Add(led.reclaimedBytes)
 
 	// Rebuild runs from the replay, one per creating admit.
 	type pendingRun struct {
@@ -221,7 +244,7 @@ func New(cfg Config) (*Frontend, error) {
 	rebuilt := map[uint64]*run{}
 	var pending []pendingRun
 	for start, rr := range st.runs {
-		r := newRun(server.SpecHash(rr.spec), rr.spec)
+		r := newRun(rr.key, rr.spec)
 		r.dispatches = rr.dispatches
 		r.backend, r.backendID = rr.backend, rr.backendID
 		if rr.verdict != nil {
@@ -289,6 +312,14 @@ func (f *Frontend) Submit(spec server.JobSpec) (string, error) {
 	if f.draining.Load() {
 		return "", server.ErrDraining
 	}
+	if derr := f.led.degradedErr(); derr != nil {
+		// The ledger cannot make new admissions durable: shed them with
+		// Retry-After (503 at the API layer) rather than acknowledge a
+		// job a restart would forget. Already-admitted work keeps
+		// running; lookups keep serving.
+		f.met.shedDegraded.Inc()
+		return "", fmt.Errorf("%w: %v", server.ErrPersistDegraded, derr)
+	}
 	r, created := f.runs.admit(key, spec)
 	if created && len(f.queue) == cap(f.queue) {
 		// Shed BEFORE journaling: a refused job must leave no trace.
@@ -312,6 +343,11 @@ func (f *Frontend) Submit(spec server.JobSpec) (string, error) {
 			f.runs.mu.Unlock()
 		}
 		f.nextSeq--
+		if derr := f.led.degradedErr(); derr != nil {
+			// This append is the one that discovered the disk failure.
+			f.met.shedDegraded.Inc()
+			return "", fmt.Errorf("%w: %v", server.ErrPersistDegraded, derr)
+		}
 		return "", fmt.Errorf("fleet ledger: %w", err)
 	}
 	j := &fjob{id: id, key: key, dedup: !created, admitSeq: rec.Seq, run: r}
@@ -449,7 +485,9 @@ func (f *Frontend) Handler() http.Handler {
 		},
 		Healthz: func() map[string]any {
 			h := map[string]any{"status": "ok", "role": "frontend",
-				"uptime_s": int64(time.Since(f.start).Seconds())}
+				"uptime_s":             int64(time.Since(f.start).Seconds()),
+				"persistence_degraded": f.led.degradedErr() != nil,
+			}
 			if f.cfg.CacheURL != "" {
 				h["cache_url"] = f.cfg.CacheURL
 			}
@@ -472,12 +510,17 @@ func (f *Frontend) statz() map[string]any {
 		})
 	}
 	st := map[string]any{
-		"role":          "frontend",
-		"jobs":          jobs,
-		"dedup_entries": f.runs.size(),
-		"queue_depth":   len(f.queue),
-		"backends":      backends,
-		"uptime_s":      int64(time.Since(f.start).Seconds()),
+		"role":                 "frontend",
+		"jobs":                 jobs,
+		"dedup_entries":        f.runs.size(),
+		"queue_depth":          len(f.queue),
+		"backends":             backends,
+		"uptime_s":             int64(time.Since(f.start).Seconds()),
+		"ledger_log_bytes":     f.led.size(),
+		"persistence_degraded": f.led.degradedErr() != nil,
+	}
+	if derr := f.led.degradedErr(); derr != nil {
+		st["persistence_error"] = derr.Error()
 	}
 	if f.cfg.CacheURL != "" {
 		st["cache_url"] = f.cfg.CacheURL
@@ -491,13 +534,14 @@ func (f *Frontend) statz() map[string]any {
 func (f *Frontend) finishRun(r *run, state string, exit int, outcome, stdout, errmsg string) {
 	if _, err := f.led.append(Record{Type: RecVerdict, Key: r.key,
 		State: state, ExitCode: exit, Outcome: outcome, Stdout: stdout, Detail: errmsg}); err != nil {
-		// The ledger is unwritable: fail the run in memory with the
-		// diagnostic so waiters unblock, but never fabricate success.
-		f.cfg.Logf("fleet ledger: verdict append failed: %v", err)
-		if state == runDone {
-			state, exit, outcome, stdout = runFailed, 2, "unknown", ""
-			errmsg = fmt.Sprintf("fleet ledger: %v", err)
-		}
+		// The ledger is unwritable, so the verdict is not durable — but
+		// it is still the backend's real, sound answer: serve it from
+		// memory as-is. A restart replays the run as in-flight and
+		// re-runs the deterministic pipeline, which can only reproduce
+		// the same verdict; degrading it to "unknown" here would trade a
+		// correct answer for a weaker one with no soundness gain. New
+		// admissions are shed separately while the ledger is degraded.
+		f.cfg.Logf("fleet ledger: verdict append failed (serving verdict non-durably): %v", err)
 	}
 	f.runs.complete(r, state, exit, outcome, stdout, errmsg)
 	f.met.inflight.Dec()

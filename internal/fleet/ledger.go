@@ -53,6 +53,17 @@ const (
 	// verdict stays reusable for later identical submits; a failed one
 	// invalidates the dedup entry so the next submit runs fresh.
 	RecVerdict = "verdict"
+	// RecSnapshot: a compacted terminal run. Written only by the
+	// restart-time ledger fold (never by live appends): it replaces the
+	// run's dispatch/lease/adopt records plus its verdict with ONE
+	// record carrying the verdict payload, the original verdict's Seq
+	// and TS, and Dropped = how many intermediate records were elided —
+	// the explicit truncation declaration that keeps the synthesized
+	// per-job event streams resumable (see synthesizeEvents). The run's
+	// creating admit survives the fold with its Spec stripped (a
+	// terminal run is never re-dispatched), and dedup admits survive
+	// verbatim (they anchor the joined jobs' streams).
+	RecSnapshot = "snapshot"
 )
 
 // Record is one fleet ledger entry. Seq is assigned at append time and
@@ -82,12 +93,19 @@ type Record struct {
 	Dispatch int `json:"dispatch,omitempty"`
 	// Lease is "expired" on lease records.
 	Lease string `json:"lease,omitempty"`
-	// Verdict payload (verdict records).
+	// Verdict payload (verdict and snapshot records).
 	State    string `json:"state,omitempty"`
 	ExitCode int    `json:"exit_code,omitempty"`
 	Outcome  string `json:"outcome,omitempty"`
 	Stdout   string `json:"stdout,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	// Dropped (snapshot records) counts the dispatch/lease/adopt
+	// records the compaction elided between the run's creating admit
+	// and its verdict. Event synthesis advances the per-job sequence by
+	// Dropped before emitting the verdict, so a client resuming with
+	// ?after=N lands exactly where the uncompacted stream would have
+	// put it.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // CrashEnv names the test-only environment variable that SIGKILLs the
@@ -108,18 +126,24 @@ type fleetLedger struct {
 	seq     uint64
 	records []Record // every durable record, replayed + appended
 
+	compactions    int64 // restart-time snapshot folds performed (0 or 1)
+	reclaimedBytes int64 // bytes reclaimed by the fold
+
 	crashType  string // CrashEnv hook
 	crashAfter int
 	crashSeen  int
 }
 
-// replayRun is one content-addressed run folded out of the ledger.
+// replayRun is one content-addressed run folded out of the ledger. spec
+// is zero for a compacted terminal run (its creating admit was stripped
+// — the run will never be re-dispatched); key is always present.
 type replayRun struct {
+	key        string
 	spec       server.JobSpec
 	dispatches int
 	backend    string // last dispatch/adopt target; "" after lease expiry
 	backendID  string
-	verdict    *Record // terminal verdict, nil while in flight
+	verdict    *Record // terminal verdict or snapshot, nil while in flight
 }
 
 // replayJob is one admitted frontend job in admit order. admitSeq is
@@ -147,8 +171,15 @@ type replayState struct {
 // openFleetLedger opens (or creates) dir's fleet ledger, folding every
 // durable record into the returned replay state. A bad-magic file is a
 // *checkpoint.CorruptError surfaced to the caller; a torn tail is
-// truncated by checkpoint.OpenLog with a warning.
-func openFleetLedger(dir string) (*fleetLedger, *replayState, error) {
+// truncated by checkpoint.OpenLog with a warning; a device read error
+// fails the open (never truncates good records).
+//
+// When snapshotBytes > 0 and the replayed log exceeds it, terminal runs
+// are folded in place: each keeps its admits (creating admit stripped
+// of its spec) plus one RecSnapshot record, while in-flight runs keep
+// every record verbatim. The rewrite lands under an atomic rename; on
+// any rewrite failure the full log is kept and served unchanged.
+func openFleetLedger(fsys checkpoint.FS, dir string, snapshotBytes int64) (*fleetLedger, *replayState, error) {
 	l := &fleetLedger{}
 	if v := os.Getenv(CrashEnv); v != "" {
 		typ, n, ok := strings.Cut(v, ":")
@@ -161,34 +192,136 @@ func openFleetLedger(dir string) (*fleetLedger, *replayState, error) {
 		}
 		l.crashType, l.crashAfter = typ, after
 	}
+	path := filepath.Join(dir, LedgerName)
+	log, seq, records, st, err := replayFleetLedger(fsys, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snapshotBytes > 0 && log.Size() > snapshotBytes {
+		if frames, elided := compactFleetFrames(records, st); elided > 0 {
+			before := log.Size()
+			if cerr := log.Close(); cerr != nil {
+				return nil, nil, cerr
+			}
+			if rerr := checkpoint.RewriteLog(fsys, path, fleetMagic, frames); rerr != nil {
+				// Compaction is an optimization; the full log is still the
+				// truth. Reopen it and keep serving.
+				log, seq, records, st, err = replayFleetLedger(fsys, path)
+				if err != nil {
+					return nil, nil, fmt.Errorf("fleet ledger: reopen after failed compaction (%v): %w", rerr, err)
+				}
+			} else {
+				log, seq, records, st, err = replayFleetLedger(fsys, path)
+				if err != nil {
+					return nil, nil, err
+				}
+				l.compactions = 1
+				l.reclaimedBytes = before - log.Size()
+			}
+		}
+	}
+	l.log, l.seq, l.records = log, seq, records
+	return l, st, nil
+}
+
+// replayFleetLedger opens path and folds every durable record.
+func replayFleetLedger(fsys checkpoint.FS, path string) (*checkpoint.Log, uint64, []Record, *replayState, error) {
+	var seq uint64
+	var records []Record
 	st := &replayState{runs: map[uint64]*replayRun{}, runStart: map[string]uint64{}}
-	log, err := checkpoint.OpenLog(filepath.Join(dir, LedgerName), fleetMagic,
+	log, err := checkpoint.OpenLogFS(fsys, path, fleetMagic,
 		func(payload []byte) {
 			var rec Record
 			if json.Unmarshal(payload, &rec) != nil {
 				return
 			}
-			if rec.Seq > l.seq {
-				l.seq = rec.Seq
+			if rec.Seq > seq {
+				seq = rec.Seq
 			}
-			l.records = append(l.records, rec)
+			records = append(records, rec)
 			st.fold(rec)
 		})
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, nil, err
 	}
-	l.log = log
-	return l, st, nil
+	return log, seq, records, st, nil
+}
+
+// compactFleetFrames rebuilds the ledger's frame list with every
+// terminal run folded: its creating admit kept spec-less, its dedup
+// admits kept verbatim, its dispatch/lease/adopt records elided, and
+// its verdict replaced by a RecSnapshot declaring the elision. Records
+// of in-flight runs — and any record the fold could not attribute —
+// survive byte-identically. Global sequence numbers are preserved (the
+// compacted log has declared gaps, never renumbering), so restarts
+// continue the sequence and synthesized event streams keep their
+// pre-compaction numbering. Returns the frames and how many records
+// were elided or shrunk; 0 means compaction would not reclaim anything.
+func compactFleetFrames(records []Record, st *replayState) ([][]byte, int) {
+	terminal := map[uint64]bool{}
+	for start, rr := range st.runs {
+		if rr.verdict != nil {
+			terminal[start] = true
+		}
+	}
+	cur := map[string]uint64{}     // key -> creating admit seq at this point in the log
+	dropped := map[uint64]uint64{} // creating admit seq -> elided record count
+	var frames [][]byte
+	elided := 0
+	appendRec := func(rec Record) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return // unmarshalable records were skipped at replay too
+		}
+		frames = append(frames, payload)
+	}
+	for _, rec := range records {
+		switch rec.Type {
+		case RecAdmit:
+			if !rec.Dedup {
+				cur[rec.Key] = rec.Seq
+				if terminal[rec.Seq] && rec.Spec != nil {
+					rec.Spec = nil // a terminal run is never re-dispatched
+					elided++
+				}
+			}
+			appendRec(rec)
+		case RecDispatch, RecLease, RecAdopt:
+			start := cur[rec.Key]
+			if terminal[start] {
+				dropped[start]++
+				elided++
+				continue
+			}
+			appendRec(rec)
+		case RecVerdict:
+			if start := cur[rec.Key]; terminal[start] && dropped[start] > 0 {
+				rec.Type = RecSnapshot
+				rec.Dropped = dropped[start]
+			}
+			appendRec(rec)
+		default: // RecSnapshot from an earlier fold, or future types: keep
+			appendRec(rec)
+		}
+	}
+	return frames, elided
 }
 
 // fold applies one replayed record to the state.
 func (st *replayState) fold(rec Record) {
 	switch rec.Type {
 	case RecAdmit:
-		if !rec.Dedup && rec.Spec != nil {
+		if !rec.Dedup && rec.Key != "" {
 			// The creating admit (re)starts the key's run: a fresh spec
-			// after a failed verdict replaces the invalidated entry.
-			st.runs[rec.Seq] = &replayRun{spec: *rec.Spec}
+			// after a failed verdict replaces the invalidated entry. A
+			// spec-less creating admit is a compacted terminal run (its
+			// snapshot record follows); the run keeps a zero spec, which
+			// is safe because it is never re-dispatched.
+			r := &replayRun{key: rec.Key}
+			if rec.Spec != nil {
+				r.spec = *rec.Spec
+			}
+			st.runs[rec.Seq] = r
 			st.runStart[rec.Key] = rec.Seq
 		}
 		st.jobs = append(st.jobs, replayJob{id: rec.Job, key: rec.Key, dedup: rec.Dedup,
@@ -206,7 +339,7 @@ func (st *replayState) fold(rec Record) {
 		if r := st.live(rec.Key); r != nil {
 			r.backend, r.backendID = "", ""
 		}
-	case RecVerdict:
+	case RecVerdict, RecSnapshot:
 		if r := st.live(rec.Key); r != nil {
 			rec := rec
 			r.verdict = &rec
@@ -255,6 +388,23 @@ func (l *fleetLedger) snapshot() []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.records[:len(l.records):len(l.records)]
+}
+
+// size reports the ledger's on-disk byte size (metrics/statz).
+func (l *fleetLedger) size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.log.Size()
+}
+
+// degradedErr reports the sticky persistence failure poisoning the
+// ledger, nil while healthy. Once set, every future append fails fast
+// with the same error; the frontend sheds new admissions but keeps
+// serving lookups and in-flight runs from memory.
+func (l *fleetLedger) degradedErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.log.Err()
 }
 
 func (l *fleetLedger) close() error {

@@ -17,6 +17,10 @@ type fleetMetrics struct {
 	adopted   *metrics.Counter // backend jobs re-adopted after a restart
 	expired   *metrics.Counter // leases declared expired (failovers)
 
+	shedDegraded      *metrics.Counter // admissions refused while persistence-degraded
+	ledgerCompactions *metrics.Counter // restart-time ledger snapshot folds
+	ledgerReclaimed   *metrics.Counter // bytes reclaimed by ledger folds
+
 	dispatches  *metrics.CounterVec // fleet_backend_dispatch_total{backend}
 	errors      *metrics.CounterVec // fleet_backend_errors_total{backend}
 	backendShed *metrics.CounterVec // fleet_backend_shed_total{backend}
@@ -41,6 +45,13 @@ func newFleetMetrics(r *metrics.Registry) fleetMetrics {
 		failed:    r.Counter("fleet_runs_failed_total", "Runs failed after exhausting the dispatch budget."),
 		adopted:   r.Counter("fleet_jobs_adopted_total", "Backend jobs re-adopted after a frontend restart."),
 		expired:   r.Counter("fleet_leases_expired_total", "Backend leases declared expired (failovers)."),
+
+		shedDegraded: r.Counter("fleet_jobs_shed_degraded_total",
+			"Admissions refused while the fleet ledger is persistence-degraded."),
+		ledgerCompactions: r.Counter("fleet_ledger_compactions_total",
+			"Fleet ledger snapshot folds performed at restart replay."),
+		ledgerReclaimed: r.Counter("fleet_ledger_compaction_reclaimed_bytes_total",
+			"Fleet ledger bytes reclaimed by snapshot folds."),
 
 		dispatches:  r.CounterVec("fleet_backend_dispatch_total", "Dispatches per backend.", "backend"),
 		errors:      r.CounterVec("fleet_backend_errors_total", "Transport errors per backend.", "backend"),

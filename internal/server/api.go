@@ -108,6 +108,11 @@ func APIHandler(api JobAPI, x APIExtras) http.Handler {
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "queue full"})
+		case errors.Is(err, ErrPersistDegraded):
+			// A full or failing disk does not clear in a second the way a
+			// queue drains: tell clients to come back on an ops timescale.
+			w.Header().Set("Retry-After", "30")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 		case errors.Is(err, ErrDraining):
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
 		default:

@@ -35,6 +35,16 @@ const (
 	EventKill     = "kill"     // worker SIGKILLed on the attempt deadline
 	EventAdopt    = "adopt"    // orphaned complete result adopted
 	EventProgress = "progress" // CEGAR iteration heartbeat from the worker
+	// EventTruncate is the retention-rotation marker: events with
+	// sequence numbers <= Seq were discarded when the log outgrew its
+	// byte cap (Dropped counts them). It is always the log's first
+	// record, its Seq immediately precedes the oldest retained event,
+	// and the retained stream stays dense after it — which is what keeps
+	// the resumable ?after=N contract intact across rotations: a client
+	// whose cursor is at or past the marker sees no difference at all,
+	// and one whose cursor predates it receives the marker as explicit
+	// notice instead of a silent gap.
+	EventTruncate = "truncate"
 )
 
 // JobEvent is one record of a job's durable event log, exposed to
@@ -58,6 +68,10 @@ type JobEvent struct {
 	Preds   int    `json:"preds,omitempty"`
 	Queries int64  `json:"queries,omitempty"`
 	Engine  string `json:"engine,omitempty"`
+
+	// Dropped (type "truncate") counts the events discarded by log
+	// rotation; sequences are dense from 1, so it always equals Seq.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // appendJobEvent durably appends ev to dir's event log, assigning the
@@ -69,30 +83,98 @@ type JobEvent struct {
 // or CEGAR iteration — noise next to the checkpoint commit each
 // iteration already pays.
 func appendJobEvent(dir string, ev JobEvent) (uint64, error) {
+	return appendJobEventFS(nil, dir, 0, ev)
+}
+
+// eventFrame pairs a retained event's sequence with its raw payload,
+// so rotation rewrites the kept suffix byte-identically.
+type eventFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+// appendJobEventFS is appendJobEvent over an explicit filesystem seam
+// (nil = the real filesystem) with an optional retention cap: when
+// maxBytes > 0 and the log exceeds it after the append, the oldest
+// events rotate out behind an EventTruncate marker (see rotateEvents).
+func appendJobEventFS(fsys checkpoint.FS, dir string, maxBytes int64, ev JobEvent) (uint64, error) {
 	var last uint64
-	log, err := checkpoint.OpenLog(filepath.Join(dir, EventsName), eventsMagic,
+	var kept []eventFrame
+	path := filepath.Join(dir, EventsName)
+	log, err := checkpoint.OpenLogFS(fsys, path, eventsMagic,
 		func(payload []byte) {
 			var e JobEvent
-			if json.Unmarshal(payload, &e) == nil && e.Seq > last {
-				last = e.Seq
+			if json.Unmarshal(payload, &e) == nil {
+				if e.Seq > last {
+					last = e.Seq
+				}
+				// Rotation rewrites retained events verbatim; an old
+				// truncate marker is superseded by the new one.
+				if maxBytes > 0 && e.Type != EventTruncate {
+					kept = append(kept, eventFrame{e.Seq, append([]byte(nil), payload...)})
+				}
 			}
 		})
 	if err != nil {
 		return 0, err
 	}
-	defer log.Close()
 	ev.Seq = last + 1
 	if ev.TS == 0 {
 		ev.TS = time.Now().UnixNano()
 	}
 	payload, err := json.Marshal(ev)
 	if err != nil {
+		log.Close()
 		return 0, err
 	}
 	if err := log.Append(payload); err != nil {
+		log.Close()
 		return 0, err
 	}
+	over := maxBytes > 0 && log.Size() > maxBytes
+	log.Close()
+	if over {
+		// Best-effort: the append above is already durable, so a failed
+		// rotation only means the log stays big until the next try.
+		rotateEvents(fsys, path, maxBytes, append(kept, eventFrame{ev.Seq, payload}))
+	}
 	return ev.Seq, nil
+}
+
+// rotateEvents rewrites the event log down to roughly half its byte cap
+// by keeping the newest events (always at least the latest one) behind
+// an EventTruncate marker whose Seq/Dropped name the last discarded
+// sequence. RewriteLog's rename is the commit point: a crash or fault
+// mid-rotation leaves the previous generation intact.
+func rotateEvents(fsys checkpoint.FS, path string, maxBytes int64, events []eventFrame) {
+	target := maxBytes / 2
+	keep := len(events) - 1 // always retain the newest event
+	size := int64(len(events[keep].payload)) + checkpoint.FrameOverhead
+	for keep > 0 {
+		next := int64(len(events[keep-1].payload)) + checkpoint.FrameOverhead
+		if size+next > target {
+			break
+		}
+		size += next
+		keep--
+	}
+	if keep == 0 {
+		return // nothing to drop (one oversized event); the cap is advisory
+	}
+	lastDropped := events[keep-1].seq
+	marker, err := json.Marshal(JobEvent{
+		Seq: lastDropped, TS: time.Now().UnixNano(),
+		Type: EventTruncate, Dropped: lastDropped,
+	})
+	if err != nil {
+		return
+	}
+	frames := make([][]byte, 0, len(events)-keep+1)
+	frames = append(frames, marker)
+	for _, e := range events[keep:] {
+		frames = append(frames, e.payload)
+	}
+	checkpoint.RewriteLog(fsys, path, eventsMagic, frames)
 }
 
 // readJobEvents returns dir's events with Seq > after, in append order,
@@ -161,7 +243,10 @@ func validateEvent(ev JobEvent, prevSeq uint64, first bool) error {
 	}
 	// A stream may start mid-log (?after=N), so the first seq is free;
 	// after that the sequence must stay dense — a jump is a lost record,
-	// a repeat a duplicated one.
+	// a repeat a duplicated one. A truncation marker does not bend this
+	// rule: its Seq is the last discarded sequence, so the oldest
+	// retained event is exactly Seq+1 and the stream reads dense across
+	// the marker.
 	if !first && ev.Seq != prevSeq+1 {
 		return fmt.Errorf("seq %d after %d: stream must be dense and strictly increasing", ev.Seq, prevSeq)
 	}
@@ -182,6 +267,18 @@ func validateEvent(ev JobEvent, prevSeq uint64, first bool) error {
 		}
 	case EventAdopt:
 		// No payload requirements.
+	case EventTruncate:
+		// Rotation markers only ever open a stream: the rewrite puts the
+		// marker first, and a resumed cursor past it never sees one.
+		if !first {
+			return fmt.Errorf("truncate marker mid-stream (seq %d after %d)", ev.Seq, prevSeq)
+		}
+		if ev.Dropped < 1 {
+			return fmt.Errorf("truncate marker without a positive dropped count")
+		}
+		if ev.Dropped != ev.Seq {
+			return fmt.Errorf("truncate marker dropped %d != seq %d (sequences are dense from 1)", ev.Dropped, ev.Seq)
+		}
 	case EventProgress:
 		if ev.Iter < 1 {
 			return fmt.Errorf("progress event without a positive iter")

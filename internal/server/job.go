@@ -180,6 +180,10 @@ const (
 	// tier in verify mode: sampled remote hits are recomputed locally
 	// and any mismatch quarantines the tier for the run.
 	CacheVerifyEnv = "PREDABSD_CACHE_VERIFY"
+	// EventsMaxEnv carries the daemon's -events-max-bytes retention cap
+	// into the worker, whose progress heartbeats append to the same
+	// event log the supervisor rotates.
+	EventsMaxEnv = "PREDABSD_EVENTS_MAX_BYTES"
 )
 
 // HangEnv names the test-only environment variable that wedges a
@@ -225,8 +229,9 @@ func RunWorker(dir string, stderr io.Writer) int {
 	// worker runs. Append failures are diagnostics, never run failures.
 	var progress func(iter, preds int, queries int64, engine string)
 	if attempt, _ := strconv.Atoi(os.Getenv(AttemptEnv)); attempt > 0 {
+		eventsMax, _ := strconv.ParseInt(os.Getenv(EventsMaxEnv), 10, 64)
 		progress = func(iter, preds int, queries int64, engine string) {
-			_, err := appendJobEvent(dir, JobEvent{
+			_, err := appendJobEventFS(nil, dir, eventsMax, JobEvent{
 				Type: EventProgress, Attempt: attempt,
 				Iter: iter, Preds: preds, Queries: queries, Engine: engine,
 			})
@@ -286,11 +291,12 @@ func writeFileAtomic(path string, v any) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// readResult loads a complete worker result for spec from the job
-// directory; ok is false when no readable result exists or the result's
-// spec hash does not match — a stale file left by a previous occupant
-// of a recycled job directory is treated as no result at all.
-func readResult(dir string, spec JobSpec) (WorkerResult, bool) {
+// readResult loads a complete worker result bound to the given spec
+// hash from the job directory; ok is false when no readable result
+// exists or the result's spec hash does not match — a stale file left
+// by a previous occupant of a recycled job directory is treated as no
+// result at all.
+func readResult(dir string, hash string) (WorkerResult, bool) {
 	raw, err := os.ReadFile(filepath.Join(dir, resultFile))
 	if err != nil {
 		return WorkerResult{}, false
@@ -299,7 +305,7 @@ func readResult(dir string, spec JobSpec) (WorkerResult, bool) {
 	if err := json.Unmarshal(raw, &res); err != nil {
 		return WorkerResult{}, false
 	}
-	if res.SpecHash != SpecHash(spec) {
+	if res.SpecHash != hash {
 		return WorkerResult{}, false
 	}
 	return res, true

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,21 +26,45 @@ const LedgerName = "ledger.predabs"
 // persistent attempt count so the retry budget is honoured across
 // restarts; "preempt" refunds an attempt whose worker the daemon itself
 // SIGKILLed during shutdown (the attempt never got to finish, so it
-// must not burn retry budget); "done" is terminal.
+// must not burn retry budget); "done" is terminal; "snapshot" is the
+// compaction record a restart writes when the ledger outgrows its size
+// threshold — every terminal job folded into one record, keeping the
+// spec hash (the identity the status API and result binding need) but
+// not the spec text, which is what bounds the fold's size.
 type ledgerRecord struct {
-	Type    string   `json:"type"` // "admit" | "attempt" | "preempt" | "done"
-	ID      string   `json:"id"`
+	Type    string   `json:"type"` // "admit" | "attempt" | "preempt" | "done" | "snapshot"
+	ID      string   `json:"id,omitempty"`
 	Spec    *JobSpec `json:"spec,omitempty"`    // admit
 	Attempt int      `json:"attempt,omitempty"` // attempt, preempt
 	State   string   `json:"state,omitempty"`   // done: StateDone | StateFailed
 	Exit    int      `json:"exit,omitempty"`    // done
 	Outcome string   `json:"outcome,omitempty"` // done
 	Detail  string   `json:"detail,omitempty"`  // done (failure reason)
+
+	// Jobs is the snapshot payload: every terminal job at fold time, in
+	// admission order.
+	Jobs []snapshotJob `json:"jobs,omitempty"`
 }
 
-// replayedJob is one job's folded ledger state after replay.
+// snapshotJob is one terminal job folded into a snapshot record: the
+// durable verdict plus the spec hash standing in for the spec text.
+type snapshotJob struct {
+	ID       string `json:"id"`
+	Hash     string `json:"hash"`
+	Attempts int    `json:"attempts,omitempty"`
+	State    string `json:"state"`
+	Exit     int    `json:"exit,omitempty"`
+	Outcome  string `json:"outcome,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// replayedJob is one job's folded ledger state after replay. A job
+// replayed from a snapshot record has hash but a zero spec; only
+// terminal jobs are ever snapshot, so every resumable job keeps its
+// full spec.
 type replayedJob struct {
 	spec     JobSpec
+	hash     string
 	attempts int
 	done     bool
 	state    string
@@ -57,49 +82,161 @@ var errLedgerClosed = errors.New("ledger closed")
 type ledger struct {
 	mu  sync.Mutex
 	log *checkpoint.Log
+
+	// Compaction stats from open (immutable afterwards).
+	compactions    int64
+	reclaimedBytes int64
 }
 
-// openLedger opens (or creates) the ledger at path and folds its
-// records into per-job state, returned with admission order preserved.
-// A ledger whose magic cannot be validated is reported via
-// *checkpoint.CorruptError so the caller can quarantine it.
-func openLedger(path string) (l *ledger, jobs map[string]*replayedJob, order []string, warnings []string, err error) {
+// foldLedgerRecord applies one replayed record to the per-job state.
+// It returns the number of per-job records a future snapshot fold would
+// elide for this record (1 for the per-job types, 0 for snapshot).
+func foldLedgerRecord(jobs map[string]*replayedJob, order *[]string, rec ledgerRecord) int {
+	switch rec.Type {
+	case "admit":
+		if rec.ID == "" || rec.Spec == nil {
+			return 0
+		}
+		if _, ok := jobs[rec.ID]; !ok {
+			*order = append(*order, rec.ID)
+		}
+		jobs[rec.ID] = &replayedJob{spec: *rec.Spec, hash: SpecHash(*rec.Spec)}
+		return 1
+	case "attempt":
+		if j, ok := jobs[rec.ID]; ok && rec.Attempt > j.attempts {
+			j.attempts = rec.Attempt
+		}
+		return 1
+	case "preempt":
+		if j, ok := jobs[rec.ID]; ok && rec.Attempt == j.attempts {
+			j.attempts--
+		}
+		return 1
+	case "done":
+		if j, ok := jobs[rec.ID]; ok {
+			j.done = true
+			j.state, j.exit, j.outcome, j.detail = rec.State, rec.Exit, rec.Outcome, rec.Detail
+		}
+		return 1
+	case "snapshot":
+		for _, sj := range rec.Jobs {
+			if sj.ID == "" {
+				continue
+			}
+			if _, ok := jobs[sj.ID]; !ok {
+				*order = append(*order, sj.ID)
+			}
+			jobs[sj.ID] = &replayedJob{
+				hash: sj.Hash, attempts: sj.Attempts, done: true,
+				state: sj.State, exit: sj.Exit, outcome: sj.Outcome, detail: sj.Detail,
+			}
+		}
+	}
+	return 0
+}
+
+// replayLedger opens the log at path and folds it; recs counts the
+// per-job records each job contributed (what a snapshot would elide).
+func replayLedger(fsys checkpoint.FS, path string) (log *checkpoint.Log, jobs map[string]*replayedJob, order []string, recs map[string]int, err error) {
 	jobs = map[string]*replayedJob{}
-	log, err := checkpoint.OpenLog(path, ledgerMagic, func(payload []byte) {
+	recs = map[string]int{}
+	log, err = checkpoint.OpenLogFS(fsys, path, ledgerMagic, func(payload []byte) {
 		var rec ledgerRecord
-		if json.Unmarshal(payload, &rec) != nil || rec.ID == "" {
+		if json.Unmarshal(payload, &rec) != nil {
 			// An unknown or damaged-but-CRC-valid record cannot happen
 			// short of a format bug; skipping is the conservative move.
 			return
 		}
-		switch rec.Type {
-		case "admit":
-			if rec.Spec == nil {
-				return
-			}
-			if _, ok := jobs[rec.ID]; !ok {
-				order = append(order, rec.ID)
-			}
-			jobs[rec.ID] = &replayedJob{spec: *rec.Spec}
-		case "attempt":
-			if j, ok := jobs[rec.ID]; ok && rec.Attempt > j.attempts {
-				j.attempts = rec.Attempt
-			}
-		case "preempt":
-			if j, ok := jobs[rec.ID]; ok && rec.Attempt == j.attempts {
-				j.attempts--
-			}
-		case "done":
-			if j, ok := jobs[rec.ID]; ok {
-				j.done = true
-				j.state, j.exit, j.outcome, j.detail = rec.State, rec.Exit, rec.Outcome, rec.Detail
-			}
-		}
+		recs[rec.ID] += foldLedgerRecord(jobs, &order, rec)
 	})
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	return &ledger{log: log}, jobs, order, log.Warnings(), nil
+	return log, jobs, order, recs, nil
+}
+
+// compactFrames builds the new-generation ledger: one snapshot record
+// folding every terminal job, then each live job's admit (full spec)
+// and attempt count, all in admission order.
+func compactFrames(jobs map[string]*replayedJob, order []string) ([][]byte, error) {
+	snap := ledgerRecord{Type: "snapshot"}
+	var live []ledgerRecord
+	for _, id := range order {
+		j := jobs[id]
+		if j == nil {
+			continue
+		}
+		if j.done {
+			snap.Jobs = append(snap.Jobs, snapshotJob{
+				ID: id, Hash: j.hash, Attempts: j.attempts,
+				State: j.state, Exit: j.exit, Outcome: j.outcome, Detail: j.detail,
+			})
+			continue
+		}
+		spec := j.spec
+		live = append(live, ledgerRecord{Type: "admit", ID: id, Spec: &spec})
+		if j.attempts > 0 {
+			live = append(live, ledgerRecord{Type: "attempt", ID: id, Attempt: j.attempts})
+		}
+	}
+	frames := make([][]byte, 0, len(live)+1)
+	for _, rec := range append([]ledgerRecord{snap}, live...) {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, payload)
+	}
+	return frames, nil
+}
+
+// openLedger opens (or creates) the ledger at path and folds its
+// records into per-job state, returned with admission order preserved.
+// When snapshotBytes > 0 and the replayed log is larger, terminal jobs
+// are folded into one snapshot record and the log atomically rewritten
+// (RewriteLog's rename commit point), then re-replayed — a failed
+// rewrite keeps the full log with a warning, never the reverse. A
+// ledger whose magic cannot be validated is reported via
+// *checkpoint.CorruptError so the caller can quarantine it.
+func openLedger(fsys checkpoint.FS, path string, snapshotBytes int64) (l *ledger, jobs map[string]*replayedJob, order []string, warnings []string, err error) {
+	log, jobs, order, recs, err := replayLedger(fsys, path)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	warnings = log.Warnings()
+	l = &ledger{log: log}
+	foldable := 0
+	for id, j := range jobs {
+		if j.done {
+			foldable += recs[id]
+		}
+	}
+	if snapshotBytes > 0 && log.Size() > snapshotBytes && foldable > 0 {
+		frames, ferr := compactFrames(jobs, order)
+		oldSize := log.Size()
+		if ferr == nil {
+			log.Close()
+			if rerr := checkpoint.RewriteLog(fsys, path, ledgerMagic, frames); rerr != nil {
+				warnings = append(warnings,
+					fmt.Sprintf("ledger snapshot fold failed (keeping full log): %v", rerr))
+			}
+			// Re-replay whichever generation the rename left behind: the
+			// folded one on success, the intact original on failure.
+			log, jobs, order, _, err = replayLedger(fsys, path)
+			if err != nil {
+				return nil, nil, nil, nil, err
+			}
+			warnings = append(warnings, log.Warnings()...)
+			l.log = log
+			if reclaimed := oldSize - log.Size(); reclaimed > 0 {
+				l.compactions = 1
+				l.reclaimedBytes = reclaimed
+				warnings = append(warnings,
+					fmt.Sprintf("ledger snapshot fold reclaimed %d bytes (%d -> %d)", reclaimed, oldSize, log.Size()))
+			}
+		}
+	}
+	return l, jobs, order, warnings, nil
 }
 
 func (l *ledger) append(rec ledgerRecord) error {
@@ -129,6 +266,21 @@ func (l *ledger) preempt(id string, n int) error {
 
 func (l *ledger) done(id, state string, exit int, outcome, detail string) error {
 	return l.append(ledgerRecord{Type: "done", ID: id, State: state, Exit: exit, Outcome: outcome, Detail: detail})
+}
+
+// size returns the ledger log's trusted on-disk bytes (0 once closed).
+func (l *ledger) size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.log.Size()
+}
+
+// degradedErr returns the sticky append/sync failure that put the
+// ledger in persistence-degraded state, or nil.
+func (l *ledger) degradedErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.log.Err()
 }
 
 func (l *ledger) close() error {

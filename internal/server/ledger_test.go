@@ -13,7 +13,7 @@ import (
 
 func TestLedgerReplayFolding(t *testing.T) {
 	path := filepath.Join(t.TempDir(), LedgerName)
-	l, jobs, _, _, err := openLedger(path)
+	l, jobs, _, _, err := openLedger(nil, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestLedgerReplayFolding(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	l2, jobs, order, warnings, err := openLedger(path)
+	l2, jobs, order, warnings, err := openLedger(nil, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestAdoptionOfOrphanedResult(t *testing.T) {
 	if err := writeFileAtomic(filepath.Join(jobDir, resultFile), orphan); err != nil {
 		t.Fatal(err)
 	}
-	l, _, _, _, err := openLedger(filepath.Join(dir, LedgerName))
+	l, _, _, _, err := openLedger(nil, filepath.Join(dir, LedgerName), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestStaleResultFromRecycledJobIDNotAdopted(t *testing.T) {
 	}
 	// A fresh ledger (the quarantine aftermath) admits an unrelated spec
 	// under the recycled ID.
-	l, _, _, _, err := openLedger(filepath.Join(dir, LedgerName))
+	l, _, _, _, err := openLedger(nil, filepath.Join(dir, LedgerName), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +272,7 @@ func TestNextJobSeqBeyondSixDigits(t *testing.T) {
 // SIGKILLed during a drain does not burn retry budget.
 func TestLedgerPreemptRefundsAttempt(t *testing.T) {
 	path := filepath.Join(t.TempDir(), LedgerName)
-	l, _, _, _, err := openLedger(path)
+	l, _, _, _, err := openLedger(nil, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestLedgerPreemptRefundsAttempt(t *testing.T) {
 	if err := l.close(); err != nil {
 		t.Fatal(err)
 	}
-	l2, jobs, order, _, err := openLedger(path)
+	l2, jobs, order, _, err := openLedger(nil, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

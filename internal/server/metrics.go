@@ -12,6 +12,8 @@ type serverMetrics struct {
 	submitted, shed, completed, failed *metrics.Counter
 	retries, kills, resumed, adopted   *metrics.Counter
 	backoffSleeps                      *metrics.Counter
+	shedDegraded                       *metrics.Counter
+	ledgerCompactions, ledgerReclaimed *metrics.Counter
 
 	verdictVerified, verdictErrorFound, verdictUnknown *metrics.Counter
 
@@ -19,9 +21,9 @@ type serverMetrics struct {
 
 	attemptSeconds, backoffSeconds *metrics.Histogram
 
-	runIterations, runPredicates     *metrics.Counter
-	runProverCalls, runCacheHits     *metrics.Counter
-	runSessions, runSessionChecks    *metrics.Counter
+	runIterations, runPredicates  *metrics.Counter
+	runProverCalls, runCacheHits  *metrics.Counter
+	runSessions, runSessionChecks *metrics.Counter
 }
 
 // newServerMetrics registers the daemon's metric families on reg (nil
@@ -38,6 +40,12 @@ func newServerMetrics(reg *metrics.Registry) serverMetrics {
 		adopted:   reg.Counter("predabsd_results_adopted_total", "Orphaned complete results adopted at supervise."),
 		backoffSleeps: reg.Counter("predabsd_backoff_sleeps_total",
 			"Retry backoff sleeps entered between attempts."),
+		shedDegraded: reg.Counter("predabsd_jobs_shed_degraded_total",
+			"Submissions refused while the ledger is persistence-degraded."),
+		ledgerCompactions: reg.Counter("predabsd_ledger_compactions_total",
+			"Ledger snapshot folds performed at restart replay."),
+		ledgerReclaimed: reg.Counter("predabsd_ledger_compaction_reclaimed_bytes_total",
+			"Ledger bytes reclaimed by snapshot folds."),
 
 		verdictVerified: reg.Counter("predabsd_verdict_verified_total",
 			"Completed jobs with outcome verified."),

@@ -71,6 +71,18 @@ type Config struct {
 	// no-ops at zero allocations (the nil-tracer contract), and /metrics
 	// serves an empty exposition.
 	Metrics *metrics.Registry
+	// FS is the filesystem seam under the ledger and the per-job event
+	// logs (nil = the real filesystem). The disk-chaos suite threads a
+	// fault-injecting implementation through it.
+	FS checkpoint.FS
+	// LedgerSnapshotBytes makes restart-replay fold terminal jobs into
+	// one snapshot record when the ledger exceeds this many bytes
+	// (0 = never fold; the ledger only grows).
+	LedgerSnapshotBytes int64
+	// EventsMaxBytes caps each job's event log: above it the oldest
+	// events rotate out behind an explicit truncation record that
+	// preserves the resumable ?after=N contract (0 = unbounded).
+	EventsMaxBytes int64
 	// Logf receives daemon log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -119,10 +131,13 @@ type Counters struct {
 	Adopted   int64 `json:"adopted"`   // orphaned complete results adopted at supervise
 }
 
-// job is the in-memory runtime state of one admitted job.
+// job is the in-memory runtime state of one admitted job. hash is the
+// spec's content address, carried explicitly because a job replayed
+// from a ledger snapshot record keeps its hash but not its spec text.
 type job struct {
-	id  string
-	dir string
+	id   string
+	dir  string
+	hash string
 
 	mu       sync.Mutex
 	spec     JobSpec
@@ -171,7 +186,7 @@ func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.id, State: j.state, Attempts: j.attempts, Resumed: j.resumed,
-		Error: j.errmsg, SpecHash: SpecHash(j.spec)}
+		Error: j.errmsg, SpecHash: j.hash}
 	if j.result != nil {
 		st.ExitCode = j.result.ExitCode
 		st.Outcome = j.result.Outcome
@@ -226,7 +241,7 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	path := filepath.Join(cfg.DataDir, LedgerName)
-	led, replayed, order, warnings, err := openLedger(path)
+	led, replayed, order, warnings, err := openLedger(cfg.FS, path, cfg.LedgerSnapshotBytes)
 	if err != nil {
 		var ce *checkpoint.CorruptError
 		if !errors.As(err, &ce) {
@@ -239,7 +254,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: quarantining corrupt ledger: %w", rerr)
 		}
 		cfg.Logf("predabsd: %v; ledger quarantined to %s, starting fresh", err, quarantine)
-		if led, replayed, order, warnings, err = openLedger(path); err != nil {
+		if led, replayed, order, warnings, err = openLedger(cfg.FS, path, cfg.LedgerSnapshotBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -272,13 +287,29 @@ func New(cfg Config) (*Server, error) {
 	cfg.Metrics.GaugeFunc("predabsd_uptime_seconds",
 		"Seconds since the daemon process started.",
 		func() int64 { return int64(time.Since(s.start).Seconds()) })
+	// Disk-durability observability: the ledger's trusted on-disk size
+	// and the sticky persistence-degraded flag (1 = an append or fsync
+	// failed; the daemon keeps serving but sheds new admissions).
+	cfg.Metrics.GaugeFunc("predabsd_ledger_log_bytes",
+		"Trusted on-disk size of the job ledger in bytes.",
+		func() int64 { return led.size() })
+	cfg.Metrics.GaugeFunc("predabsd_persistence_degraded",
+		"1 while the ledger is persistence-degraded (append/fsync failed), else 0.",
+		func() int64 {
+			if led.degradedErr() != nil {
+				return 1
+			}
+			return 0
+		})
+	s.met.ledgerCompactions.Add(led.compactions)
+	s.met.ledgerReclaimed.Add(led.reclaimedBytes)
 	for id, rj := range replayed {
-		j := &job{id: id, dir: s.jobDir(id), spec: rj.spec, attempts: rj.attempts}
+		j := &job{id: id, dir: s.jobDir(id), hash: rj.hash, spec: rj.spec, attempts: rj.attempts}
 		if rj.done {
 			j.state = rj.state
 			j.errmsg = rj.detail
 			if rj.state == StateDone {
-				if res, ok := readResult(j.dir, rj.spec); ok {
+				if res, ok := readResult(j.dir, rj.hash); ok {
 					j.result = &res
 				} else {
 					// The verdict is durable in the ledger even when the
@@ -380,9 +411,10 @@ func (s *Server) Handler() http.Handler {
 		},
 		Healthz: func() map[string]any {
 			h := map[string]any{
-				"status":         "ok",
-				"version":        predabs.Version,
-				"uptime_seconds": int64(time.Since(s.start).Seconds()),
+				"status":               "ok",
+				"version":              predabs.Version,
+				"uptime_seconds":       int64(time.Since(s.start).Seconds()),
+				"persistence_degraded": s.ledger.degradedErr() != nil,
 			}
 			if s.cfg.CacheURL != "" {
 				h["cache_url"] = s.cfg.CacheURL
@@ -394,13 +426,18 @@ func (s *Server) Handler() http.Handler {
 			depth := len(s.queue)
 			s.mu.Unlock()
 			st := map[string]any{
-				"counters":           s.CounterSnapshot(),
-				"queue_depth":        depth,
-				"queue_cap":          cap(s.queue),
-				"draining":           s.draining.Load(),
-				"retries_in_backoff": s.inBackoff.Load(),
-				"version":            predabs.Version,
-				"uptime_seconds":     int64(time.Since(s.start).Seconds()),
+				"counters":             s.CounterSnapshot(),
+				"queue_depth":          depth,
+				"queue_cap":            cap(s.queue),
+				"draining":             s.draining.Load(),
+				"retries_in_backoff":   s.inBackoff.Load(),
+				"version":              predabs.Version,
+				"uptime_seconds":       int64(time.Since(s.start).Seconds()),
+				"ledger_log_bytes":     s.ledger.size(),
+				"persistence_degraded": s.ledger.degradedErr() != nil,
+			}
+			if derr := s.ledger.degradedErr(); derr != nil {
+				st["persistence_error"] = derr.Error()
 			}
 			if s.cfg.CacheURL != "" {
 				st["cache_url"] = s.cfg.CacheURL
@@ -424,6 +461,12 @@ const maxJobBody = 16 << 20
 var (
 	ErrDraining  = errors.New("server: draining")
 	ErrQueueFull = errors.New("server: queue full")
+	// ErrPersistDegraded sheds admissions while the ledger can no longer
+	// append durably (disk full, failed fsync): a job the daemon cannot
+	// journal would silently vanish on restart, so it is refused with
+	// 503 + Retry-After instead. Already-admitted jobs keep running —
+	// their verdicts stay sound, merely not durable.
+	ErrPersistDegraded = errors.New("server: persistence degraded")
 )
 
 // Submit admits one job: validated, journaled in the ledger, enqueued.
@@ -454,13 +497,26 @@ func (s *Server) Submit(spec JobSpec) (string, error) {
 		s.met.shed.Inc()
 		return "", ErrQueueFull
 	}
+	if derr := s.ledger.degradedErr(); derr != nil {
+		s.mu.Unlock()
+		s.shed.Add(1)
+		s.met.shedDegraded.Inc()
+		return "", fmt.Errorf("%w: %v", ErrPersistDegraded, derr)
+	}
 	id := fmt.Sprintf("job-%06d", s.nextSeq)
 	s.nextSeq++
-	j := &job{id: id, dir: s.jobDir(id), spec: spec, state: StateQueued}
+	j := &job{id: id, dir: s.jobDir(id), hash: SpecHash(spec), spec: spec, state: StateQueued}
 	if err := s.admit(j); err != nil {
 		s.mu.Unlock()
 		if errors.Is(err, errLedgerClosed) {
 			return "", ErrDraining
+		}
+		if s.ledger.degradedErr() != nil {
+			// The admit append itself hit the disk fault: the job never
+			// went durable, so refuse it rather than run unjournaled work.
+			s.shed.Add(1)
+			s.met.shedDegraded.Inc()
+			return "", fmt.Errorf("%w: %v", ErrPersistDegraded, err)
 		}
 		return "", err
 	}

@@ -216,10 +216,10 @@ func TestDaemonVerdictsMatchDirectRuns(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	s := newServer(t, nil)
 	bad := []server.JobSpec{
-		{},                                     // empty source
-		{Source: verifiedSrc, MaxIters: -1},    // negative limit
-		{Source: verifiedSrc, CubeBudget: -5},  // negative limit
-		{Source: verifiedSrc, Jobs: -1},        // negative worker count
+		{},                                    // empty source
+		{Source: verifiedSrc, MaxIters: -1},   // negative limit
+		{Source: verifiedSrc, CubeBudget: -5}, // negative limit
+		{Source: verifiedSrc, Jobs: -1},       // negative worker count
 		{Source: verifiedSrc, Env: []string{"X=1"}}, // env without -allow-job-env
 	}
 	for i, spec := range bad {

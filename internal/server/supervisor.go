@@ -42,7 +42,7 @@ func (s *Server) workerLoop() {
 func (s *Server) supervise(j *job) {
 	s.met.workersBusy.Inc()
 	defer s.met.workersBusy.Dec()
-	if res, ok := readResult(j.dir, j.spec); ok {
+	if res, ok := readResult(j.dir, j.hash); ok {
 		s.adopted.Add(1)
 		s.met.adopted.Inc()
 		s.event(j, JobEvent{Type: EventAdopt, Detail: fmt.Sprintf("exit %d", res.ExitCode)})
@@ -142,6 +142,12 @@ func (s *Server) runAttempt(j *job, attempt int) (*WorkerResult, string) {
 	cmd.Env = append(os.Environ(),
 		JobIDEnv+"="+j.id,
 		AttemptEnv+"="+strconv.Itoa(attempt))
+	if s.cfg.EventsMaxBytes > 0 {
+		// The worker appends its own progress heartbeats; it must honour
+		// the same retention cap or its appends would regrow a log the
+		// supervisor just rotated.
+		cmd.Env = append(cmd.Env, EventsMaxEnv+"="+strconv.FormatInt(s.cfg.EventsMaxBytes, 10))
+	}
 	if s.cfg.CacheURL != "" {
 		cmd.Env = append(cmd.Env, CacheURLEnv+"="+s.cfg.CacheURL)
 		if s.cfg.CacheVerify {
@@ -164,7 +170,7 @@ func (s *Server) runAttempt(j *job, attempt int) (*WorkerResult, string) {
 	runErr := cmd.Run()
 	s.met.attemptSeconds.Observe(time.Since(start).Seconds())
 
-	if res, ok := readResult(j.dir, j.spec); ok {
+	if res, ok := readResult(j.dir, j.hash); ok {
 		return &res, ""
 	}
 	// A failed attempt's trace is archived under its attempt number so a
@@ -275,7 +281,7 @@ func (s *Server) finishFailed(j *job, detail string) {
 // diagnostics, never supervision failures (the event log observes the
 // job, it does not gate it).
 func (s *Server) event(j *job, ev JobEvent) {
-	if _, err := appendJobEvent(j.dir, ev); err != nil {
+	if _, err := appendJobEventFS(s.cfg.FS, j.dir, s.cfg.EventsMaxBytes, ev); err != nil {
 		s.cfg.Logf("predabsd: %s: event log: %v", j.id, err)
 	}
 }
